@@ -1,0 +1,78 @@
+"""Shared fixtures and helpers for the paper-reproduction benchmarks.
+
+Environment knobs:
+
+``REPRO_BENCH_SFS``
+    Comma-separated BerlinMOD scale factors for the Figure 12 grid
+    (default ``0.001,0.002``; the paper uses 0.001–0.01 — the larger
+    factors work but take correspondingly longer in pure Python).
+``REPRO_BENCH_FULL``
+    Set to 1 to run the full paper grids (Figure 2 up to 1M rows,
+    Table 2 up to SF 0.1).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro import core
+from repro.berlinmod import create_baseline_indexes, generate, load_dataset
+
+
+def bench_scale_factors() -> list[float]:
+    raw = os.environ.get("REPRO_BENCH_SFS", "0.001,0.002")
+    return [float(x) for x in raw.split(",") if x.strip()]
+
+
+def full_grid() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+class Scenario:
+    """One engine scenario of Figure 12 with a loaded dataset."""
+
+    def __init__(self, name: str, connection):
+        self.name = name
+        self.connection = connection
+
+    def run(self, sql: str):
+        return self.connection.execute(sql)
+
+
+_DATASET_CACHE: dict[float, object] = {}
+_SCENARIO_CACHE: dict[tuple[float, str], Scenario] = {}
+
+
+def dataset_for(scale_factor: float):
+    if scale_factor not in _DATASET_CACHE:
+        _DATASET_CACHE[scale_factor] = generate(scale_factor)
+    return _DATASET_CACHE[scale_factor]
+
+
+def scenario_for(scale_factor: float, name: str) -> Scenario:
+    key = (scale_factor, name)
+    if key not in _SCENARIO_CACHE:
+        dataset = dataset_for(scale_factor)
+        if name == "mobilityduck":
+            con = core.connect()
+            load_dataset(con, dataset)
+        elif name == "mobilitydb":
+            con = core.connect_baseline()
+            load_dataset(con, dataset)
+        elif name == "mobilitydb_idx":
+            con = core.connect_baseline()
+            load_dataset(con, dataset)
+            create_baseline_indexes(con)
+        else:
+            raise ValueError(name)
+        _SCENARIO_CACHE[key] = Scenario(name, con)
+    return _SCENARIO_CACHE[key]
+
+
+def timed(fn, *args) -> tuple[float, object]:
+    start = time.perf_counter()
+    result = fn(*args)
+    return time.perf_counter() - start, result

@@ -1,0 +1,104 @@
+"""Figure 12 reproduction: the 17 BerlinMOD queries, 3 scenarios, N SFs.
+
+Runs every benchmark query on (a) MobilityDuck (quack + extension),
+(b) the MobilityDB baseline without indexes, and (c) the baseline with
+GiST/B-tree indexes, and prints the runtime grid.  Row counts must match
+across all three scenarios — correctness first, then speed.
+
+Default scale factors are 0.001 and 0.002 (override with
+``REPRO_BENCH_SFS=0.001,0.002,0.005,0.01`` for the paper's full grid).
+
+Expected shape (paper §6.3.2): MobilityDuck beats the unindexed baseline
+on the large majority of queries; the indexed baseline wins back a few
+join-heavy queries (paper: Q10, Q14) through GiST index nested-loop joins.
+"""
+
+import time
+
+import pytest
+
+from repro.berlinmod import QUERIES, get_query
+
+from conftest import bench_scale_factors, scenario_for, timed
+
+_SCENARIOS = ("mobilityduck", "mobilitydb", "mobilitydb_idx")
+_SFS = bench_scale_factors()
+
+_GRID: dict[tuple[float, int, str], float] = {}
+_ROWS: dict[tuple[float, int, str], int] = {}
+
+
+@pytest.mark.parametrize("sf", _SFS)
+@pytest.mark.parametrize("number", [q.number for q in QUERIES])
+def test_fig12_cell(sf, number, benchmark):
+    query = get_query(number)
+    results = {}
+    for name in _SCENARIOS:
+        scenario = scenario_for(sf, name)
+        elapsed, result = timed(scenario.run, query.sql)
+        _GRID[(sf, number, name)] = elapsed
+        _ROWS[(sf, number, name)] = len(result)
+        results[name] = result
+
+    # Correctness: all three scenarios agree on the row count.
+    counts = {name: len(r) for name, r in results.items()}
+    assert len(set(counts.values())) == 1, (
+        f"Q{number} SF {sf}: row counts diverge {counts}"
+    )
+
+    benchmark.extra_info.update(
+        scale_factor=sf,
+        query=number,
+        rows=counts["mobilityduck"],
+        **{f"{name}_s": _GRID[(sf, number, name)] for name in _SCENARIOS},
+    )
+    scenario = scenario_for(sf, "mobilityduck")
+    benchmark.pedantic(scenario.run, args=(query.sql,), rounds=1,
+                       iterations=1)
+
+
+@pytest.mark.parametrize("sf", _SFS)
+def test_fig12_query5_optimized_variant(sf, benchmark):
+    """§6.3's *_gs rewrite of Query 5 must not be slower than the
+    WKB-round-trip version on MobilityDuck."""
+    query = get_query(5)
+    scenario = scenario_for(sf, "mobilityduck")
+    standard_s, standard = timed(scenario.run, query.sql)
+    optimized_s, optimized = timed(scenario.run, query.optimized_sql)
+    assert len(standard) == len(optimized)
+    benchmark.extra_info.update(standard_s=standard_s,
+                                optimized_s=optimized_s)
+    benchmark.pedantic(scenario.run, args=(query.optimized_sql,),
+                       rounds=1, iterations=1)
+    assert optimized_s <= standard_s * 1.5
+
+
+def test_fig12_summary(benchmark):
+    if not _GRID:
+        pytest.skip("grid did not run")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print("\nFigure 12 — runtimes in seconds "
+          "(duck | mobilitydb | mobilitydb+idx):")
+    wins = 0
+    total = 0
+    for sf in _SFS:
+        print(f"\n  SF {sf}:")
+        for query in QUERIES:
+            n = query.number
+            duck = _GRID.get((sf, n, "mobilityduck"))
+            plain = _GRID.get((sf, n, "mobilitydb"))
+            idx = _GRID.get((sf, n, "mobilitydb_idx"))
+            if duck is None:
+                continue
+            rows = _ROWS[(sf, n, "mobilityduck")]
+            marker = "*" if duck <= min(plain, idx) else " "
+            print(f"   Q{n:<3} {duck:>8.3f} | {plain:>8.3f} | "
+                  f"{idx:>8.3f}  ({rows} rows) {marker}")
+            total += 1
+            if duck < plain:
+                wins += 1
+    print(f"\nMobilityDuck faster than the unindexed baseline on "
+          f"{wins}/{total} cells")
+    # Paper headline: MobilityDuck outperforms unindexed MobilityDB in the
+    # large majority of cases.
+    assert wins >= total * 0.6

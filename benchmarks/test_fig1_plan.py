@@ -1,0 +1,53 @@
+"""Figure 1 reproduction: execution plan with an injected TRTREE scan.
+
+The paper's Figure 1 shows DuckDB's plan for the §4.4 overlap query after
+index-scan injection.  This bench builds the same table/index, asserts
+the plan contains the TRTREE index scan node, and prints the plan.
+"""
+
+import pytest
+
+from repro import core
+
+SETUP = """
+CREATE TABLE test_geo("times" timestamptz, "box" stbox);
+CREATE INDEX rtree_stbox ON test_geo USING TRTREE(box);
+INSERT INTO test_geo
+SELECT ('2025-08-11 12:00:00'::timestamp +
+  INTERVAL (i || ' minutes')) AS times,
+  ('STBOX X((' ||
+  (i * 1.0)::DECIMAL(10,2) || ',' ||
+  (i * 1.0)::DECIMAL(10,2) || '),(' ||
+  (i * 1.0 + 0.5)::DECIMAL(10,2) || ',' ||
+  (i * 1.0 + 0.5)::DECIMAL(10,2) || '))') AS stbox_data
+FROM generate_series(1, 1000) AS t(i);
+"""
+
+QUERY = """
+SELECT * FROM test_geo
+WHERE box && STBOX('STBOX X((1000.0,1000.0), (1100.0,1100.0))')
+"""
+
+
+@pytest.fixture(scope="module")
+def con():
+    connection = core.connect()
+    connection.execute(SETUP)
+    return connection
+
+
+def test_fig1_plan_shows_index_scan(con, benchmark):
+    plan = benchmark(con.explain, QUERY)
+    print("\nFigure 1 — execution plan:")
+    print(plan)
+    assert "TRTREE_INDEX_SCAN" in plan
+    assert "SEQ_SCAN" not in plan
+    lines = [line.strip() for line in plan.splitlines()]
+    assert lines[0].startswith("PROJECTION")
+    assert lines[-1].startswith("TRTREE_INDEX_SCAN")
+
+
+def test_fig1_query_result(con, benchmark):
+    """The paper's query box touches only the last row (box 1000)."""
+    result = benchmark(con.execute, QUERY)
+    assert len(result) == 1

@@ -1,0 +1,154 @@
+"""Figure 2 reproduction: R-tree index scan vs sequential scan scaling.
+
+The paper compares four configurations over tables of 1k/10k/100k/1M rows
+(5-run averages, log-scale y):
+
+* MobilityDuck TRTREE index scan on ``stbox``
+* MobilityDuck sequential scan on ``stbox``
+* native (DuckDB-Spatial) RTREE index scan on ``geometry``
+* native sequential scan on ``geometry``
+
+Expected shape: both sequential scans grow linearly with table size while
+both index scans stay flat, with the TRTREE scan at least matching the
+native one.  Set ``REPRO_BENCH_FULL=1`` to include the 1M-row point.
+"""
+
+import time
+
+import pytest
+
+from repro import core, geo
+from repro.meos import STBox
+
+from conftest import full_grid
+
+_SIZES = [1_000, 10_000, 100_000]
+if full_grid():
+    _SIZES.append(1_000_000)
+
+_RUNS = 5
+
+_RESULTS: dict[tuple[str, int], float] = {}
+
+
+def _build_tables(rows: int):
+    """test_geo (stbox) + test_geo_geom (geometry), like §4.4."""
+    con = core.connect()
+    con.execute('CREATE TABLE test_geo("times" timestamptz, "box" stbox)')
+    con.execute(
+        "CREATE TABLE test_geo_geom("
+        '"times" timestamptz, "box" stbox, geom GEOMETRY)'
+    )
+    base_ts = 1_754_913_600_000_000  # 2025-08-11 12:00:00 UTC
+    boxes = []
+    geom_rows = []
+    for i in range(1, rows + 1):
+        box = STBox(i * 1.0, i * 1.0, i * 1.0 + 0.5, i * 1.0 + 0.5)
+        ts = base_ts + i * 60_000_000
+        boxes.append((ts, box))
+        geom_rows.append((ts, box, box.to_geometry()))
+    con.database.catalog.get_table("test_geo").append_rows(boxes)
+    con.database.catalog.get_table("test_geo_geom").append_rows(geom_rows)
+    return con
+
+
+def _query_stbox(rows: int) -> str:
+    # The paper queries a fixed box (1000..1100) at every scale.
+    lo, hi = 1000, 1100
+    return (
+        "SELECT * FROM test_geo WHERE box && "
+        f"STBOX('STBOX X(({lo}.0,{lo}.0),({hi}.0,{hi}.0))')"
+    )
+
+
+def _query_geom(rows: int) -> str:
+    lo, hi = 1000, 1100
+    return (
+        "SELECT * FROM test_geo_geom WHERE ST_Intersects(geom, "
+        f"{{min_x: {lo}, min_y: {lo}, max_x: {hi}, max_y: {hi}}}::BOX_2D)"
+    )
+
+
+def _average(con, sql: str) -> tuple[float, int]:
+    rows = 0
+    start = time.perf_counter()
+    for _ in range(_RUNS):
+        rows = len(con.execute(sql))
+    return (time.perf_counter() - start) / _RUNS, rows
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return {rows: _build_tables(rows) for rows in _SIZES}
+
+
+@pytest.mark.parametrize("rows", _SIZES)
+def test_fig2_point(tables, rows, benchmark):
+    con = tables[rows]
+    seq_stbox, n1 = _average(con, _query_stbox(rows))
+    seq_geom, n2 = _average(con, _query_geom(rows))
+
+    con.execute("CREATE INDEX rtree_stbox ON test_geo USING TRTREE(box)")
+    con.execute(
+        "CREATE INDEX rtree_geom ON test_geo_geom USING RTREE(geom)"
+    )
+    assert "TRTREE_INDEX_SCAN" in con.explain(_query_stbox(rows))
+    assert "RTREE_INDEX_SCAN" in con.explain(_query_geom(rows))
+    idx_stbox, n3 = _average(con, _query_stbox(rows))
+    idx_geom, n4 = _average(con, _query_geom(rows))
+
+    assert n1 == n3, "index scan changed the stbox result"
+    assert n2 == n4, "index scan changed the geometry result"
+
+    _RESULTS[("mobilityduck_index", rows)] = idx_stbox
+    _RESULTS[("mobilityduck_seq", rows)] = seq_stbox
+    _RESULTS[("duckdb_index", rows)] = idx_geom
+    _RESULTS[("duckdb_seq", rows)] = seq_geom
+
+    benchmark.extra_info.update(
+        rows=rows,
+        mobilityduck_index_s=idx_stbox,
+        mobilityduck_seq_s=seq_stbox,
+        duckdb_index_s=idx_geom,
+        duckdb_seq_s=seq_geom,
+    )
+    benchmark.pedantic(
+        lambda: con.execute(_query_stbox(rows)), rounds=_RUNS, iterations=1
+    )
+
+    # Paper shape at this point: index scan beats sequential scan from 10k
+    # rows on (at 1k they are comparable).
+    if rows >= 10_000:
+        assert idx_stbox < seq_stbox
+        assert idx_geom < seq_geom
+
+
+def test_fig2_series_shape(tables, benchmark):
+    """Cross-size assertions + the printed Figure 2 series."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    header = (f"{'rows':>9} {'duck TRTREE':>12} {'duck seq':>12} "
+              f"{'native RTREE':>13} {'native seq':>12}")
+    print("\nFigure 2 — average runtime (s) over 5 runs:")
+    print(header)
+    for rows in _SIZES:
+        print(
+            f"{rows:>9} "
+            f"{_RESULTS[('mobilityduck_index', rows)]:>12.5f} "
+            f"{_RESULTS[('mobilityduck_seq', rows)]:>12.5f} "
+            f"{_RESULTS[('duckdb_index', rows)]:>13.5f} "
+            f"{_RESULTS[('duckdb_seq', rows)]:>12.5f}"
+        )
+    small, large = _SIZES[0], _SIZES[-1]
+    seq_growth = (
+        _RESULTS[("mobilityduck_seq", large)]
+        / _RESULTS[("mobilityduck_seq", small)]
+    )
+    idx_growth = (
+        _RESULTS[("mobilityduck_index", large)]
+        / max(_RESULTS[("mobilityduck_index", small)], 1e-9)
+    )
+    size_ratio = large / small
+    # Sequential scan grows roughly with table size; the index scan stays
+    # nearly flat (paper: "virtually the same across all 4 scales").
+    assert seq_growth > size_ratio / 10
+    assert idx_growth < seq_growth / 5

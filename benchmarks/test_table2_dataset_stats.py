@@ -1,0 +1,68 @@
+"""Table 2 reproduction: BerlinMOD-Hanoi dataset statistics.
+
+The paper's Table 2 lists vehicles/days/trips/size at SF 0.01–0.1.
+Vehicle and day counts must match exactly (they follow the BerlinMOD
+scale rules); trip counts are stochastic and must land within 15%.
+Set ``REPRO_BENCH_FULL=1`` for the SF 0.05/0.1 rows.
+"""
+
+import pytest
+
+from repro.berlinmod import ScaleParams, generate
+
+from conftest import full_grid
+
+#: SF -> (vehicles, days, trips) from the paper's Table 2.
+_PAPER = {
+    0.01: (200, 5, 2_903),
+    0.02: (283, 6, 4_641),
+    0.05: (447, 8, 9_491),
+    0.1: (632, 11, 18_910),
+}
+
+_SFS = [0.01, 0.02] + ([0.05, 0.1] if full_grid() else [])
+
+_ROWS: dict[float, tuple[int, int, int, float]] = {}
+
+
+@pytest.mark.parametrize("sf", _SFS)
+def test_table2_row(sf, benchmark):
+    vehicles, days, trips = _PAPER[sf]
+    params = ScaleParams.for_scale(sf)
+    assert params.vehicles == vehicles
+    assert params.days == days
+
+    dataset = benchmark.pedantic(generate, args=(sf,), rounds=1,
+                                 iterations=1)
+    got_trips = len(dataset.trips)
+    assert trips * 0.85 <= got_trips <= trips * 1.15, (
+        f"SF {sf}: {got_trips} trips vs paper {trips}"
+    )
+    _ROWS[sf] = (
+        params.vehicles, params.days, got_trips,
+        dataset.approx_size_bytes() / 1e6,
+    )
+    benchmark.extra_info.update(
+        vehicles=params.vehicles, days=params.days, trips=got_trips,
+        paper_trips=trips,
+    )
+
+
+def test_table2_print_and_scaling(benchmark):
+    if not _ROWS:
+        pytest.skip("no rows generated")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print("\nTable 2 — BerlinMOD-Hanoi datasets (measured):")
+    print(f"{'SF':>6} {'Vehicles':>9} {'Days':>5} {'Trips':>7} "
+          f"{'Size (MB)':>10} {'paper trips':>12}")
+    for sf in sorted(_ROWS):
+        vehicles, days, trips, size = _ROWS[sf]
+        print(f"{sf:>6} {vehicles:>9} {days:>5} {trips:>7} "
+              f"{size:>10.1f} {_PAPER[sf][2]:>12}")
+    sfs = sorted(_ROWS)
+    if len(sfs) >= 2:
+        # Trips and size grow monotonically with the scale factor.
+        trips = [_ROWS[sf][2] for sf in sfs]
+        sizes = [_ROWS[sf][3] for sf in sfs]
+        assert trips == sorted(trips)
+        assert sizes == sorted(sizes)

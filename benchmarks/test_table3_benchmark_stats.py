@@ -1,0 +1,43 @@
+"""Table 3 reproduction: benchmark dataset statistics at SF 0.001–0.01."""
+
+import pytest
+
+from repro.berlinmod import ScaleParams, generate
+
+#: SF -> (vehicles, trips) from the paper's Table 3.
+_PAPER = {
+    0.001: (63, 549),
+    0.002: (89, 758),
+    0.005: (141, 1_620),
+    0.01: (200, 2_903),
+}
+
+_ROWS: dict[float, tuple[int, int]] = {}
+
+
+@pytest.mark.parametrize("sf", sorted(_PAPER))
+def test_table3_row(sf, benchmark):
+    vehicles, trips = _PAPER[sf]
+    params = ScaleParams.for_scale(sf)
+    assert params.vehicles == vehicles
+
+    dataset = benchmark.pedantic(generate, args=(sf,), rounds=1,
+                                 iterations=1)
+    got = len(dataset.trips)
+    assert trips * 0.85 <= got <= trips * 1.15, (
+        f"SF {sf}: {got} trips vs paper {trips}"
+    )
+    _ROWS[sf] = (params.vehicles, got)
+    benchmark.extra_info.update(vehicles=params.vehicles, trips=got,
+                                paper_trips=trips)
+
+
+def test_table3_print(benchmark):
+    if not _ROWS:
+        pytest.skip("no rows generated")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print("\nTable 3 — benchmark datasets (measured vs paper):")
+    print(f"{'SF':>7} {'Vehicles':>9} {'Trips':>7} {'paper trips':>12}")
+    for sf in sorted(_ROWS):
+        vehicles, trips = _ROWS[sf]
+        print(f"{sf:>7} {vehicles:>9} {trips:>7} {_PAPER[sf][1]:>12}")

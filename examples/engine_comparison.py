@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Engine comparison: MobilityDuck (columnar) vs the MobilityDB baseline.
+
+Runs a selection of BerlinMOD-Hanoi benchmark queries through the
+programmatic harness (`repro.berlinmod.run_benchmark`) across the three
+scenarios of the paper's Figure 12 — MobilityDuck, MobilityDB without
+indexes, MobilityDB with GiST/B-tree indexes — and prints the grid.
+
+Run with::
+
+    python examples/engine_comparison.py [scale_factor] [q1,q2,...]
+"""
+
+import sys
+
+from repro.berlinmod import run_benchmark
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.001
+    if len(sys.argv) > 2:
+        numbers = [int(n) for n in sys.argv[2].split(",")]
+    else:
+        numbers = [1, 2, 3, 4, 8, 13, 15]
+
+    print(f"Running queries {numbers} at SF {scale} on all three "
+          "scenarios ...")
+    report = run_benchmark(scale_factors=[scale], queries=numbers)
+    print()
+    print(report.format_grid())
+
+    duck_vs_idx = report.win_ratio(against="mobilitydb_idx")
+    print(f"mobilityduck wins vs indexed baseline:   {duck_vs_idx:.0%}")
+
+
+if __name__ == "__main__":
+    main()

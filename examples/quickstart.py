@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Quickstart: MobilityDuck in five minutes.
+
+Creates an embedded database, loads the MobilityDuck extension, and walks
+through the paper's §3.5 sample queries: temporal types, sets, spans,
+bounding boxes, restriction, and the spatial overlap operator.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import core
+
+
+def main() -> None:
+    con = core.connect()  # quack engine + MobilityDuck extension
+
+    print("== Temporal duration (tint over three days) ==")
+    result = con.execute(
+        "SELECT duration('{1@2025-01-01, 2@2025-01-02, 1@2025-01-03}'"
+        "::TINT, true) AS d"
+    )
+    print("   duration:", result.scalar())  # 2 days
+
+    print("\n== Shift & scale a timestamptz set ==")
+    result = con.execute(
+        "SELECT shiftScale(tstzset '{2025-01-01, 2025-01-02}', "
+        "interval '1 day', interval '1 hour')::VARCHAR AS s"
+    )
+    print("  ", result.scalar())
+
+    print("\n== Reproject a geometry set to Belgian Lambert 2008 ==")
+    result = con.execute(
+        "SELECT asEWKT(transform(geomset "
+        "'SRID=4326;{Point(2.340088 49.400250), "
+        "Point(6.575317 51.553167)}', 3812), 6) AS g"
+    )
+    print("  ", result.scalar())
+
+    print("\n== Expand a spatiotemporal box ==")
+    result = con.execute(
+        "SELECT expandSpace(stbox 'STBOX XT(((1.0,2.0),(1.0,2.0)),"
+        "[2025-01-01,2025-01-01])', 2.0)::VARCHAR AS b"
+    )
+    print("  ", result.scalar())
+
+    print("\n== Build a temporal geometry with step interpolation ==")
+    result = con.execute(
+        "SELECT asEWKT(tgeometry('Point(1 1)', "
+        "tstzspan '[2025-01-01, 2025-01-02]', 'step')) AS t"
+    )
+    print("  ", result.scalar())
+
+    print("\n== Does a trip overlap a bounding box? ==")
+    result = con.execute(
+        "SELECT tgeompoint '{[Point(1 1)@2025-01-01, "
+        "Point(2 2)@2025-01-02, Point(1 1)@2025-01-03],"
+        "[Point(3 3)@2025-01-04, Point(3 3)@2025-01-05]}' "
+        "&& stbox 'STBOX X((10.0,20.0),(10.0,20.0))' AS overlaps"
+    )
+    print("   overlaps:", result.scalar())  # False
+
+    print("\n== Restrict a trip to a time span ==")
+    result = con.execute(
+        "SELECT asText(atTime(tgeompoint "
+        "'{[Point(1 1)@2025-01-01, Point(2 2)@2025-01-02, "
+        "Point(1 1)@2025-01-03],[Point(3 3)@2025-01-04, "
+        "Point(3 3)@2025-01-05]}', "
+        "tstzspan '[2025-01-01,2025-01-02]')) AS t"
+    )
+    print("  ", result.scalar())
+
+    print("\n== Trajectory length of a moving point ==")
+    result = con.execute(
+        "SELECT length(tgeompoint '[Point(0 0)@2025-01-01, "
+        "Point(3 4)@2025-01-02]') AS len"
+    )
+    print("   length:", result.scalar(), "(expected 5.0)")
+
+    print("\nAll quickstart queries completed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Trajectory analytics: the six use-case operations of the paper's §6.2.
+
+Loads a BerlinMOD-Hanoi dataset and runs, through SQL on the MobilityDuck
+engine:
+
+1. the trajectories of all trips (Figure 6),
+2. the trip(s) crossing the highest number of districts (Figure 7),
+3. the trips crossing the Hai Ba Trung district (Figure 8),
+4. the total distance travelled per district (Figure 9),
+5. the 6 districts with the most crossing trips, with trips clipped to
+   the districts (Figure 10),
+6. pairs of vehicles that have ever been within 10 m (Figure 11).
+
+GeoJSON artifacts for visualization are written next to this script.
+
+Run with::
+
+    python examples/trajectory_analytics.py [scale_factor]
+"""
+
+import json
+import os
+import sys
+
+from repro import core
+from repro.berlinmod import (
+    generate,
+    load_dataset,
+    regions_to_geojson,
+    trips_to_geojson,
+    write_geojson,
+)
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.001
+    print(f"Generating BerlinMOD-Hanoi at SF {scale} ...")
+    dataset = generate(scale)
+    con = core.connect()
+    load_dataset(con, dataset)
+    print(f"  {len(dataset.vehicles)} vehicles, {len(dataset.trips)} trips")
+
+    print("\n(1) Trajectories of all trips")
+    result = con.execute(
+        "SELECT t.VehicleId, t.TripId, ST_AsText(t.Traj) AS Traj "
+        "FROM trajectories t ORDER BY t.TripId LIMIT 3"
+    )
+    for row in result:
+        print(f"    vehicle {row[0]} trip {row[1]}: {row[2][:60]}...")
+    print(f"    ... {con.execute('SELECT count(*) FROM trajectories').scalar()}"
+          " trajectories total")
+
+    print("\n(2) Trip(s) crossing the highest number of districts")
+    result = con.execute(
+        """
+        WITH Crossings AS (
+          SELECT t.TripId, t.VehicleId, count(*) AS Districts
+          FROM trajectories t, hanoi h
+          WHERE ST_Intersects(t.Traj, h.Geom)
+          GROUP BY t.TripId, t.VehicleId )
+        SELECT TripId, VehicleId, Districts
+        FROM Crossings
+        WHERE Districts = (SELECT max(Districts) FROM Crossings)
+        ORDER BY TripId
+        """
+    )
+    for row in result:
+        print(f"    trip {row[0]} (vehicle {row[1]}) crosses {row[2]} "
+              "districts")
+
+    print("\n(3) Trips crossing the Hai Ba Trung district")
+    result = con.execute(
+        """
+        SELECT count(*) FROM trajectories t, hanoi h
+        WHERE h.MunicipalityName = 'Hai Ba Trung'
+          AND ST_Intersects(t.Traj, h.Geom)
+        """
+    )
+    print(f"    {result.scalar()} trips cross Hai Ba Trung")
+
+    print("\n(4) Total distance travelled per district (paper's SQL)")
+    result = con.execute(
+        """
+        SELECT h.MunicipalityName, round(
+          ( sum(length(atGeometry(t.Trip, h.Geom::WKB_BLOB)) ) /
+          1000)::NUMERIC, 3) AS total_km
+        FROM trajectories t, hanoi h
+        WHERE ST_Intersects(t.Traj, h.Geom)
+        GROUP BY h.MunicipalityName
+        ORDER BY total_km DESC
+        """
+    )
+    for name, km in result:
+        print(f"    {name:<14} {km:>10} km")
+
+    print("\n(5) Top 6 districts by crossing trips (trips clipped)")
+    result = con.execute(
+        """
+        SELECT h.MunicipalityName, count(*) AS trips
+        FROM trajectories t, hanoi h
+        WHERE ST_Intersects(t.Traj, h.Geom)
+          AND atGeometry(t.Trip, h.Geom::WKB_BLOB) IS NOT NULL
+        GROUP BY h.MunicipalityName
+        ORDER BY trips DESC, h.MunicipalityName
+        LIMIT 6
+        """
+    )
+    for name, count in result:
+        print(f"    {name:<14} {count:>6} clipped trips")
+
+    print("\n(6) Vehicle pairs ever within 10 m (paper's SQL)")
+    result = con.execute(
+        """
+        SELECT DISTINCT t1.VehicleId AS VehicleId1,
+          t1.TripId AS TripId1, ST_ASText(t1.Traj) AS Traj1,
+          t2.VehicleId AS VehicleId2, t2.TripId AS TripId2,
+          ST_ASText(t2.Traj) AS Traj2,
+        FROM (SELECT * FROM trajectories t1 LIMIT 100) t1,
+          (SELECT * FROM trajectories t2 LIMIT 100) t2
+        WHERE t1.VehicleId < t2.VehicleId AND
+          eDwithin(t1.Trip, t2.Trip, 10.0)
+        ORDER BY t1.VehicleId, t2.VehicleId
+        """
+    )
+    pairs = {(row[0], row[3]) for row in result}
+    print(f"    {len(result)} trip pairs / {len(pairs)} vehicle pairs "
+          "came within 10 m")
+
+    out_dir = os.path.dirname(os.path.abspath(__file__))
+    trips_path = os.path.join(out_dir, "hanoi_trips.geojson")
+    regions_path = os.path.join(out_dir, "hanoi_regions.geojson")
+    write_geojson(trips_path, trips_to_geojson(dataset))
+    write_geojson(regions_path, regions_to_geojson(dataset))
+    print(f"\nGeoJSON written: {trips_path}, {regions_path}")
+
+
+if __name__ == "__main__":
+    main()

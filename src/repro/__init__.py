@@ -1,0 +1,24 @@
+"""MobilityDuck reproduction: spatiotemporal analytics in an embedded
+columnar SQL engine, in pure Python.
+
+Subpackages
+-----------
+``repro.geo``
+    Planar geometry kernel (GEOS/PostGIS substitute).
+``repro.meos``
+    Temporal algebra: sets, spans, spansets, boxes, temporal types
+    (MEOS substitute).
+``repro.index``
+    R-tree (incremental + bulk-load).
+``repro.quack``
+    Embedded columnar vectorized SQL engine (DuckDB substitute).
+``repro.pgsim``
+    Row-store tuple-at-a-time SQL engine (PostgreSQL/MobilityDB baseline).
+``repro.core``
+    The MobilityDuck extension: MEOS types/functions/operators + the
+    TRTREE index, registered into either engine.
+``repro.berlinmod``
+    The BerlinMOD-Hanoi benchmark: data generator, schema, 17 queries.
+"""
+
+__version__ = "0.1.0"

@@ -1,0 +1,109 @@
+"""GeoJSON export of trips and regions (paper §5.2, Figures 3–5).
+
+The paper publishes GeoJSON exports for visualization in Kepler.gl/QGIS;
+this module writes the same artifacts (FeatureCollections of trip
+trajectories with timestamps and of district polygons).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .. import geo
+from ..meos.timetypes import format_timestamptz
+from .generator import Dataset
+
+
+def _geometry_to_geojson(geom: geo.Geometry) -> dict[str, Any]:
+    if isinstance(geom, geo.Point):
+        return {"type": "Point", "coordinates": [geom.x, geom.y]}
+    if isinstance(geom, geo.LineString):
+        return {
+            "type": "LineString",
+            "coordinates": [[x, y] for x, y in geom.points],
+        }
+    if isinstance(geom, geo.Polygon):
+        return {
+            "type": "Polygon",
+            "coordinates": [
+                [[x, y] for x, y in ring] for ring in geom.rings()
+            ],
+        }
+    if isinstance(geom, geo.MultiPoint):
+        return {
+            "type": "MultiPoint",
+            "coordinates": [[p.x, p.y] for p in geom.geoms],
+        }
+    if isinstance(geom, geo.MultiLineString):
+        return {
+            "type": "MultiLineString",
+            "coordinates": [
+                [[x, y] for x, y in line.points] for line in geom.geoms
+            ],
+        }
+    if isinstance(geom, geo.MultiPolygon):
+        return {
+            "type": "MultiPolygon",
+            "coordinates": [
+                [[[x, y] for x, y in ring] for ring in poly.rings()]
+                for poly in geom.geoms
+            ],
+        }
+    return {
+        "type": "GeometryCollection",
+        "geometries": [_geometry_to_geojson(g) for g in geom.geoms],
+    }
+
+
+def trips_to_geojson(dataset: Dataset) -> dict[str, Any]:
+    """Trips as a FeatureCollection with per-vertex timestamps (the layout
+    Kepler.gl's trip layer animates, Figure 3)."""
+    features = []
+    for trip in dataset.trips:
+        instants = trip.trip.instants()
+        features.append(
+            {
+                "type": "Feature",
+                "geometry": {
+                    "type": "LineString",
+                    "coordinates": [
+                        [inst.value.x, inst.value.y, 0,
+                         inst.t // 1_000_000]
+                        for inst in instants
+                    ],
+                },
+                "properties": {
+                    "trip_id": trip.trip_id,
+                    "vehicle_id": trip.vehicle_id,
+                    "day": trip.day.isoformat(),
+                    "start": format_timestamptz(
+                        trip.trip.start_timestamp()
+                    ),
+                    "end": format_timestamptz(trip.trip.end_timestamp()),
+                },
+            }
+        )
+    return {"type": "FeatureCollection", "features": features}
+
+
+def regions_to_geojson(dataset: Dataset) -> dict[str, Any]:
+    """District polygons as a FeatureCollection (Figure 4)."""
+    features = [
+        {
+            "type": "Feature",
+            "geometry": _geometry_to_geojson(d.geom),
+            "properties": {
+                "district_id": d.district_id,
+                "name": d.name,
+                "population": d.population,
+            },
+        }
+        for d in dataset.districts
+    ]
+    return {"type": "FeatureCollection", "features": features}
+
+
+def write_geojson(path: str, collection: dict[str, Any]) -> None:
+    with open(path, "w") as handle:
+        json.dump(collection, handle)

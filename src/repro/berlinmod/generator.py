@@ -1,0 +1,263 @@
+"""BerlinMOD-Hanoi trip generation (paper §5).
+
+Follows the BerlinMOD methodology: vehicles get a home and a work node
+sampled from district populations; every observation day they commute in
+the morning and evening with stochastic leave times, plus additional
+evening/weekend trips.  Movement follows shortest (fastest) paths over the
+road network with per-edge speed perturbation and occasional stops.
+
+Scale rules calibrated against the paper's Tables 2 and 3::
+
+    vehicles = round(2000 * sqrt(SF))
+    days     = round(28 * sqrt(SF)) + 2
+
+which reproduces the published vehicle/day counts exactly (63/89/141/200
+vehicles at SF 0.001–0.01; 5/6/8/11 days at SF 0.01–0.1).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from datetime import date, timedelta
+
+from .. import geo
+from ..meos import Temporal
+from ..meos.temporal import sequence_from_instants, trajectory
+from ..meos.temporal.base import TInstant
+from ..meos.temporal.ttypes import TGEOMPOINT
+from ..meos.timetypes import USECS_PER_SEC, datetime_to_timestamptz
+from .network import FREEWAY, RoadNetwork, make_network
+from .regions import District, SRID, make_districts, population_weights
+
+#: First observation day (a Monday, like BerlinMOD).
+START_DAY = date(2020, 6, 1)
+
+_VEHICLE_TYPES = [("passenger", 0.9), ("truck", 0.05), ("bus", 0.05)]
+_MODELS = [
+    "Toyota Vios", "Honda City", "Hyundai Accent", "Kia Morning",
+    "Mazda 3", "VinFast Lux A", "Ford Ranger", "Mitsubishi Xpander",
+]
+
+
+@dataclass(frozen=True)
+class ScaleParams:
+    scale_factor: float
+    vehicles: int
+    days: int
+
+    @classmethod
+    def for_scale(cls, scale_factor: float) -> "ScaleParams":
+        return cls(
+            scale_factor,
+            vehicles=round(2000 * math.sqrt(scale_factor)),
+            days=round(28 * math.sqrt(scale_factor)) + 2,
+        )
+
+
+@dataclass
+class Vehicle:
+    vehicle_id: int
+    licence: str
+    vehicle_type: str
+    model: str
+    home_node: int
+    work_node: int
+    home_district: int
+    work_district: int
+
+
+@dataclass
+class Trip:
+    trip_id: int
+    vehicle_id: int
+    day: date
+    seq_no: int
+    source_node: int
+    target_node: int
+    trip: Temporal  # tgeompoint sequence
+    traj: geo.Geometry
+
+
+@dataclass
+class Dataset:
+    """A generated BerlinMOD-Hanoi dataset."""
+
+    scale: ScaleParams
+    districts: list[District]
+    network: RoadNetwork
+    vehicles: list[Vehicle]
+    trips: list[Trip]
+    seed: int
+
+    def approx_size_bytes(self) -> int:
+        """Approximate payload size (instants x 32 bytes, like MobilityDB's
+        tgeompoint instant footprint) for the Table 2 'Size' column."""
+        return sum(t.trip.num_instants() for t in self.trips) * 32
+
+
+class TripGenerator:
+    """Deterministic (seeded) BerlinMOD-Hanoi generator."""
+
+    def __init__(self, scale_factor: float, seed: int = 4711,
+                 spacing_m: float = 800.0):
+        self.scale = ScaleParams.for_scale(scale_factor)
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.districts = make_districts(seed)
+        self.network = make_network(self.districts, seed,
+                                    spacing_m=spacing_m)
+        self._district_nodes = self._nodes_per_district()
+
+    def _nodes_per_district(self) -> dict[int, list[int]]:
+        """Nodes inside each district (fallback: nearest to centre)."""
+        result: dict[int, list[int]] = {d.district_id: []
+                                        for d in self.districts}
+        for node in self.network.graph.nodes:
+            x, y = self.network.node_position(node)
+            for district in self.districts:
+                if geo.point_in_polygon((x, y), district.geom):
+                    result[district.district_id].append(node)
+                    break
+        for district in self.districts:
+            if not result[district.district_id]:
+                c = district.center
+                result[district.district_id] = [
+                    self.network.nearest_node(c.x, c.y)
+                ]
+        return result
+
+    # -- vehicles -------------------------------------------------------------
+
+    def make_vehicles(self) -> list[Vehicle]:
+        weights = population_weights(self.districts)
+        district_ids = [d.district_id for d in self.districts]
+        vehicles = []
+        for vid in range(1, self.scale.vehicles + 1):
+            home_d = self.rng.choices(district_ids, weights)[0]
+            work_d = self.rng.choices(district_ids, weights)[0]
+            home = self.rng.choice(self._district_nodes[home_d])
+            work = self.rng.choice(self._district_nodes[work_d])
+            if home == work:
+                work = self.rng.choice(list(self.network.graph.nodes))
+            licence = (
+                f"HN-{chr(65 + (vid * 7) % 26)}{chr(65 + (vid * 13) % 26)} "
+                f"{1000 + vid}"
+            )
+            vtype = self.rng.choices(
+                [t for t, _ in _VEHICLE_TYPES],
+                [w for _, w in _VEHICLE_TYPES],
+            )[0]
+            vehicles.append(
+                Vehicle(vid, licence, vtype, self.rng.choice(_MODELS),
+                        home, work, home_d, work_d)
+            )
+        return vehicles
+
+    # -- trips ----------------------------------------------------------------
+
+    def generate(self) -> Dataset:
+        vehicles = self.make_vehicles()
+        trips: list[Trip] = []
+        trip_id = 0
+        for vehicle in vehicles:
+            for day_offset in range(self.scale.days):
+                day = START_DAY + timedelta(days=day_offset)
+                for seq_no, (source, target, start_s) in enumerate(
+                    self._day_plan(vehicle, day), start=1
+                ):
+                    trip = self._make_trip(source, target, day, start_s)
+                    if trip is None:
+                        continue
+                    trip_id += 1
+                    temporal, traj = trip
+                    trips.append(
+                        Trip(trip_id, vehicle.vehicle_id, day, seq_no,
+                             source, target, temporal, traj)
+                    )
+        return Dataset(self.scale, self.districts, self.network,
+                       vehicles, trips, self.seed)
+
+    def _day_plan(self, vehicle: Vehicle, day: date):
+        """Yield (source, target, start_seconds_of_day) trip plans."""
+        rng = self.rng
+        is_weekend = day.weekday() >= 5
+        if not is_weekend:
+            leave_home = _clamped_gauss(rng, 7.5 * 3600, 1800,
+                                        5 * 3600, 10 * 3600)
+            yield (vehicle.home_node, vehicle.work_node, leave_home)
+            leave_work = _clamped_gauss(rng, 17.0 * 3600, 2700,
+                                        14 * 3600, 20 * 3600)
+            yield (vehicle.work_node, vehicle.home_node, leave_work)
+            if rng.random() < 0.4:
+                out = rng.choice(list(self.network.graph.nodes))
+                start = _clamped_gauss(rng, 20 * 3600, 1800,
+                                       19 * 3600, 21.5 * 3600)
+                yield (vehicle.home_node, out, start)
+                yield (out, vehicle.home_node, start + 3600)
+        else:
+            if rng.random() < 0.8:
+                out = rng.choice(list(self.network.graph.nodes))
+                start = _clamped_gauss(rng, 11 * 3600, 5400,
+                                       8 * 3600, 15 * 3600)
+                yield (vehicle.home_node, out, start)
+                yield (out, vehicle.home_node, start + 2 * 3600)
+            if rng.random() < 0.2:
+                out = rng.choice(list(self.network.graph.nodes))
+                start = _clamped_gauss(rng, 19 * 3600, 3600,
+                                       17 * 3600, 21 * 3600)
+                yield (vehicle.home_node, out, start)
+                yield (out, vehicle.home_node, start + 5400)
+
+    def _make_trip(
+        self, source: int, target: int, day: date, start_seconds: float
+    ) -> tuple[Temporal, geo.Geometry] | None:
+        if source == target:
+            return None
+        path = self.network.shortest_path(source, target)
+        if path is None or len(path) < 2:
+            return None
+        rng = self.rng
+        from datetime import datetime, timezone
+
+        t = datetime_to_timestamptz(
+            datetime(day.year, day.month, day.day, tzinfo=timezone.utc)
+        ) + int(start_seconds * USECS_PER_SEC)
+        instants: list[TInstant] = []
+        x, y = self.network.node_position(path[0])
+        instants.append(_instant(x, y, t))
+        for a, b, edge in self.network.path_edges(path):
+            bx, by = self.network.node_position(b)
+            ax, ay = self.network.node_position(a)
+            speed = edge["speed"] * rng.uniform(0.8, 1.15)
+            duration = edge["length"] / speed
+            # Sample long edges at intermediate positions (GPS ticks).
+            segments = max(1, int(edge["length"] // 400))
+            for k in range(1, segments + 1):
+                frac = k / segments
+                t += int(duration / segments * USECS_PER_SEC)
+                instants.append(
+                    _instant(ax + (bx - ax) * frac, ay + (by - ay) * frac, t)
+                )
+            # Occasional stop at a junction (traffic light).
+            if edge["category"] != FREEWAY and rng.random() < 0.15:
+                t += int(rng.uniform(5, 40) * USECS_PER_SEC)
+                instants.append(_instant(bx, by, t))
+        temporal = sequence_from_instants(instants)
+        return temporal, trajectory(temporal)
+
+
+def _instant(x: float, y: float, t: int) -> TInstant:
+    return TInstant(TGEOMPOINT, geo.Point(x, y, SRID), t)
+
+
+def _clamped_gauss(rng: random.Random, mean: float, stddev: float,
+                   low: float, high: float) -> float:
+    return min(high, max(low, rng.gauss(mean, stddev)))
+
+
+def generate(scale_factor: float, seed: int = 4711,
+             spacing_m: float = 800.0) -> Dataset:
+    """Generate a BerlinMOD-Hanoi dataset at the given scale factor."""
+    return TripGenerator(scale_factor, seed, spacing_m).generate()

@@ -1,0 +1,99 @@
+"""Hanoi administrative regions for BerlinMOD-Hanoi (paper §5).
+
+The paper extracts districts from OpenStreetMap; offline we synthesize a
+deterministic district map that preserves what the benchmark needs:
+named districts with realistic relative populations (for home/work
+sampling) and polygon boundaries (for region queries and the §6.2 use
+cases).  Coordinates are planar metres in a local grid (SRID 3405,
+VN-2000 / UTM 48N-like), with the city centre at (0, 0).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from .. import geo
+
+SRID = 3405
+
+#: (name, population, centre_x_km, centre_y_km, approx_radius_km)
+#: Populations are approximate 2019 census values for Hanoi's urban
+#: districts; layout mimics their actual relative arrangement.
+_DISTRICTS = [
+    ("Ba Dinh", 221_893, -1.5, 1.5, 2.0),
+    ("Hoan Kiem", 135_618, 0.5, 0.5, 1.5),
+    ("Tay Ho", 160_495, -0.5, 4.5, 2.6),
+    ("Long Bien", 322_549, 4.5, 1.5, 3.4),
+    ("Cau Giay", 292_536, -4.5, 0.5, 2.4),
+    ("Dong Da", 371_606, -1.5, -1.0, 2.0),
+    ("Hai Ba Trung", 303_586, 0.5, -1.8, 2.0),
+    ("Hoang Mai", 506_347, 1.0, -5.0, 3.2),
+    ("Thanh Xuan", 293_292, -3.0, -3.4, 2.2),
+    ("Ha Dong", 382_637, -6.5, -6.0, 3.4),
+    ("Bac Tu Liem", 333_300, -6.5, 3.5, 3.2),
+    ("Nam Tu Liem", 236_700, -7.5, -1.5, 3.0),
+]
+
+
+@dataclass(frozen=True)
+class District:
+    district_id: int
+    name: str
+    population: int
+    geom: geo.Polygon
+
+    @property
+    def center(self) -> geo.Point:
+        return self.geom.centroid()
+
+
+def _district_polygon(
+    rng: random.Random, cx_km: float, cy_km: float, radius_km: float
+) -> geo.Polygon:
+    """An irregular convex-ish polygon around a centre (metres)."""
+    cx, cy = cx_km * 1000.0, cy_km * 1000.0
+    radius = radius_km * 1000.0
+    vertices = []
+    count = rng.randint(8, 12)
+    for k in range(count):
+        angle = 2 * math.pi * k / count
+        r = radius * rng.uniform(0.72, 1.0)
+        vertices.append(
+            (cx + r * math.cos(angle), cy + r * math.sin(angle))
+        )
+    return geo.Polygon(vertices, srid=SRID)
+
+
+def make_districts(seed: int = 4711) -> list[District]:
+    """Deterministic district list (same seed -> same map)."""
+    rng = random.Random(seed)
+    districts = []
+    for i, (name, population, cx, cy, radius) in enumerate(_DISTRICTS):
+        districts.append(
+            District(
+                district_id=i + 1,
+                name=name,
+                population=population,
+                geom=_district_polygon(rng, cx, cy, radius),
+            )
+        )
+    return districts
+
+
+def population_weights(districts: list[District]) -> list[float]:
+    total = sum(d.population for d in districts)
+    return [d.population / total for d in districts]
+
+
+def bounding_box(districts: list[District]) -> tuple[float, float, float, float]:
+    xmin = ymin = math.inf
+    xmax = ymax = -math.inf
+    for district in districts:
+        bx0, by0, bx1, by1 = district.geom.bounds()
+        xmin = min(xmin, bx0)
+        ymin = min(ymin, by0)
+        xmax = max(xmax, bx1)
+        ymax = max(ymax, by1)
+    return (xmin, ymin, xmax, ymax)

@@ -1,0 +1,11 @@
+"""Function/operator registration modules of the MobilityDuck extension.
+
+Each module registers one type family's casts, scalar functions and
+operators into a database (quack or pgsim — the registration surface is
+identical), mirroring the paper's §3.4 categories: cast functions, scalar
+functions, and operators-as-named-functions.
+"""
+
+from . import boxes, sets, spans, temporal, tpoint
+
+__all__ = ["boxes", "sets", "spans", "temporal", "tpoint"]

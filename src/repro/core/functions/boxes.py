@@ -1,0 +1,105 @@
+"""Registration of ``tbox`` / ``stbox`` functions and operators.
+
+Includes the paper's §3.5 examples (``expandSpace``, ``expandTime``) and
+the pieces the benchmark queries need: ``stbox(WKB_BLOB)`` around a
+geometry (Query 7), ``trip::STBOX`` (Query 10), ``geometry(stbox)``
+(Figure 2 table setup), and the overlap operators the TRTREE index scan
+matches on (§4.3).
+"""
+
+from __future__ import annotations
+
+from ... import geo, meos
+from ...meos import STBox, TBox
+from ...quack.extension import ExtensionUtil
+from ...quack.functions import ScalarFunction
+from ...quack.types import (
+    BIGINT,
+    BLOB,
+    BOOLEAN,
+    DOUBLE,
+    INTERVAL,
+    VARCHAR,
+)
+from ..types import SPAN_TYPES, STBOX_TYPE, TBOX_TYPE
+
+
+def register(database) -> None:
+    def scalar(name, arg_types, return_type, fn):
+        ExtensionUtil.register_function(
+            database,
+            ScalarFunction(name, tuple(arg_types), return_type, fn_scalar=fn),
+        )
+
+    tstzspan = SPAN_TYPES["tstzspan"]
+
+    for name, ltype, parse in (
+        ("TBOX", TBOX_TYPE, TBox.parse),
+        ("STBOX", STBOX_TYPE, STBox.parse),
+    ):
+        ExtensionUtil.register_type(database, name, ltype)
+        ExtensionUtil.register_cast_function(database, VARCHAR, ltype, parse)
+        ExtensionUtil.register_cast_function(database, ltype, VARCHAR, str)
+        scalar(name.lower(), (VARCHAR,), ltype, parse)
+        scalar("asText", (ltype,), VARCHAR, str)
+
+    # -- tbox ------------------------------------------------------------------
+    scalar("expandValue", (TBOX_TYPE, DOUBLE), TBOX_TYPE, TBox.expand_value)
+    scalar("expandTime", (TBOX_TYPE, INTERVAL), TBOX_TYPE, TBox.expand_time)
+    for op, method in (
+        ("&&", TBox.overlaps),
+        ("@>", TBox.contains),
+        ("<@", lambda a, b: b.contains(a)),
+    ):
+        scalar(op, (TBOX_TYPE, TBOX_TYPE), BOOLEAN, method)
+    scalar("union", (TBOX_TYPE, TBOX_TYPE), TBOX_TYPE, TBox.union)
+    scalar("intersection", (TBOX_TYPE, TBOX_TYPE), TBOX_TYPE,
+           TBox.intersection)
+
+    # -- stbox -----------------------------------------------------------------
+    # Constructors around geometries (WKB bytes or text).
+    scalar("stbox", (BLOB,), STBOX_TYPE,
+           lambda wkb: STBox.from_geometry(geo.decode_wkb(wkb)))
+    stbox_from_geom = lambda g: STBox.from_geometry(g)  # noqa: E731
+    geometry_type = database.types.lookup("GEOMETRY") if (
+        database.types.known("GEOMETRY")
+    ) else None
+    if geometry_type is not None:
+        scalar("stbox", (geometry_type,), STBOX_TYPE, stbox_from_geom)
+        ExtensionUtil.register_cast_function(
+            database, geometry_type, STBOX_TYPE, stbox_from_geom
+        )
+        ExtensionUtil.register_cast_function(
+            database, STBOX_TYPE, geometry_type, STBox.to_geometry
+        )
+    # geometry(stbox): spatial extent as WKB bytes (the paper's proxy-layer
+    # convention — GEOMETRY results travel as WKB_BLOB, §7).
+    scalar("geometry", (STBOX_TYPE,), BLOB,
+           lambda box: geo.encode_wkb(box.to_geometry()))
+
+    scalar("expandSpace", (STBOX_TYPE, DOUBLE), STBOX_TYPE,
+           STBox.expand_space)
+    scalar("expandTime", (STBOX_TYPE, INTERVAL), STBOX_TYPE,
+           STBox.expand_time)
+    scalar("area", (STBOX_TYPE,), DOUBLE, STBox.area)
+    scalar("SRID", (STBOX_TYPE,), BIGINT, lambda b: b.srid)
+    scalar("setSRID", (STBOX_TYPE, BIGINT), STBOX_TYPE,
+           lambda b, srid: b.set_srid(int(srid)))
+    scalar("transform", (STBOX_TYPE, BIGINT), STBOX_TYPE,
+           lambda b, srid: b.transform(int(srid)))
+
+    for op, method in (
+        ("&&", STBox.overlaps),
+        ("@>", STBox.contains),
+        ("<@", lambda a, b: b.contains(a)),
+    ):
+        scalar(op, (STBOX_TYPE, STBOX_TYPE), BOOLEAN, method)
+    scalar("union", (STBOX_TYPE, STBOX_TYPE), STBOX_TYPE, STBox.union)
+    scalar("intersection", (STBOX_TYPE, STBOX_TYPE), STBOX_TYPE,
+           STBox.intersection)
+
+    # Time extraction.
+    ExtensionUtil.register_cast_function(
+        database, STBOX_TYPE, tstzspan, STBox.to_tstzspan
+    )
+    scalar("timeSpan", (STBOX_TYPE,), tstzspan, STBox.to_tstzspan)

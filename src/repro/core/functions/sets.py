@@ -1,0 +1,152 @@
+"""Registration of ``set`` template-type functions (paper §3.4).
+
+Covers the functions shown in the paper: ``Value_to_set``,
+``Intset_to_floatset`` / ``Floatset_to_intset``, ``Dateset_to_tstzset`` /
+``Tstzset_to_dateset``, ``Set_mem_size`` (exposed as ``memSize``),
+``shiftScale``, ``transform``, ``asEWKT``, plus accessors and the set
+operators.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ... import geo, meos
+from ...meos import basetypes
+from ...meos.setcls import Set
+from ...meos.timetypes import Interval
+from ...quack.extension import ExtensionUtil
+from ...quack.functions import ScalarFunction
+from ...quack.types import (
+    BIGINT,
+    BOOLEAN,
+    DOUBLE,
+    INTEGER,
+    INTERVAL,
+    VARCHAR,
+)
+from ..types import BASE_VALUE_TYPES, SET_BASE, SET_TYPES
+
+
+def register(database) -> None:
+    fns = database.functions
+
+    def scalar(name, arg_types, return_type, fn):
+        ExtensionUtil.register_function(
+            database,
+            ScalarFunction(name, tuple(arg_types), return_type, fn_scalar=fn),
+        )
+
+    for name, ltype in SET_TYPES.items():
+        base_name = SET_BASE[name]
+        # Type + textual casts (the paper's cast-function category).
+        ExtensionUtil.register_type(database, name, ltype)
+        ExtensionUtil.register_cast_function(
+            database, VARCHAR, ltype,
+            lambda text, _n=name: meos.parse_set(text, _n),
+        )
+        ExtensionUtil.register_cast_function(database, ltype, VARCHAR, str)
+        # Constructor function with the type's name, e.g. intset('{1,2}').
+        scalar(name, (VARCHAR,), ltype,
+               lambda text, _n=name: meos.parse_set(text, _n))
+
+        # Accessors.
+        scalar("numValues", (ltype,), BIGINT, len)
+        scalar("memSize", (ltype,), BIGINT, Set.mem_size)
+        scalar("asText", (ltype,), VARCHAR, str)
+        if base_name in BASE_VALUE_TYPES:
+            value_type = BASE_VALUE_TYPES[base_name]
+            scalar("startValue", (ltype,), value_type, Set.start_value)
+            scalar("endValue", (ltype,), value_type, Set.end_value)
+            scalar("valueN", (ltype, BIGINT), value_type,
+                   lambda s, n: s.value_at(int(n)))
+
+        # Set-vs-set predicates/operators.
+        for op, method in (
+            ("&&", Set.overlaps),
+            ("@>", Set.contains_set),
+            ("<@", lambda a, b: b.contains_set(a)),
+        ):
+            scalar(op, (ltype, ltype), BOOLEAN, method)
+        scalar("union", (ltype, ltype), ltype, Set.union)
+        scalar("intersection", (ltype, ltype), ltype, Set.intersection)
+        scalar("minus", (ltype, ltype), ltype, Set.minus)
+        scalar("+", (ltype, ltype), ltype, Set.union)
+        scalar("*", (ltype, ltype), ltype, Set.intersection)
+        scalar("-", (ltype, ltype), ltype, Set.minus)
+        if base_name in BASE_VALUE_TYPES:
+            value_type = BASE_VALUE_TYPES[base_name]
+            scalar("@>", (ltype, value_type), BOOLEAN, Set.contains_value)
+            scalar("<@", (value_type, ltype), BOOLEAN,
+                   lambda v, s: s.contains_value(v))
+            # Value_to_set constructor.
+            scalar("set", (value_type,), ltype,
+                   lambda v, _b=base_name: Set.from_values(
+                       [v], basetypes.base_type(_b)))
+
+    # shiftScale — numeric sets take numbers, tstzset takes intervals
+    # (the paper's registration example).
+    for name in ("intset", "bigintset"):
+        ltype = SET_TYPES[name]
+        scalar("shiftScale", (ltype, BIGINT, BIGINT), ltype,
+               lambda s, sh, w: s.shift_scale(int(sh), int(w)))
+        scalar("shift", (ltype, BIGINT), ltype,
+               lambda s, sh: s.shift_scale(shift=int(sh)))
+    scalar("shiftScale", (SET_TYPES["floatset"], DOUBLE, DOUBLE),
+           SET_TYPES["floatset"],
+           lambda s, sh, w: s.shift_scale(sh, w))
+    scalar("shiftScale", (SET_TYPES["tstzset"], INTERVAL, INTERVAL),
+           SET_TYPES["tstzset"],
+           lambda s, sh, w: s.shift_scale(sh, w))
+    scalar("shift", (SET_TYPES["tstzset"], INTERVAL), SET_TYPES["tstzset"],
+           lambda s, sh: s.shift_scale(shift=sh))
+
+    # Conversions between set types (paper §3.4 scalar-function examples).
+    scalar("intset_to_floatset", (SET_TYPES["intset"],),
+           SET_TYPES["floatset"],
+           lambda s: s.map_values(float, basetypes.FLOAT))
+    scalar("floatset_to_intset", (SET_TYPES["floatset"],),
+           SET_TYPES["intset"],
+           lambda s: s.map_values(lambda v: int(round(v)), basetypes.INT))
+    ExtensionUtil.register_cast_function(
+        database, SET_TYPES["intset"], SET_TYPES["floatset"],
+        lambda s: s.map_values(float, basetypes.FLOAT),
+    )
+    ExtensionUtil.register_cast_function(
+        database, SET_TYPES["floatset"], SET_TYPES["intset"],
+        lambda s: s.map_values(lambda v: int(round(v)), basetypes.INT),
+    )
+
+    from ...meos.timetypes import date_to_timestamptz, timestamptz_to_date
+
+    ExtensionUtil.register_cast_function(
+        database, SET_TYPES["dateset"], SET_TYPES["tstzset"],
+        lambda s: s.map_values(date_to_timestamptz, basetypes.TSTZ),
+    )
+    ExtensionUtil.register_cast_function(
+        database, SET_TYPES["tstzset"], SET_TYPES["dateset"],
+        lambda s: s.map_values(timestamptz_to_date, basetypes.DATE),
+    )
+    scalar("tstzset_to_dateset", (SET_TYPES["tstzset"],),
+           SET_TYPES["dateset"],
+           lambda s: s.map_values(timestamptz_to_date, basetypes.DATE))
+    scalar("dateset_to_tstzset", (SET_TYPES["dateset"],),
+           SET_TYPES["tstzset"],
+           lambda s: s.map_values(date_to_timestamptz, basetypes.TSTZ))
+
+    # geomset spatial functions (the §3.5 transform/asEWKT example).
+    geomset = SET_TYPES["geomset"]
+    scalar("transform", (geomset, BIGINT), geomset,
+           lambda s, srid: s.transform(int(srid)))
+    scalar("SRID", (geomset,), BIGINT, Set.srid)
+    scalar("asEWKT", (geomset,), VARCHAR, str)
+
+    def as_ewkt_digits(s: Set, digits: int) -> str:
+        formatted = ", ".join(
+            f'"{geo.format_wkt(v, int(digits))}"' for v in s.values
+        )
+        srid = s.srid()
+        prefix = f"SRID={srid};" if srid else ""
+        return f"{prefix}{{{formatted}}}"
+
+    scalar("asEWKT", (geomset, BIGINT), VARCHAR, as_ewkt_digits)

@@ -1,0 +1,311 @@
+"""Coordinate reference systems and datum-free reprojection.
+
+A small projection engine standing in for PROJ: every registered SRID maps
+to a projection with forward (lon/lat -> x/y) and inverse transforms on the
+WGS84 ellipsoid.  ``transform`` pipes a geometry through
+``source.inverse -> target.forward``.
+
+Registered systems (the ones the paper and the BerlinMOD-Hanoi generator
+touch):
+
+====== ===========================================================
+SRID   System
+====== ===========================================================
+4326   WGS84 geographic (lon/lat degrees)
+3857   Web Mercator (spherical)
+3812   Belgian Lambert 2008 (Lambert conformal conic, 2SP)
+32648  WGS84 / UTM zone 48N (transverse Mercator — covers Hanoi)
+3405   VN-2000 / UTM zone 48N (treated as WGS84/UTM 48N here; the
+       datum shift is metres-level and irrelevant to the benchmark)
+====== ===========================================================
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from .geometry import (
+    Geometry,
+    GeometryCollection,
+    GeometryError,
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+)
+
+# WGS84 ellipsoid
+_A = 6378137.0
+_F = 1.0 / 298.257223563
+_E2 = _F * (2.0 - _F)
+_E = math.sqrt(_E2)
+
+
+@dataclass(frozen=True)
+class Projection:
+    """A pair of coordinate transforms to/from WGS84 lon/lat degrees."""
+
+    srid: int
+    name: str
+    forward: Callable[[float, float], tuple[float, float]]
+    inverse: Callable[[float, float], tuple[float, float]]
+
+
+def _identity(lon: float, lat: float) -> tuple[float, float]:
+    return (lon, lat)
+
+
+def _web_mercator_forward(lon: float, lat: float) -> tuple[float, float]:
+    lat = min(85.06, max(-85.06, lat))
+    x = _A * math.radians(lon)
+    y = _A * math.log(math.tan(math.pi / 4.0 + math.radians(lat) / 2.0))
+    return (x, y)
+
+
+def _web_mercator_inverse(x: float, y: float) -> tuple[float, float]:
+    lon = math.degrees(x / _A)
+    lat = math.degrees(2.0 * math.atan(math.exp(y / _A)) - math.pi / 2.0)
+    return (lon, lat)
+
+
+def _make_transverse_mercator(
+    lon0_deg: float,
+    k0: float = 0.9996,
+    false_easting: float = 500000.0,
+    false_northing: float = 0.0,
+):
+    """Ellipsoidal transverse Mercator (Snyder 1987, eqs. 8-9..8-17)."""
+    lon0 = math.radians(lon0_deg)
+    ep2 = _E2 / (1.0 - _E2)
+
+    def _meridian_arc(lat: float) -> float:
+        return _A * (
+            (1 - _E2 / 4 - 3 * _E2**2 / 64 - 5 * _E2**3 / 256) * lat
+            - (3 * _E2 / 8 + 3 * _E2**2 / 32 + 45 * _E2**3 / 1024)
+            * math.sin(2 * lat)
+            + (15 * _E2**2 / 256 + 45 * _E2**3 / 1024) * math.sin(4 * lat)
+            - (35 * _E2**3 / 3072) * math.sin(6 * lat)
+        )
+
+    def forward(lon_deg: float, lat_deg: float) -> tuple[float, float]:
+        lon = math.radians(lon_deg)
+        lat = math.radians(lat_deg)
+        sin_lat = math.sin(lat)
+        cos_lat = math.cos(lat)
+        tan_lat = math.tan(lat)
+        n = _A / math.sqrt(1 - _E2 * sin_lat * sin_lat)
+        t = tan_lat * tan_lat
+        c = ep2 * cos_lat * cos_lat
+        a_term = cos_lat * (lon - lon0)
+        m = _meridian_arc(lat)
+        x = k0 * n * (
+            a_term
+            + (1 - t + c) * a_term**3 / 6
+            + (5 - 18 * t + t * t + 72 * c - 58 * ep2) * a_term**5 / 120
+        )
+        y = k0 * (
+            m
+            + n
+            * tan_lat
+            * (
+                a_term**2 / 2
+                + (5 - t + 9 * c + 4 * c * c) * a_term**4 / 24
+                + (61 - 58 * t + t * t + 600 * c - 330 * ep2)
+                * a_term**6
+                / 720
+            )
+        )
+        return (x + false_easting, y + false_northing)
+
+    e1 = (1 - math.sqrt(1 - _E2)) / (1 + math.sqrt(1 - _E2))
+
+    def inverse(x: float, y: float) -> tuple[float, float]:
+        x -= false_easting
+        y -= false_northing
+        m = y / k0
+        mu = m / (_A * (1 - _E2 / 4 - 3 * _E2**2 / 64 - 5 * _E2**3 / 256))
+        lat1 = (
+            mu
+            + (3 * e1 / 2 - 27 * e1**3 / 32) * math.sin(2 * mu)
+            + (21 * e1**2 / 16 - 55 * e1**4 / 32) * math.sin(4 * mu)
+            + (151 * e1**3 / 96) * math.sin(6 * mu)
+            + (1097 * e1**4 / 512) * math.sin(8 * mu)
+        )
+        sin1 = math.sin(lat1)
+        cos1 = math.cos(lat1)
+        tan1 = math.tan(lat1)
+        c1 = ep2 * cos1 * cos1
+        t1 = tan1 * tan1
+        n1 = _A / math.sqrt(1 - _E2 * sin1 * sin1)
+        r1 = _A * (1 - _E2) / (1 - _E2 * sin1 * sin1) ** 1.5
+        d = x / (n1 * k0)
+        lat = lat1 - (n1 * tan1 / r1) * (
+            d * d / 2
+            - (5 + 3 * t1 + 10 * c1 - 4 * c1 * c1 - 9 * ep2) * d**4 / 24
+            + (61 + 90 * t1 + 298 * c1 + 45 * t1 * t1 - 252 * ep2 - 3 * c1 * c1)
+            * d**6
+            / 720
+        )
+        lon = lon0 + (
+            d
+            - (1 + 2 * t1 + c1) * d**3 / 6
+            + (5 - 2 * c1 + 28 * t1 - 3 * c1 * c1 + 8 * ep2 + 24 * t1 * t1)
+            * d**5
+            / 120
+        ) / cos1
+        return (math.degrees(lon), math.degrees(lat))
+
+    return forward, inverse
+
+
+def _make_lambert_conformal_conic(
+    lat1_deg: float,
+    lat2_deg: float,
+    lat0_deg: float,
+    lon0_deg: float,
+    false_easting: float,
+    false_northing: float,
+):
+    """Lambert conformal conic, two standard parallels (Snyder eqs. 15-1..)."""
+    lat1 = math.radians(lat1_deg)
+    lat2 = math.radians(lat2_deg)
+    lat0 = math.radians(lat0_deg)
+    lon0 = math.radians(lon0_deg)
+
+    def _m(lat: float) -> float:
+        return math.cos(lat) / math.sqrt(1 - _E2 * math.sin(lat) ** 2)
+
+    def _t(lat: float) -> float:
+        sin_lat = math.sin(lat)
+        return math.tan(math.pi / 4 - lat / 2) / (
+            (1 - _E * sin_lat) / (1 + _E * sin_lat)
+        ) ** (_E / 2)
+
+    n = (math.log(_m(lat1)) - math.log(_m(lat2))) / (
+        math.log(_t(lat1)) - math.log(_t(lat2))
+    )
+    f_big = _m(lat1) / (n * _t(lat1) ** n)
+    rho0 = _A * f_big * _t(lat0) ** n
+
+    def forward(lon_deg: float, lat_deg: float) -> tuple[float, float]:
+        lon = math.radians(lon_deg)
+        lat = math.radians(lat_deg)
+        rho = _A * f_big * _t(lat) ** n
+        theta = n * (lon - lon0)
+        x = rho * math.sin(theta) + false_easting
+        y = rho0 - rho * math.cos(theta) + false_northing
+        return (x, y)
+
+    def inverse(x: float, y: float) -> tuple[float, float]:
+        x -= false_easting
+        y = rho0 - (y - false_northing)
+        rho = math.copysign(math.hypot(x, y), n)
+        if n >= 0:
+            theta = math.atan2(x, y)
+        else:
+            theta = math.atan2(-x, -y)
+        t_val = (rho / (_A * f_big)) ** (1.0 / n)
+        lat = math.pi / 2 - 2 * math.atan(t_val)
+        for _ in range(8):
+            sin_lat = math.sin(lat)
+            lat = math.pi / 2 - 2 * math.atan(
+                t_val * ((1 - _E * sin_lat) / (1 + _E * sin_lat)) ** (_E / 2)
+            )
+        lon = theta / n + lon0
+        return (math.degrees(lon), math.degrees(lat))
+
+    return forward, inverse
+
+
+def _build_registry() -> dict[int, Projection]:
+    registry: dict[int, Projection] = {}
+    registry[4326] = Projection(4326, "WGS84", _identity, _identity)
+    registry[3857] = Projection(
+        3857, "WebMercator", _web_mercator_forward, _web_mercator_inverse
+    )
+    utm48_fwd, utm48_inv = _make_transverse_mercator(lon0_deg=105.0)
+    registry[32648] = Projection(32648, "UTM48N", utm48_fwd, utm48_inv)
+    registry[3405] = Projection(3405, "VN2000/UTM48N", utm48_fwd, utm48_inv)
+    lcc_fwd, lcc_inv = _make_lambert_conformal_conic(
+        lat1_deg=49.833333,
+        lat2_deg=51.166667,
+        lat0_deg=50.797815,
+        lon0_deg=4.359216,
+        false_easting=649328.0,
+        false_northing=665262.0,
+    )
+    registry[3812] = Projection(3812, "BelgianLambert2008", lcc_fwd, lcc_inv)
+    return registry
+
+
+_REGISTRY = _build_registry()
+
+
+def register_projection(proj: Projection) -> None:
+    """Add or replace a projection in the global registry."""
+    _REGISTRY[proj.srid] = proj
+
+
+def known_srids() -> tuple[int, ...]:
+    return tuple(sorted(_REGISTRY))
+
+
+def transform_coord(
+    x: float, y: float, source_srid: int, target_srid: int
+) -> tuple[float, float]:
+    """Reproject one coordinate pair between two registered SRIDs."""
+    if source_srid == target_srid:
+        return (x, y)
+    try:
+        source = _REGISTRY[source_srid]
+        target = _REGISTRY[target_srid]
+    except KeyError as exc:
+        raise GeometryError(f"unknown SRID {exc.args[0]}") from None
+    lon, lat = source.inverse(x, y)
+    return target.forward(lon, lat)
+
+
+def transform(geom: Geometry, target_srid: int) -> Geometry:
+    """Reproject a geometry to ``target_srid``.
+
+    The source SRID is taken from the geometry; transforming a geometry with
+    SRID 0 is an error, matching PostGIS behaviour.
+    """
+    if geom.srid == 0:
+        raise GeometryError("cannot transform geometry with unknown SRID")
+    if geom.srid == target_srid:
+        return geom
+
+    def conv(coord: tuple[float, float]) -> tuple[float, float]:
+        return transform_coord(coord[0], coord[1], geom.srid, target_srid)
+
+    return _map_coords(geom, conv, target_srid)
+
+
+def _map_coords(
+    geom: Geometry,
+    conv: Callable[[tuple[float, float]], tuple[float, float]],
+    srid: int,
+) -> Geometry:
+    if isinstance(geom, Point):
+        x, y = conv((geom.x, geom.y))
+        return Point(x, y, srid)
+    if isinstance(geom, LineString):
+        return LineString([conv(p) for p in geom.points], srid)
+    if isinstance(geom, Polygon):
+        return Polygon(
+            [conv(p) for p in geom.shell],
+            [[conv(p) for p in hole] for hole in geom.holes],
+            srid,
+        )
+    if isinstance(
+        geom, (MultiPoint, MultiLineString, MultiPolygon, GeometryCollection)
+    ):
+        return type(geom)(
+            [_map_coords(g, conv, srid) for g in geom.geoms], srid
+        )
+    raise GeometryError(f"cannot transform {type(geom).__name__}")

@@ -1,0 +1,140 @@
+"""Well-Known Binary (WKB / EWKB) encoding and decoding.
+
+Implements the OGC WKB format for 2D geometries, plus the PostGIS EWKB
+extension that embeds an SRID (type flag ``0x20000000``).  This is the
+byte format behind DuckDB-Spatial's ``WKB_BLOB`` type, which the paper's
+geometry-interop layer converts through (§6.2, §7).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from .geometry import (
+    Geometry,
+    GeometryCollection,
+    GeometryError,
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+)
+
+_EWKB_SRID_FLAG = 0x20000000
+
+_TYPE_CODES = {
+    "Point": 1,
+    "LineString": 2,
+    "Polygon": 3,
+    "MultiPoint": 4,
+    "MultiLineString": 5,
+    "MultiPolygon": 6,
+    "GeometryCollection": 7,
+}
+_CODE_TYPES = {v: k for k, v in _TYPE_CODES.items()}
+
+
+def encode_wkb(geom: Geometry, include_srid: bool = True) -> bytes:
+    """Encode a geometry as little-endian (E)WKB bytes."""
+    out = bytearray()
+    _encode_into(out, geom, include_srid and bool(geom.srid))
+    return bytes(out)
+
+
+def _encode_into(out: bytearray, geom: Geometry, with_srid: bool) -> None:
+    out.append(1)  # little-endian
+    code = _TYPE_CODES.get(geom.geom_type)
+    if code is None:
+        raise GeometryError(f"cannot WKB-encode {geom.geom_type}")
+    type_word = code | (_EWKB_SRID_FLAG if with_srid else 0)
+    out += struct.pack("<I", type_word)
+    if with_srid:
+        out += struct.pack("<i", geom.srid)
+    if isinstance(geom, Point):
+        out += struct.pack("<dd", geom.x, geom.y)
+    elif isinstance(geom, LineString):
+        out += struct.pack("<I", len(geom.points))
+        for x, y in geom.points:
+            out += struct.pack("<dd", x, y)
+    elif isinstance(geom, Polygon):
+        rings = list(geom.rings())
+        out += struct.pack("<I", len(rings))
+        for ring in rings:
+            out += struct.pack("<I", len(ring))
+            for x, y in ring:
+                out += struct.pack("<dd", x, y)
+    elif isinstance(
+        geom, (MultiPoint, MultiLineString, MultiPolygon, GeometryCollection)
+    ):
+        out += struct.pack("<I", len(geom.geoms))
+        for child in geom.geoms:
+            # Children of an EWKB collection never repeat the SRID.
+            _encode_into(out, child, False)
+    else:  # pragma: no cover - all concrete types handled above
+        raise GeometryError(f"cannot WKB-encode {type(geom).__name__}")
+
+
+class _Reader:
+    def __init__(self, data: bytes):
+        self.data = data
+        self.pos = 0
+
+    def take(self, fmt: str):
+        size = struct.calcsize(fmt)
+        if self.pos + size > len(self.data):
+            raise GeometryError("truncated WKB")
+        values = struct.unpack_from(fmt, self.data, self.pos)
+        self.pos += size
+        return values
+
+
+def decode_wkb(data: bytes, default_srid: int = 0) -> Geometry:
+    """Decode (E)WKB bytes into a Geometry."""
+    reader = _Reader(bytes(data))
+    geom = _decode_one(reader, default_srid)
+    return geom
+
+
+def _decode_one(r: _Reader, srid: int) -> Geometry:
+    (order,) = r.take("<B")
+    endian = "<" if order == 1 else ">"
+    (type_word,) = r.take(endian + "I")
+    if type_word & _EWKB_SRID_FLAG:
+        (srid,) = r.take(endian + "i")
+        type_word &= ~_EWKB_SRID_FLAG
+    # Mask ISO Z/M offsets (1000/2000/3000) down to the base type; the
+    # kernel keeps only x/y, so Z/M payloads are rejected explicitly.
+    base = type_word % 1000
+    if type_word != base:
+        raise GeometryError("Z/M WKB geometries are not supported")
+    name = _CODE_TYPES.get(base)
+    if name is None:
+        raise GeometryError(f"unknown WKB geometry code {type_word}")
+    if name == "Point":
+        x, y = r.take(endian + "dd")
+        return Point(x, y, srid)
+    if name == "LineString":
+        (n,) = r.take(endian + "I")
+        pts = [r.take(endian + "dd") for _ in range(n)]
+        return LineString(pts, srid)
+    if name == "Polygon":
+        (nrings,) = r.take(endian + "I")
+        rings = []
+        for _ in range(nrings):
+            (npts,) = r.take(endian + "I")
+            rings.append([r.take(endian + "dd") for _ in range(npts)])
+        if not rings:
+            return GeometryCollection((), srid)
+        return Polygon(rings[0], rings[1:], srid)
+    # Collection types
+    (n,) = r.take(endian + "I")
+    children = [_decode_one(r, srid) for _ in range(n)]
+    cls = {
+        "MultiPoint": MultiPoint,
+        "MultiLineString": MultiLineString,
+        "MultiPolygon": MultiPolygon,
+        "GeometryCollection": GeometryCollection,
+    }[name]
+    return cls(children, srid)

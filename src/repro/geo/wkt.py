@@ -1,0 +1,311 @@
+"""Well-Known Text (WKT / EWKT) reading and writing.
+
+Supports the 2D geometry types defined in :mod:`repro.geo.geometry` plus
+the PostGIS ``SRID=nnnn;`` EWKT prefix, e.g.::
+
+    SRID=4326;POINT(2.34 49.40)
+    LINESTRING(0 0, 1 1, 2 0)
+    POLYGON((0 0, 10 0, 10 10, 0 10, 0 0), (2 2, 4 2, 4 4, 2 4, 2 2))
+    MULTIPOINT((0 0), (1 1))   and the legacy  MULTIPOINT(0 0, 1 1)
+    GEOMETRYCOLLECTION(POINT(0 0), LINESTRING(0 0, 1 1))
+    POINT EMPTY
+"""
+
+from __future__ import annotations
+
+from .geometry import (
+    Geometry,
+    GeometryCollection,
+    GeometryError,
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+)
+
+
+class _Scanner:
+    """Minimal cursor over a WKT string."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def peek(self) -> str:
+        self.skip_ws()
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def expect(self, char: str) -> None:
+        self.skip_ws()
+        if self.peek() != char:
+            raise GeometryError(
+                f"expected {char!r} at position {self.pos} in {self.text!r}"
+            )
+        self.pos += 1
+
+    def accept(self, char: str) -> bool:
+        if self.peek() == char:
+            self.pos += 1
+            return True
+        return False
+
+    def word(self) -> str:
+        self.skip_ws()
+        start = self.pos
+        while self.pos < len(self.text) and (
+            self.text[self.pos].isalpha() or self.text[self.pos] == "_"
+        ):
+            self.pos += 1
+        return self.text[start : self.pos].upper()
+
+    def number(self) -> float:
+        self.skip_ws()
+        start = self.pos
+        allowed = "+-0123456789.eE"
+        while self.pos < len(self.text) and self.text[self.pos] in allowed:
+            self.pos += 1
+        token = self.text[start : self.pos]
+        try:
+            return float(token)
+        except ValueError:
+            raise GeometryError(
+                f"bad number {token!r} at position {start} in {self.text!r}"
+            ) from None
+
+    def at_end(self) -> bool:
+        self.skip_ws()
+        return self.pos >= len(self.text)
+
+
+def parse_wkt(text: str, default_srid: int = 0) -> Geometry:
+    """Parse a WKT or EWKT string into a Geometry."""
+    text = text.strip()
+    srid = default_srid
+    if text.upper().startswith("SRID="):
+        head, _, rest = text.partition(";")
+        try:
+            srid = int(head[5:])
+        except ValueError:
+            raise GeometryError(f"bad SRID prefix in {text!r}") from None
+        text = rest.strip()
+    scanner = _Scanner(text)
+    geom = _parse_geometry(scanner, srid)
+    if not scanner.at_end():
+        raise GeometryError(f"trailing characters in WKT: {text!r}")
+    return geom
+
+
+def _parse_geometry(s: _Scanner, srid: int) -> Geometry:
+    tag = s.word()
+    if not tag:
+        raise GeometryError(f"no geometry tag in {s.text!r}")
+    # Tolerate a Z/M suffix word (coordinates stay 2D in this kernel).
+    checkpoint = s.pos
+    suffix = s.word()
+    if suffix not in ("", "Z", "M", "ZM", "EMPTY"):
+        s.pos = checkpoint
+        suffix = ""
+    if suffix == "EMPTY" or (suffix == "" and _peek_empty(s)):
+        return _empty(tag, srid)
+    parser = _PARSERS.get(tag)
+    if parser is None:
+        raise GeometryError(f"unsupported WKT type {tag!r}")
+    return parser(s, srid)
+
+
+def _peek_empty(s: _Scanner) -> bool:
+    checkpoint = s.pos
+    word = s.word()
+    if word == "EMPTY":
+        return True
+    s.pos = checkpoint
+    return False
+
+
+def _empty(tag: str, srid: int) -> Geometry:
+    empties = {
+        "POINT": lambda: GeometryCollection((), srid),
+        "LINESTRING": lambda: LineString((), srid),
+        "POLYGON": lambda: GeometryCollection((), srid),
+        "MULTIPOINT": lambda: MultiPoint((), srid),
+        "MULTILINESTRING": lambda: MultiLineString((), srid),
+        "MULTIPOLYGON": lambda: MultiPolygon((), srid),
+        "GEOMETRYCOLLECTION": lambda: GeometryCollection((), srid),
+    }
+    if tag not in empties:
+        raise GeometryError(f"unsupported WKT type {tag!r}")
+    return empties[tag]()
+
+
+def _parse_coord(s: _Scanner) -> tuple[float, float]:
+    x = s.number()
+    y = s.number()
+    # Swallow an optional Z (and M) ordinate.
+    while s.peek() not in (",", ")", ""):
+        s.number()
+    return (x, y)
+
+
+def _parse_coord_list(s: _Scanner) -> list[tuple[float, float]]:
+    s.expect("(")
+    coords = [_parse_coord(s)]
+    while s.accept(","):
+        coords.append(_parse_coord(s))
+    s.expect(")")
+    return coords
+
+
+def _parse_point(s: _Scanner, srid: int) -> Point:
+    s.expect("(")
+    x, y = _parse_coord(s)
+    s.expect(")")
+    return Point(x, y, srid)
+
+
+def _parse_linestring(s: _Scanner, srid: int) -> LineString:
+    return LineString(_parse_coord_list(s), srid)
+
+
+def _parse_polygon(s: _Scanner, srid: int) -> Polygon:
+    s.expect("(")
+    shell = _parse_coord_list(s)
+    holes = []
+    while s.accept(","):
+        holes.append(_parse_coord_list(s))
+    s.expect(")")
+    return Polygon(shell, holes, srid)
+
+
+def _parse_multipoint(s: _Scanner, srid: int) -> MultiPoint:
+    s.expect("(")
+    points = []
+    while True:
+        if s.peek() == "(":
+            s.expect("(")
+            x, y = _parse_coord(s)
+            s.expect(")")
+        else:
+            x, y = _parse_coord(s)
+        points.append(Point(x, y, srid))
+        if not s.accept(","):
+            break
+    s.expect(")")
+    return MultiPoint(points, srid)
+
+
+def _parse_multilinestring(s: _Scanner, srid: int) -> MultiLineString:
+    s.expect("(")
+    lines = [LineString(_parse_coord_list(s), srid)]
+    while s.accept(","):
+        lines.append(LineString(_parse_coord_list(s), srid))
+    s.expect(")")
+    return MultiLineString(lines, srid)
+
+
+def _parse_multipolygon(s: _Scanner, srid: int) -> MultiPolygon:
+    s.expect("(")
+    polys = [_parse_polygon(s, srid)]
+    while s.accept(","):
+        polys.append(_parse_polygon(s, srid))
+    s.expect(")")
+    return MultiPolygon(polys, srid)
+
+
+def _parse_collection(s: _Scanner, srid: int) -> GeometryCollection:
+    s.expect("(")
+    geoms = [_parse_geometry(s, srid)]
+    while s.accept(","):
+        geoms.append(_parse_geometry(s, srid))
+    s.expect(")")
+    return GeometryCollection(geoms, srid)
+
+
+_PARSERS = {
+    "POINT": _parse_point,
+    "LINESTRING": _parse_linestring,
+    "POLYGON": _parse_polygon,
+    "MULTIPOINT": _parse_multipoint,
+    "MULTILINESTRING": _parse_multilinestring,
+    "MULTIPOLYGON": _parse_multipolygon,
+    "GEOMETRYCOLLECTION": _parse_collection,
+}
+
+
+# ---------------------------------------------------------------------------
+# Formatting
+# ---------------------------------------------------------------------------
+
+
+def _fmt_num(value: float, precision: int | None) -> str:
+    if precision is not None:
+        value = round(value, precision)
+    if value == int(value) and abs(value) < 1e16:
+        return str(int(value))
+    return repr(value)
+
+
+def _fmt_coords(coords, precision) -> str:
+    return ", ".join(
+        f"{_fmt_num(x, precision)} {_fmt_num(y, precision)}" for x, y in coords
+    )
+
+
+def format_wkt(geom: Geometry, precision: int | None = None) -> str:
+    """Serialize a geometry to WKT (without SRID prefix)."""
+    if isinstance(geom, Point):
+        return f"POINT({_fmt_coords([(geom.x, geom.y)], precision)})"
+    if isinstance(geom, LineString):
+        if not geom.points:
+            return "LINESTRING EMPTY"
+        return f"LINESTRING({_fmt_coords(geom.points, precision)})"
+    if isinstance(geom, Polygon):
+        rings = ", ".join(
+            f"({_fmt_coords(ring, precision)})" for ring in geom.rings()
+        )
+        return f"POLYGON({rings})"
+    if isinstance(geom, MultiPoint):
+        if not geom.geoms:
+            return "MULTIPOINT EMPTY"
+        inner = ", ".join(
+            f"({_fmt_coords([(p.x, p.y)], precision)})" for p in geom.geoms
+        )
+        return f"MULTIPOINT({inner})"
+    if isinstance(geom, MultiLineString):
+        if not geom.geoms:
+            return "MULTILINESTRING EMPTY"
+        inner = ", ".join(
+            f"({_fmt_coords(line.points, precision)})" for line in geom.geoms
+        )
+        return f"MULTILINESTRING({inner})"
+    if isinstance(geom, MultiPolygon):
+        if not geom.geoms:
+            return "MULTIPOLYGON EMPTY"
+        inner = ", ".join(
+            "("
+            + ", ".join(
+                f"({_fmt_coords(ring, precision)})" for ring in poly.rings()
+            )
+            + ")"
+            for poly in geom.geoms
+        )
+        return f"MULTIPOLYGON({inner})"
+    if isinstance(geom, GeometryCollection):
+        if not geom.geoms:
+            return "GEOMETRYCOLLECTION EMPTY"
+        inner = ", ".join(format_wkt(g, precision) for g in geom.geoms)
+        return f"GEOMETRYCOLLECTION({inner})"
+    raise GeometryError(f"cannot format {type(geom).__name__} as WKT")
+
+
+def format_ewkt(geom: Geometry, precision: int | None = None) -> str:
+    """Serialize a geometry to EWKT (with ``SRID=...;`` prefix if set)."""
+    wkt = format_wkt(geom, precision)
+    if geom.srid:
+        return f"SRID={geom.srid};{wkt}"
+    return wkt

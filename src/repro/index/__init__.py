@@ -1,0 +1,11 @@
+"""repro.index — spatial index structures (R-tree)."""
+
+from .rtree import RTree, rect_contains, rect_overlaps, rect_union, rect_volume
+
+__all__ = [
+    "RTree",
+    "rect_contains",
+    "rect_overlaps",
+    "rect_union",
+    "rect_volume",
+]

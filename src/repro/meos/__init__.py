@@ -1,0 +1,119 @@
+"""repro.meos — a pure-Python MEOS (Mobility Engine, Open Source) substitute.
+
+Implements the temporal algebra MobilityDB/MobilityDuck are built on:
+template types (``set``, ``span``, ``spanset``) over the base types of the
+paper's Table 1, bounding boxes (``tbox``, ``stbox``), and temporal types
+(``tbool``, ``tint``, ``tfloat``, ``ttext``, ``tgeompoint``…) with
+discrete/step/linear interpolation, restriction operators, and lifted
+spatiotemporal relationships.
+
+Quick example::
+
+    >>> from repro import meos
+    >>> trip = meos.tgeompoint('[Point(0 0)@2025-01-01, Point(3 4)@2025-01-02]')
+    >>> meos.length(trip)
+    5.0
+"""
+
+from .basetypes import (
+    BIGINT,
+    BOOL,
+    BaseType,
+    DATE,
+    FLOAT,
+    GEOGRAPHY,
+    GEOMETRY,
+    INT,
+    TEXT,
+    TSTZ,
+    base_type,
+)
+from .boxes import STBox, TBox, stbox, tbox
+from .errors import MeosError, MeosTypeError
+from .setcls import (
+    Set,
+    bigintset,
+    dateset,
+    floatset,
+    geogset,
+    geomset,
+    intset,
+    parse_set,
+    textset,
+    tstzset,
+)
+from .span import (
+    Span,
+    bigintspan,
+    datespan,
+    floatspan,
+    intspan,
+    parse_span,
+    tstzspan,
+)
+from .spanset import (
+    SpanSet,
+    bigintspanset,
+    datespanset,
+    floatspanset,
+    intspanset,
+    parse_spanset,
+    tstzspanset,
+)
+from .temporal import *  # noqa: F401,F403 - curated in temporal.__all__
+from .temporal import (
+    TBOOL,
+    TFLOAT,
+    TGEOGPOINT,
+    TGEOMETRY,
+    TGEOMPOINT,
+    TINT,
+    TTEXT,
+    Temporal,
+    parse_temporal,
+)
+from .mfjson import as_mfjson, as_mfjson_dict, from_mfjson
+from .timetypes import (
+    Interval,
+    add_interval,
+    format_date,
+    format_timestamptz,
+    interval_from_usecs,
+    parse_date,
+    parse_timestamptz,
+)
+
+
+def tbool(text: str) -> Temporal:
+    """Parse a ``tbool`` literal."""
+    return parse_temporal(text, TBOOL)
+
+
+def tint(text: str) -> Temporal:
+    """Parse a ``tint`` literal."""
+    return parse_temporal(text, TINT)
+
+
+def tfloat(text: str) -> Temporal:
+    """Parse a ``tfloat`` literal."""
+    return parse_temporal(text, TFLOAT)
+
+
+def ttext(text: str) -> Temporal:
+    """Parse a ``ttext`` literal."""
+    return parse_temporal(text, TTEXT)
+
+
+def tgeompoint(text: str) -> Temporal:
+    """Parse a ``tgeompoint`` literal."""
+    return parse_temporal(text, TGEOMPOINT)
+
+
+def tgeometry(text: str) -> Temporal:
+    """Parse a ``tgeometry`` literal."""
+    return parse_temporal(text, TGEOMETRY)
+
+
+def tgeogpoint(text: str) -> Temporal:
+    """Parse a ``tgeogpoint`` literal."""
+    return parse_temporal(text, TGEOGPOINT)

@@ -1,0 +1,147 @@
+"""Base-type descriptors for the MEOS template types.
+
+MEOS builds its template types (``set``, ``span``, ``spanset``, temporal)
+over a fixed list of base types (paper, Table 1).  A :class:`BaseType`
+bundles everything the templates need to know about one of them: how to
+parse and format values, how to order them, whether the domain is discrete
+(for span canonicalization), and whether linear interpolation makes sense.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from .. import geo
+from .errors import MeosError
+from .timetypes import (
+    format_date,
+    format_timestamptz,
+    parse_date,
+    parse_timestamptz,
+)
+
+
+@dataclass(frozen=True)
+class BaseType:
+    """Descriptor of a MEOS base type."""
+
+    name: str
+    parse: Callable[[str], Any]
+    format: Callable[[Any], str]
+    #: Discrete domains have a unit step; spans over them canonicalize to
+    #: half-open ``[lo, hi)`` form.
+    is_discrete: bool = False
+    #: Unit step for discrete domains.
+    step: int = 1
+    #: Whether values support ordering (geometries do not).
+    is_ordered: bool = True
+    #: Whether the type supports continuous (linear) interpolation.
+    is_continuous: bool = False
+    #: Sort key for set canonicalization when is_ordered is False.
+    sort_key: Callable[[Any], Any] | None = None
+
+    def coerce(self, value: Any) -> Any:
+        """Accept either an already-typed value or its textual form."""
+        if isinstance(value, str):
+            return self.parse(value)
+        return value
+
+    def __reduce__(self):
+        # Pickle by name: descriptors are singletons holding callables.
+        return (base_type, (self.name,))
+
+
+def _parse_bool(text: str) -> bool:
+    lowered = text.strip().lower()
+    if lowered in ("t", "true", "yes", "on", "1"):
+        return True
+    if lowered in ("f", "false", "no", "off", "0"):
+        return False
+    raise MeosError(f"invalid boolean literal: {text!r}")
+
+
+def _parse_int(text: str) -> int:
+    try:
+        return int(text.strip())
+    except ValueError:
+        raise MeosError(f"invalid integer literal: {text!r}") from None
+
+
+def _parse_float(text: str) -> float:
+    try:
+        return float(text.strip())
+    except ValueError:
+        raise MeosError(f"invalid float literal: {text!r}") from None
+
+
+def _format_float(value: float) -> str:
+    if value == int(value) and abs(value) < 1e16:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _parse_text(text: str) -> str:
+    stripped = text.strip()
+    if stripped.startswith('"') and stripped.endswith('"') and len(stripped) >= 2:
+        return stripped[1:-1]
+    return stripped
+
+
+def _format_text(value: str) -> str:
+    return f'"{value}"'
+
+
+def _parse_geometry(text: str) -> geo.Geometry:
+    return geo.parse_wkt(text)
+
+
+def _format_geometry(value: geo.Geometry) -> str:
+    return geo.format_wkt(value, precision=None)
+
+
+def _geometry_sort_key(value: geo.Geometry) -> bytes:
+    return geo.encode_wkb(value, include_srid=False)
+
+
+BOOL = BaseType("bool", _parse_bool, lambda v: "t" if v else "f")
+INT = BaseType("integer", _parse_int, str, is_discrete=True)
+BIGINT = BaseType("bigint", _parse_int, str, is_discrete=True)
+FLOAT = BaseType("float", _parse_float, _format_float, is_continuous=True)
+TEXT = BaseType("text", _parse_text, _format_text)
+DATE = BaseType("date", parse_date, format_date, is_discrete=True)
+TSTZ = BaseType(
+    "timestamptz", parse_timestamptz, format_timestamptz, is_continuous=True
+)
+GEOMETRY = BaseType(
+    "geometry",
+    _parse_geometry,
+    _format_geometry,
+    is_ordered=False,
+    is_continuous=True,
+    sort_key=_geometry_sort_key,
+)
+GEOGRAPHY = BaseType(
+    "geography",
+    _parse_geometry,
+    _format_geometry,
+    is_ordered=False,
+    is_continuous=True,
+    sort_key=_geometry_sort_key,
+)
+
+_BY_NAME = {
+    t.name: t
+    for t in (BOOL, INT, BIGINT, FLOAT, TEXT, DATE, TSTZ, GEOMETRY, GEOGRAPHY)
+}
+_BY_NAME["int"] = INT
+_BY_NAME["float8"] = FLOAT
+_BY_NAME["timestamp"] = TSTZ
+
+
+def base_type(name: str) -> BaseType:
+    """Look up a base type by (case-insensitive) name."""
+    try:
+        return _BY_NAME[name.lower()]
+    except KeyError:
+        raise MeosError(f"unknown base type {name!r}") from None

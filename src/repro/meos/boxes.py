@@ -1,0 +1,471 @@
+"""Bounding-box types: ``tbox`` (value x time) and ``stbox`` (space x time).
+
+``stbox`` is the type the paper's R-tree index is built on (§4); ``tbox``
+bounds the value and time extent of temporal numbers.  Both follow the
+MobilityDB textual formats::
+
+    TBOXINT XT([1, 4),[2025-01-01 ..., 2025-01-02 ...])
+    TBOXFLOAT X([1, 2])
+    STBOX X((1,2),(3,4))
+    STBOX XT(((1,2),(3,4)),[2025-01-01 ..., 2025-01-02 ...])
+    SRID=4326;STBOX T([2025-01-01 ..., 2025-01-02 ...])
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, replace
+from typing import Any
+
+from .. import geo
+from .basetypes import FLOAT, INT, TSTZ
+from .errors import MeosError, MeosTypeError
+from .span import Span
+from .timetypes import Interval, add_interval
+
+
+def _fmt_num(value: float) -> str:
+    if value == int(value) and abs(value) < 1e16:
+        return str(int(value))
+    return repr(float(value))
+
+
+@dataclass(frozen=True)
+class TBox:
+    """Bounding box of a temporal number: value span and/or time span."""
+
+    vspan: Span | None = None
+    tspan: Span | None = None
+
+    def __post_init__(self):
+        if self.vspan is None and self.tspan is None:
+            raise MeosError("tbox needs a value and/or time dimension")
+        if self.tspan is not None and self.tspan.basetype is not TSTZ:
+            raise MeosTypeError("tbox time dimension must be a tstzspan")
+
+    @property
+    def has_x(self) -> bool:
+        return self.vspan is not None
+
+    @property
+    def has_t(self) -> bool:
+        return self.tspan is not None
+
+    # -- text I/O -----------------------------------------------------------------
+
+    _RE = re.compile(
+        r"^\s*TBOX(?P<sub>INT|FLOAT)?\s+(?P<dims>XT|X|T)\s*\((?P<body>.*)\)\s*$",
+        re.IGNORECASE | re.DOTALL,
+    )
+
+    @classmethod
+    def parse(cls, text: str) -> "TBox":
+        match = cls._RE.match(text.strip())
+        if not match:
+            raise MeosError(f"invalid tbox literal: {text!r}")
+        sub = (match["sub"] or "FLOAT").upper()
+        dims = match["dims"].upper()
+        body = match["body"].strip()
+        basetype = INT if sub == "INT" else FLOAT
+        vspan = tspan = None
+        if dims == "XT":
+            vpart, tpart = _split_two(body)
+            vspan = Span.parse(vpart, basetype)
+            tspan = Span.parse(tpart, TSTZ)
+        elif dims == "X":
+            vspan = Span.parse(body, basetype)
+        else:
+            tspan = Span.parse(body, TSTZ)
+        return cls(vspan, tspan)
+
+    def __str__(self) -> str:
+        sub = "INT" if (self.vspan and self.vspan.basetype is INT) else "FLOAT"
+        if self.vspan is not None and self.tspan is not None:
+            return f"TBOX{sub} XT({self.vspan},{self.tspan})"
+        if self.vspan is not None:
+            return f"TBOX{sub} X({self.vspan})"
+        return f"TBOX T({self.tspan})"
+
+    def __repr__(self) -> str:
+        return f"<TBox {self}>"
+
+    # -- predicates ---------------------------------------------------------------
+
+    def _aligned_dims(self, other: "TBox") -> tuple[bool, bool]:
+        return (self.has_x and other.has_x, self.has_t and other.has_t)
+
+    def overlaps(self, other: "TBox") -> bool:
+        """The ``&&`` operator: overlap on every shared dimension."""
+        has_x, has_t = self._aligned_dims(other)
+        if not has_x and not has_t:
+            raise MeosTypeError("tboxes share no dimension")
+        if has_x and not self.vspan.overlaps(other.vspan):
+            return False
+        if has_t and not self.tspan.overlaps(other.tspan):
+            return False
+        return True
+
+    def contains(self, other: "TBox") -> bool:
+        """The ``@>`` operator."""
+        has_x, has_t = self._aligned_dims(other)
+        if not has_x and not has_t:
+            raise MeosTypeError("tboxes share no dimension")
+        if has_x and not self.vspan.contains_span(other.vspan):
+            return False
+        if has_t and not self.tspan.contains_span(other.tspan):
+            return False
+        return True
+
+    # -- operations ----------------------------------------------------------------
+
+    def union(self, other: "TBox") -> "TBox":
+        vspan = tspan = None
+        if self.has_x and other.has_x:
+            vspan = _span_hull(self.vspan, other.vspan)
+        elif self.has_x or other.has_x:
+            raise MeosTypeError("union of tboxes with mixed dimensions")
+        if self.has_t and other.has_t:
+            tspan = _span_hull(self.tspan, other.tspan)
+        elif self.has_t or other.has_t:
+            raise MeosTypeError("union of tboxes with mixed dimensions")
+        return TBox(vspan, tspan)
+
+    def intersection(self, other: "TBox") -> "TBox | None":
+        vspan = tspan = None
+        if self.has_x and other.has_x:
+            vspan = self.vspan.intersection(other.vspan)
+            if vspan is None:
+                return None
+        if self.has_t and other.has_t:
+            tspan = self.tspan.intersection(other.tspan)
+            if tspan is None:
+                return None
+        if vspan is None and tspan is None:
+            return None
+        return TBox(vspan, tspan)
+
+    def expand_value(self, amount: Any) -> "TBox":
+        if not self.has_x:
+            raise MeosTypeError("tbox has no value dimension to expand")
+        return replace(self, vspan=self.vspan.expand(amount))
+
+    def expand_time(self, interval: Interval) -> "TBox":
+        if not self.has_t:
+            raise MeosTypeError("tbox has no time dimension to expand")
+        usecs = interval.total_usecs()
+        tspan = Span(
+            add_interval(self.tspan.lower, -interval),
+            add_interval(self.tspan.upper, interval),
+            self.tspan.lower_inc,
+            self.tspan.upper_inc,
+            TSTZ,
+        )
+        if usecs < 0 and tspan.lower > tspan.upper:
+            raise MeosError("negative expansion emptied the tbox")
+        return replace(self, tspan=tspan)
+
+
+@dataclass(frozen=True)
+class STBox:
+    """Spatiotemporal bounding box: optional XY extent, optional time span."""
+
+    xmin: float | None = None
+    ymin: float | None = None
+    xmax: float | None = None
+    ymax: float | None = None
+    tspan: Span | None = None
+    srid: int = 0
+    geodetic: bool = False
+
+    def __post_init__(self):
+        spatial = [self.xmin, self.ymin, self.xmax, self.ymax]
+        defined = [v is not None for v in spatial]
+        if any(defined) and not all(defined):
+            raise MeosError("stbox spatial dimension is partially defined")
+        if not any(defined) and self.tspan is None:
+            raise MeosError("stbox needs a spatial and/or time dimension")
+        if self.has_x and (self.xmin > self.xmax or self.ymin > self.ymax):
+            raise MeosError("stbox min corner above max corner")
+        if self.tspan is not None and self.tspan.basetype is not TSTZ:
+            raise MeosTypeError("stbox time dimension must be a tstzspan")
+
+    @property
+    def has_x(self) -> bool:
+        return self.xmin is not None
+
+    @property
+    def has_t(self) -> bool:
+        return self.tspan is not None
+
+    # -- text I/O -----------------------------------------------------------------
+
+    _RE = re.compile(
+        r"^\s*(?:SRID=(?P<srid>\d+)\s*;\s*)?"
+        r"(?P<kind>STBOX|GEODSTBOX)\s+(?P<dims>XT|X|T)\s*\((?P<body>.*)\)\s*$",
+        re.IGNORECASE | re.DOTALL,
+    )
+
+    @classmethod
+    def parse(cls, text: str) -> "STBox":
+        match = cls._RE.match(text.strip())
+        if not match:
+            raise MeosError(f"invalid stbox literal: {text!r}")
+        srid = int(match["srid"]) if match["srid"] else 0
+        geodetic = match["kind"].upper() == "GEODSTBOX"
+        dims = match["dims"].upper()
+        body = match["body"].strip()
+        xmin = ymin = xmax = ymax = None
+        tspan = None
+        if dims == "XT":
+            spatial, tpart = _split_two(body)
+            xmin, ymin, xmax, ymax = _parse_corners(spatial)
+            tspan = Span.parse(tpart, TSTZ)
+        elif dims == "X":
+            xmin, ymin, xmax, ymax = _parse_corners(f"({body})")
+        else:
+            tspan = Span.parse(body, TSTZ)
+        return cls(xmin, ymin, xmax, ymax, tspan, srid, geodetic)
+
+    def __str__(self) -> str:
+        kind = "GEODSTBOX" if self.geodetic else "STBOX"
+        prefix = f"SRID={self.srid};" if self.srid else ""
+        if self.has_x and self.has_t:
+            return (
+                f"{prefix}{kind} XT((({_fmt_num(self.xmin)},{_fmt_num(self.ymin)}),"
+                f"({_fmt_num(self.xmax)},{_fmt_num(self.ymax)})),{self.tspan})"
+            )
+        if self.has_x:
+            return (
+                f"{prefix}{kind} X((({_fmt_num(self.xmin)},{_fmt_num(self.ymin)}),"
+                f"({_fmt_num(self.xmax)},{_fmt_num(self.ymax)})))"
+            )
+        return f"{prefix}{kind} T({self.tspan})"
+
+    def __repr__(self) -> str:
+        return f"<STBox {self}>"
+
+    # -- constructors from other types ----------------------------------------------
+
+    @classmethod
+    def from_geometry(cls, geom: geo.Geometry,
+                      tspan: Span | None = None) -> "STBox":
+        xmin, ymin, xmax, ymax = geom.bounds()
+        return cls(xmin, ymin, xmax, ymax, tspan, geom.srid)
+
+    # -- accessors ------------------------------------------------------------------
+
+    def to_tstzspan(self) -> Span:
+        if not self.has_t:
+            raise MeosTypeError("stbox has no time dimension")
+        return self.tspan
+
+    def to_geometry(self) -> geo.Geometry:
+        """Spatial extent as a Polygon (or a Point for degenerate boxes)."""
+        if not self.has_x:
+            raise MeosTypeError("stbox has no spatial dimension")
+        if self.xmin == self.xmax and self.ymin == self.ymax:
+            return geo.Point(self.xmin, self.ymin, self.srid)
+        return geo.Polygon(
+            [
+                (self.xmin, self.ymin),
+                (self.xmax, self.ymin),
+                (self.xmax, self.ymax),
+                (self.xmin, self.ymax),
+            ],
+            srid=self.srid,
+        )
+
+    def area(self) -> float:
+        if not self.has_x:
+            raise MeosTypeError("stbox has no spatial dimension")
+        return (self.xmax - self.xmin) * (self.ymax - self.ymin)
+
+    # -- predicates -----------------------------------------------------------------
+
+    def _check_srid(self, other: "STBox") -> None:
+        if self.srid and other.srid and self.srid != other.srid:
+            raise MeosError(
+                f"stbox SRID mismatch: {self.srid} vs {other.srid}"
+            )
+
+    def _aligned_dims(self, other: "STBox") -> tuple[bool, bool]:
+        return (self.has_x and other.has_x, self.has_t and other.has_t)
+
+    def overlaps(self, other: "STBox") -> bool:
+        """The ``&&`` operator: overlap on every shared dimension."""
+        self._check_srid(other)
+        has_x, has_t = self._aligned_dims(other)
+        if not has_x and not has_t:
+            raise MeosTypeError("stboxes share no dimension")
+        if has_x and (
+            self.xmax < other.xmin
+            or other.xmax < self.xmin
+            or self.ymax < other.ymin
+            or other.ymax < self.ymin
+        ):
+            return False
+        if has_t and not self.tspan.overlaps(other.tspan):
+            return False
+        return True
+
+    def contains(self, other: "STBox") -> bool:
+        """The ``@>`` operator."""
+        self._check_srid(other)
+        has_x, has_t = self._aligned_dims(other)
+        if not has_x and not has_t:
+            raise MeosTypeError("stboxes share no dimension")
+        if has_x and not (
+            self.xmin <= other.xmin
+            and self.xmax >= other.xmax
+            and self.ymin <= other.ymin
+            and self.ymax >= other.ymax
+        ):
+            return False
+        if has_t and not self.tspan.contains_span(other.tspan):
+            return False
+        return True
+
+    # -- operations -----------------------------------------------------------------
+
+    def union(self, other: "STBox") -> "STBox":
+        self._check_srid(other)
+        has_x, has_t = self._aligned_dims(other)
+        if (self.has_x != other.has_x) or (self.has_t != other.has_t):
+            raise MeosTypeError("union of stboxes with mixed dimensions")
+        xmin = ymin = xmax = ymax = None
+        tspan = None
+        if has_x:
+            xmin = min(self.xmin, other.xmin)
+            ymin = min(self.ymin, other.ymin)
+            xmax = max(self.xmax, other.xmax)
+            ymax = max(self.ymax, other.ymax)
+        if has_t:
+            tspan = _span_hull(self.tspan, other.tspan)
+        return STBox(xmin, ymin, xmax, ymax, tspan,
+                     self.srid or other.srid, self.geodetic)
+
+    def intersection(self, other: "STBox") -> "STBox | None":
+        self._check_srid(other)
+        if not self.overlaps(other):
+            return None
+        has_x, has_t = self._aligned_dims(other)
+        xmin = ymin = xmax = ymax = None
+        tspan = None
+        if has_x:
+            xmin = max(self.xmin, other.xmin)
+            ymin = max(self.ymin, other.ymin)
+            xmax = min(self.xmax, other.xmax)
+            ymax = min(self.ymax, other.ymax)
+        if has_t:
+            tspan = self.tspan.intersection(other.tspan)
+            if tspan is None:
+                return None
+        return STBox(xmin, ymin, xmax, ymax, tspan,
+                     self.srid or other.srid, self.geodetic)
+
+    def expand_space(self, amount: float) -> "STBox":
+        """Widen the spatial extent by ``amount`` on every side (paper §3.5)."""
+        if not self.has_x:
+            raise MeosTypeError("stbox has no spatial dimension to expand")
+        return replace(
+            self,
+            xmin=self.xmin - amount,
+            ymin=self.ymin - amount,
+            xmax=self.xmax + amount,
+            ymax=self.ymax + amount,
+        )
+
+    def expand_time(self, interval: Interval) -> "STBox":
+        """Widen the temporal extent by ``interval`` on both ends."""
+        if not self.has_t:
+            raise MeosTypeError("stbox has no time dimension to expand")
+        tspan = Span(
+            add_interval(self.tspan.lower, -interval),
+            add_interval(self.tspan.upper, interval),
+            self.tspan.lower_inc,
+            self.tspan.upper_inc,
+            TSTZ,
+        )
+        return replace(self, tspan=tspan)
+
+    def set_srid(self, srid: int) -> "STBox":
+        return replace(self, srid=srid)
+
+    def transform(self, target_srid: int) -> "STBox":
+        """Reproject the spatial extent to another SRID."""
+        if not self.has_x:
+            return replace(self, srid=target_srid)
+        if self.srid == 0:
+            raise MeosError("cannot transform stbox with unknown SRID")
+        if self.srid == target_srid:
+            return self
+        corners = [
+            geo.transform_coord(x, y, self.srid, target_srid)
+            for x, y in (
+                (self.xmin, self.ymin),
+                (self.xmin, self.ymax),
+                (self.xmax, self.ymin),
+                (self.xmax, self.ymax),
+            )
+        ]
+        xs = [c[0] for c in corners]
+        ys = [c[1] for c in corners]
+        return replace(
+            self,
+            xmin=min(xs), ymin=min(ys), xmax=max(xs), ymax=max(ys),
+            srid=target_srid,
+        )
+
+
+def _span_hull(a: Span, b: Span) -> Span:
+    if a.lower < b.lower:
+        lower, lower_inc = a.lower, a.lower_inc
+    elif a.lower > b.lower:
+        lower, lower_inc = b.lower, b.lower_inc
+    else:
+        lower, lower_inc = a.lower, a.lower_inc or b.lower_inc
+    if a.upper > b.upper:
+        upper, upper_inc = a.upper, a.upper_inc
+    elif a.upper < b.upper:
+        upper, upper_inc = b.upper, b.upper_inc
+    else:
+        upper, upper_inc = a.upper, a.upper_inc or b.upper_inc
+    return Span(lower, upper, lower_inc, upper_inc, a.basetype)
+
+
+def _split_two(body: str) -> tuple[str, str]:
+    """Split ``"<paren-group>,<rest>"`` at the top-level comma."""
+    depth = 0
+    for i, ch in enumerate(body):
+        if ch in "([":
+            depth += 1
+        elif ch in ")]":
+            depth -= 1
+        elif ch == "," and depth == 0:
+            return body[:i].strip(), body[i + 1 :].strip()
+    raise MeosError(f"expected two comma-separated parts in {body!r}")
+
+
+_CORNERS_RE = re.compile(
+    r"^\(\s*\(\s*(?P<x1>[-+0-9.eE]+)\s*,\s*(?P<y1>[-+0-9.eE]+)\s*\)\s*,"
+    r"\s*\(\s*(?P<x2>[-+0-9.eE]+)\s*,\s*(?P<y2>[-+0-9.eE]+)\s*\)\s*\)$"
+)
+
+
+def _parse_corners(text: str) -> tuple[float, float, float, float]:
+    match = _CORNERS_RE.match(text.strip())
+    if not match:
+        raise MeosError(f"invalid stbox corners: {text!r}")
+    x1 = float(match["x1"])
+    y1 = float(match["y1"])
+    x2 = float(match["x2"])
+    y2 = float(match["y2"])
+    return (min(x1, x2), min(y1, y2), max(x1, x2), max(y1, y2))
+
+
+def tbox(text: str) -> TBox:
+    return TBox.parse(text)
+
+
+def stbox(text: str) -> STBox:
+    return STBox.parse(text)

@@ -1,0 +1,9 @@
+"""Error types for the MEOS temporal algebra."""
+
+
+class MeosError(ValueError):
+    """Raised on malformed temporal values or invalid operations."""
+
+
+class MeosTypeError(MeosError):
+    """Raised when operands have incompatible temporal/base types."""

@@ -1,0 +1,320 @@
+"""The ``set`` template type: an ordered collection of distinct values.
+
+Concrete instances are ``intset``, ``bigintset``, ``floatset``, ``textset``,
+``dateset``, ``tstzset``, ``geomset`` and ``geogset`` (paper, Table 1).
+Values are stored sorted and deduplicated; geometry sets sort by WKB bytes
+since geometries have no natural order (matching MobilityDB's behaviour).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator
+
+from .. import geo
+from .basetypes import (
+    BIGINT,
+    BaseType,
+    DATE,
+    FLOAT,
+    GEOGRAPHY,
+    GEOMETRY,
+    INT,
+    TEXT,
+    TSTZ,
+)
+from .errors import MeosError, MeosTypeError
+from .span import Span
+from .timetypes import Interval, add_interval
+
+
+@dataclass(frozen=True)
+class Set:
+    """A sorted, deduplicated set of base-type values."""
+
+    values: tuple[Any, ...]
+    basetype: BaseType
+
+    @classmethod
+    def from_values(cls, values: Iterable[Any], basetype: BaseType) -> "Set":
+        items = [basetype.coerce(v) for v in values]
+        if not items:
+            raise MeosError("a set must contain at least one value")
+        key = basetype.sort_key or (lambda v: v)
+        seen: dict[Any, Any] = {}
+        for item in items:
+            seen.setdefault(key(item), item)
+        ordered = [seen[k] for k in sorted(seen)]
+        return cls(tuple(ordered), basetype)
+
+    @classmethod
+    def parse(cls, text: str, basetype: BaseType) -> "Set":
+        stripped = text.strip()
+        srid = 0
+        if stripped.upper().startswith("SRID="):
+            head, _, rest = stripped.partition(";")
+            try:
+                srid = int(head[5:])
+            except ValueError:
+                raise MeosError(f"bad SRID prefix in {text!r}") from None
+            stripped = rest.strip()
+        if not (stripped.startswith("{") and stripped.endswith("}")):
+            raise MeosError(f"invalid set literal: {text!r}")
+        body = stripped[1:-1]
+        raw_items = _split_top_level(body)
+        if not raw_items:
+            raise MeosError("a set must contain at least one value")
+        values = [basetype.parse(item) for item in raw_items]
+        if srid and basetype in (GEOMETRY, GEOGRAPHY):
+            values = [
+                v.with_srid(srid) if getattr(v, "srid", 0) == 0 else v
+                for v in values
+            ]
+        return cls.from_values(values, basetype)
+
+    # -- output -----------------------------------------------------------------
+
+    def __str__(self) -> str:
+        fmt = self.basetype.format
+        if self.basetype in (GEOMETRY, GEOGRAPHY):
+            body = ", ".join(f'"{fmt(v)}"' for v in self.values)
+            srid = self.srid()
+            prefix = f"SRID={srid};" if srid else ""
+            return f"{prefix}{{{body}}}"
+        return "{" + ", ".join(fmt(v) for v in self.values) + "}"
+
+    def __repr__(self) -> str:
+        return f"<Set {self.basetype.name} {self}>"
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.values)
+
+    # -- accessors ----------------------------------------------------------------
+
+    def start_value(self) -> Any:
+        return self.values[0]
+
+    def end_value(self) -> Any:
+        return self.values[-1]
+
+    def value_at(self, index: int) -> Any:
+        """1-based access, like MobilityDB's ``valueN``."""
+        if not 1 <= index <= len(self.values):
+            raise MeosError(f"set index {index} out of range")
+        return self.values[index - 1]
+
+    def srid(self) -> int:
+        if self.basetype not in (GEOMETRY, GEOGRAPHY):
+            raise MeosTypeError("srid() requires a geo set")
+        return self.values[0].srid if self.values else 0
+
+    def to_span(self) -> Span:
+        """Bounding span of an ordered set."""
+        if not self.basetype.is_ordered:
+            raise MeosTypeError(f"{self.basetype.name}set has no span")
+        return Span.make(
+            self.values[0], self.values[-1], self.basetype, True, True
+        )
+
+    def mem_size(self) -> int:
+        """Approximate storage size in bytes (MobilityDB ``memSize``)."""
+        base = 16
+        per_value = {
+            "bool": 1,
+            "integer": 4,
+            "bigint": 8,
+            "float": 8,
+            "date": 4,
+            "timestamptz": 8,
+        }
+        size = per_value.get(self.basetype.name)
+        if size is not None:
+            return base + size * len(self.values)
+        if self.basetype.name == "text":
+            return base + sum(len(v.encode()) + 4 for v in self.values)
+        return base + sum(
+            len(geo.encode_wkb(v)) for v in self.values
+        )
+
+    # -- predicates ---------------------------------------------------------------
+
+    def _check(self, other: "Set") -> None:
+        if other.basetype.name != self.basetype.name:
+            raise MeosTypeError(
+                f"set type mismatch: {self.basetype.name} vs "
+                f"{other.basetype.name}"
+            )
+
+    def _key(self, value: Any) -> Any:
+        key = self.basetype.sort_key
+        return key(value) if key else value
+
+    def contains_value(self, value: Any) -> bool:
+        value = self.basetype.coerce(value)
+        target = self._key(value)
+        return any(self._key(v) == target for v in self.values)
+
+    def contains_set(self, other: "Set") -> bool:
+        self._check(other)
+        mine = {self._key(v) for v in self.values}
+        return all(self._key(v) in mine for v in other.values)
+
+    def overlaps(self, other: "Set") -> bool:
+        self._check(other)
+        mine = {self._key(v) for v in self.values}
+        return any(self._key(v) in mine for v in other.values)
+
+    # -- set operations -------------------------------------------------------------
+
+    def union(self, other: "Set") -> "Set":
+        self._check(other)
+        return Set.from_values(self.values + other.values, self.basetype)
+
+    def intersection(self, other: "Set") -> "Set | None":
+        self._check(other)
+        keys = {self._key(v) for v in other.values}
+        kept = [v for v in self.values if self._key(v) in keys]
+        if not kept:
+            return None
+        return Set(tuple(kept), self.basetype)
+
+    def minus(self, other: "Set") -> "Set | None":
+        self._check(other)
+        keys = {self._key(v) for v in other.values}
+        kept = [v for v in self.values if self._key(v) not in keys]
+        if not kept:
+            return None
+        return Set(tuple(kept), self.basetype)
+
+    # -- transformations --------------------------------------------------------------
+
+    def shift_scale(self, shift: Any = None, width: Any = None) -> "Set":
+        """Shift all values and/or rescale their extent to ``width``.
+
+        For ``tstzset`` the arguments are :class:`Interval` objects (the
+        paper's ``shiftScale(tstzset, interval, interval)``); for numeric
+        sets they are plain numbers.
+        """
+        values = list(self.values)
+        if self.basetype is TSTZ:
+            if shift is not None:
+                if not isinstance(shift, Interval):
+                    raise MeosTypeError("tstzset shift must be an interval")
+                values = [add_interval(v, shift) for v in values]
+            if width is not None:
+                if not isinstance(width, Interval):
+                    raise MeosTypeError("tstzset width must be an interval")
+                values = _rescale(values, width.total_usecs())
+        else:
+            if shift is not None:
+                values = [v + shift for v in values]
+            if width is not None:
+                values = _rescale(values, width)
+        if self.basetype.is_discrete or self.basetype is TSTZ:
+            values = [int(round(v)) for v in values]
+        return Set.from_values(values, self.basetype)
+
+    def transform(self, target_srid: int) -> "Set":
+        if self.basetype not in (GEOMETRY, GEOGRAPHY):
+            raise MeosTypeError("transform() requires a geo set")
+        return Set(
+            tuple(geo.transform(v, target_srid) for v in self.values),
+            self.basetype,
+        )
+
+    def map_values(
+        self, func: Callable[[Any], Any], target: BaseType
+    ) -> "Set":
+        """Convert values to another base type (e.g. intset -> floatset)."""
+        return Set.from_values([func(v) for v in self.values], target)
+
+
+def _rescale(values: list[Any], width: Any) -> list[Any]:
+    if width < 0:
+        raise MeosError(f"invalid set width {width!r}")
+    lo, hi = values[0], values[-1]
+    extent = hi - lo
+    if extent == 0:
+        return list(values)
+    return [lo + (v - lo) * width / extent for v in values]
+
+
+def _split_top_level(text: str) -> list[str]:
+    items: list[str] = []
+    depth = 0
+    in_quote = False
+    start = 0
+    for i, ch in enumerate(text):
+        if ch == '"':
+            in_quote = not in_quote
+        elif in_quote:
+            continue
+        elif ch in "([{":
+            depth += 1
+        elif ch in ")]}":
+            depth -= 1
+        elif ch == "," and depth == 0:
+            items.append(text[start:i])
+            start = i + 1
+    tail = text[start:]
+    if tail.strip():
+        items.append(tail)
+    return [item.strip() for item in items if item.strip()]
+
+
+# -- concrete constructors --------------------------------------------------------
+
+
+def intset(text: str) -> Set:
+    return Set.parse(text, INT)
+
+
+def bigintset(text: str) -> Set:
+    return Set.parse(text, BIGINT)
+
+
+def floatset(text: str) -> Set:
+    return Set.parse(text, FLOAT)
+
+
+def textset(text: str) -> Set:
+    return Set.parse(text, TEXT)
+
+
+def dateset(text: str) -> Set:
+    return Set.parse(text, DATE)
+
+
+def tstzset(text: str) -> Set:
+    return Set.parse(text, TSTZ)
+
+
+def geomset(text: str) -> Set:
+    return Set.parse(text, GEOMETRY)
+
+
+def geogset(text: str) -> Set:
+    return Set.parse(text, GEOGRAPHY)
+
+
+SET_TYPES = {
+    "intset": INT,
+    "bigintset": BIGINT,
+    "floatset": FLOAT,
+    "textset": TEXT,
+    "dateset": DATE,
+    "tstzset": TSTZ,
+    "geomset": GEOMETRY,
+    "geogset": GEOGRAPHY,
+}
+
+
+def parse_set(text: str, type_name: str) -> Set:
+    try:
+        basetype = SET_TYPES[type_name.lower()]
+    except KeyError:
+        raise MeosError(f"unknown set type {type_name!r}") from None
+    return Set.parse(text, basetype)

@@ -1,0 +1,336 @@
+"""The ``span`` template type: a contiguous range of an ordered base type.
+
+Concrete instances are ``intspan``, ``bigintspan``, ``floatspan``,
+``datespan``, and ``tstzspan`` (paper, Table 1).  Spans over discrete base
+types are canonicalized to half-open ``[lo, hi)`` form, mirroring
+MobilityDB: ``intspan '[1, 3]'`` prints as ``[1, 4)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from .basetypes import BaseType, DATE, FLOAT, INT, BIGINT, TSTZ, base_type
+from .errors import MeosError, MeosTypeError
+from .timetypes import Interval, interval_from_usecs
+
+
+@dataclass(frozen=True)
+class Span:
+    """A range ``lower .. upper`` with open/closed bounds."""
+
+    lower: Any
+    upper: Any
+    lower_inc: bool
+    upper_inc: bool
+    basetype: BaseType
+
+    def __post_init__(self):
+        if self.lower > self.upper:
+            raise MeosError(
+                f"span lower bound {self.lower!r} above upper {self.upper!r}"
+            )
+        if self.lower == self.upper and not (self.lower_inc and self.upper_inc):
+            raise MeosError("empty span")
+        if self.basetype.is_discrete:
+            lower, upper = self.lower, self.upper
+            lower_inc, upper_inc = self.lower_inc, self.upper_inc
+            if not lower_inc:
+                lower += self.basetype.step
+                lower_inc = True
+            if upper_inc:
+                upper += self.basetype.step
+                upper_inc = False
+            if lower >= upper:
+                raise MeosError("empty span after canonicalization")
+            object.__setattr__(self, "lower", lower)
+            object.__setattr__(self, "upper", upper)
+            object.__setattr__(self, "lower_inc", lower_inc)
+            object.__setattr__(self, "upper_inc", upper_inc)
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def make(
+        cls,
+        lower: Any,
+        upper: Any,
+        basetype: BaseType,
+        lower_inc: bool = True,
+        upper_inc: bool | None = None,
+    ) -> "Span":
+        """Build a span; default upper bound inclusivity follows MobilityDB
+        (inclusive for discrete/timestamp equality spans, exclusive else)."""
+        if upper_inc is None:
+            upper_inc = lower == upper
+        return cls(lower, upper, lower_inc, upper_inc, basetype)
+
+    @classmethod
+    def parse(cls, text: str, basetype: BaseType) -> "Span":
+        stripped = text.strip()
+        if not stripped or stripped[0] not in "[(":
+            raise MeosError(f"invalid span literal: {text!r}")
+        lower_inc = stripped[0] == "["
+        if stripped[-1] not in "])":
+            raise MeosError(f"invalid span literal: {text!r}")
+        upper_inc = stripped[-1] == "]"
+        body = stripped[1:-1]
+        comma = _top_level_comma(body)
+        if comma < 0:
+            raise MeosError(f"span literal needs two bounds: {text!r}")
+        lower = basetype.parse(body[:comma])
+        upper = basetype.parse(body[comma + 1 :])
+        return cls(lower, upper, lower_inc, upper_inc, basetype)
+
+    # -- output ---------------------------------------------------------------
+
+    def __str__(self) -> str:
+        left = "[" if self.lower_inc else "("
+        right = "]" if self.upper_inc else ")"
+        fmt = self.basetype.format
+        return f"{left}{fmt(self.lower)}, {fmt(self.upper)}{right}"
+
+    def __repr__(self) -> str:
+        return f"<Span {self.basetype.name} {self}>"
+
+    # -- accessors ------------------------------------------------------------
+
+    def width(self) -> Any:
+        """Length of the span (``upper - lower``)."""
+        return self.upper - self.lower
+
+    def duration(self) -> Interval:
+        """For tstzspans: width as an interval."""
+        if self.basetype is not TSTZ:
+            raise MeosTypeError("duration() requires a tstzspan")
+        return interval_from_usecs(self.upper - self.lower)
+
+    # -- predicates -----------------------------------------------------------
+
+    def _check(self, other: "Span") -> None:
+        if other.basetype.name != self.basetype.name:
+            raise MeosTypeError(
+                f"span type mismatch: {self.basetype.name} vs "
+                f"{other.basetype.name}"
+            )
+
+    def contains_value(self, value: Any) -> bool:
+        if value < self.lower or (value == self.lower and not self.lower_inc):
+            return False
+        if value > self.upper or (value == self.upper and not self.upper_inc):
+            return False
+        return True
+
+    def contains_span(self, other: "Span") -> bool:
+        self._check(other)
+        lower_ok = self.lower < other.lower or (
+            self.lower == other.lower and (self.lower_inc or not other.lower_inc)
+        )
+        upper_ok = self.upper > other.upper or (
+            self.upper == other.upper and (self.upper_inc or not other.upper_inc)
+        )
+        return lower_ok and upper_ok
+
+    def overlaps(self, other: "Span") -> bool:
+        self._check(other)
+        if self.upper < other.lower or other.upper < self.lower:
+            return False
+        if self.upper == other.lower:
+            return self.upper_inc and other.lower_inc
+        if other.upper == self.lower:
+            return other.upper_inc and self.lower_inc
+        return True
+
+    def is_left(self, other: "Span") -> bool:
+        """Strictly before (``<<``)."""
+        self._check(other)
+        return self.upper < other.lower or (
+            self.upper == other.lower
+            and not (self.upper_inc and other.lower_inc)
+        )
+
+    def is_right(self, other: "Span") -> bool:
+        """Strictly after (``>>``)."""
+        return other.is_left(self)
+
+    def is_adjacent(self, other: "Span") -> bool:
+        self._check(other)
+        return (
+            self.upper == other.lower
+            and self.upper_inc != other.lower_inc
+        ) or (
+            other.upper == self.lower
+            and other.upper_inc != self.lower_inc
+        )
+
+    # -- set operations ---------------------------------------------------------
+
+    def intersection(self, other: "Span") -> "Span | None":
+        self._check(other)
+        if not self.overlaps(other):
+            return None
+        if self.lower > other.lower:
+            lower, lower_inc = self.lower, self.lower_inc
+        elif self.lower < other.lower:
+            lower, lower_inc = other.lower, other.lower_inc
+        else:
+            lower, lower_inc = self.lower, self.lower_inc and other.lower_inc
+        if self.upper < other.upper:
+            upper, upper_inc = self.upper, self.upper_inc
+        elif self.upper > other.upper:
+            upper, upper_inc = other.upper, other.upper_inc
+        else:
+            upper, upper_inc = self.upper, self.upper_inc and other.upper_inc
+        try:
+            return Span(lower, upper, lower_inc, upper_inc, self.basetype)
+        except MeosError:
+            return None
+
+    def union(self, other: "Span") -> "Span":
+        """Union of overlapping or adjacent spans; raises otherwise."""
+        self._check(other)
+        if not (self.overlaps(other) or self.is_adjacent(other)):
+            raise MeosError("union of disjoint spans is not a span")
+        if self.lower < other.lower:
+            lower, lower_inc = self.lower, self.lower_inc
+        elif self.lower > other.lower:
+            lower, lower_inc = other.lower, other.lower_inc
+        else:
+            lower, lower_inc = self.lower, self.lower_inc or other.lower_inc
+        if self.upper > other.upper:
+            upper, upper_inc = self.upper, self.upper_inc
+        elif self.upper < other.upper:
+            upper, upper_inc = other.upper, other.upper_inc
+        else:
+            upper, upper_inc = self.upper, self.upper_inc or other.upper_inc
+        return Span(lower, upper, lower_inc, upper_inc, self.basetype)
+
+    def minus(self, other: "Span") -> list["Span"]:
+        """Difference ``self - other`` as 0, 1 or 2 spans."""
+        self._check(other)
+        if not self.overlaps(other):
+            return [self]
+        pieces: list[Span] = []
+        if self.lower < other.lower or (
+            self.lower == other.lower
+            and self.lower_inc
+            and not other.lower_inc
+        ):
+            pieces.append(
+                Span(
+                    self.lower,
+                    other.lower,
+                    self.lower_inc,
+                    not other.lower_inc,
+                    self.basetype,
+                )
+            )
+        if self.upper > other.upper or (
+            self.upper == other.upper
+            and self.upper_inc
+            and not other.upper_inc
+        ):
+            pieces.append(
+                Span(
+                    other.upper,
+                    self.upper,
+                    not other.upper_inc,
+                    self.upper_inc,
+                    self.basetype,
+                )
+            )
+        return pieces
+
+    # -- transformations ----------------------------------------------------------
+
+    def shift_scale(self, shift: Any = None, width: Any = None) -> "Span":
+        """Shift the span and/or rescale it to a new width."""
+        lower, upper = self.lower, self.upper
+        if shift is not None:
+            lower = lower + shift
+            upper = upper + shift
+        if width is not None:
+            if width < 0 or (width == 0 and not (self.lower_inc and self.upper_inc)):
+                raise MeosError(f"invalid span width {width!r}")
+            upper = lower + width
+        return Span(lower, upper, self.lower_inc, self.upper_inc, self.basetype)
+
+    def expand(self, amount: Any) -> "Span":
+        """Widen both ends by ``amount``."""
+        return Span(
+            self.lower - amount,
+            self.upper + amount,
+            self.lower_inc,
+            self.upper_inc,
+            self.basetype,
+        )
+
+    def distance_to_value(self, value: Any) -> Any:
+        if self.contains_value(value):
+            return 0
+        if value < self.lower:
+            return self.lower - value
+        return value - self.upper
+
+    def distance(self, other: "Span") -> Any:
+        self._check(other)
+        if self.overlaps(other):
+            return 0
+        if self.upper <= other.lower:
+            return other.lower - self.upper
+        return self.lower - other.upper
+
+
+def _top_level_comma(text: str) -> int:
+    """Index of the comma separating span bounds (tolerates commas inside
+    parentheses, quotes — relevant for geometry bounds)."""
+    depth = 0
+    for i, ch in enumerate(text):
+        if ch in "([":
+            depth += 1
+        elif ch in ")]":
+            depth -= 1
+        elif ch == "," and depth == 0:
+            return i
+    return -1
+
+
+# -- concrete constructors ----------------------------------------------------
+
+
+def intspan(text: str) -> Span:
+    return Span.parse(text, INT)
+
+
+def bigintspan(text: str) -> Span:
+    return Span.parse(text, BIGINT)
+
+
+def floatspan(text: str) -> Span:
+    return Span.parse(text, FLOAT)
+
+
+def datespan(text: str) -> Span:
+    return Span.parse(text, DATE)
+
+
+def tstzspan(text: str) -> Span:
+    return Span.parse(text, TSTZ)
+
+
+SPAN_TYPES = {
+    "intspan": INT,
+    "bigintspan": BIGINT,
+    "floatspan": FLOAT,
+    "datespan": DATE,
+    "tstzspan": TSTZ,
+}
+
+
+def parse_span(text: str, type_name: str) -> Span:
+    try:
+        basetype = SPAN_TYPES[type_name.lower()]
+    except KeyError:
+        raise MeosError(f"unknown span type {type_name!r}") from None
+    return Span.parse(text, basetype)

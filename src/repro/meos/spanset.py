@@ -1,0 +1,240 @@
+"""The ``spanset`` template type: a normalized list of disjoint spans.
+
+Concrete instances are ``intspanset``, ``bigintspanset``, ``floatspanset``,
+``datespanset`` and ``tstzspanset`` (paper, Table 1).  The constructor
+normalizes input: spans are sorted and overlapping/adjacent spans merged,
+so equality is structural.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator
+
+from .basetypes import BIGINT, BaseType, DATE, FLOAT, INT, TSTZ
+from .errors import MeosError, MeosTypeError
+from .setcls import _split_top_level
+from .span import Span
+from .timetypes import Interval, interval_from_usecs
+
+
+@dataclass(frozen=True)
+class SpanSet:
+    """An ordered set of disjoint, non-adjacent spans."""
+
+    spans: tuple[Span, ...]
+    basetype: BaseType
+
+    @classmethod
+    def from_spans(cls, spans: Iterable[Span]) -> "SpanSet":
+        items = list(spans)
+        if not items:
+            raise MeosError("a spanset must contain at least one span")
+        basetype = items[0].basetype
+        for span in items[1:]:
+            if span.basetype.name != basetype.name:
+                raise MeosTypeError("mixed span types in spanset")
+        items.sort(key=lambda s: (s.lower, not s.lower_inc))
+        merged = [items[0]]
+        for span in items[1:]:
+            last = merged[-1]
+            if last.overlaps(span) or last.is_adjacent(span):
+                merged[-1] = last.union(span)
+            else:
+                merged.append(span)
+        return cls(tuple(merged), basetype)
+
+    @classmethod
+    def parse(cls, text: str, basetype: BaseType) -> "SpanSet":
+        stripped = text.strip()
+        if not (stripped.startswith("{") and stripped.endswith("}")):
+            raise MeosError(f"invalid spanset literal: {text!r}")
+        raw_items = _split_top_level(stripped[1:-1])
+        if not raw_items:
+            raise MeosError("a spanset must contain at least one span")
+        return cls.from_spans(Span.parse(item, basetype) for item in raw_items)
+
+    # -- output -----------------------------------------------------------------
+
+    def __str__(self) -> str:
+        return "{" + ", ".join(str(s) for s in self.spans) + "}"
+
+    def __repr__(self) -> str:
+        return f"<SpanSet {self.basetype.name} {self}>"
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self.spans)
+
+    # -- accessors ----------------------------------------------------------------
+
+    def to_span(self) -> Span:
+        """Bounding span."""
+        first, last = self.spans[0], self.spans[-1]
+        return Span(
+            first.lower, last.upper, first.lower_inc, last.upper_inc,
+            self.basetype,
+        )
+
+    def width(self) -> Any:
+        """Sum of the widths of the member spans."""
+        return sum(s.width() for s in self.spans)
+
+    def duration(self, boundspan: bool = False) -> Interval:
+        """Total duration; with ``boundspan`` the bounding span's duration."""
+        if self.basetype is not TSTZ:
+            raise MeosTypeError("duration() requires a tstzspanset")
+        if boundspan:
+            return self.to_span().duration()
+        return interval_from_usecs(sum(s.upper - s.lower for s in self.spans))
+
+    def num_spans(self) -> int:
+        return len(self.spans)
+
+    def start_span(self) -> Span:
+        return self.spans[0]
+
+    def end_span(self) -> Span:
+        return self.spans[-1]
+
+    # -- predicates ---------------------------------------------------------------
+
+    def _check(self, other: "SpanSet") -> None:
+        if other.basetype.name != self.basetype.name:
+            raise MeosTypeError(
+                f"spanset type mismatch: {self.basetype.name} vs "
+                f"{other.basetype.name}"
+            )
+
+    def contains_value(self, value: Any) -> bool:
+        return any(s.contains_value(value) for s in self.spans)
+
+    def contains_span(self, span: Span) -> bool:
+        return any(s.contains_span(span) for s in self.spans)
+
+    def contains_spanset(self, other: "SpanSet") -> bool:
+        self._check(other)
+        return all(self.contains_span(s) for s in other.spans)
+
+    def overlaps_span(self, span: Span) -> bool:
+        return any(s.overlaps(span) for s in self.spans)
+
+    def overlaps(self, other: "SpanSet") -> bool:
+        self._check(other)
+        return any(self.overlaps_span(s) for s in other.spans)
+
+    # -- set operations -------------------------------------------------------------
+
+    def union(self, other: "SpanSet") -> "SpanSet":
+        self._check(other)
+        return SpanSet.from_spans(self.spans + other.spans)
+
+    def intersection_span(self, span: Span) -> "SpanSet | None":
+        pieces = [
+            hit for s in self.spans if (hit := s.intersection(span)) is not None
+        ]
+        if not pieces:
+            return None
+        return SpanSet.from_spans(pieces)
+
+    def intersection(self, other: "SpanSet") -> "SpanSet | None":
+        self._check(other)
+        pieces: list[Span] = []
+        for a in self.spans:
+            for b in other.spans:
+                hit = a.intersection(b)
+                if hit is not None:
+                    pieces.append(hit)
+        if not pieces:
+            return None
+        return SpanSet.from_spans(pieces)
+
+    def minus_span(self, span: Span) -> "SpanSet | None":
+        pieces: list[Span] = []
+        for s in self.spans:
+            pieces.extend(s.minus(span))
+        if not pieces:
+            return None
+        return SpanSet.from_spans(pieces)
+
+    def minus(self, other: "SpanSet") -> "SpanSet | None":
+        self._check(other)
+        result: "SpanSet | None" = self
+        for span in other.spans:
+            if result is None:
+                return None
+            result = result.minus_span(span)
+        return result
+
+    # -- transformations --------------------------------------------------------------
+
+    def shift_scale(self, shift: Any = None, width: Any = None) -> "SpanSet":
+        """Shift and/or rescale the whole spanset extent."""
+        spans = list(self.spans)
+        if self.basetype is TSTZ and isinstance(shift, Interval):
+            shift = shift.total_usecs()
+        if self.basetype is TSTZ and isinstance(width, Interval):
+            width = width.total_usecs()
+        if shift is not None:
+            spans = [s.shift_scale(shift=shift) for s in spans]
+        if width is not None:
+            lo = spans[0].lower
+            hi = spans[-1].upper
+            extent = hi - lo
+            if extent == 0:
+                raise MeosError("cannot rescale a degenerate spanset")
+
+            def remap(v: Any) -> Any:
+                scaled = lo + (v - lo) * width / extent
+                if self.basetype.is_discrete or self.basetype is TSTZ:
+                    return int(round(scaled))
+                return scaled
+
+            spans = [
+                Span(remap(s.lower), remap(s.upper), s.lower_inc, s.upper_inc,
+                     self.basetype)
+                for s in spans
+            ]
+        return SpanSet.from_spans(spans)
+
+
+# -- concrete constructors --------------------------------------------------------
+
+
+def intspanset(text: str) -> SpanSet:
+    return SpanSet.parse(text, INT)
+
+
+def bigintspanset(text: str) -> SpanSet:
+    return SpanSet.parse(text, BIGINT)
+
+
+def floatspanset(text: str) -> SpanSet:
+    return SpanSet.parse(text, FLOAT)
+
+
+def datespanset(text: str) -> SpanSet:
+    return SpanSet.parse(text, DATE)
+
+
+def tstzspanset(text: str) -> SpanSet:
+    return SpanSet.parse(text, TSTZ)
+
+
+SPANSET_TYPES = {
+    "intspanset": INT,
+    "bigintspanset": BIGINT,
+    "floatspanset": FLOAT,
+    "datespanset": DATE,
+    "tstzspanset": TSTZ,
+}
+
+
+def parse_spanset(text: str, type_name: str) -> SpanSet:
+    try:
+        basetype = SPANSET_TYPES[type_name.lower()]
+    except KeyError:
+        raise MeosError(f"unknown spanset type {type_name!r}") from None
+    return SpanSet.parse(text, basetype)

@@ -1,0 +1,111 @@
+"""Temporal aggregate functions (``extent``, ``tcount``, merges).
+
+These are the aggregation operators MobilityDB exposes at the SQL level;
+the SQL engines in :mod:`repro.quack` / :mod:`repro.pgsim` call into them
+for ``GROUP BY`` aggregation over temporal columns.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..boxes import STBox, TBox
+from ..errors import MeosError
+from ..span import Span
+from ..basetypes import TSTZ
+from .base import Temporal, TInstant, TSequence, merge
+from .interp import Interp
+from .ttypes import TINT
+
+
+def extent_stbox(values: Iterable[Temporal]) -> STBox | None:
+    """Spatiotemporal extent of a collection of temporal points."""
+    result: STBox | None = None
+    for value in values:
+        if value is None:
+            continue
+        box = value.stbox()
+        result = box if result is None else result.union(box)
+    return result
+
+
+def extent_tbox(values: Iterable[Temporal]) -> TBox | None:
+    """Value/time extent of a collection of temporal numbers."""
+    result: TBox | None = None
+    for value in values:
+        if value is None:
+            continue
+        box = value.bbox()
+        if not isinstance(box, TBox):
+            raise MeosError("extent_tbox requires temporal numbers")
+        result = box if result is None else result.union(box)
+    return result
+
+
+def extent_tstzspan(values: Iterable[Temporal]) -> Span | None:
+    """Bounding time span of a collection of temporal values."""
+    result: Span | None = None
+    for value in values:
+        if value is None:
+            continue
+        span = value.tstzspan()
+        if result is None:
+            result = span
+        else:
+            lower, lower_inc = (
+                (result.lower, result.lower_inc)
+                if result.lower <= span.lower
+                else (span.lower, span.lower_inc)
+            )
+            upper, upper_inc = (
+                (result.upper, result.upper_inc)
+                if result.upper >= span.upper
+                else (span.upper, span.upper_inc)
+            )
+            result = Span(lower, upper, lower_inc, upper_inc, TSTZ)
+    return result
+
+
+def tcount(values: Sequence[Temporal]) -> Temporal | None:
+    """Temporal count: how many of the inputs are defined at each instant.
+
+    Implemented over the union of all breakpoints with step interpolation.
+    """
+    items = [v for v in values if v is not None]
+    if not items:
+        return None
+    breakpoints: set[int] = set()
+    for value in items:
+        for span in value.time():
+            breakpoints.add(span.lower)
+            breakpoints.add(span.upper)
+    times = sorted(breakpoints)
+    instants: list[TInstant] = []
+    for i, t in enumerate(times):
+        count = sum(
+            1 for v in items if v.time().contains_value(t)
+        )
+        instants.append(TInstant(TINT, count, t))
+        if i + 1 < len(times):
+            mid = (t + times[i + 1]) // 2
+            if mid != t:
+                count_mid = sum(
+                    1 for v in items if v.time().contains_value(mid)
+                )
+                if count_mid != count:
+                    instants.append(TInstant(TINT, count_mid, mid))
+    deduped = [instants[0]]
+    for inst in instants[1:]:
+        if inst.t > deduped[-1].t:
+            deduped.append(inst)
+    if len(deduped) == 1:
+        return deduped[0]
+    return TSequence(TINT, deduped, True, True, Interp.STEP)
+
+
+def merge_all(values: Sequence[Temporal]) -> Temporal | None:
+    """Merge many temporal values of one type into a single value."""
+    items = [v for v in values if v is not None]
+    if not items:
+        return None
+    return merge(items)

@@ -1,0 +1,108 @@
+"""Higher-level temporal analytics: time bucketing and stop detection.
+
+Reproduces two widely used MEOS functions:
+
+* ``timeSplit`` — fragment a temporal value into fixed time buckets
+  (MEOS ``temporal_time_split``), the building block for per-hour /
+  per-day aggregation of trajectories;
+* ``stops`` — detect the periods where a temporal point stays within a
+  given distance for at least a given duration (MEOS ``temporal_stops``),
+  the classic stop/move segmentation of movement data.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..basetypes import TSTZ
+from ..errors import MeosError, MeosTypeError
+from ..span import Span
+from ..timetypes import Interval
+from .base import Temporal, TInstant, TSequence, TSequenceSet, _pack_sequences
+from .interp import Interp
+from .ttypes import SPATIAL_TYPES
+
+
+def time_split(
+    value: Temporal,
+    bucket_width: Interval,
+    origin: int = 0,
+) -> list[tuple[int, Temporal]]:
+    """Split a temporal value into fixed-width time buckets.
+
+    Returns ``(bucket_start_usecs, fragment)`` pairs for every bucket the
+    value is defined in, in time order.  ``origin`` anchors the bucket
+    grid (default: the Unix epoch), like MEOS's ``torigin`` argument.
+    """
+    width = bucket_width.total_usecs()
+    if width <= 0:
+        raise MeosError("bucket width must be positive")
+    start = value.start_timestamp()
+    end = value.end_timestamp()
+    first_bucket = origin + ((start - origin) // width) * width
+    out: list[tuple[int, Temporal]] = []
+    bucket = first_bucket
+    while bucket <= end:
+        upper = bucket + width
+        span = Span(bucket, upper, True, False, TSTZ)
+        fragment = value.at_time(span)
+        if fragment is not None:
+            out.append((bucket, fragment))
+        bucket = upper
+    return out
+
+
+def stops(
+    value: Temporal,
+    max_distance: float,
+    min_duration: Interval,
+) -> Temporal | None:
+    """Stationary periods of a temporal point (MEOS ``stops``).
+
+    A stop is a maximal window during which every position stays within
+    ``max_distance`` of the window's first position, lasting at least
+    ``min_duration``.  Returns the restriction of the input to its stops
+    (a sequence set), or None when the point never stops.
+    """
+    if value.ttype not in SPATIAL_TYPES:
+        raise MeosTypeError(f"{value.ttype.name} is not a temporal point")
+    min_usecs = min_duration.total_usecs()
+    pieces: list[TSequence] = []
+    for seq in value.sequences():
+        instants = seq.instants()
+        if len(instants) < 2:
+            continue
+        i = 0
+        while i < len(instants) - 1:
+            anchor = instants[i].value
+            j = i
+            while j + 1 < len(instants) and (
+                instants[j + 1].value.distance_to(anchor) <= max_distance
+            ):
+                j += 1
+            if j > i and instants[j].t - instants[i].t >= min_usecs:
+                pieces.append(
+                    TSequence(
+                        value.ttype,
+                        instants[i : j + 1],
+                        True,
+                        True,
+                        seq.interp,
+                        normalize=False,
+                    )
+                )
+                i = j
+            else:
+                i += 1
+    if not pieces:
+        return None
+    return _pack_sequences(value.ttype, pieces, value.interp)
+
+
+def num_stops(value: Temporal, max_distance: float,
+              min_duration: Interval) -> int:
+    """Number of detected stops."""
+    found = stops(value, max_distance, min_duration)
+    if found is None:
+        return 0
+    return len(found.sequences())

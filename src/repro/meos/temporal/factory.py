@@ -1,0 +1,116 @@
+"""Constructors building temporal values from base values and time frames.
+
+These mirror the MEOS ``*_from_base_*`` constructors and the SQL-level
+constructors of the paper, e.g.::
+
+    tgeometry('Point(1 1)', tstzspan '[2025-01-01, 2025-01-02]', 'step')
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from ..basetypes import TSTZ
+from ..errors import MeosError
+from ..setcls import Set
+from ..span import Span
+from ..spanset import SpanSet
+from .base import Temporal, TInstant, TSequence, TSequenceSet
+from .interp import Interp
+from .ttypes import TemporalType
+
+
+def from_base_timestamp(
+    ttype: TemporalType, value: Any, t: int
+) -> TInstant:
+    return TInstant(ttype, value, t)
+
+
+def from_base_tstzspan(
+    ttype: TemporalType,
+    value: Any,
+    span: Span,
+    interp: Interp | str | None = None,
+) -> TSequence:
+    """A constant temporal value over a time span."""
+    if isinstance(interp, str):
+        interp = Interp.parse(interp)
+    if interp is None:
+        interp = Interp.LINEAR if ttype.continuous else Interp.STEP
+    value = ttype.basetype.coerce(value)
+    if span.lower == span.upper:
+        return TSequence(
+            ttype, [TInstant(ttype, value, span.lower)], True, True, interp
+        )
+    return TSequence(
+        ttype,
+        [TInstant(ttype, value, span.lower), TInstant(ttype, value, span.upper)],
+        span.lower_inc,
+        span.upper_inc,
+        interp,
+    )
+
+
+def from_base_tstzset(ttype: TemporalType, value: Any, times: Set) -> Temporal:
+    """A constant temporal value at a discrete set of instants."""
+    value = ttype.basetype.coerce(value)
+    instants = [TInstant(ttype, value, t) for t in times]
+    if len(instants) == 1:
+        return instants[0]
+    return TSequence(ttype, instants, True, True, Interp.DISCRETE)
+
+
+def from_base_tstzspanset(
+    ttype: TemporalType,
+    value: Any,
+    spanset: SpanSet,
+    interp: Interp | str | None = None,
+) -> Temporal:
+    """A constant temporal value over a set of time spans."""
+    sequences = [
+        from_base_tstzspan(ttype, value, span, interp) for span in spanset
+    ]
+    if len(sequences) == 1:
+        return sequences[0]
+    return TSequenceSet(ttype, sequences)
+
+
+def from_base_time(
+    ttype: TemporalType,
+    value: Any,
+    time: "int | Span | SpanSet | Set",
+    interp: Interp | str | None = None,
+) -> Temporal:
+    """Dispatching constructor over any time frame."""
+    if isinstance(time, Span):
+        return from_base_tstzspan(ttype, value, time, interp)
+    if isinstance(time, SpanSet):
+        return from_base_tstzspanset(ttype, value, time, interp)
+    if isinstance(time, Set):
+        return from_base_tstzset(ttype, value, time)
+    return from_base_timestamp(ttype, value, time)
+
+
+def sequence_from_instants(
+    instants: Iterable[TInstant],
+    lower_inc: bool = True,
+    upper_inc: bool = True,
+    interp: Interp | str | None = None,
+) -> Temporal:
+    """Assemble instants into a sequence (the §6.2 tgeompointSeq step)."""
+    items = sorted(instants, key=lambda i: i.t)
+    if not items:
+        raise MeosError("no instants to assemble")
+    deduped: list[TInstant] = [items[0]]
+    for inst in items[1:]:
+        if inst.t == deduped[-1].t:
+            continue
+        deduped.append(inst)
+    ttype = deduped[0].ttype
+    if isinstance(interp, str):
+        interp = Interp.parse(interp)
+    if interp is None:
+        interp = Interp.LINEAR if ttype.continuous else Interp.STEP
+    if len(deduped) == 1:
+        return deduped[0]
+    return TSequence(ttype, deduped, lower_inc, upper_inc, interp)

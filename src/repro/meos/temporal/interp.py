@@ -1,0 +1,26 @@
+"""Interpolation modes for temporal values (MEOS ``interpType``)."""
+
+from __future__ import annotations
+
+import enum
+
+
+class Interp(enum.Enum):
+    """How a temporal value evolves between observations.
+
+    DISCRETE — isolated instants, undefined in between (``{v@t, …}``).
+    STEP     — value holds until the next instant (``Interp=Step;[…]``).
+    LINEAR   — value interpolates linearly between instants (``[…]``).
+    """
+
+    DISCRETE = "discrete"
+    STEP = "step"
+    LINEAR = "linear"
+
+    @classmethod
+    def parse(cls, text: str) -> "Interp":
+        lowered = text.strip().lower()
+        for member in cls:
+            if member.value == lowered:
+                return member
+        raise ValueError(f"unknown interpolation {text!r}")

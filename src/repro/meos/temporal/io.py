@@ -1,0 +1,127 @@
+"""Parsing of temporal literals (the MobilityDB textual format).
+
+Grammar sketch::
+
+    temporal   := prefix* (instant | discrete | sequence | seqset)
+    prefix     := 'SRID=nnnn;' | 'Interp=Step;'
+    instant    := value '@' timestamptz
+    discrete   := '{' instant (',' instant)* '}'
+    sequence   := ('[' | '(') instant (',' instant)* (']' | ')')
+    seqset     := '{' sequence (',' sequence)* '}'
+
+Values may themselves contain commas, parentheses, or ``@`` inside quotes
+(ttext) — the splitter is quote- and paren-aware.
+"""
+
+from __future__ import annotations
+
+from ..errors import MeosError
+from ..timetypes import parse_timestamptz
+from .base import Temporal, TInstant, TSequence, TSequenceSet
+from .interp import Interp
+from .ttypes import SPATIAL_TYPES, TemporalType
+
+
+def parse_temporal(text: str, ttype: TemporalType) -> Temporal:
+    """Parse a temporal literal of the given temporal type."""
+    body = text.strip()
+    srid = 0
+    interp_override: Interp | None = None
+    while True:
+        upper = body.upper()
+        if upper.startswith("SRID="):
+            head, _, rest = body.partition(";")
+            try:
+                srid = int(head[5:])
+            except ValueError:
+                raise MeosError(f"bad SRID prefix in {text!r}") from None
+            body = rest.strip()
+        elif upper.startswith("INTERP="):
+            head, _, rest = body.partition(";")
+            interp_override = Interp.parse(head[7:])
+            body = rest.strip()
+        else:
+            break
+    if not body:
+        raise MeosError(f"empty temporal literal: {text!r}")
+
+    def make_instant(item: str) -> TInstant:
+        value_text, ts_text = _split_at(item)
+        value = ttype.parse_value(value_text)
+        if srid and ttype in SPATIAL_TYPES and getattr(value, "srid", 0) == 0:
+            value = value.with_srid(srid)
+        return TInstant(ttype, value, parse_timestamptz(ts_text))
+
+    if body.startswith("{"):
+        if not body.endswith("}"):
+            raise MeosError(f"unbalanced braces in {text!r}")
+        items = _split_items(body[1:-1])
+        if not items:
+            raise MeosError(f"empty temporal literal: {text!r}")
+        if items[0].lstrip()[:1] in ("[", "("):
+            sequences = [
+                _parse_sequence(item, ttype, make_instant, interp_override)
+                for item in items
+            ]
+            return TSequenceSet(ttype, sequences)
+        instants = [make_instant(item) for item in items]
+        if len(instants) == 1:
+            return instants[0]
+        return TSequence(ttype, instants, True, True, Interp.DISCRETE)
+    if body.startswith("[") or body.startswith("("):
+        return _parse_sequence(body, ttype, make_instant, interp_override)
+    return make_instant(body)
+
+
+def _parse_sequence(item, ttype, make_instant, interp_override) -> TSequence:
+    item = item.strip()
+    if item[0] not in "[(" or item[-1] not in "])":
+        raise MeosError(f"invalid sequence literal: {item!r}")
+    lower_inc = item[0] == "["
+    upper_inc = item[-1] == "]"
+    instants = [make_instant(part) for part in _split_items(item[1:-1])]
+    if not instants:
+        raise MeosError(f"empty sequence literal: {item!r}")
+    if interp_override is not None:
+        interp = interp_override
+    else:
+        interp = Interp.LINEAR if ttype.continuous else Interp.STEP
+    return TSequence(ttype, instants, lower_inc, upper_inc, interp)
+
+
+def _split_items(text: str) -> list[str]:
+    """Split at top-level commas, respecting quotes and parentheses."""
+    items: list[str] = []
+    depth = 0
+    in_quote = False
+    start = 0
+    for i, ch in enumerate(text):
+        if ch == '"':
+            in_quote = not in_quote
+        elif in_quote:
+            continue
+        elif ch in "([{":
+            depth += 1
+        elif ch in ")]}":
+            depth -= 1
+        elif ch == "," and depth == 0:
+            items.append(text[start:i])
+            start = i + 1
+    tail = text[start:]
+    if tail.strip():
+        items.append(tail)
+    return [item.strip() for item in items if item.strip()]
+
+
+def _split_at(item: str) -> tuple[str, str]:
+    """Split ``value@timestamp`` at the last unquoted '@'."""
+    in_quote = False
+    at_pos = -1
+    for i, ch in enumerate(item):
+        if ch == '"':
+            in_quote = not in_quote
+        elif ch == "@" and not in_quote:
+            at_pos = i
+    if at_pos < 0:
+        raise MeosError(f"missing '@' in temporal instant: {item!r}")
+    return item[:at_pos].strip(), item[at_pos + 1 :].strip()

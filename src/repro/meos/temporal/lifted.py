@@ -1,0 +1,429 @@
+"""Lifted (temporally generalized) operators.
+
+The machinery here synchronizes two temporal values onto a common sequence
+of time segments and evaluates predicates segment by segment — the MEOS
+technique behind operators such as ``tDwithin`` (paper §6.3, Query 10) and
+``whenTrue``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+from ..basetypes import TSTZ
+from ..errors import MeosError, MeosTypeError
+from ..span import Span
+from ..spanset import SpanSet
+from .base import Temporal, TInstant, TSequence, TSequenceSet, _pack_sequences
+from .interp import Interp
+from .ttypes import TBOOL, TFLOAT, TemporalType
+
+
+@dataclass(frozen=True)
+class SyncSegment:
+    """One aligned time segment of two synchronized temporal values.
+
+    Values ``a0/a1`` (and ``b0/b1``) are the left operand's values at the
+    segment start and end; for step interpolation ``a1 == a0``.
+    """
+
+    t0: int
+    t1: int
+    lower_inc: bool
+    upper_inc: bool
+    a0: Any
+    a1: Any
+    b0: Any
+    b1: Any
+
+
+def _interp_value(seq: TSequence, t: int) -> Any:
+    """Value of a continuous sequence at ``t`` ignoring bound inclusivity."""
+    instants = seq.instants()
+    if t <= instants[0].t:
+        return instants[0].value
+    if t >= instants[-1].t:
+        return instants[-1].value
+    for i in range(len(instants) - 1):
+        if instants[i].t <= t <= instants[i + 1].t:
+            return seq._segment_value(i, t)
+    return instants[-1].value
+
+
+def _segment_endpoint_values(
+    seq: TSequence, t0: int, t1: int
+) -> tuple[Any, Any]:
+    v0 = _interp_value(seq, t0)
+    if seq.interp is Interp.STEP:
+        return v0, v0
+    return v0, _interp_value(seq, t1)
+
+
+def synchronize(a: Temporal, b: Temporal) -> Iterator[SyncSegment]:
+    """Yield aligned segments over the common definition time of a and b.
+
+    Discrete operands restrict the result to shared instants (zero-width
+    segments).  Continuous operands are split at the union of their
+    breakpoints.
+    """
+    a_discrete = a.interp is Interp.DISCRETE
+    b_discrete = b.interp is Interp.DISCRETE
+    if a_discrete or b_discrete:
+        times_a = {inst.t: inst.value for inst in a.instants()}
+        times_b = {inst.t: inst.value for inst in b.instants()}
+        if a_discrete and b_discrete:
+            shared = sorted(set(times_a) & set(times_b))
+            for t in shared:
+                yield SyncSegment(t, t, True, True,
+                                  times_a[t], times_a[t],
+                                  times_b[t], times_b[t])
+            return
+        discrete, continuous, flip = (
+            (a, b, False) if a_discrete else (b, a, True)
+        )
+        for inst in discrete.instants():
+            other_value = continuous.value_at_timestamp(inst.t)
+            if other_value is None:
+                continue
+            if flip:
+                yield SyncSegment(inst.t, inst.t, True, True,
+                                  other_value, other_value,
+                                  inst.value, inst.value)
+            else:
+                yield SyncSegment(inst.t, inst.t, True, True,
+                                  inst.value, inst.value,
+                                  other_value, other_value)
+        return
+    for seq_a in a.sequences():
+        span_a = seq_a.tstzspan()
+        for seq_b in b.sequences():
+            span_b = seq_b.tstzspan()
+            common = span_a.intersection(span_b)
+            if common is None:
+                continue
+            if common.lower == common.upper:
+                va = _interp_value(seq_a, common.lower)
+                vb = _interp_value(seq_b, common.lower)
+                yield SyncSegment(common.lower, common.lower, True, True,
+                                  va, va, vb, vb)
+                continue
+            breaks = sorted(
+                {common.lower, common.upper}
+                | {
+                    t for t in seq_a.timestamps()
+                    if common.lower < t < common.upper
+                }
+                | {
+                    t for t in seq_b.timestamps()
+                    if common.lower < t < common.upper
+                }
+            )
+            for i, (t0, t1) in enumerate(zip(breaks, breaks[1:])):
+                lower_inc = common.lower_inc if i == 0 else True
+                upper_inc = common.upper_inc if i == len(breaks) - 2 else False
+                a0, a1 = _segment_endpoint_values(seq_a, t0, t1)
+                b0, b1 = _segment_endpoint_values(seq_b, t0, t1)
+                yield SyncSegment(t0, t1, lower_inc, upper_inc, a0, a1, b0, b1)
+
+
+# ---------------------------------------------------------------------------
+# Building temporal booleans from (span, bool) pieces
+# ---------------------------------------------------------------------------
+
+
+def tbool_from_pieces(pieces: list[tuple[Span, bool]]) -> Temporal | None:
+    """Assemble a step TBool from boolean-valued time intervals."""
+    if not pieces:
+        return None
+    pieces.sort(key=lambda p: (p[0].lower, not p[0].lower_inc))
+    merged: list[tuple[Span, bool]] = []
+    for span, val in pieces:
+        if merged:
+            last_span, last_val = merged[-1]
+            touching = last_span.upper == span.lower and (
+                last_span.upper_inc or span.lower_inc
+            )
+            if val == last_val and (touching or last_span.overlaps(span)):
+                merged[-1] = (last_span.union(span), val)
+                continue
+            conflict = last_span.overlaps(span) or (
+                touching and last_span.upper_inc and span.lower_inc
+            )
+            if conflict:
+                if span.lower == span.upper:
+                    continue  # degenerate conflicting instant: first wins
+                span = Span(span.lower, span.upper, False, span.upper_inc,
+                            TSTZ)
+        merged.append((span, val))
+    sequences = [_bool_sequence(s, v) for s, v in merged]
+    return _pack_sequences(TBOOL, sequences, Interp.STEP)
+
+
+def _bool_sequence(span: Span, value: bool) -> TSequence:
+    if span.lower == span.upper:
+        return TSequence(
+            TBOOL, [TInstant(TBOOL, value, span.lower)], True, True,
+            Interp.STEP,
+        )
+    return TSequence(
+        TBOOL,
+        [TInstant(TBOOL, value, span.lower), TInstant(TBOOL, value, span.upper)],
+        span.lower_inc,
+        span.upper_inc,
+        Interp.STEP,
+    )
+
+
+def when_true(tbool: Temporal | None) -> SpanSet | None:
+    """Time when a temporal boolean is true, as a tstzspanset (paper §6.3)."""
+    if tbool is None:
+        return None
+    if tbool.ttype is not TBOOL:
+        raise MeosTypeError("whenTrue requires a tbool")
+    spans: list[Span] = []
+    if isinstance(tbool, TInstant):
+        if tbool.value:
+            spans.append(Span.make(tbool.t, tbool.t, TSTZ, True, True))
+    else:
+        for seq in tbool.sequences():
+            instants = seq.instants()
+            if seq.interp is Interp.DISCRETE:
+                spans.extend(
+                    Span.make(i.t, i.t, TSTZ, True, True)
+                    for i in instants
+                    if i.value
+                )
+                continue
+            for i, inst in enumerate(instants):
+                if not inst.value:
+                    continue
+                start = inst.t
+                end = instants[i + 1].t if i + 1 < len(instants) else inst.t
+                lower_inc = seq.lower_inc if i == 0 else True
+                if i + 1 < len(instants):
+                    nxt = instants[i + 1]
+                    upper_inc = (
+                        nxt.value
+                        or (i + 1 == len(instants) - 1 and seq.upper_inc
+                            and nxt.value)
+                    )
+                    if start == end:
+                        continue
+                    spans.append(Span(start, end, lower_inc, bool(upper_inc),
+                                      TSTZ))
+                else:
+                    if seq.upper_inc or len(instants) == 1:
+                        spans.append(Span.make(start, start, TSTZ, True, True))
+    if not spans:
+        return None
+    return SpanSet.from_spans(spans)
+
+
+# ---------------------------------------------------------------------------
+# Lifted boolean algebra on temporal booleans (MobilityDB & | ~)
+# ---------------------------------------------------------------------------
+
+
+def _tbool_pieces(value: Temporal) -> list[tuple[Span, bool]]:
+    """Decompose a temporal boolean into (span, value) pieces."""
+    pieces: list[tuple[Span, bool]] = []
+    for seq in value.sequences():
+        instants = seq.instants()
+        if seq.interp is Interp.DISCRETE or len(instants) == 1:
+            for inst in instants:
+                pieces.append(
+                    (Span.make(inst.t, inst.t, TSTZ, True, True),
+                     bool(inst.value))
+                )
+            continue
+        for i, inst in enumerate(instants[:-1]):
+            nxt = instants[i + 1]
+            lower_inc = seq.lower_inc if i == 0 else True
+            is_last = i == len(instants) - 2
+            upper_inc = seq.upper_inc and is_last and (
+                bool(nxt.value) == bool(inst.value)
+            )
+            pieces.append(
+                (Span(inst.t, nxt.t, lower_inc, upper_inc, TSTZ),
+                 bool(inst.value))
+            )
+            if is_last and seq.upper_inc and (
+                bool(nxt.value) != bool(inst.value)
+            ):
+                pieces.append(
+                    (Span.make(nxt.t, nxt.t, TSTZ, True, True),
+                     bool(nxt.value))
+                )
+    return pieces
+
+
+def temporal_not(value: Temporal) -> Temporal | None:
+    """Lifted NOT (MobilityDB ``~``)."""
+    if value.ttype is not TBOOL:
+        raise MeosTypeError("temporal NOT requires a tbool")
+    if isinstance(value, TInstant):
+        return TInstant(TBOOL, not value.value, value.t)
+    if value.interp is Interp.DISCRETE:
+        instants = [
+            TInstant(TBOOL, not inst.value, inst.t)
+            for inst in value.instants()
+        ]
+        return TSequence(TBOOL, instants, True, True, Interp.DISCRETE)
+    return tbool_from_pieces(
+        [(span, not v) for span, v in _tbool_pieces(value)]
+    )
+
+
+def _temporal_bool_binary(a: Temporal, b: Temporal, op) -> Temporal | None:
+    if a.ttype is not TBOOL or b.ttype is not TBOOL:
+        raise MeosTypeError("temporal AND/OR require tbool operands")
+    pieces: list[tuple[Span, bool]] = []
+    instant_results: list[TInstant] = []
+    for seg in synchronize(a, b):
+        value = op(bool(seg.a0), bool(seg.b0))
+        if seg.t0 == seg.t1:
+            instant_results.append(TInstant(TBOOL, value, seg.t0))
+            continue
+        pieces.append(
+            (Span(seg.t0, seg.t1, seg.lower_inc, seg.upper_inc, TSTZ),
+             value)
+        )
+    if instant_results and not pieces:
+        if len(instant_results) == 1:
+            return instant_results[0]
+        return TSequence(TBOOL, instant_results, True, True,
+                         Interp.DISCRETE)
+    return tbool_from_pieces(pieces)
+
+
+def temporal_and(a: Temporal, b: Temporal) -> Temporal | None:
+    """Lifted AND over the common definition time (MobilityDB ``&``)."""
+    return _temporal_bool_binary(a, b, lambda x, y: x and y)
+
+
+def temporal_or(a: Temporal, b: Temporal) -> Temporal | None:
+    """Lifted OR over the common definition time (MobilityDB ``|``)."""
+    return _temporal_bool_binary(a, b, lambda x, y: x or y)
+
+
+# ---------------------------------------------------------------------------
+# Lifted comparison of temporal numbers (step results)
+# ---------------------------------------------------------------------------
+
+
+def temporal_compare(
+    a: Temporal, value: Any, op: Callable[[Any, Any], bool]
+) -> Temporal | None:
+    """Lift a comparison against a constant to a temporal boolean.
+
+    Linear segments are split at the crossing point with ``value`` so the
+    truth value is constant on every output piece.
+    """
+    value = a.ttype.basetype.coerce(value)
+    pieces: list[tuple[Span, bool]] = []
+    if isinstance(a, TInstant) or a.interp is Interp.DISCRETE:
+        result_instants = [
+            TInstant(TBOOL, op(inst.value, value), inst.t)
+            for inst in a.instants()
+        ]
+        if len(result_instants) == 1:
+            return result_instants[0]
+        return TSequence(TBOOL, result_instants, True, True, Interp.DISCRETE)
+    for seq in a.sequences():
+        instants = seq.instants()
+        if len(instants) == 1:
+            span = seq.tstzspan()
+            pieces.append((span, op(instants[0].value, value)))
+            continue
+        for i in range(len(instants) - 1):
+            p, q = instants[i], instants[i + 1]
+            lower_inc = seq.lower_inc if i == 0 else True
+            upper_inc = seq.upper_inc if i == len(instants) - 2 else False
+            if seq.interp is Interp.STEP or p.value == q.value:
+                pieces.append(
+                    (Span(p.t, q.t, lower_inc, False, TSTZ), op(p.value, value))
+                )
+                if i == len(instants) - 2 and upper_inc:
+                    end_val = (
+                        q.value if seq.interp is Interp.LINEAR else q.value
+                    )
+                    pieces.append(
+                        (Span.make(q.t, q.t, TSTZ, True, True),
+                         op(end_val, value))
+                    )
+                continue
+            frac = a.ttype.locate(p.value, q.value, value)
+            if frac is None or not 0.0 < frac < 1.0:
+                mid = a.ttype.interpolate(p.value, q.value, 0.5)
+                pieces.append(
+                    (Span(p.t, q.t, lower_inc, upper_inc, TSTZ),
+                     op(mid, value))
+                )
+                continue
+            t_cross = p.t + round(frac * (q.t - p.t))
+            left_mid = a.ttype.interpolate(p.value, q.value, frac / 2)
+            right_mid = a.ttype.interpolate(
+                p.value, q.value, (1 + frac) / 2
+            )
+            if t_cross > p.t:
+                pieces.append(
+                    (Span(p.t, t_cross, lower_inc, False, TSTZ),
+                     op(left_mid, value))
+                )
+            pieces.append(
+                (Span.make(t_cross, t_cross, TSTZ, True, True),
+                 op(value, value))
+            )
+            if t_cross < q.t:
+                pieces.append(
+                    (Span(t_cross, q.t, False, upper_inc, TSTZ),
+                     op(right_mid, value))
+                )
+    return tbool_from_pieces(pieces)
+
+
+# ---------------------------------------------------------------------------
+# Quadratic distance machinery (shared by tDwithin & distance)
+# ---------------------------------------------------------------------------
+
+
+def segment_distance_quadratic(seg: SyncSegment) -> tuple[float, float, float]:
+    """Coefficients (A, B, C) of squared distance between the operands of a
+    sync segment as a function of the normalized time s in [0, 1]:
+    ``d²(s) = A s² + B s + C``."""
+    dx0 = seg.a0.x - seg.b0.x
+    dy0 = seg.a0.y - seg.b0.y
+    dx1 = seg.a1.x - seg.b1.x
+    dy1 = seg.a1.y - seg.b1.y
+    vx = dx1 - dx0
+    vy = dy1 - dy0
+    a_coef = vx * vx + vy * vy
+    b_coef = 2.0 * (dx0 * vx + dy0 * vy)
+    c_coef = dx0 * dx0 + dy0 * dy0
+    return (a_coef, b_coef, c_coef)
+
+
+def quadratic_below(
+    a_coef: float, b_coef: float, c_coef: float, threshold_sq: float
+) -> list[tuple[float, float]]:
+    """Solve ``A s² + B s + C <= threshold²`` on s in [0, 1]."""
+    c_adj = c_coef - threshold_sq
+    if a_coef <= 1e-18:
+        if abs(b_coef) <= 1e-18:
+            return [(0.0, 1.0)] if c_adj <= 0 else []
+        root = -c_adj / b_coef
+        if b_coef > 0:
+            lo, hi = 0.0, min(1.0, root)
+        else:
+            lo, hi = max(0.0, root), 1.0
+        return [(lo, hi)] if lo <= hi else []
+    disc = b_coef * b_coef - 4.0 * a_coef * c_adj
+    if disc < 0:
+        return []
+    sqrt_disc = math.sqrt(disc)
+    s1 = (-b_coef - sqrt_disc) / (2.0 * a_coef)
+    s2 = (-b_coef + sqrt_disc) / (2.0 * a_coef)
+    lo, hi = max(0.0, s1), min(1.0, s2)
+    return [(lo, hi)] if lo <= hi else []

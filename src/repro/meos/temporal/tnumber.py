@@ -1,0 +1,208 @@
+"""Lifted arithmetic and statistics on temporal numbers (MEOS tnumber ops).
+
+Implements the temporal-number part of the MEOS algebra: arithmetic
+between temporal numbers and constants or other temporal numbers
+(synchronized segment-wise, with turning points inserted where a product
+or quotient is non-linear), the definite integral, and the time-weighted
+average (``twAvg``) / extrema.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable
+
+from ..errors import MeosError, MeosTypeError
+from ..timetypes import USECS_PER_SEC
+from .base import Temporal, TInstant, TSequence, _pack_sequences
+from .interp import Interp
+from .lifted import synchronize
+from .ttypes import TFLOAT, TINT
+
+_NUMERIC = (TINT.name, TFLOAT.name)
+
+
+def _require_number(value: Temporal) -> None:
+    if value.ttype.name not in _NUMERIC:
+        raise MeosTypeError(
+            f"{value.ttype.name} is not a temporal number"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Temporal (+|-|*|/) constant
+# ---------------------------------------------------------------------------
+
+
+def arith_const(value: Temporal, constant: float,
+                op: Callable[[float, float], float],
+                reverse: bool = False) -> Temporal:
+    """Apply ``value <op> constant`` instant-wise.
+
+    Linear interpolation survives +,-,* by a constant (affine maps);
+    division by a constant likewise.  ``reverse`` computes
+    ``constant <op> value`` (needed for ``c - t`` and ``c / t``).
+    """
+    _require_number(value)
+    if not reverse and op is operator.truediv and constant == 0:
+        raise MeosError("temporal division by zero")
+
+    def apply(v):
+        return op(constant, v) if reverse else op(v, constant)
+
+    target = TFLOAT if (
+        op is operator.truediv or isinstance(constant, float)
+        or value.ttype is TFLOAT
+    ) else TINT
+    if reverse and op is operator.truediv:
+        # c / t is not linear in t: fall back to step-preserving per-instant
+        # mapping for step/discrete, and refuse for linear (MEOS inserts
+        # turning points; the reciprocal has none, so values are exact only
+        # at instants).
+        if value.interp is Interp.LINEAR:
+            raise MeosError(
+                "constant / linear temporal is not piecewise linear"
+            )
+    return value.map_values(apply, target)
+
+
+def tnumber_round(value: Temporal, digits: int = 0) -> Temporal:
+    """Round every value (MEOS ``round``)."""
+    _require_number(value)
+    return value.map_values(lambda v: round(v, int(digits)), value.ttype)
+
+
+def tnumber_abs(value: Temporal) -> Temporal:
+    """Absolute value; inserts zero crossings for linear input."""
+    _require_number(value)
+    if value.interp is not Interp.LINEAR:
+        return value.map_values(abs, value.ttype)
+    sequences = []
+    for seq in value.sequences():
+        instants = seq.instants()
+        out = [TInstant(TFLOAT, abs(float(instants[0].value)),
+                        instants[0].t)]
+        for a, b in zip(instants, instants[1:]):
+            va, vb = float(a.value), float(b.value)
+            if va * vb < 0:
+                # Zero crossing between a and b.
+                frac = va / (va - vb)
+                t_cross = a.t + round(frac * (b.t - a.t))
+                if t_cross > out[-1].t:
+                    out.append(TInstant(TFLOAT, 0.0, t_cross))
+            if b.t > out[-1].t:
+                out.append(TInstant(TFLOAT, abs(vb), b.t))
+        sequences.append(
+            TSequence(TFLOAT, out, seq.lower_inc, seq.upper_inc,
+                      Interp.LINEAR)
+        )
+    return _pack_sequences(TFLOAT, sequences, Interp.LINEAR)
+
+
+# ---------------------------------------------------------------------------
+# Temporal (+|-|*|/) temporal
+# ---------------------------------------------------------------------------
+
+
+def arith_temporal(a: Temporal, b: Temporal,
+                   op: Callable[[float, float], float]) -> Temporal | None:
+    """Synchronized arithmetic between two temporal numbers.
+
+    ``+``/``-`` of two linear values stays linear.  ``*`` and ``/`` are
+    quadratic/rational per segment; like MEOS, the midpoint is inserted as
+    a turning point so linear interpolation tracks the true curve.
+    """
+    _require_number(a)
+    _require_number(b)
+    linear_ops = (operator.add, operator.sub)
+    sequences: list[TSequence] = []
+    instant_results: list[TInstant] = []
+    for seg in synchronize(a, b):
+        if op is operator.truediv and (
+            _crosses_zero(seg.b0, seg.b1)
+        ):
+            raise MeosError("temporal division by zero")
+        if seg.t0 == seg.t1:
+            instant_results.append(
+                TInstant(TFLOAT, op(float(seg.a0), float(seg.b0)), seg.t0)
+            )
+            continue
+        start = op(float(seg.a0), float(seg.b0))
+        end = op(float(seg.a1), float(seg.b1))
+        instants = [TInstant(TFLOAT, start, seg.t0)]
+        if op not in linear_ops:
+            mid_t = (seg.t0 + seg.t1) // 2
+            if seg.t0 < mid_t < seg.t1:
+                mid = op(
+                    (float(seg.a0) + float(seg.a1)) / 2.0,
+                    (float(seg.b0) + float(seg.b1)) / 2.0,
+                )
+                instants.append(TInstant(TFLOAT, mid, mid_t))
+        instants.append(TInstant(TFLOAT, end, seg.t1))
+        sequences.append(
+            TSequence(TFLOAT, instants, seg.lower_inc, seg.upper_inc,
+                      Interp.LINEAR, normalize=False)
+        )
+    if instant_results and not sequences:
+        if len(instant_results) == 1:
+            return instant_results[0]
+        return TSequence(TFLOAT, instant_results, True, True,
+                         Interp.DISCRETE)
+    if not sequences:
+        return None
+    return _pack_sequences(TFLOAT, sequences, Interp.LINEAR)
+
+
+def _crosses_zero(v0: Any, v1: Any) -> bool:
+    v0, v1 = float(v0), float(v1)
+    return v0 == 0 or v1 == 0 or (v0 < 0) != (v1 < 0)
+
+
+# ---------------------------------------------------------------------------
+# Statistics
+# ---------------------------------------------------------------------------
+
+
+def integral(value: Temporal) -> float:
+    """Definite integral over time (value x seconds), MEOS ``integral``."""
+    _require_number(value)
+    total = 0.0
+    for seq in value.sequences():
+        instants = seq.instants()
+        if seq.interp is Interp.DISCRETE or len(instants) < 2:
+            continue
+        for a, b in zip(instants, instants[1:]):
+            seconds = (b.t - a.t) / USECS_PER_SEC
+            if seq.interp is Interp.LINEAR:
+                total += (float(a.value) + float(b.value)) / 2.0 * seconds
+            else:  # step holds the left value
+                total += float(a.value) * seconds
+    return total
+
+
+def tw_avg(value: Temporal) -> float:
+    """Time-weighted average (MEOS ``twAvg``).
+
+    Instants and discrete values fall back to the plain mean."""
+    _require_number(value)
+    duration_us = sum(
+        seq.end_timestamp() - seq.start_timestamp()
+        for seq in value.sequences()
+        if seq.interp is not Interp.DISCRETE
+    )
+    if duration_us == 0:
+        values = value.values()
+        return float(sum(values)) / len(values)
+    return integral(value) / (duration_us / USECS_PER_SEC)
+
+
+def min_instant(value: Temporal) -> TInstant:
+    """The (first) instant where the minimum value is reached."""
+    _require_number(value)
+    return min(value.instants(), key=lambda i: (i.value, i.t))
+
+
+def max_instant(value: Temporal) -> TInstant:
+    """The (first) instant where the maximum value is reached."""
+    _require_number(value)
+    return max(value.instants(), key=lambda i: (i.value, -i.t))

@@ -1,0 +1,121 @@
+"""Temporal-type descriptors: tbool, tint, tfloat, ttext, tgeompoint, tgeography.
+
+A :class:`TemporalType` tells the generic temporal machinery how to handle
+one base type: parsing/formatting of values, whether linear interpolation is
+allowed, how to interpolate, and how to test value equality (geometries
+compare by coordinates, floats exactly — matching MEOS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ... import geo
+from ..basetypes import (
+    BOOL,
+    BaseType,
+    FLOAT,
+    GEOGRAPHY,
+    GEOMETRY,
+    INT,
+    TEXT,
+)
+from ..errors import MeosError
+
+
+@dataclass(frozen=True)
+class TemporalType:
+    """Descriptor of a temporal type (``tint``, ``tgeompoint``, …)."""
+
+    name: str
+    basetype: BaseType
+    #: Linear interpolation allowed (continuous base type).
+    continuous: bool
+    parse_value: Callable[[str], Any]
+    format_value: Callable[[Any], str]
+
+    def __reduce__(self):
+        # Pickle by name: descriptors are singletons holding callables.
+        return (temporal_type, (self.name,))
+
+    def value_eq(self, a: Any, b: Any) -> bool:
+        if isinstance(a, geo.Geometry) and isinstance(b, geo.Geometry):
+            return a == b
+        return a == b
+
+    def interpolate(self, v0: Any, v1: Any, frac: float) -> Any:
+        """Value at fraction ``frac`` between two instants (linear)."""
+        if not self.continuous:
+            raise MeosError(f"{self.name} does not support interpolation")
+        if isinstance(v0, geo.Point):
+            return geo.Point(
+                v0.x + (v1.x - v0.x) * frac,
+                v0.y + (v1.y - v0.y) * frac,
+                v0.srid,
+            )
+        return v0 + (v1 - v0) * frac
+
+    def locate(self, v0: Any, v1: Any, value: Any) -> float | None:
+        """Fraction in [0,1] where a linear segment v0→v1 passes ``value``;
+        None if it never does (or the segment is constant ≠ value)."""
+        if isinstance(v0, geo.Point) and isinstance(value, geo.Point):
+            dx, dy = v1.x - v0.x, v1.y - v0.y
+            seg_len2 = dx * dx + dy * dy
+            if seg_len2 <= geo.algorithms.EPSILON**2:
+                return 0.0 if v0.distance_to(value) <= 1e-9 else None
+            t = ((value.x - v0.x) * dx + (value.y - v0.y) * dy) / seg_len2
+            if not -1e-12 <= t <= 1 + 1e-12:
+                return None
+            px = v0.x + t * dx
+            py = v0.y + t * dy
+            if abs(px - value.x) > 1e-9 or abs(py - value.y) > 1e-9:
+                return None
+            return min(1.0, max(0.0, t))
+        if v0 == v1:
+            return 0.0 if v0 == value else None
+        t = (value - v0) / (v1 - v0)
+        if 0.0 <= t <= 1.0:
+            return t
+        return None
+
+
+def _parse_geo_value(text: str) -> geo.Geometry:
+    return geo.parse_wkt(text)
+
+
+def _format_geo_value(value: geo.Geometry) -> str:
+    return geo.format_wkt(value)
+
+
+TBOOL = TemporalType("tbool", BOOL, False, BOOL.parse, BOOL.format)
+TINT = TemporalType("tint", INT, False, INT.parse, INT.format)
+TFLOAT = TemporalType("tfloat", FLOAT, True, FLOAT.parse, FLOAT.format)
+TTEXT = TemporalType("ttext", TEXT, False, TEXT.parse,
+                     lambda v: f'"{v}"')
+TGEOMPOINT = TemporalType(
+    "tgeompoint", GEOMETRY, True, _parse_geo_value, _format_geo_value
+)
+#: General temporal geometry (the paper's ``tgeometry``); shares machinery
+#: with tgeompoint but allows non-point values with step interpolation.
+TGEOMETRY = TemporalType(
+    "tgeometry", GEOMETRY, False, _parse_geo_value, _format_geo_value
+)
+TGEOGPOINT = TemporalType(
+    "tgeogpoint", GEOGRAPHY, True, _parse_geo_value, _format_geo_value
+)
+
+_BY_NAME = {
+    t.name: t
+    for t in (TBOOL, TINT, TFLOAT, TTEXT, TGEOMPOINT, TGEOMETRY, TGEOGPOINT)
+}
+
+
+def temporal_type(name: str) -> TemporalType:
+    try:
+        return _BY_NAME[name.lower()]
+    except KeyError:
+        raise MeosError(f"unknown temporal type {name!r}") from None
+
+
+SPATIAL_TYPES = (TGEOMPOINT, TGEOMETRY, TGEOGPOINT)

@@ -1,0 +1,294 @@
+"""Timestamps, dates and intervals with PostgreSQL-compatible text formats.
+
+Timestamps with time zone (``timestamptz``) are represented internally as
+**microseconds since the Unix epoch, UTC** (an ``int``), matching both
+PostgreSQL's internal 64-bit representation and what a columnar engine wants
+to store in an int64 vector.  Dates are days since the epoch.
+
+``Interval`` follows PostgreSQL semantics: separate month / day / microsecond
+components, so ``'1 day'`` shifted across a DST boundary or ``'1 month'``
+added to January 31 behave calendar-wise (we only need the UTC subset here,
+but the component split also drives the textual format, e.g. ``2 days`` vs
+``48:00:00``).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from datetime import date, datetime, timedelta, timezone
+
+from .errors import MeosError
+
+USECS_PER_SEC = 1_000_000
+USECS_PER_MIN = 60 * USECS_PER_SEC
+USECS_PER_HOUR = 60 * USECS_PER_MIN
+USECS_PER_DAY = 24 * USECS_PER_HOUR
+DAYS_PER_MONTH = 30  # PostgreSQL's convention for interval comparison
+
+_EPOCH = datetime(1970, 1, 1, tzinfo=timezone.utc)
+
+_TS_RE = re.compile(
+    r"""^\s*
+    (?P<year>\d{4})-(?P<month>\d{2})-(?P<day>\d{2})
+    (?:[ T]
+      (?P<hour>\d{2}):(?P<minute>\d{2})
+      (?::(?P<second>\d{2})(?:\.(?P<frac>\d{1,6}))?)?
+    )?
+    (?:\s*(?P<tz>Z|[+-]\d{2}(?::?\d{2})?))?
+    \s*$""",
+    re.VERBOSE,
+)
+
+
+def parse_timestamptz(text: str) -> int:
+    """Parse ``'2025-01-01'`` / ``'2025-01-01 12:30:45.5+02'`` to usecs."""
+    match = _TS_RE.match(text)
+    if not match:
+        raise MeosError(f"invalid timestamp literal: {text!r}")
+    year = int(match["year"])
+    month = int(match["month"])
+    day = int(match["day"])
+    hour = int(match["hour"] or 0)
+    minute = int(match["minute"] or 0)
+    second = int(match["second"] or 0)
+    frac = match["frac"] or ""
+    usec = int(frac.ljust(6, "0")) if frac else 0
+    tz_text = match["tz"]
+    offset_min = 0
+    if tz_text and tz_text != "Z":
+        sign = 1 if tz_text[0] == "+" else -1
+        digits = tz_text[1:].replace(":", "")
+        hours_part = int(digits[:2])
+        mins_part = int(digits[2:4]) if len(digits) >= 4 else 0
+        offset_min = sign * (hours_part * 60 + mins_part)
+    try:
+        moment = datetime(year, month, day, hour, minute, second, usec,
+                          tzinfo=timezone.utc)
+    except ValueError as exc:
+        raise MeosError(f"invalid timestamp {text!r}: {exc}") from None
+    usecs = int((moment - _EPOCH).total_seconds()) * USECS_PER_SEC + usec
+    # total_seconds() already includes the microsecond part; recompute safely:
+    delta = moment - _EPOCH
+    usecs = (delta.days * USECS_PER_DAY
+             + delta.seconds * USECS_PER_SEC
+             + delta.microseconds)
+    return usecs - offset_min * USECS_PER_MIN
+
+
+def format_timestamptz(usecs: int) -> str:
+    """Format usecs as MobilityDB does: ``2025-01-01 00:00:00+00``."""
+    moment = _EPOCH + timedelta(microseconds=int(usecs))
+    base = moment.strftime("%Y-%m-%d %H:%M:%S")
+    if moment.microsecond:
+        base += f".{moment.microsecond:06d}".rstrip("0")
+    return base + "+00"
+
+
+def timestamptz_to_datetime(usecs: int) -> datetime:
+    return _EPOCH + timedelta(microseconds=int(usecs))
+
+
+def datetime_to_timestamptz(moment: datetime) -> int:
+    if moment.tzinfo is None:
+        moment = moment.replace(tzinfo=timezone.utc)
+    delta = moment - _EPOCH
+    return (delta.days * USECS_PER_DAY
+            + delta.seconds * USECS_PER_SEC
+            + delta.microseconds)
+
+
+def parse_date(text: str) -> int:
+    """Parse ``'2025-01-01'`` to days since the epoch."""
+    try:
+        parsed = date.fromisoformat(text.strip())
+    except ValueError as exc:
+        raise MeosError(f"invalid date literal: {text!r}") from None
+    return (parsed - date(1970, 1, 1)).days
+
+
+def format_date(days: int) -> str:
+    return (date(1970, 1, 1) + timedelta(days=int(days))).isoformat()
+
+
+def date_to_timestamptz(days: int) -> int:
+    return int(days) * USECS_PER_DAY
+
+
+def timestamptz_to_date(usecs: int) -> int:
+    return int(usecs) // USECS_PER_DAY
+
+
+_INTERVAL_UNITS = {
+    "microsecond": ("usecs", 1),
+    "microseconds": ("usecs", 1),
+    "us": ("usecs", 1),
+    "millisecond": ("usecs", 1000),
+    "milliseconds": ("usecs", 1000),
+    "ms": ("usecs", 1000),
+    "second": ("usecs", USECS_PER_SEC),
+    "seconds": ("usecs", USECS_PER_SEC),
+    "sec": ("usecs", USECS_PER_SEC),
+    "secs": ("usecs", USECS_PER_SEC),
+    "s": ("usecs", USECS_PER_SEC),
+    "minute": ("usecs", USECS_PER_MIN),
+    "minutes": ("usecs", USECS_PER_MIN),
+    "min": ("usecs", USECS_PER_MIN),
+    "mins": ("usecs", USECS_PER_MIN),
+    "hour": ("usecs", USECS_PER_HOUR),
+    "hours": ("usecs", USECS_PER_HOUR),
+    "h": ("usecs", USECS_PER_HOUR),
+    "day": ("days", 1),
+    "days": ("days", 1),
+    "d": ("days", 1),
+    "week": ("days", 7),
+    "weeks": ("days", 7),
+    "month": ("months", 1),
+    "months": ("months", 1),
+    "mon": ("months", 1),
+    "mons": ("months", 1),
+    "year": ("months", 12),
+    "years": ("months", 12),
+    "y": ("months", 12),
+}
+
+_HMS_RE = re.compile(r"^(-?)(\d+):(\d{2})(?::(\d{2})(?:\.(\d{1,6}))?)?$")
+
+
+@dataclass(frozen=True)
+class Interval:
+    """PostgreSQL-style interval: months + days + microseconds."""
+
+    months: int = 0
+    days: int = 0
+    usecs: int = 0
+
+    @classmethod
+    def parse(cls, text: str) -> "Interval":
+        """Parse ``'1 day'``, ``'2 hours 30 minutes'``, ``'01:30:00'``…"""
+        tokens = text.strip().split()
+        if not tokens:
+            raise MeosError("empty interval literal")
+        months = days = usecs = 0
+        i = 0
+        while i < len(tokens):
+            token = tokens[i]
+            hms = _HMS_RE.match(token)
+            if hms:
+                sign = -1 if hms.group(1) else 1
+                hours = int(hms.group(2))
+                minutes = int(hms.group(3))
+                seconds = int(hms.group(4) or 0)
+                frac = hms.group(5) or ""
+                frac_usecs = int(frac.ljust(6, "0")) if frac else 0
+                usecs += sign * (
+                    hours * USECS_PER_HOUR
+                    + minutes * USECS_PER_MIN
+                    + seconds * USECS_PER_SEC
+                    + frac_usecs
+                )
+                i += 1
+                continue
+            try:
+                amount = float(token)
+            except ValueError:
+                raise MeosError(f"invalid interval literal: {text!r}") from None
+            if i + 1 >= len(tokens):
+                raise MeosError(f"interval amount without unit: {text!r}")
+            unit = tokens[i + 1].lower().rstrip(",")
+            if unit not in _INTERVAL_UNITS:
+                raise MeosError(f"unknown interval unit {unit!r} in {text!r}")
+            field, scale = _INTERVAL_UNITS[unit]
+            if field == "months":
+                whole = int(amount)
+                months += whole * scale
+                # Fractional months spill into days (PostgreSQL behaviour).
+                days += int(round((amount - whole) * scale * DAYS_PER_MONTH))
+            elif field == "days":
+                whole = int(amount)
+                days += whole * scale
+                usecs += int(round((amount - whole) * scale * USECS_PER_DAY))
+            else:
+                usecs += int(round(amount * scale))
+            i += 2
+        return cls(months, days, usecs)
+
+    def total_usecs(self) -> int:
+        """Approximate total duration (months counted as 30 days)."""
+        return (
+            self.months * DAYS_PER_MONTH * USECS_PER_DAY
+            + self.days * USECS_PER_DAY
+            + self.usecs
+        )
+
+    def __bool__(self) -> bool:
+        return bool(self.months or self.days or self.usecs)
+
+    def __neg__(self) -> "Interval":
+        return Interval(-self.months, -self.days, -self.usecs)
+
+    def __add__(self, other: "Interval") -> "Interval":
+        if not isinstance(other, Interval):
+            return NotImplemented
+        return Interval(
+            self.months + other.months,
+            self.days + other.days,
+            self.usecs + other.usecs,
+        )
+
+    def __str__(self) -> str:
+        parts: list[str] = []
+        months = self.months
+        years, months = divmod(abs(months), 12)
+        sign = "-" if self.months < 0 else ""
+        if years:
+            parts.append(f"{sign}{years} year" + ("s" if years != 1 else ""))
+        if months:
+            parts.append(f"{sign}{months} mon" + ("s" if months != 1 else ""))
+        if self.days:
+            word = "day" if abs(self.days) == 1 else "days"
+            parts.append(f"{self.days} {word}")
+        if self.usecs or not parts:
+            total = abs(self.usecs)
+            hours, rem = divmod(total, USECS_PER_HOUR)
+            minutes, rem = divmod(rem, USECS_PER_MIN)
+            seconds, frac = divmod(rem, USECS_PER_SEC)
+            text = f"{hours:02d}:{minutes:02d}:{seconds:02d}"
+            if frac:
+                text += f".{frac:06d}".rstrip("0")
+            if self.usecs < 0:
+                text = "-" + text
+            if self.usecs or not parts:
+                parts.append(text)
+        return " ".join(parts)
+
+
+def interval_from_usecs(usecs: int) -> Interval:
+    """Build an interval from a duration, splitting whole days out so the
+    textual form matches PostgreSQL (``'2 days'``, not ``'48:00:00'``)."""
+    days, rem = divmod(int(usecs), USECS_PER_DAY)
+    if usecs < 0 and rem:
+        days += 1
+        rem -= USECS_PER_DAY
+    return Interval(0, days, rem)
+
+
+def add_interval(usecs: int, interval: Interval) -> int:
+    """Add an interval to a timestamptz (UTC calendar arithmetic)."""
+    moment = timestamptz_to_datetime(usecs)
+    if interval.months:
+        month_index = moment.month - 1 + interval.months
+        year = moment.year + month_index // 12
+        month = month_index % 12 + 1
+        day = min(moment.day, _days_in_month(year, month))
+        moment = moment.replace(year=year, month=month, day=day)
+    moment = moment + timedelta(days=interval.days,
+                                microseconds=interval.usecs)
+    return datetime_to_timestamptz(moment)
+
+
+def _days_in_month(year: int, month: int) -> int:
+    if month == 12:
+        return 31
+    next_month = date(year, month + 1, 1)
+    return (next_month - date(year, month, 1)).days

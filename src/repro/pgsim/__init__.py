@@ -1,0 +1,21 @@
+"""repro.pgsim — a row-store, tuple-at-a-time SQL engine.
+
+The PostgreSQL/MobilityDB stand-in of the reproduction: same SQL dialect
+and extension surface as :mod:`repro.quack`, but heap row storage, a
+Volcano executor, and GiST/B-tree indexes — the baseline architecture the
+paper benchmarks MobilityDuck against.
+"""
+
+from .database import RowConnection, RowDatabase
+from .indexes import BTreeIndex, GistIndex, value_to_rect
+from .table import RowCatalog, RowTable
+
+__all__ = [
+    "BTreeIndex",
+    "GistIndex",
+    "RowCatalog",
+    "RowConnection",
+    "RowDatabase",
+    "RowTable",
+    "value_to_rect",
+]

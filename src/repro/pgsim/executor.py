@@ -1,0 +1,483 @@
+"""Tuple-at-a-time (Volcano) executor for the row-store baseline.
+
+Interprets the same bound plans as :mod:`repro.quack.executor`, but one row
+at a time through a tree-walking expression interpreter — the execution
+model of PostgreSQL that the paper measures MobilityDB against.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Iterator
+
+from ..quack.errors import ExecutionError
+from .table import Varlena
+from ..quack.plan import (
+    BoundCase,
+    BoundCast,
+    BoundColumnRef,
+    BoundConjunction,
+    BoundConstant,
+    BoundExpr,
+    BoundFunction,
+    BoundInList,
+    BoundIsNull,
+    BoundNot,
+    BoundParameterRef,
+    BoundSubqueryExpr,
+    LogicalAggregate,
+    LogicalCTERef,
+    LogicalDistinct,
+    LogicalFilter,
+    LogicalGet,
+    LogicalIndexScan,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalMaterializedCTE,
+    LogicalOperator,
+    LogicalProject,
+    LogicalSetOp,
+    LogicalSort,
+    LogicalTableFunction,
+)
+
+
+class RowContext:
+    """Per-query state (CTE results, correlated parameters)."""
+
+    def __init__(self, parent: "RowContext | None" = None):
+        self.parent = parent
+        self.cte_results: dict[int, list[tuple]] = (
+            parent.cte_results if parent else {}
+        )
+        self.cte_plans: dict[int, LogicalOperator] = (
+            parent.cte_plans if parent else {}
+        )
+        self.params: tuple = parent.params if parent else ()
+        self.subquery_cache: dict[tuple, list[tuple]] = (
+            parent.subquery_cache if parent else {}
+        )
+
+    def child_with_params(self, params: tuple) -> "RowContext":
+        ctx = RowContext(self)
+        ctx.params = params
+        return ctx
+
+
+# ---------------------------------------------------------------------------
+# Row expression interpreter
+# ---------------------------------------------------------------------------
+
+
+def eval_row(expr: BoundExpr, row: tuple, ctx: RowContext) -> Any:
+    if isinstance(expr, BoundConstant):
+        return expr.value
+    if isinstance(expr, BoundColumnRef):
+        value = row[expr.index]
+        if isinstance(value, Varlena):
+            # Detoast per datum access, like PostgreSQL (see pgsim.table).
+            return value.load()
+        return value
+    if isinstance(expr, BoundParameterRef):
+        return ctx.params[expr.param_index]
+    if isinstance(expr, BoundFunction):
+        args = [eval_row(a, row, ctx) for a in expr.args]
+        return expr.function.evaluate_row(args)
+    if isinstance(expr, BoundCast):
+        value = eval_row(expr.child, row, ctx)
+        if value is None:
+            return None
+        if expr.cast is not None:
+            return expr.cast.apply(value)
+        physical = expr.ltype.physical
+        if physical == "int64":
+            return int(round(value)) if isinstance(value, float) else int(value)
+        if physical == "float64":
+            return float(value)
+        if physical == "bool":
+            return bool(value)
+        return value
+    if isinstance(expr, BoundConjunction):
+        if expr.op == "AND":
+            saw_null = False
+            for arg in expr.args:
+                value = eval_row(arg, row, ctx)
+                if value is None:
+                    saw_null = True
+                elif not value:
+                    return False
+            return None if saw_null else True
+        saw_null = False
+        for arg in expr.args:
+            value = eval_row(arg, row, ctx)
+            if value is None:
+                saw_null = True
+            elif value:
+                return True
+        return None if saw_null else False
+    if isinstance(expr, BoundNot):
+        value = eval_row(expr.child, row, ctx)
+        return None if value is None else (not value)
+    if isinstance(expr, BoundIsNull):
+        value = eval_row(expr.child, row, ctx)
+        return (value is not None) if expr.negated else (value is None)
+    if isinstance(expr, BoundInList):
+        operand = eval_row(expr.operand, row, ctx)
+        if operand is None:
+            return None
+        found = any(
+            expr.eq_function.evaluate_row(
+                [operand, eval_row(item, row, ctx)]
+            )
+            for item in expr.items
+        )
+        return (not found) if expr.negated else found
+    if isinstance(expr, BoundCase):
+        for cond, result in expr.branches:
+            if eval_row(cond, row, ctx):
+                return eval_row(result, row, ctx)
+        if expr.else_result is not None:
+            return eval_row(expr.else_result, row, ctx)
+        return None
+    if isinstance(expr, BoundSubqueryExpr):
+        return _eval_subquery_row(expr, row, ctx)
+    raise ExecutionError(f"cannot evaluate {type(expr).__name__}")
+
+
+def _eval_subquery_row(expr: BoundSubqueryExpr, row: tuple,
+                       ctx: RowContext) -> Any:
+    params = tuple(
+        eval_row(p, row, ctx) for p in expr.outer_params_exprs
+    )
+    key = (id(expr.plan), params)
+    rows = ctx.subquery_cache.get(key)
+    if rows is None:
+        sub_ctx = ctx.child_with_params(params)
+        rows = list(execute_rows(expr.plan, sub_ctx))
+        ctx.subquery_cache[key] = rows
+    if expr.kind == "scalar":
+        if not rows:
+            return None
+        if len(rows) > 1:
+            raise ExecutionError("scalar subquery returned more than one row")
+        return rows[0][0]
+    if expr.kind == "exists":
+        value = bool(rows)
+        return (not value) if expr.negated else value
+    operand = eval_row(expr.operand, row, ctx)
+    if expr.kind == "in":
+        if operand is None:
+            return None
+        found = False
+        saw_null = False
+        for sub_row in rows:
+            if sub_row[0] is None:
+                saw_null = True
+            elif expr.comparison.evaluate_row([operand, sub_row[0]]):
+                found = True
+                break
+        if expr.negated:
+            if found:
+                return False
+            return None if saw_null else True
+        if found:
+            return True
+        return None if saw_null else False
+    # quantified ALL / ANY
+    if operand is None:
+        return None if rows else (expr.quantifier == "ALL")
+    results = [
+        None if sub_row[0] is None
+        else bool(expr.comparison.evaluate_row([operand, sub_row[0]]))
+        for sub_row in rows
+    ]
+    if expr.quantifier == "ALL":
+        if any(r is False for r in results):
+            return False
+        if any(r is None for r in results):
+            return None
+        return True
+    if any(r is True for r in results):
+        return True
+    if any(r is None for r in results):
+        return None
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Volcano operators
+# ---------------------------------------------------------------------------
+
+
+def execute_rows(op: LogicalOperator, ctx: RowContext) -> Iterator[tuple]:
+    if isinstance(op, LogicalMaterializedCTE):
+        for cte_id, _, plan in op.ctes:
+            ctx.cte_plans[cte_id] = plan
+        yield from execute_rows(op.child, ctx)
+        return
+    if isinstance(op, LogicalGet):
+        for _, row in op.table.scan():
+            yield row
+        return
+    if isinstance(op, LogicalIndexScan):
+        row_ids = op.index.probe(op.op_name, op.constant)
+        if row_ids is None:
+            raise ExecutionError(
+                f"index {op.index.name} cannot serve {op.op_name}"
+            )
+        for rid in sorted(row_ids):
+            row = op.table.fetch(rid)
+            if row is not None:
+                yield row
+        return
+    if isinstance(op, LogicalTableFunction):
+        if op.name == "single_row":
+            yield (0,)
+            return
+        args = [int(a) for a in op.args]
+        if len(args) == 1:
+            start, stop, step = 1, args[0], 1
+        elif len(args) == 2:
+            start, stop, step = args[0], args[1], 1
+        else:
+            start, stop, step = args
+        if op.name == "range":
+            stop -= 1
+        current = start
+        while (step > 0 and current <= stop) or (step < 0 and current >= stop):
+            yield (current,)
+            current += step
+        return
+    if isinstance(op, LogicalCTERef):
+        cached = ctx.cte_results.get(op.cte_id)
+        if cached is None:
+            plan = ctx.cte_plans.get(op.cte_id)
+            if plan is None:
+                raise ExecutionError(f"CTE {op.name!r} was not materialized")
+            cached = list(execute_rows(plan, ctx))
+            ctx.cte_results[op.cte_id] = cached
+        yield from cached
+        return
+    if isinstance(op, LogicalFilter):
+        for row in execute_rows(op.child, ctx):
+            if eval_row(op.condition, row, ctx):
+                yield row
+        return
+    if isinstance(op, LogicalProject):
+        for row in execute_rows(op.child, ctx):
+            yield tuple(eval_row(e, row, ctx) for e in op.exprs)
+        return
+    if isinstance(op, LogicalJoin):
+        yield from _execute_join(op, ctx)
+        return
+    if isinstance(op, LogicalAggregate):
+        yield from _execute_aggregate(op, ctx)
+        return
+    if isinstance(op, LogicalSort):
+        yield from _execute_sort(op, ctx)
+        return
+    if isinstance(op, LogicalDistinct):
+        seen: set = set()
+        for row in execute_rows(op.child, ctx):
+            key = tuple(_hashable(v) for v in row)
+            if key not in seen:
+                seen.add(key)
+                yield row
+        return
+    if isinstance(op, LogicalSetOp):
+        left_rows = list(execute_rows(op.left, ctx))
+        right_rows = list(execute_rows(op.right, ctx))
+        if op.kind == "union" and op.all:
+            yield from left_rows
+            yield from right_rows
+            return
+        right_keys = {
+            tuple(_hashable(v) for v in row) for row in right_rows
+        }
+        seen = set()
+        if op.kind == "union":
+            for row in left_rows + right_rows:
+                key = tuple(_hashable(v) for v in row)
+                if key not in seen:
+                    seen.add(key)
+                    yield row
+            return
+        for row in left_rows:
+            key = tuple(_hashable(v) for v in row)
+            if key in seen:
+                continue
+            if op.kind == "except" and key not in right_keys:
+                seen.add(key)
+                yield row
+            elif op.kind == "intersect" and key in right_keys:
+                seen.add(key)
+                yield row
+        return
+    if isinstance(op, LogicalLimit):
+        remaining = op.limit
+        to_skip = op.offset
+        for row in execute_rows(op.child, ctx):
+            if to_skip:
+                to_skip -= 1
+                continue
+            if remaining is not None:
+                if remaining <= 0:
+                    return
+                remaining -= 1
+            yield row
+        return
+    raise ExecutionError(f"cannot execute {type(op).__name__}")
+
+
+def _execute_join(op: LogicalJoin, ctx: RowContext) -> Iterator[tuple]:
+    right_width = len(op.right.output_types())
+    null_pad = (None,) * right_width
+
+    if op.index_probe is not None and not op.equi_keys:
+        # Index nested-loop join: per left row, probe the right table's
+        # index with the evaluated left expression (GiST join strategy).
+        index, op_name, left_expr = op.index_probe
+        table = index.table
+        for l_row in execute_rows(op.left, ctx):
+            probe_value = eval_row(left_expr, l_row, ctx)
+            matched = False
+            if probe_value is not None:
+                ids = index.probe(op_name, probe_value)
+                for rid in sorted(ids or ()):
+                    r_row = table.fetch(rid)
+                    if r_row is None:
+                        continue
+                    combined = l_row + r_row
+                    if op.residual is not None and not eval_row(
+                        op.residual, combined, ctx
+                    ):
+                        continue
+                    matched = True
+                    yield combined
+            if op.join_type == "left" and not matched:
+                yield l_row + null_pad
+        return
+
+    right_rows = list(execute_rows(op.right, ctx))
+
+    if op.equi_keys:
+        # Hash join, one probe per row (PostgreSQL-style).
+        table: dict[tuple, list[tuple]] = {}
+        for r_row in right_rows:
+            key = tuple(
+                eval_row(right_key, r_row, ctx)
+                for _, right_key in op.equi_keys
+            )
+            if any(k is None for k in key):
+                continue
+            table.setdefault(key, []).append(r_row)
+        for l_row in execute_rows(op.left, ctx):
+            key = tuple(
+                eval_row(left_key, l_row, ctx)
+                for left_key, _ in op.equi_keys
+            )
+            matched = False
+            if not any(k is None for k in key):
+                for r_row in table.get(key, ()):
+                    combined = l_row + r_row
+                    if op.residual is not None and not eval_row(
+                        op.residual, combined, ctx
+                    ):
+                        continue
+                    matched = True
+                    yield combined
+            if op.join_type == "left" and not matched:
+                yield l_row + null_pad
+        return
+
+    for l_row in execute_rows(op.left, ctx):
+        matched = False
+        for r_row in right_rows:
+            combined = l_row + r_row
+            if op.residual is not None and not eval_row(
+                op.residual, combined, ctx
+            ):
+                continue
+            matched = True
+            yield combined
+        if op.join_type == "left" and not matched:
+            yield l_row + null_pad
+
+
+def _execute_aggregate(op: LogicalAggregate,
+                       ctx: RowContext) -> Iterator[tuple]:
+    groups: dict[tuple, list] = {}
+    group_values: dict[tuple, tuple] = {}
+    distinct_seen: dict[tuple, list[set]] = {}
+    for row in execute_rows(op.child, ctx):
+        key_values = tuple(eval_row(g, row, ctx) for g in op.groups)
+        key = tuple(_hashable(v) for v in key_values)
+        state = groups.get(key)
+        if state is None:
+            state = [spec.function.init() for spec in op.aggregates]
+            groups[key] = state
+            group_values[key] = key_values
+            distinct_seen[key] = [set() for _ in op.aggregates]
+        for a, spec in enumerate(op.aggregates):
+            values = [eval_row(arg, row, ctx) for arg in spec.args]
+            if values and not spec.function.accepts_null and any(
+                v is None for v in values
+            ):
+                continue
+            if spec.distinct:
+                marker = tuple(_hashable(v) for v in values)
+                if marker in distinct_seen[key][a]:
+                    continue
+                distinct_seen[key][a].add(marker)
+            state[a] = spec.function.step(state[a], *values)
+    if not groups and not op.groups:
+        groups[()] = [spec.function.init() for spec in op.aggregates]
+        group_values[()] = ()
+    for key, state in groups.items():
+        finals = tuple(
+            spec.function.final(s) for spec, s in zip(op.aggregates, state)
+        )
+        yield group_values[key] + finals
+
+
+def _execute_sort(op: LogicalSort, ctx: RowContext) -> Iterator[tuple]:
+    rows = []
+    for row in execute_rows(op.child, ctx):
+        keys = tuple(eval_row(k, row, ctx) for k, _, _ in op.keys)
+        rows.append((row, keys))
+
+    def compare(a, b):
+        for pos, (_, ascending, nulls_first) in enumerate(op.keys):
+            x, y = a[1][pos], b[1][pos]
+            if x is None and y is None:
+                continue
+            nf = (not ascending) if nulls_first is None else nulls_first
+            if x is None:
+                return -1 if nf else 1
+            if y is None:
+                return 1 if nf else -1
+            if x == y:
+                continue
+            try:
+                less = x < y
+            except TypeError:
+                less = repr(x) < repr(y)
+            if less:
+                return -1 if ascending else 1
+            return 1 if ascending else -1
+        return 0
+
+    for row, _ in sorted(rows, key=functools.cmp_to_key(compare)):
+        yield row
+
+
+def _hashable(value: Any) -> Any:
+    if isinstance(value, list):
+        return tuple(_hashable(v) for v in value)
+    if isinstance(value, dict):
+        return tuple(sorted((k, _hashable(v)) for k, v in value.items()))
+    try:
+        hash(value)
+        return value
+    except TypeError:
+        return repr(value)

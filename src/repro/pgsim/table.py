@@ -1,0 +1,166 @@
+"""Row-oriented storage for the PostgreSQL-like baseline engine.
+
+Tables hold Python row tuples (heap order), the analogue of PostgreSQL's
+row store.  The classes duck-type the parts of :class:`repro.quack.catalog`
+that the shared binder/optimizer touch (``column_names``, ``column_types``,
+``indexes``, ``column_index``).
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Iterator, Sequence
+
+from .. import geo
+from ..meos import Set, Span, SpanSet, STBox, TBox, Temporal
+from ..quack.errors import CatalogError, ExecutionError
+from ..quack.types import LogicalType
+
+#: Types stored out-of-line as serialized varlena payloads, like
+#: PostgreSQL TOAST. MobilityDB temporal values are exactly such payloads;
+#: every datum access in the row engine pays a deserialization, which is
+#: the architectural overhead the paper measures against (§2.1, §6.3).
+_VARLENA_TYPES = (Temporal, Span, SpanSet, Set, TBox, STBox, geo.Geometry)
+
+
+class Varlena:
+    """A serialized (TOASTed) value inside a heap row."""
+
+    __slots__ = ("blob",)
+
+    def __init__(self, blob: bytes):
+        self.blob = blob
+
+    @classmethod
+    def wrap(cls, value: Any) -> "Varlena":
+        return cls(pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+
+    def load(self) -> Any:
+        """Detoast: deserialize the payload (paid per datum access)."""
+        return pickle.loads(self.blob)
+
+    def __repr__(self) -> str:
+        return f"<Varlena {len(self.blob)} bytes>"
+
+
+def toast(value: Any) -> Any:
+    """Wrap heavy values for heap storage; scalars stay inline."""
+    if isinstance(value, _VARLENA_TYPES):
+        return Varlena.wrap(value)
+    return value
+
+
+def detoast(value: Any) -> Any:
+    """Unwrap a heap datum (no-op for inline scalars)."""
+    if isinstance(value, Varlena):
+        return value.load()
+    return value
+
+
+class RowTable:
+    """A heap of row tuples."""
+
+    def __init__(self, name: str, columns: list[tuple[str, LogicalType]]):
+        if not columns:
+            raise CatalogError("a table needs at least one column")
+        self.name = name
+        self.column_names = [c[0] for c in columns]
+        self.column_types = [c[1] for c in columns]
+        self.rows: list[tuple] = []
+        self._deleted: set[int] = set()
+        self.indexes: list = []
+
+    @property
+    def num_columns(self) -> int:
+        return len(self.column_names)
+
+    def num_rows(self) -> int:
+        return len(self.rows) - len(self._deleted)
+
+    def total_rows(self) -> int:
+        return len(self.rows)
+
+    def column_index(self, name: str) -> int:
+        lowered = name.lower()
+        for i, col in enumerate(self.column_names):
+            if col.lower() == lowered:
+                return i
+        raise CatalogError(f"column {name!r} not in table {self.name!r}")
+
+    def append_rows(self, rows: Sequence[Sequence[Any]]) -> list[int]:
+        start = len(self.rows)
+        for row in rows:
+            if len(row) != self.num_columns:
+                raise ExecutionError(
+                    f"expected {self.num_columns} values, got {len(row)}"
+                )
+            self.rows.append(tuple(toast(v) for v in row))
+        row_ids = list(range(start, len(self.rows)))
+        for index in self.indexes:
+            for rid in row_ids:
+                index.insert_row(self.rows[rid], rid)
+        return row_ids
+
+    def scan(self) -> Iterator[tuple[int, tuple]]:
+        """Yield (row_id, row) for live rows, heap order."""
+        deleted = self._deleted
+        for rid, row in enumerate(self.rows):
+            if rid not in deleted:
+                yield rid, row
+
+    def fetch(self, row_id: int) -> tuple | None:
+        if row_id in self._deleted or not 0 <= row_id < len(self.rows):
+            return None
+        return self.rows[row_id]
+
+    def delete_rows(self, row_ids: Sequence[int]) -> int:
+        before = len(self._deleted)
+        self._deleted.update(int(r) for r in row_ids)
+        return len(self._deleted) - before
+
+    def update_row(self, row_id: int, row: tuple) -> None:
+        self.rows[row_id] = tuple(toast(v) for v in row)
+
+    def rebuild_indexes(self) -> None:
+        for index in self.indexes:
+            index.rebuild(self)
+
+
+class RowCatalog:
+    """Named row tables and their indexes."""
+
+    def __init__(self):
+        self.tables: dict[str, RowTable] = {}
+        self.indexes: dict[str, Any] = {}
+
+    def create_table(self, table: RowTable, or_replace: bool = False) -> None:
+        key = table.name.lower()
+        if key in self.tables and not or_replace:
+            raise CatalogError(f"table {table.name!r} already exists")
+        self.tables[key] = table
+
+    def drop_table(self, name: str, if_exists: bool = False) -> None:
+        key = name.lower()
+        if key not in self.tables:
+            if if_exists:
+                return
+            raise CatalogError(f"table {name!r} does not exist")
+        table = self.tables.pop(key)
+        for index in table.indexes:
+            self.indexes.pop(index.name.lower(), None)
+
+    def get_table(self, name: str) -> RowTable:
+        found = self.tables.get(name.lower())
+        if found is None:
+            raise CatalogError(f"table {name!r} does not exist")
+        return found
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self.tables
+
+    def add_index(self, index) -> None:
+        key = index.name.lower()
+        if key in self.indexes:
+            raise CatalogError(f"index {index.name!r} already exists")
+        self.indexes[key] = index
+        index.table.indexes.append(index)

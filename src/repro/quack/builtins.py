@@ -1,0 +1,521 @@
+"""Built-in scalar functions, operators, aggregates and casts.
+
+Everything a vanilla SQL engine needs before any extension loads:
+comparisons and arithmetic (with vectorized NumPy paths for numeric
+vectors), string functions, date/time arithmetic, and the standard
+aggregates including DuckDB's ``list()``.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Callable
+
+import numpy as np
+
+from ..meos.timetypes import (
+    Interval,
+    add_interval,
+    format_date,
+    format_timestamptz,
+    interval_from_usecs,
+    parse_date,
+    parse_timestamptz,
+)
+from .errors import ConversionError, ExecutionError
+from .functions import (
+    AggregateFunction,
+    CastFunction,
+    FunctionRegistry,
+    ScalarFunction,
+)
+from .types import (
+    ANY,
+    BIGINT,
+    BLOB,
+    BOOLEAN,
+    DATE,
+    DOUBLE,
+    INTEGER,
+    INTERVAL,
+    LIST,
+    TIMESTAMP,
+    VARCHAR,
+    LogicalType,
+)
+from .vector import Vector
+
+
+# ---------------------------------------------------------------------------
+# Vectorized helpers
+# ---------------------------------------------------------------------------
+
+
+def _numeric_binop(op: Callable[[Any, Any], Any]):
+    def fn_vector(args: list[Vector], count: int) -> Vector:
+        left, right = args
+        with np.errstate(divide="ignore", invalid="ignore"):
+            data = op(left.data, right.data)
+        validity = np.logical_and(left.validity, right.validity)
+        ltype = DOUBLE if data.dtype.kind == "f" else BIGINT
+        if data.dtype == np.bool_:
+            ltype = BOOLEAN
+        return Vector(ltype, data, validity)
+
+    return fn_vector
+
+
+def _compare_vectors(op_name: str):
+    py_ops = {
+        "=": lambda a, b: a == b,
+        "<>": lambda a, b: a != b,
+        "<": lambda a, b: a < b,
+        "<=": lambda a, b: a <= b,
+        ">": lambda a, b: a > b,
+        ">=": lambda a, b: a >= b,
+    }
+    py_op = py_ops[op_name]
+
+    def fn_vector(args: list[Vector], count: int) -> Vector:
+        left, right = args
+        if left.ltype.physical != "object" and right.ltype.physical != "object":
+            data = py_op(left.data, right.data)
+            validity = np.logical_and(left.validity, right.validity)
+            return Vector(BOOLEAN, np.asarray(data, dtype=np.bool_), validity)
+        out = np.zeros(count, dtype=np.bool_)
+        validity = np.logical_and(left.validity, right.validity)
+        ldata, rdata = left.data, right.data
+        for i in range(count):
+            if validity[i]:
+                try:
+                    out[i] = bool(py_op(ldata[i], rdata[i]))
+                except TypeError as exc:
+                    raise ExecutionError(
+                        f"cannot compare {type(ldata[i]).__name__} with "
+                        f"{type(rdata[i]).__name__}: {exc}"
+                    ) from None
+        return Vector(BOOLEAN, out, validity)
+
+    return fn_vector
+
+
+def _register_comparisons(registry: FunctionRegistry) -> None:
+    py_ops = {
+        "=": lambda a, b: a == b,
+        "<>": lambda a, b: a != b,
+        "<": lambda a, b: a < b,
+        "<=": lambda a, b: a <= b,
+        ">": lambda a, b: a > b,
+        ">=": lambda a, b: a >= b,
+    }
+    for name, py_op in py_ops.items():
+        registry.register_scalar(
+            ScalarFunction(
+                name,
+                (ANY, ANY),
+                BOOLEAN,
+                fn_scalar=lambda a, b, _op=py_op: bool(_op(a, b)),
+                fn_vector=_compare_vectors(name),
+            )
+        )
+
+
+def _register_arithmetic(registry: FunctionRegistry) -> None:
+    specs = [
+        ("+", lambda a, b: a + b, np.add),
+        ("-", lambda a, b: a - b, np.subtract),
+        ("*", lambda a, b: a * b, np.multiply),
+    ]
+    for name, py_op, np_op in specs:
+        for ltype in (INTEGER, BIGINT):
+            registry.register_scalar(
+                ScalarFunction(name, (ltype, ltype), BIGINT,
+                               fn_scalar=py_op,
+                               fn_vector=_numeric_binop(np_op))
+            )
+        registry.register_scalar(
+            ScalarFunction(name, (DOUBLE, DOUBLE), DOUBLE,
+                           fn_scalar=py_op,
+                           fn_vector=_numeric_binop(np_op))
+        )
+    # Division always yields DOUBLE (DuckDB semantics for '/').
+    registry.register_scalar(
+        ScalarFunction(
+            "/", (DOUBLE, DOUBLE), DOUBLE,
+            fn_scalar=lambda a, b: (a / b) if b != 0 else None,
+            handles_null=False,
+        )
+    )
+    registry.register_scalar(
+        ScalarFunction("%", (BIGINT, BIGINT), BIGINT,
+                       fn_scalar=lambda a, b: (a % b) if b != 0 else None)
+    )
+    registry.register_scalar(
+        ScalarFunction("-", (BIGINT,), BIGINT, fn_scalar=lambda a: -a)
+    )
+    registry.register_scalar(
+        ScalarFunction("-", (DOUBLE,), DOUBLE, fn_scalar=lambda a: -a)
+    )
+    # Timestamp/interval arithmetic.
+    registry.register_scalar(
+        ScalarFunction("+", (TIMESTAMP, INTERVAL), TIMESTAMP,
+                       fn_scalar=lambda t, iv: add_interval(t, iv))
+    )
+    registry.register_scalar(
+        ScalarFunction("+", (INTERVAL, TIMESTAMP), TIMESTAMP,
+                       fn_scalar=lambda iv, t: add_interval(t, iv))
+    )
+    registry.register_scalar(
+        ScalarFunction("-", (TIMESTAMP, INTERVAL), TIMESTAMP,
+                       fn_scalar=lambda t, iv: add_interval(t, -iv))
+    )
+    registry.register_scalar(
+        ScalarFunction("-", (TIMESTAMP, TIMESTAMP), INTERVAL,
+                       fn_scalar=lambda a, b: interval_from_usecs(a - b))
+    )
+    registry.register_scalar(
+        ScalarFunction("+", (INTERVAL, INTERVAL), INTERVAL,
+                       fn_scalar=lambda a, b: a + b)
+    )
+    registry.register_scalar(
+        ScalarFunction("+", (DATE, INTERVAL), TIMESTAMP,
+                       fn_scalar=lambda d, iv: add_interval(
+                           d * 86_400_000_000, iv))
+    )
+
+
+def _to_text(value: Any) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, np.generic):
+        value = value.item()
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def _register_strings(registry: FunctionRegistry) -> None:
+    registry.register_scalar(
+        ScalarFunction("||", (VARCHAR, VARCHAR), VARCHAR,
+                       fn_scalar=lambda a, b: _to_text(a) + _to_text(b))
+    )
+    # DuckDB concatenates any operand with a string; stringify both sides.
+    registry.register_scalar(
+        ScalarFunction("||", (ANY, ANY), VARCHAR,
+                       fn_scalar=lambda a, b: _to_text(a) + _to_text(b))
+    )
+    registry.register_scalar(
+        ScalarFunction("concat", (VARCHAR, VARCHAR), VARCHAR,
+                       fn_scalar=lambda *parts: "".join(
+                           _to_text(p) for p in parts),
+                       varargs=True, handles_null=True)
+    )
+    registry.register_scalar(
+        ScalarFunction("length", (VARCHAR,), BIGINT, fn_scalar=len)
+    )
+    registry.register_scalar(
+        ScalarFunction("upper", (VARCHAR,), VARCHAR, fn_scalar=str.upper)
+    )
+    registry.register_scalar(
+        ScalarFunction("lower", (VARCHAR,), VARCHAR, fn_scalar=str.lower)
+    )
+    registry.register_scalar(
+        ScalarFunction(
+            "substring", (VARCHAR, BIGINT, BIGINT), VARCHAR,
+            fn_scalar=lambda s, start, count: s[start - 1 : start - 1 + count],
+        )
+    )
+    registry.register_scalar(
+        ScalarFunction("trim", (VARCHAR,), VARCHAR, fn_scalar=str.strip)
+    )
+    registry.register_scalar(
+        ScalarFunction(
+            "contains", (VARCHAR, VARCHAR), BOOLEAN,
+            fn_scalar=lambda s, sub: sub in s,
+        )
+    )
+
+    def like_impl(text: str, pattern: str, case_insensitive: bool = False) -> bool:
+        regex = re.escape(pattern).replace("%", ".*").replace("_", ".")
+        # re.escape escapes % and _ as themselves (no-op), handle both forms.
+        regex = regex.replace(re.escape("%"), ".*").replace(re.escape("_"), ".")
+        flags = re.IGNORECASE if case_insensitive else 0
+        return re.fullmatch(regex, text, flags) is not None
+
+    registry.register_scalar(
+        ScalarFunction("like", (VARCHAR, VARCHAR), BOOLEAN,
+                       fn_scalar=lambda s, p: like_impl(s, p, False))
+    )
+    registry.register_scalar(
+        ScalarFunction("ilike", (VARCHAR, VARCHAR), BOOLEAN,
+                       fn_scalar=lambda s, p: like_impl(s, p, True))
+    )
+
+
+def _register_math(registry: FunctionRegistry) -> None:
+    registry.register_scalar(
+        ScalarFunction("abs", (DOUBLE,), DOUBLE, fn_scalar=abs)
+    )
+    registry.register_scalar(
+        ScalarFunction("abs", (BIGINT,), BIGINT, fn_scalar=abs)
+    )
+    registry.register_scalar(
+        ScalarFunction("round", (DOUBLE,), DOUBLE,
+                       fn_scalar=lambda x: float(round(x)))
+    )
+    registry.register_scalar(
+        ScalarFunction("round", (DOUBLE, BIGINT), DOUBLE,
+                       fn_scalar=lambda x, n: round(x, int(n)))
+    )
+    registry.register_scalar(
+        ScalarFunction("floor", (DOUBLE,), BIGINT,
+                       fn_scalar=lambda x: int(math.floor(x)))
+    )
+    registry.register_scalar(
+        ScalarFunction("ceil", (DOUBLE,), BIGINT,
+                       fn_scalar=lambda x: int(math.ceil(x)))
+    )
+    registry.register_scalar(
+        ScalarFunction("sqrt", (DOUBLE,), DOUBLE, fn_scalar=math.sqrt)
+    )
+    registry.register_scalar(
+        ScalarFunction("power", (DOUBLE, DOUBLE), DOUBLE, fn_scalar=pow)
+    )
+    registry.register_scalar(
+        ScalarFunction("ln", (DOUBLE,), DOUBLE, fn_scalar=math.log)
+    )
+    registry.register_scalar(
+        ScalarFunction(
+            "coalesce", (ANY, ANY), ANY, varargs=True, handles_null=True,
+            fn_scalar=lambda *xs: next((x for x in xs if x is not None), None),
+        )
+    )
+    registry.register_scalar(
+        ScalarFunction(
+            "nullif", (ANY, ANY), ANY, handles_null=True,
+            fn_scalar=lambda a, b: None if a == b else a,
+        )
+    )
+    registry.register_scalar(
+        ScalarFunction(
+            "greatest", (ANY, ANY), ANY, varargs=True,
+            fn_scalar=lambda *xs: max(xs),
+        )
+    )
+    registry.register_scalar(
+        ScalarFunction(
+            "least", (ANY, ANY), ANY, varargs=True,
+            fn_scalar=lambda *xs: min(xs),
+        )
+    )
+
+
+def _register_datetime(registry: FunctionRegistry) -> None:
+    registry.register_scalar(
+        ScalarFunction("to_interval", (VARCHAR,), INTERVAL,
+                       fn_scalar=Interval.parse)
+    )
+    registry.register_scalar(
+        ScalarFunction(
+            "epoch", (TIMESTAMP,), DOUBLE,
+            fn_scalar=lambda t: t / 1_000_000,
+        )
+    )
+    registry.register_scalar(
+        ScalarFunction(
+            "date_part", (VARCHAR, TIMESTAMP), BIGINT,
+            fn_scalar=_date_part,
+        )
+    )
+
+    def _date_trunc(part: str, t: int) -> int:
+        from datetime import datetime, timezone
+
+        moment = datetime.fromtimestamp(t / 1e6, tz=timezone.utc)
+        part = part.lower()
+        replace_args = {
+            "year": dict(month=1, day=1, hour=0, minute=0, second=0,
+                         microsecond=0),
+            "month": dict(day=1, hour=0, minute=0, second=0, microsecond=0),
+            "day": dict(hour=0, minute=0, second=0, microsecond=0),
+            "hour": dict(minute=0, second=0, microsecond=0),
+            "minute": dict(second=0, microsecond=0),
+            "second": dict(microsecond=0),
+        }.get(part)
+        if replace_args is None:
+            raise ExecutionError(f"unsupported date_trunc part {part!r}")
+        truncated = moment.replace(**replace_args)
+        return int(truncated.timestamp() * 1e6)
+
+    registry.register_scalar(
+        ScalarFunction("date_trunc", (VARCHAR, TIMESTAMP), TIMESTAMP,
+                       fn_scalar=_date_trunc)
+    )
+
+
+def _date_part(part: str, t: int) -> int:
+    from datetime import datetime, timezone
+
+    moment = datetime.fromtimestamp(t / 1e6, tz=timezone.utc)
+    part = part.lower()
+    values = {
+        "year": moment.year,
+        "month": moment.month,
+        "day": moment.day,
+        "hour": moment.hour,
+        "minute": moment.minute,
+        "second": moment.second,
+        "dow": (moment.weekday() + 1) % 7,
+        "isodow": moment.weekday() + 1,
+        "epoch": int(t // 1_000_000),
+    }
+    if part not in values:
+        raise ExecutionError(f"unsupported date_part field {part!r}")
+    return values[part]
+
+
+# ---------------------------------------------------------------------------
+# Aggregates
+# ---------------------------------------------------------------------------
+
+
+def _register_aggregates(registry: FunctionRegistry) -> None:
+    registry.register_aggregate(
+        AggregateFunction(
+            "count", (ANY,), BIGINT,
+            init=lambda: 0,
+            step=lambda state, value: state + 1,
+            final=lambda state: state,
+        )
+    )
+    registry.register_aggregate(
+        AggregateFunction(
+            "count_star", (), BIGINT,
+            init=lambda: 0,
+            step=lambda state: state + 1,
+            final=lambda state: state,
+            accepts_null=True,
+        )
+    )
+    registry.register_aggregate(
+        AggregateFunction(
+            "sum", (BIGINT,), BIGINT,
+            init=lambda: None,
+            step=lambda state, value: value if state is None else state + value,
+            final=lambda state: state,
+        )
+    )
+    registry.register_aggregate(
+        AggregateFunction(
+            "sum", (DOUBLE,), DOUBLE,
+            init=lambda: None,
+            step=lambda state, value: value if state is None else state + value,
+            final=lambda state: state,
+        )
+    )
+    registry.register_aggregate(
+        AggregateFunction(
+            "avg", (DOUBLE,), DOUBLE,
+            init=lambda: (0.0, 0),
+            step=lambda state, value: (state[0] + value, state[1] + 1),
+            final=lambda state: (state[0] / state[1]) if state[1] else None,
+        )
+    )
+    for name, chooser in (("min", min), ("max", max)):
+        registry.register_aggregate(
+            AggregateFunction(
+                name, (ANY,), ANY,
+                init=lambda: None,
+                step=lambda state, value, _c=chooser: (
+                    value if state is None else _c(state, value)
+                ),
+                final=lambda state: state,
+            )
+        )
+    registry.register_aggregate(
+        AggregateFunction(
+            "list", (ANY,), LIST,
+            init=lambda: [],
+            step=lambda state, value: state + [value],
+            final=lambda state: state,
+        )
+    )
+    registry.register_aggregate(
+        AggregateFunction(
+            "string_agg", (VARCHAR, VARCHAR), VARCHAR,
+            init=lambda: [],
+            step=lambda state, value, sep: state + [(value, sep)],
+            final=lambda state: (
+                (state[0][1] if state else ",").join(v for v, _ in state)
+                if state
+                else None
+            ),
+        )
+    )
+    registry.register_aggregate(
+        AggregateFunction(
+            "first", (ANY,), ANY,
+            init=lambda: None,
+            step=lambda state, value: value if state is None else state,
+            final=lambda state: state,
+        )
+    )
+
+
+# ---------------------------------------------------------------------------
+# Casts
+# ---------------------------------------------------------------------------
+
+
+def _varchar_to_bool(text: str) -> bool:
+    lowered = text.strip().lower()
+    if lowered in ("t", "true", "1", "yes"):
+        return True
+    if lowered in ("f", "false", "0", "no"):
+        return False
+    raise ConversionError(f"invalid boolean {text!r}")
+
+
+def _register_casts(registry: FunctionRegistry) -> None:
+    casts = [
+        (INTEGER, BIGINT, int, True),
+        (INTEGER, DOUBLE, float, True),
+        (BIGINT, DOUBLE, float, True),
+        (BIGINT, INTEGER, int, False),
+        (DOUBLE, BIGINT, lambda v: int(round(v)), False),
+        (DOUBLE, INTEGER, lambda v: int(round(v)), False),
+        (BIGINT, VARCHAR, str, False),
+        (INTEGER, VARCHAR, str, False),
+        (DOUBLE, VARCHAR, _to_text, False),
+        (BOOLEAN, VARCHAR, lambda v: "true" if v else "false", False),
+        (VARCHAR, INTEGER, lambda v: int(float(v)), False),
+        (VARCHAR, BIGINT, lambda v: int(float(v)), False),
+        (VARCHAR, DOUBLE, float, False),
+        (VARCHAR, BOOLEAN, _varchar_to_bool, False),
+        (VARCHAR, TIMESTAMP, parse_timestamptz, False),
+        (VARCHAR, DATE, parse_date, False),
+        (VARCHAR, INTERVAL, Interval.parse, False),
+        (TIMESTAMP, VARCHAR, format_timestamptz, False),
+        (DATE, VARCHAR, format_date, False),
+        (DATE, TIMESTAMP, lambda d: d * 86_400_000_000, True),
+        (TIMESTAMP, DATE, lambda t: t // 86_400_000_000, False),
+        (INTERVAL, VARCHAR, str, False),
+        (VARCHAR, BLOB, lambda s: s.encode(), False),
+        (BLOB, VARCHAR, lambda b: b.decode(errors="replace"), False),
+    ]
+    for source, target, fn, implicit in casts:
+        registry.register_cast(CastFunction(source, target, fn, implicit))
+
+
+def register_builtins(registry: FunctionRegistry) -> None:
+    """Install all built-in functions into a fresh registry."""
+    _register_comparisons(registry)
+    _register_arithmetic(registry)
+    _register_strings(registry)
+    _register_math(registry)
+    _register_datetime(registry)
+    _register_aggregates(registry)
+    _register_casts(registry)

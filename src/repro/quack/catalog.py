@@ -1,0 +1,316 @@
+"""Catalog and columnar storage.
+
+Tables store data column-wise in sealed NumPy segments plus an append tail,
+so sequential scans hand out zero-copy vector slices — the quack analogue
+of DuckDB's row groups.  Deletes are tombstones; updates rewrite columns.
+
+Indexes attach to tables through the pluggable :class:`IndexType` registry
+(paper §4.1: ``RegisterIndexType``); concrete index implementations (the
+MobilityDuck ``TRTREE``) live in extensions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Sequence
+
+import numpy as np
+
+from .errors import CatalogError, ExecutionError
+from .types import LogicalType
+from .vector import DataChunk, STANDARD_VECTOR_SIZE, Vector
+
+_PHYSICAL_DTYPES = {
+    "bool": np.bool_,
+    "int64": np.int64,
+    "float64": np.float64,
+    "object": object,
+}
+
+
+class ColumnData:
+    """Append-only storage of one column: sealed segments + tail buffer."""
+
+    __slots__ = ("ltype", "segments", "validity_segments", "tail",
+                 "tail_validity")
+
+    def __init__(self, ltype: LogicalType):
+        self.ltype = ltype
+        self.segments: list[np.ndarray] = []
+        self.validity_segments: list[np.ndarray] = []
+        self.tail: list[Any] = []
+        self.tail_validity: list[bool] = []
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self.segments) + len(self.tail)
+
+    def append(self, value: Any) -> None:
+        self.tail.append(value)
+        self.tail_validity.append(value is not None)
+        if len(self.tail) >= STANDARD_VECTOR_SIZE:
+            self.seal()
+
+    def append_vector(self, vector: Vector) -> None:
+        self.seal()
+        self.segments.append(np.array(vector.data, copy=True))
+        self.validity_segments.append(np.array(vector.validity, copy=True))
+
+    def seal(self) -> None:
+        if not self.tail:
+            return
+        dtype = _PHYSICAL_DTYPES[self.ltype.physical]
+        if self.ltype.physical == "object":
+            data = np.empty(len(self.tail), dtype=object)
+            for i, v in enumerate(self.tail):
+                data[i] = v
+        else:
+            fill = False if self.ltype.physical == "bool" else 0
+            data = np.fromiter(
+                (fill if v is None else v for v in self.tail),
+                dtype=dtype,
+                count=len(self.tail),
+            )
+        self.segments.append(data)
+        self.validity_segments.append(
+            np.array(self.tail_validity, dtype=np.bool_)
+        )
+        self.tail.clear()
+        self.tail_validity.clear()
+
+    def chunks(self) -> Iterator[Vector]:
+        self.seal()
+        for data, validity in zip(self.segments, self.validity_segments):
+            yield Vector(self.ltype, data, validity)
+
+    def gather(self, row_ids: np.ndarray) -> Vector:
+        """Random access fetch by global row offsets."""
+        self.seal()
+        total = len(self)
+        dtype = _PHYSICAL_DTYPES[self.ltype.physical]
+        out = np.empty(len(row_ids),
+                       dtype=object if self.ltype.physical == "object"
+                       else dtype)
+        validity = np.ones(len(row_ids), dtype=np.bool_)
+        bounds = np.cumsum([0] + [len(s) for s in self.segments])
+        for i, rid in enumerate(row_ids):
+            if rid < 0 or rid >= total:
+                raise ExecutionError(f"row id {rid} out of range")
+            seg = int(np.searchsorted(bounds, rid, side="right")) - 1
+            off = int(rid - bounds[seg])
+            out[i] = self.segments[seg][off]
+            validity[i] = self.validity_segments[seg][off]
+        if self.ltype.physical != "object":
+            out = out.astype(dtype)
+        return Vector(self.ltype, out, validity)
+
+    def rewrite(self, data: list[Any]) -> None:
+        """Replace the whole column (UPDATE path)."""
+        self.segments.clear()
+        self.validity_segments.clear()
+        self.tail = list(data)
+        self.tail_validity = [v is not None for v in data]
+        self.seal()
+
+
+class Table:
+    """A named columnar table."""
+
+    def __init__(self, name: str, columns: list[tuple[str, LogicalType]]):
+        if not columns:
+            raise CatalogError("a table needs at least one column")
+        self.name = name
+        self.column_names = [c[0] for c in columns]
+        self.column_types = [c[1] for c in columns]
+        lowered = [c.lower() for c in self.column_names]
+        if len(set(lowered)) != len(lowered):
+            raise CatalogError(f"duplicate column name in table {name!r}")
+        self._columns = [ColumnData(t) for t in self.column_types]
+        self._deleted: list[np.ndarray] = []  # parallels sealed structure
+        self._deleted_ids: set[int] = set()
+        self.indexes: list["TableIndex"] = []
+
+    # -- metadata -----------------------------------------------------------------
+
+    @property
+    def num_columns(self) -> int:
+        return len(self._columns)
+
+    def num_rows(self) -> int:
+        return len(self._columns[0]) - len(self._deleted_ids)
+
+    def total_rows(self) -> int:
+        return len(self._columns[0])
+
+    def column_index(self, name: str) -> int:
+        lowered = name.lower()
+        for i, col in enumerate(self.column_names):
+            if col.lower() == lowered:
+                return i
+        raise CatalogError(f"column {name!r} not in table {self.name!r}")
+
+    # -- mutation -----------------------------------------------------------------
+
+    def append_rows(self, rows: Sequence[Sequence[Any]]) -> np.ndarray:
+        """Append rows; returns their row ids and feeds attached indexes."""
+        start = self.total_rows()
+        for row in rows:
+            if len(row) != self.num_columns:
+                raise ExecutionError(
+                    f"expected {self.num_columns} values, got {len(row)}"
+                )
+            for col, value in zip(self._columns, row):
+                col.append(value)
+        row_ids = np.arange(start, start + len(rows), dtype=np.int64)
+        if self.indexes and len(rows):
+            chunk = DataChunk(
+                [
+                    Vector.from_values(
+                        t, [row[i] for row in rows]
+                    )
+                    for i, t in enumerate(self.column_types)
+                ]
+            )
+            for index in self.indexes:
+                index.append(chunk, row_ids)
+        return row_ids
+
+    def delete_rows(self, row_ids: Sequence[int]) -> int:
+        before = len(self._deleted_ids)
+        self._deleted_ids.update(int(r) for r in row_ids)
+        return len(self._deleted_ids) - before
+
+    def update_column(self, name: str, values: list[Any]) -> None:
+        """Rewrite one column in full row order (UPDATE execution path)."""
+        idx = self.column_index(name)
+        if len(values) != self.total_rows():
+            raise ExecutionError("update value count mismatch")
+        self._columns[idx].rewrite(values)
+        for index in self.indexes:
+            index.rebuild(self)
+
+    # -- scan ---------------------------------------------------------------------
+
+    def scan(self) -> Iterator[tuple[DataChunk, np.ndarray]]:
+        """Yield (chunk, row_ids) over live rows."""
+        for col in self._columns:
+            col.seal()
+        offset = 0
+        column_chunks = [list(col.chunks()) for col in self._columns]
+        num_segments = len(column_chunks[0]) if column_chunks else 0
+        for seg in range(num_segments):
+            vectors = [chunks[seg] for chunks in column_chunks]
+            count = len(vectors[0])
+            row_ids = np.arange(offset, offset + count, dtype=np.int64)
+            offset += count
+            if self._deleted_ids:
+                keep = np.fromiter(
+                    (int(r) not in self._deleted_ids for r in row_ids),
+                    dtype=np.bool_,
+                    count=count,
+                )
+                if not keep.all():
+                    vectors = [v.slice(keep) for v in vectors]
+                    row_ids = row_ids[keep]
+            yield DataChunk(vectors), row_ids
+
+    def fetch(self, row_ids: np.ndarray) -> DataChunk:
+        """Random-access fetch (index scan path, paper §4.3)."""
+        live = np.asarray(
+            [r for r in row_ids if int(r) not in self._deleted_ids],
+            dtype=np.int64,
+        )
+        return DataChunk([col.gather(live) for col in self._columns])
+
+    def live_row_ids(self, row_ids: Sequence[int]) -> list[int]:
+        return [int(r) for r in row_ids if int(r) not in self._deleted_ids]
+
+
+class TableIndex:
+    """Abstract index attached to a table (concrete: TRTREE in repro.core)."""
+
+    def __init__(self, name: str, table: Table, column: str,
+                 type_name: str):
+        self.name = name
+        self.table = table
+        self.column = column
+        self.type_name = type_name
+
+    # Incremental append (paper §4.2.1).
+    def append(self, chunk: DataChunk, row_ids: np.ndarray) -> None:
+        raise NotImplementedError
+
+    # Full rebuild after UPDATE.
+    def rebuild(self, table: Table) -> None:
+        raise NotImplementedError
+
+    # Scan matching (paper §4.3): return row ids or None if unsupported.
+    def probe(self, op_name: str, constant: Any) -> list[int] | None:
+        raise NotImplementedError
+
+    def matches(self, op_name: str, column_name: str, constant: Any) -> bool:
+        raise NotImplementedError
+
+
+@dataclass
+class IndexType:
+    """A pluggable index type (paper §4.1 ``IndexType`` registration)."""
+
+    name: str
+    create_instance: Callable[..., TableIndex]
+
+
+class IndexTypeRegistry:
+    def __init__(self):
+        self._types: dict[str, IndexType] = {}
+
+    def register(self, index_type: IndexType) -> None:
+        self._types[index_type.name.upper()] = index_type
+
+    def lookup(self, name: str) -> IndexType:
+        found = self._types.get(name.upper())
+        if found is None:
+            raise CatalogError(f"unknown index type {name!r}")
+        return found
+
+    def known(self, name: str) -> bool:
+        return name.upper() in self._types
+
+
+class Catalog:
+    """Named tables and indexes of one database."""
+
+    def __init__(self):
+        self.tables: dict[str, Table] = {}
+        self.indexes: dict[str, TableIndex] = {}
+
+    def create_table(self, table: Table, or_replace: bool = False) -> None:
+        key = table.name.lower()
+        if key in self.tables and not or_replace:
+            raise CatalogError(f"table {table.name!r} already exists")
+        self.tables[key] = table
+
+    def drop_table(self, name: str, if_exists: bool = False) -> None:
+        key = name.lower()
+        if key not in self.tables:
+            if if_exists:
+                return
+            raise CatalogError(f"table {name!r} does not exist")
+        table = self.tables.pop(key)
+        for index in table.indexes:
+            self.indexes.pop(index.name.lower(), None)
+
+    def get_table(self, name: str) -> Table:
+        found = self.tables.get(name.lower())
+        if found is None:
+            raise CatalogError(f"table {name!r} does not exist")
+        return found
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self.tables
+
+    def add_index(self, index: TableIndex) -> None:
+        key = index.name.lower()
+        if key in self.indexes:
+            raise CatalogError(f"index {index.name!r} already exists")
+        self.indexes[key] = index
+        index.table.indexes.append(index)

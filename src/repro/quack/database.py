@@ -1,0 +1,390 @@
+"""Database and connection objects: the embedded, in-process entry point.
+
+Usage mirrors DuckDB's Python API::
+
+    from repro import quack
+    db = quack.Database()
+    con = db.connect()
+    con.execute("CREATE TABLE t(a INTEGER, b VARCHAR)")
+    con.execute("INSERT INTO t VALUES (1, 'one'), (2, 'two')")
+    rows = con.execute("SELECT a, b FROM t ORDER BY a").fetchall()
+
+Extensions (e.g. :mod:`repro.core`, the MobilityDuck reproduction) load
+into a :class:`Database` and register their types, functions, casts, and
+index types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Sequence
+
+import numpy as np
+
+from .binder import Binder, BinderContext
+from .builtins import register_builtins
+from .catalog import Catalog, IndexTypeRegistry, Table
+from .errors import BinderError, CatalogError, ExecutionError, QuackError
+from .executor import ExecutionContext, evaluate, execute_plan
+from .functions import FunctionRegistry
+from .optimizer import optimize
+from .plan import LogicalMaterializedCTE, LogicalOperator
+from .sql import ast, parse_sql
+from .types import LogicalType, TypeRegistry
+from .vector import DataChunk, Vector, boolean_selection
+
+
+@dataclass
+class Result:
+    """A materialized query result."""
+
+    column_names: list[str] = field(default_factory=list)
+    column_types: list[LogicalType] = field(default_factory=list)
+    rows: list[tuple] = field(default_factory=list)
+    plan_text: str | None = None
+
+    def fetchall(self) -> list[tuple]:
+        return list(self.rows)
+
+    def fetchone(self) -> tuple | None:
+        return self.rows[0] if self.rows else None
+
+    def scalar(self) -> Any:
+        """First column of the first row (raises when empty)."""
+        if not self.rows:
+            raise ExecutionError("result is empty")
+        return self.rows[0][0]
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def columns(self) -> dict:
+        """Column-oriented dict of the result (DataFrame-shaped seam)."""
+        from .io import result_to_columns
+
+        return result_to_columns(self)
+
+    def show(self, max_rows: int = 20) -> None:
+        """Pretty-print the result as an aligned table."""
+        from .io import format_table
+
+        print(format_table(self, max_rows=max_rows))
+
+
+@dataclass
+class DatabaseConfig:
+    """Engine configuration; extensions register index types here
+    (paper §4.1: ``db.config.GetIndexTypes().RegisterIndexType(...)``)."""
+
+    index_types: IndexTypeRegistry = field(default_factory=IndexTypeRegistry)
+
+
+class Database:
+    """An in-process analytical database instance."""
+
+    def __init__(self):
+        self.types = TypeRegistry()
+        self.functions = FunctionRegistry()
+        self.catalog = Catalog()
+        self.config = DatabaseConfig()
+        self.loaded_extensions: list[str] = []
+        register_builtins(self.functions)
+
+    def connect(self) -> "Connection":
+        return Connection(self)
+
+    def save(self, path: str) -> int:
+        """Persist all tables (and index definitions) to one file."""
+        from .persist import save_database
+
+        return save_database(self, path)
+
+    def load(self, path: str) -> int:
+        """Load tables saved with :meth:`save`; indexes are rebuilt."""
+        from .persist import load_database
+
+        return load_database(self, path)
+
+    # -- extension loading ----------------------------------------------------------
+
+    def load_extension(self, extension) -> None:
+        """Load an extension: an object (or module) with a ``load(db)``."""
+        extension.load(self)
+        name = getattr(extension, "EXTENSION_NAME", None) or getattr(
+            extension, "__name__", type(extension).__name__
+        )
+        self.loaded_extensions.append(name)
+
+
+class Connection:
+    """A connection to a database; executes SQL statements."""
+
+    def __init__(self, database: Database):
+        self.database = database
+
+    # -- public API ----------------------------------------------------------------
+
+    def execute(self, sql: str) -> Result:
+        """Execute a SQL script; returns the result of the last statement."""
+        statements = parse_sql(sql)
+        if not statements:
+            return Result()
+        result = Result()
+        for stmt in statements:
+            result = self._execute_statement(stmt)
+        return result
+
+    def sql(self, sql: str) -> Result:
+        return self.execute(sql)
+
+    def explain(self, sql: str) -> str:
+        result = self.execute(f"EXPLAIN {sql}")
+        return result.plan_text or ""
+
+    # -- statement dispatch -----------------------------------------------------------
+
+    def _execute_statement(self, stmt: ast.Statement) -> Result:
+        if isinstance(stmt, (ast.SelectStatement, ast.CompoundSelect)):
+            plan = self._plan_select(stmt)
+            return self._run_plan(plan)
+        if isinstance(stmt, ast.ExplainStatement):
+            inner = stmt.inner
+            if not isinstance(inner, (ast.SelectStatement,
+                                      ast.CompoundSelect)):
+                raise BinderError("EXPLAIN supports SELECT statements")
+            plan = self._plan_select(inner)
+            if stmt.analyze:
+                from .profiler import PlanProfiler, execute_plan_profiled
+
+                profiler = PlanProfiler()
+                ctx = ExecutionContext()
+                for _ in execute_plan_profiled(plan, ctx, profiler):
+                    pass
+                text = profiler.render(plan)
+            else:
+                text = plan.explain()
+            return Result(["explain"], [], [(text,)], plan_text=text)
+        if isinstance(stmt, ast.CreateTableStatement):
+            return self._execute_create_table(stmt)
+        if isinstance(stmt, ast.CreateIndexStatement):
+            return self._execute_create_index(stmt)
+        if isinstance(stmt, ast.InsertStatement):
+            return self._execute_insert(stmt)
+        if isinstance(stmt, ast.UpdateStatement):
+            return self._execute_update(stmt)
+        if isinstance(stmt, ast.DeleteStatement):
+            return self._execute_delete(stmt)
+        if isinstance(stmt, ast.DropStatement):
+            return self._execute_drop(stmt)
+        raise QuackError(f"unsupported statement {type(stmt).__name__}")
+
+    # -- SELECT -------------------------------------------------------------------------
+
+    def _plan_select(self, stmt: ast.SelectStatement) -> LogicalOperator:
+        context = BinderContext(
+            self.database.catalog,
+            self.database.functions,
+            self.database.types,
+        )
+        binder = Binder(context)
+        plan = binder.bind_select(stmt)
+        if context.all_ctes:
+            plan = LogicalMaterializedCTE(context.all_ctes, plan)
+        return optimize(plan)
+
+    def _run_plan(self, plan: LogicalOperator) -> Result:
+        ctx = ExecutionContext()
+        rows: list[tuple] = []
+        for chunk in execute_plan(plan, ctx):
+            rows.extend(chunk.rows())
+        return Result(plan.output_names(), plan.output_types(), rows)
+
+    # -- DDL ---------------------------------------------------------------------------
+
+    def _execute_create_table(
+        self, stmt: ast.CreateTableStatement
+    ) -> Result:
+        if stmt.if_not_exists and self.database.catalog.has_table(stmt.name):
+            return Result()
+        if stmt.as_query is not None:
+            plan = self._plan_select(stmt.as_query)
+            result = self._run_plan(plan)
+            table = Table(
+                stmt.name,
+                list(zip(result.column_names, result.column_types)),
+            )
+            table.append_rows(result.rows)
+            self.database.catalog.create_table(table, stmt.or_replace)
+            return Result()
+        columns = [
+            (col.name, self.database.types.lookup(col.type_name))
+            for col in stmt.columns
+        ]
+        if stmt.or_replace:
+            self.database.catalog.drop_table(stmt.name, if_exists=True)
+        self.database.catalog.create_table(Table(stmt.name, columns),
+                                           stmt.or_replace)
+        return Result()
+
+    def _execute_create_index(
+        self, stmt: ast.CreateIndexStatement
+    ) -> Result:
+        table = self.database.catalog.get_table(stmt.table)
+        index_type = self.database.config.index_types.lookup(stmt.using)
+        index = index_type.create_instance(
+            name=stmt.name,
+            table=table,
+            column=stmt.column,
+            database=self.database,
+        )
+        self.database.catalog.add_index(index)
+        return Result()
+
+    def _execute_drop(self, stmt: ast.DropStatement) -> Result:
+        if stmt.kind == "table":
+            self.database.catalog.drop_table(stmt.name, stmt.if_exists)
+            return Result()
+        index = self.database.catalog.indexes.pop(stmt.name.lower(), None)
+        if index is None and not stmt.if_exists:
+            raise CatalogError(f"index {stmt.name!r} does not exist")
+        if index is not None:
+            index.table.indexes.remove(index)
+        return Result()
+
+    # -- DML ---------------------------------------------------------------------------
+
+    def _execute_insert(self, stmt: ast.InsertStatement) -> Result:
+        table = self.database.catalog.get_table(stmt.table)
+        if stmt.query is not None:
+            plan = self._plan_select(stmt.query)
+            source_rows = self._run_plan(plan).rows
+            source_types = plan.output_types()
+        else:
+            source_rows = []
+            source_types = None
+            context = BinderContext(
+                self.database.catalog,
+                self.database.functions,
+                self.database.types,
+            )
+            binder = Binder(context)
+            from .binder import _NOT_CONSTANT, fold_constant
+
+            for value_row in stmt.values or []:
+                row = []
+                for expr in value_row:
+                    bound = binder.bind_expr(expr)
+                    value = fold_constant(bound)
+                    if value is _NOT_CONSTANT:
+                        raise BinderError(
+                            "INSERT VALUES must be constant expressions"
+                        )
+                    row.append(value)
+                source_rows.append(tuple(row))
+        # Map into the table's column order, applying coercion casts.
+        if stmt.columns is not None:
+            positions = [table.column_index(c) for c in stmt.columns]
+        else:
+            positions = list(range(table.num_columns))
+        full_rows = []
+        for row in source_rows:
+            if len(row) != len(positions):
+                raise ExecutionError(
+                    f"INSERT expected {len(positions)} values, "
+                    f"got {len(row)}"
+                )
+            full = [None] * table.num_columns
+            for pos, value in zip(positions, row):
+                full[pos] = self._coerce_for_storage(
+                    value, table.column_types[pos]
+                )
+            full_rows.append(tuple(full))
+        table.append_rows(full_rows)
+        return Result(["Count"], [], [(len(full_rows),)])
+
+    def _coerce_for_storage(self, value: Any, ltype: LogicalType) -> Any:
+        if value is None:
+            return None
+        if ltype.physical == "int64" and isinstance(value, str):
+            cast = self.database.functions.find_cast(
+                self.database.types.lookup("VARCHAR"), ltype
+            )
+            if cast is not None:
+                return cast.apply(value)
+        if isinstance(value, str) and ltype.is_user:
+            cast = self.database.functions.find_cast(
+                self.database.types.lookup("VARCHAR"), ltype
+            )
+            if cast is not None:
+                return cast.apply(value)
+        if ltype.physical == "float64" and isinstance(value, int):
+            return float(value)
+        return value
+
+    def _bind_over_table(self, table: Table, expr: ast.Expr):
+        context = BinderContext(
+            self.database.catalog,
+            self.database.functions,
+            self.database.types,
+        )
+        binder = Binder(context)
+        for name, ltype in zip(table.column_names, table.column_types):
+            binder.scope.add(table.name, name, ltype)
+        return binder.bind_expr(expr), binder
+
+    def _execute_update(self, stmt: ast.UpdateStatement) -> Result:
+        table = self.database.catalog.get_table(stmt.table)
+        bound_assignments = []
+        for column, expr in stmt.assignments:
+            bound, binder = self._bind_over_table(table, expr)
+            target_type = table.column_types[table.column_index(column)]
+            if bound.ltype != target_type:
+                bound = binder.bind_cast(bound, target_type.name)
+            bound_assignments.append((column, bound))
+        where_bound = None
+        if stmt.where is not None:
+            where_bound, _ = self._bind_over_table(table, stmt.where)
+        # Compute new full-column value lists.
+        total = table.total_rows()
+        new_values: dict[str, list] = {
+            column: table._columns[table.column_index(column)]
+            .gather(np.arange(total, dtype=np.int64))
+            .to_list()
+            for column, _ in bound_assignments
+        }
+        ctx = ExecutionContext()
+        updated = 0
+        for chunk, row_ids in table.scan():
+            if where_bound is not None:
+                mask = boolean_selection(evaluate(where_bound, chunk, ctx))
+            else:
+                mask = np.ones(chunk.count, dtype=np.bool_)
+            if not mask.any():
+                continue
+            for column, bound in bound_assignments:
+                values = evaluate(bound, chunk, ctx)
+                for i in np.nonzero(mask)[0]:
+                    new_values[column][int(row_ids[i])] = values.value(i)
+            updated += int(mask.sum())
+        for column, _ in bound_assignments:
+            table.update_column(column, new_values[column])
+        return Result(["Count"], [], [(updated,)])
+
+    def _execute_delete(self, stmt: ast.DeleteStatement) -> Result:
+        table = self.database.catalog.get_table(stmt.table)
+        ctx = ExecutionContext()
+        to_delete: list[int] = []
+        where_bound = None
+        if stmt.where is not None:
+            where_bound, _ = self._bind_over_table(table, stmt.where)
+        for chunk, row_ids in table.scan():
+            if where_bound is None:
+                to_delete.extend(int(r) for r in row_ids)
+                continue
+            mask = boolean_selection(evaluate(where_bound, chunk, ctx))
+            to_delete.extend(int(row_ids[i]) for i in np.nonzero(mask)[0])
+        deleted = table.delete_rows(to_delete)
+        return Result(["Count"], [], [(deleted,)])

@@ -1,0 +1,25 @@
+"""Error hierarchy of the quack engine (mirrors DuckDB's exception kinds)."""
+
+
+class QuackError(Exception):
+    """Base class for all engine errors."""
+
+
+class ParserError(QuackError):
+    """Raised on malformed SQL."""
+
+
+class BinderError(QuackError):
+    """Raised when names or types cannot be resolved."""
+
+
+class CatalogError(QuackError):
+    """Raised for missing/duplicate tables, indexes, functions."""
+
+
+class ExecutionError(QuackError):
+    """Raised at query runtime."""
+
+
+class ConversionError(QuackError):
+    """Raised when a cast fails."""

@@ -1,0 +1,867 @@
+"""Vectorized (chunk-at-a-time) plan executor.
+
+Every operator consumes and produces :class:`DataChunk` batches; relational
+work on numeric columns runs on NumPy arrays, extension functions run once
+per value within a batch — the execution model of the paper's host engine.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Callable, Iterator
+
+import numpy as np
+
+from .catalog import Table
+from .errors import ExecutionError
+from .plan import (
+    AggregateSpec,
+    BoundCase,
+    BoundCast,
+    BoundColumnRef,
+    BoundConjunction,
+    BoundConstant,
+    BoundExpr,
+    BoundFunction,
+    BoundInList,
+    BoundIsNull,
+    BoundNot,
+    BoundParameterRef,
+    BoundSubqueryExpr,
+    LogicalAggregate,
+    LogicalCTERef,
+    LogicalDistinct,
+    LogicalFilter,
+    LogicalGet,
+    LogicalIndexScan,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalMaterializedCTE,
+    LogicalOperator,
+    LogicalProject,
+    LogicalSetOp,
+    LogicalSort,
+    LogicalTableFunction,
+)
+from .types import BIGINT, BOOLEAN, LogicalType, SQLNULL
+from .vector import (
+    DataChunk,
+    STANDARD_VECTOR_SIZE,
+    Vector,
+    boolean_selection,
+    concat_vectors,
+)
+
+
+class ExecutionContext:
+    """Per-query state: CTE materializations, correlated parameters."""
+
+    def __init__(self, parent: "ExecutionContext | None" = None):
+        self.parent = parent
+        self.cte_results: dict[int, list[DataChunk]] = (
+            parent.cte_results if parent else {}
+        )
+        self.cte_plans: dict[int, LogicalOperator] = (
+            parent.cte_plans if parent else {}
+        )
+        self.params: tuple = parent.params if parent else ()
+        #: memoized correlated subquery results: (id(plan), params) -> value
+        self.subquery_cache: dict[tuple, Any] = (
+            parent.subquery_cache if parent else {}
+        )
+
+    def child_with_params(self, params: tuple) -> "ExecutionContext":
+        ctx = ExecutionContext(self)
+        ctx.params = params
+        return ctx
+
+
+# ---------------------------------------------------------------------------
+# Expression evaluation
+# ---------------------------------------------------------------------------
+
+
+def evaluate(expr: BoundExpr, chunk: DataChunk,
+             ctx: ExecutionContext) -> Vector:
+    count = chunk.count
+    if isinstance(expr, BoundConstant):
+        return Vector.constant(expr.ltype, expr.value, count)
+    if isinstance(expr, BoundColumnRef):
+        try:
+            return chunk.column(expr.index)
+        except IndexError:
+            raise ExecutionError(
+                f"column index {expr.index} out of range"
+            ) from None
+    if isinstance(expr, BoundParameterRef):
+        return Vector.constant(expr.ltype, ctx.params[expr.param_index],
+                               count)
+    if isinstance(expr, BoundFunction):
+        args = [evaluate(a, chunk, ctx) for a in expr.args]
+        result = expr.function.evaluate(args, count)
+        if result.ltype != expr.ltype and (
+            result.ltype.physical == expr.ltype.physical
+        ):
+            result = result.with_type(expr.ltype)
+        return result
+    if isinstance(expr, BoundCast):
+        return _evaluate_cast(expr, chunk, ctx)
+    if isinstance(expr, BoundConjunction):
+        return _evaluate_conjunction(expr, chunk, ctx)
+    if isinstance(expr, BoundNot):
+        child = evaluate(expr.child, chunk, ctx)
+        data = np.logical_not(child.data.astype(np.bool_, copy=False))
+        return Vector(BOOLEAN, data, child.validity.copy())
+    if isinstance(expr, BoundIsNull):
+        child = evaluate(expr.child, chunk, ctx)
+        data = child.validity if expr.negated else ~child.validity
+        return Vector(BOOLEAN, np.asarray(data, dtype=np.bool_),
+                      np.ones(count, dtype=np.bool_))
+    if isinstance(expr, BoundInList):
+        return _evaluate_in_list(expr, chunk, ctx)
+    if isinstance(expr, BoundCase):
+        return _evaluate_case(expr, chunk, ctx)
+    if isinstance(expr, BoundSubqueryExpr):
+        return _evaluate_subquery(expr, chunk, ctx)
+    raise ExecutionError(f"cannot evaluate {type(expr).__name__}")
+
+
+def _evaluate_cast(expr: BoundCast, chunk: DataChunk,
+                   ctx: ExecutionContext) -> Vector:
+    child = evaluate(expr.child, chunk, ctx)
+    count = len(child)
+    target = expr.ltype
+    if expr.cast is not None:
+        out = np.empty(count, dtype=object)
+        validity = child.validity.copy()
+        for i in range(count):
+            if validity[i]:
+                value = expr.cast.apply(child.data[i])
+                out[i] = value
+                if value is None:
+                    validity[i] = False
+        return _pack(target, out, validity, count)
+    # Builtin physical casts.
+    if target.physical == child.ltype.physical:
+        return child.with_type(target)
+    if target.physical in ("int64", "float64", "bool"):
+        dtype = {"int64": np.int64, "float64": np.float64,
+                 "bool": np.bool_}[target.physical]
+        if child.ltype.physical == "object":
+            out = np.zeros(count, dtype=dtype)
+            for i in range(count):
+                if child.validity[i]:
+                    out[i] = child.data[i]
+            return Vector(target, out, child.validity.copy())
+        if target.physical == "int64" and child.ltype.physical == "float64":
+            return Vector(target, np.rint(child.data).astype(np.int64),
+                          child.validity.copy())
+        return Vector(target, child.data.astype(dtype),
+                      child.validity.copy())
+    out = np.empty(count, dtype=object)
+    for i in range(count):
+        if child.validity[i]:
+            out[i] = child.value(i)
+    return Vector(target, out, child.validity.copy())
+
+
+def _pack(target: LogicalType, out: np.ndarray, validity: np.ndarray,
+          count: int) -> Vector:
+    if target.physical == "object":
+        return Vector(target, out, validity)
+    dtype = {"int64": np.int64, "float64": np.float64, "bool": np.bool_}[
+        target.physical
+    ]
+    data = np.zeros(count, dtype=dtype)
+    for i in range(count):
+        if validity[i]:
+            data[i] = out[i]
+    return Vector(target, data, validity)
+
+
+def _evaluate_conjunction(expr: BoundConjunction, chunk: DataChunk,
+                          ctx: ExecutionContext) -> Vector:
+    count = chunk.count
+    parts = [evaluate(a, chunk, ctx) for a in expr.args]
+    if expr.op == "AND":
+        # 3-valued logic: FALSE dominates NULL.
+        all_true = np.ones(count, dtype=np.bool_)
+        all_valid = np.ones(count, dtype=np.bool_)
+        any_false = np.zeros(count, dtype=np.bool_)
+        for part in parts:
+            part_bool = part.data.astype(np.bool_, copy=False)
+            all_true = np.logical_and(
+                all_true, np.logical_and(part_bool, part.validity)
+            )
+            all_valid = np.logical_and(all_valid, part.validity)
+            any_false = np.logical_or(
+                any_false, np.logical_and(part.validity, ~part_bool)
+            )
+        validity = np.logical_or(any_false, all_valid)
+        return Vector(BOOLEAN, all_true, validity)
+    data = np.zeros(count, dtype=np.bool_)
+    validity = np.ones(count, dtype=np.bool_)
+    any_true = np.zeros(count, dtype=np.bool_)
+    all_valid = np.ones(count, dtype=np.bool_)
+    for part in parts:
+        part_bool = np.logical_and(part.data.astype(np.bool_, copy=False),
+                                   part.validity)
+        any_true = np.logical_or(any_true, part_bool)
+        all_valid = np.logical_and(all_valid, part.validity)
+    data = any_true
+    validity = np.logical_or(any_true, all_valid)
+    return Vector(BOOLEAN, data, validity)
+
+
+def _evaluate_in_list(expr: BoundInList, chunk: DataChunk,
+                      ctx: ExecutionContext) -> Vector:
+    count = chunk.count
+    operand = evaluate(expr.operand, chunk, ctx)
+    result = np.zeros(count, dtype=np.bool_)
+    validity = operand.validity.copy()
+    for item in expr.items:
+        item_vec = evaluate(item, chunk, ctx)
+        eq = expr.eq_function.evaluate([operand, item_vec], count)
+        result = np.logical_or(
+            result, np.logical_and(eq.data.astype(np.bool_), eq.validity)
+        )
+    if expr.negated:
+        result = np.logical_and(~result, validity)
+    else:
+        result = np.logical_and(result, validity)
+    return Vector(BOOLEAN, result, validity)
+
+
+def _evaluate_case(expr: BoundCase, chunk: DataChunk,
+                   ctx: ExecutionContext) -> Vector:
+    count = chunk.count
+    out = np.empty(count, dtype=object)
+    validity = np.zeros(count, dtype=np.bool_)
+    decided = np.zeros(count, dtype=np.bool_)
+    for cond, result in expr.branches:
+        cond_vec = evaluate(cond, chunk, ctx)
+        hit = np.logical_and(boolean_selection(cond_vec), ~decided)
+        if hit.any():
+            result_vec = evaluate(result, chunk, ctx)
+            for i in np.nonzero(hit)[0]:
+                out[i] = result_vec.value(i)
+                validity[i] = result_vec.validity[i]
+            decided = np.logical_or(decided, hit)
+    remaining = ~decided
+    if expr.else_result is not None and remaining.any():
+        else_vec = evaluate(expr.else_result, chunk, ctx)
+        for i in np.nonzero(remaining)[0]:
+            out[i] = else_vec.value(i)
+            validity[i] = else_vec.validity[i]
+    return _pack(expr.ltype, out, validity, count)
+
+
+def _evaluate_subquery(expr: BoundSubqueryExpr, chunk: DataChunk,
+                       ctx: ExecutionContext) -> Vector:
+    count = chunk.count
+    param_vectors = [evaluate(p, chunk, ctx) for p in
+                     expr.outer_params_exprs]
+    operand_vec = (
+        evaluate(expr.operand, chunk, ctx) if expr.operand is not None
+        else None
+    )
+    out = np.empty(count, dtype=object)
+    validity = np.ones(count, dtype=np.bool_)
+    for i in range(count):
+        params = tuple(v.value(i) for v in param_vectors)
+        rows = _run_subquery(expr.plan, params, ctx)
+        if expr.kind == "scalar":
+            if not rows:
+                value = None
+            elif len(rows) > 1:
+                raise ExecutionError(
+                    "scalar subquery returned more than one row"
+                )
+            else:
+                value = rows[0][0]
+            out[i] = value
+            validity[i] = value is not None
+        elif expr.kind == "exists":
+            value = bool(rows)
+            out[i] = (not value) if expr.negated else value
+        elif expr.kind == "in":
+            out[i], validity[i] = _eval_in_rows(
+                expr, operand_vec.value(i), rows
+            )
+        else:  # quantified ALL / ANY
+            out[i], validity[i] = _eval_quantified_rows(
+                expr, operand_vec.value(i), rows
+            )
+    return _pack(expr.ltype, out, validity, count)
+
+
+def _eval_in_rows(expr, operand_value, rows) -> tuple[bool, bool]:
+    if operand_value is None:
+        return (False, False)
+    found = False
+    saw_null = False
+    for row in rows:
+        if row[0] is None:
+            saw_null = True
+            continue
+        if expr.comparison.evaluate_row([operand_value, row[0]]):
+            found = True
+            break
+    if expr.negated:
+        if found:
+            return (False, True)
+        if saw_null:
+            return (False, False)
+        return (True, True)
+    if found:
+        return (True, True)
+    if saw_null:
+        return (False, False)
+    return (False, True)
+
+
+def _eval_quantified_rows(expr, operand_value, rows) -> tuple[bool, bool]:
+    if operand_value is None:
+        if not rows:
+            # Vacuous: ALL over the empty set is TRUE, ANY is FALSE.
+            return (expr.quantifier == "ALL", True)
+        return (False, False)  # NULL comparison result
+    results = []
+    for row in rows:
+        if row[0] is None:
+            results.append(None)
+            continue
+        results.append(
+            bool(expr.comparison.evaluate_row([operand_value, row[0]]))
+        )
+    if expr.quantifier == "ALL":
+        if any(r is False for r in results):
+            return (False, True)
+        if any(r is None for r in results):
+            return (False, False)
+        return (True, True)
+    # ANY
+    if any(r is True for r in results):
+        return (True, True)
+    if any(r is None for r in results):
+        return (False, False)
+    return (False, True)
+
+
+def _run_subquery(plan: LogicalOperator, params: tuple,
+                  ctx: ExecutionContext) -> list[tuple]:
+    key = (id(plan), params)
+    cached = ctx.subquery_cache.get(key)
+    if cached is not None:
+        return cached
+    sub_ctx = ctx.child_with_params(params)
+    rows: list[tuple] = []
+    for chunk in execute_plan(plan, sub_ctx):
+        rows.extend(chunk.rows())
+    ctx.subquery_cache[key] = rows
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Operator execution
+# ---------------------------------------------------------------------------
+
+
+def execute_plan(op: LogicalOperator,
+                 ctx: ExecutionContext) -> Iterator[DataChunk]:
+    if isinstance(op, LogicalMaterializedCTE):
+        for cte_id, _, plan in op.ctes:
+            ctx.cte_plans[cte_id] = plan
+        yield from execute_plan(op.child, ctx)
+        return
+    if isinstance(op, LogicalGet):
+        for chunk, _ in op.table.scan():
+            if chunk.count:
+                yield chunk
+        return
+    if isinstance(op, LogicalIndexScan):
+        row_ids = op.index.probe(op.op_name, op.constant)
+        if row_ids is None:
+            raise ExecutionError(
+                f"index {op.index.name} cannot serve {op.op_name}"
+            )
+        live = op.table.live_row_ids(sorted(row_ids))
+        for start in range(0, len(live), STANDARD_VECTOR_SIZE):
+            ids = np.asarray(live[start : start + STANDARD_VECTOR_SIZE],
+                             dtype=np.int64)
+            chunk = op.table.fetch(ids)
+            if chunk.count:
+                yield chunk
+        return
+    if isinstance(op, LogicalTableFunction):
+        yield from _execute_table_function(op)
+        return
+    if isinstance(op, LogicalCTERef):
+        yield from _execute_cte_ref(op, ctx)
+        return
+    if isinstance(op, LogicalFilter):
+        for chunk in execute_plan(op.child, ctx):
+            mask = boolean_selection(evaluate(op.condition, chunk, ctx))
+            if mask.any():
+                yield chunk.slice(mask)
+        return
+    if isinstance(op, LogicalProject):
+        for chunk in execute_plan(op.child, ctx):
+            yield DataChunk(
+                [evaluate(e, chunk, ctx) for e in op.exprs]
+            )
+        return
+    if isinstance(op, LogicalJoin):
+        yield from _execute_join(op, ctx)
+        return
+    if isinstance(op, LogicalAggregate):
+        yield from _execute_aggregate(op, ctx)
+        return
+    if isinstance(op, LogicalSort):
+        yield from _execute_sort(op, ctx)
+        return
+    if isinstance(op, LogicalDistinct):
+        yield from _execute_distinct(op, ctx)
+        return
+    if isinstance(op, LogicalSetOp):
+        yield from _execute_set_op(op, ctx)
+        return
+    if isinstance(op, LogicalLimit):
+        remaining = op.limit
+        to_skip = op.offset
+        for chunk in execute_plan(op.child, ctx):
+            if to_skip:
+                if chunk.count <= to_skip:
+                    to_skip -= chunk.count
+                    continue
+                selection = np.arange(to_skip, chunk.count)
+                chunk = chunk.slice(selection)
+                to_skip = 0
+            if remaining is None:
+                yield chunk
+                continue
+            if remaining <= 0:
+                return
+            if chunk.count > remaining:
+                chunk = chunk.slice(np.arange(remaining))
+            remaining -= chunk.count
+            yield chunk
+            if remaining <= 0:
+                return
+        return
+    raise ExecutionError(f"cannot execute {type(op).__name__}")
+
+
+def _execute_table_function(op: LogicalTableFunction) -> Iterator[DataChunk]:
+    if op.name == "single_row":
+        yield DataChunk([Vector.from_values(BIGINT, [0]).with_type(
+            op.types[0]
+        )])
+        return
+    if op.name in ("generate_series", "range"):
+        args = [int(a) for a in op.args]
+        if len(args) == 1:
+            start, stop, step = 1, args[0], 1
+        elif len(args) == 2:
+            start, stop, step = args[0], args[1], 1
+        else:
+            start, stop, step = args
+        if op.name == "range":
+            stop -= 1  # range() is exclusive of the upper bound
+        current = start
+        while (step > 0 and current <= stop) or (step < 0 and current >= stop):
+            upper = current + step * STANDARD_VECTOR_SIZE
+            if step > 0:
+                block = np.arange(current, min(upper, stop + step), step,
+                                  dtype=np.int64)
+            else:
+                block = np.arange(current, max(upper, stop + step), step,
+                                  dtype=np.int64)
+            block = block[(block <= stop) if step > 0 else (block >= stop)]
+            if not len(block):
+                return
+            yield DataChunk([Vector(BIGINT, block)])
+            current = int(block[-1]) + step
+        return
+    raise ExecutionError(f"unknown table function {op.name!r}")
+
+
+def _execute_cte_ref(op: LogicalCTERef,
+                     ctx: ExecutionContext) -> Iterator[DataChunk]:
+    cached = ctx.cte_results.get(op.cte_id)
+    if cached is None:
+        plan = ctx.cte_plans.get(op.cte_id)
+        if plan is None:
+            raise ExecutionError(f"CTE {op.name!r} was not materialized")
+        cached = list(execute_plan(plan, ctx))
+        ctx.cte_results[op.cte_id] = cached
+    yield from cached
+
+
+# -- joins ---------------------------------------------------------------------
+
+
+def _materialize(op: LogicalOperator,
+                 ctx: ExecutionContext) -> list[Vector] | None:
+    """Materialize a plan into whole-relation column vectors."""
+    chunks = list(execute_plan(op, ctx))
+    if not chunks:
+        return None
+    columns = []
+    for i in range(len(chunks[0].vectors)):
+        columns.append(concat_vectors([c.column(i) for c in chunks]))
+    return columns
+
+
+def _execute_join(op: LogicalJoin, ctx: ExecutionContext
+                  ) -> Iterator[DataChunk]:
+    if op.index_probe is not None and not op.equi_keys:
+        yield from _index_nl_join(op, ctx)
+        return
+    right_columns = _materialize(op.right, ctx)
+    right_count = len(right_columns[0]) if right_columns else 0
+    right_types = op.right.output_types()
+
+    if op.equi_keys:
+        yield from _hash_join(op, right_columns, right_count, right_types,
+                              ctx)
+        return
+    # Block nested-loop join (also covers cross products).
+    left_width = len(op.left.output_types())
+    for left_chunk in execute_plan(op.left, ctx):
+        n = left_chunk.count
+        if right_count == 0:
+            if op.join_type == "left":
+                yield _pad_unmatched(left_chunk, right_types)
+            continue
+        left_idx = np.repeat(np.arange(n), right_count)
+        right_idx = np.tile(np.arange(right_count), n)
+        combined = DataChunk(
+            [v.take(left_idx) for v in left_chunk.vectors]
+            + [v.take(right_idx) for v in right_columns]
+        )
+        if op.residual is not None:
+            mask = boolean_selection(evaluate(op.residual, combined, ctx))
+            matched = combined.slice(mask)
+            if op.join_type == "left":
+                matched_left = set(left_idx[mask].tolist())
+                yield from _emit_left_padding(
+                    left_chunk, matched_left, right_types
+                )
+            if matched.count:
+                yield matched
+        else:
+            if combined.count:
+                yield combined
+
+
+def _index_nl_join(op: LogicalJoin,
+                   ctx: ExecutionContext) -> Iterator[DataChunk]:
+    """Index nested-loop join: probe the right table's index per left row."""
+    index, op_name, left_expr = op.index_probe
+    table = index.table
+    right_types = op.right.output_types()
+    for left_chunk in execute_plan(op.left, ctx):
+        probe_vector = evaluate(left_expr, left_chunk, ctx)
+        matched_left: set[int] = set()
+        for i in range(left_chunk.count):
+            value = probe_vector.value(i)
+            if value is None:
+                continue
+            ids = index.probe(op_name, value)
+            if not ids:
+                continue
+            live = table.live_row_ids(sorted(ids))
+            if not live:
+                continue
+            right_chunk = table.fetch(np.asarray(live, dtype=np.int64))
+            count = right_chunk.count
+            combined = DataChunk(
+                [v.take(np.full(count, i, dtype=np.int64))
+                 for v in left_chunk.vectors]
+                + right_chunk.vectors
+            )
+            if op.residual is not None:
+                mask = boolean_selection(
+                    evaluate(op.residual, combined, ctx)
+                )
+                combined = combined.slice(mask)
+            if combined.count:
+                matched_left.add(i)
+                yield combined
+        if op.join_type == "left":
+            yield from _emit_left_padding(left_chunk, matched_left,
+                                          right_types)
+
+
+def _hash_join(op: LogicalJoin, right_columns, right_count, right_types,
+               ctx: ExecutionContext) -> Iterator[DataChunk]:
+    # Build phase on the right side.
+    table: dict[tuple, list[int]] = {}
+    if right_count:
+        right_chunk = DataChunk(right_columns)
+        key_vectors = [
+            evaluate(right_key, right_chunk, ctx)
+            for _, right_key in op.equi_keys
+        ]
+        for i in range(right_count):
+            if not all(kv.validity[i] for kv in key_vectors):
+                continue
+            key = tuple(kv.value(i) for kv in key_vectors)
+            table.setdefault(key, []).append(i)
+    # Probe with left chunks.
+    for left_chunk in execute_plan(op.left, ctx):
+        n = left_chunk.count
+        probe_vectors = [
+            evaluate(left_key, left_chunk, ctx)
+            for left_key, _ in op.equi_keys
+        ]
+        left_idx: list[int] = []
+        right_idx: list[int] = []
+        matched_left: set[int] = set()
+        for i in range(n):
+            if not all(pv.validity[i] for pv in probe_vectors):
+                continue
+            key = tuple(pv.value(i) for pv in probe_vectors)
+            bucket = table.get(key)
+            if not bucket:
+                continue
+            for j in bucket:
+                left_idx.append(i)
+                right_idx.append(j)
+            matched_left.add(i)
+        if left_idx:
+            li = np.asarray(left_idx, dtype=np.int64)
+            ri = np.asarray(right_idx, dtype=np.int64)
+            combined = DataChunk(
+                [v.take(li) for v in left_chunk.vectors]
+                + [v.take(ri) for v in right_columns]
+            )
+            if op.residual is not None:
+                mask = boolean_selection(
+                    evaluate(op.residual, combined, ctx)
+                )
+                if op.join_type == "left":
+                    surviving = set(li[mask].tolist())
+                    matched_left = surviving
+                combined = combined.slice(mask)
+            if op.join_type == "left":
+                yield from _emit_left_padding(left_chunk, matched_left,
+                                              right_types)
+            if combined.count:
+                yield combined
+        elif op.join_type == "left":
+            yield from _emit_left_padding(left_chunk, set(), right_types)
+
+
+def _emit_left_padding(left_chunk: DataChunk, matched_left: set[int],
+                       right_types) -> Iterator[DataChunk]:
+    unmatched = [i for i in range(left_chunk.count) if i not in matched_left]
+    if not unmatched:
+        return
+    idx = np.asarray(unmatched, dtype=np.int64)
+    sliced = DataChunk([v.take(idx) for v in left_chunk.vectors])
+    yield _pad_unmatched(sliced, right_types)
+
+
+def _pad_unmatched(left_chunk: DataChunk, right_types) -> DataChunk:
+    count = left_chunk.count
+    pads = [Vector.constant(t, None, count) for t in right_types]
+    return DataChunk(left_chunk.vectors + pads)
+
+
+# -- aggregation --------------------------------------------------------------------
+
+
+def _execute_aggregate(op: LogicalAggregate,
+                       ctx: ExecutionContext) -> Iterator[DataChunk]:
+    groups: dict[tuple, list] = {}
+    group_values: dict[tuple, tuple] = {}
+    distinct_seen: dict[tuple, list[set]] = {}
+    has_groups = bool(op.groups)
+
+    for chunk in execute_plan(op.child, ctx):
+        count = chunk.count
+        group_vectors = [evaluate(g, chunk, ctx) for g in op.groups]
+        arg_vectors = [
+            [evaluate(a, chunk, ctx) for a in spec.args]
+            for spec in op.aggregates
+        ]
+        for i in range(count):
+            key = tuple(_hashable(gv.value(i)) for gv in group_vectors)
+            state = groups.get(key)
+            if state is None:
+                state = [spec.function.init() for spec in op.aggregates]
+                groups[key] = state
+                group_values[key] = tuple(gv.value(i)
+                                          for gv in group_vectors)
+                distinct_seen[key] = [set() for _ in op.aggregates]
+            for a, spec in enumerate(op.aggregates):
+                values = [vec.value(i) for vec in arg_vectors[a]]
+                if not spec.function.accepts_null and any(
+                    v is None for v in values
+                ) and values:
+                    continue
+                if spec.distinct:
+                    marker = tuple(_hashable(v) for v in values)
+                    if marker in distinct_seen[key][a]:
+                        continue
+                    distinct_seen[key][a].add(marker)
+                state[a] = spec.function.step(state[a], *values)
+
+    if not groups and not has_groups:
+        # Aggregates over an empty input produce one row of finals.
+        state = [spec.function.init() for spec in op.aggregates]
+        groups[()] = state
+        group_values[()] = ()
+
+    out_types = op.output_types()
+    rows = []
+    for key, state in groups.items():
+        finals = [
+            spec.function.final(s)
+            for spec, s in zip(op.aggregates, state)
+        ]
+        rows.append(tuple(group_values[key]) + tuple(finals))
+    yield from _rows_to_chunks(rows, out_types)
+
+
+def _hashable(value: Any) -> Any:
+    if isinstance(value, list):
+        return tuple(_hashable(v) for v in value)
+    if isinstance(value, dict):
+        return tuple(sorted((k, _hashable(v)) for k, v in value.items()))
+    try:
+        hash(value)
+        return value
+    except TypeError:
+        return repr(value)
+
+
+def _rows_to_chunks(rows: list[tuple],
+                    types: list[LogicalType]) -> Iterator[DataChunk]:
+    for start in range(0, len(rows), STANDARD_VECTOR_SIZE):
+        block = rows[start : start + STANDARD_VECTOR_SIZE]
+        if not block:
+            continue
+        yield DataChunk(
+            [
+                Vector.from_values(t, [row[c] for row in block])
+                for c, t in enumerate(types)
+            ]
+        )
+    if not rows:
+        return
+
+
+# -- sort / distinct ------------------------------------------------------------------
+
+
+def _sort_comparator(keys_spec):
+    def compare(row_a, row_b):
+        for pos, (index, ascending, nulls_first) in enumerate(keys_spec):
+            a = row_a[1][pos]
+            b = row_b[1][pos]
+            if a is None and b is None:
+                continue
+            if nulls_first is None:
+                nf = not ascending
+            else:
+                nf = nulls_first
+            if a is None:
+                return -1 if nf else 1
+            if b is None:
+                return 1 if nf else -1
+            if a == b:
+                continue
+            try:
+                less = a < b
+            except TypeError:
+                less = repr(a) < repr(b)
+            if less:
+                return -1 if ascending else 1
+            return 1 if ascending else -1
+        return 0
+
+    return functools.cmp_to_key(compare)
+
+
+def _execute_sort(op: LogicalSort, ctx: ExecutionContext
+                  ) -> Iterator[DataChunk]:
+    rows: list[tuple] = []
+    key_rows: list[tuple] = []
+    for chunk in execute_plan(op.child, ctx):
+        key_vectors = [evaluate(k, chunk, ctx) for k, _, _ in op.keys]
+        for i in range(chunk.count):
+            rows.append(chunk.row(i))
+            key_rows.append(tuple(kv.value(i) for kv in key_vectors))
+    keyed = sorted(
+        zip(rows, key_rows),
+        key=_sort_comparator(
+            [(i, asc, nf) for i, (_, asc, nf) in enumerate(op.keys)]
+        ),
+    )
+    yield from _rows_to_chunks([r for r, _ in keyed], op.output_types())
+
+
+def _execute_set_op(op: "LogicalSetOp",
+                    ctx: ExecutionContext) -> Iterator[DataChunk]:
+    types = op.output_types()
+    if op.kind == "union" and op.all:
+        for chunk in execute_plan(op.left, ctx):
+            yield chunk
+        for chunk in execute_plan(op.right, ctx):
+            # Reinterpret right columns under the left's types.
+            yield DataChunk(
+                [v.with_type(t) for v, t in zip(chunk.vectors, types)]
+            )
+        return
+    left_rows = []
+    for chunk in execute_plan(op.left, ctx):
+        left_rows.extend(chunk.rows())
+    right_keys = set()
+    right_rows = []
+    for chunk in execute_plan(op.right, ctx):
+        for row in chunk.rows():
+            key = tuple(_hashable(v) for v in row)
+            right_rows.append((key, row))
+            right_keys.add(key)
+    out: list[tuple] = []
+    if op.kind == "union":
+        seen = set()
+        for row in left_rows + [r for _, r in right_rows]:
+            key = tuple(_hashable(v) for v in row)
+            if key not in seen:
+                seen.add(key)
+                out.append(row)
+    elif op.kind == "except":
+        seen = set()
+        for row in left_rows:
+            key = tuple(_hashable(v) for v in row)
+            if key in right_keys or key in seen:
+                continue
+            seen.add(key)
+            out.append(row)
+    else:  # intersect
+        seen = set()
+        for row in left_rows:
+            key = tuple(_hashable(v) for v in row)
+            if key in right_keys and key not in seen:
+                seen.add(key)
+                out.append(row)
+    yield from _rows_to_chunks(out, types)
+
+
+def _execute_distinct(op: LogicalDistinct,
+                      ctx: ExecutionContext) -> Iterator[DataChunk]:
+    seen: set = set()
+    for chunk in execute_plan(op.child, ctx):
+        keep: list[int] = []
+        for i in range(chunk.count):
+            key = tuple(_hashable(v) for v in chunk.row(i))
+            if key in seen:
+                continue
+            seen.add(key)
+            keep.append(i)
+        if keep:
+            yield chunk.slice(np.asarray(keep, dtype=np.int64))

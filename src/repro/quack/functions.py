@@ -1,0 +1,301 @@
+"""Scalar/aggregate/cast function registry with overload resolution.
+
+The registry is the engine half of the paper's §3.4: extensions register
+scalar functions (including operators, whose "name" is the operator symbol,
+e.g. ``&&``), cast functions between types, and aggregates.  Overloads are
+resolved by implicit-cast cost, like DuckDB's binder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from .errors import BinderError, ConversionError, ExecutionError, QuackError
+from .types import (
+    ANY,
+    LogicalType,
+    SQLNULL,
+    VARCHAR,
+    implicit_cast_cost,
+)
+from .vector import Vector
+
+#: Engine errors pass through unwrapped.
+_ENGINE_ERRORS = (QuackError,)
+
+
+@dataclass
+class ScalarFunction:
+    """A scalar SQL function or operator.
+
+    ``fn_scalar`` is the row-wise implementation (used by the row engine and
+    as a fallback); ``fn_vector`` is an optional whole-vector implementation
+    operating on NumPy arrays for speed.  Null handling defaults to
+    null-in/null-out.
+    """
+
+    name: str
+    arg_types: tuple[LogicalType, ...]
+    return_type: LogicalType
+    fn_scalar: Callable[..., Any] | None = None
+    fn_vector: Callable[[list[Vector], int], Vector] | None = None
+    #: When True, fn_scalar receives None inputs instead of short-circuiting.
+    handles_null: bool = False
+    #: Variadic functions accept any number of trailing args of the last type.
+    varargs: bool = False
+
+    def evaluate(self, args: list[Vector], count: int) -> Vector:
+        """Vectorized evaluation (chunk at a time).
+
+        Exceptions raised by extension payloads surface as
+        :class:`ExecutionError` with the function name attached, like
+        DuckDB wrapping extension failures."""
+        try:
+            return self._evaluate_unchecked(args, count)
+        except _ENGINE_ERRORS:
+            raise
+        except Exception as exc:
+            raise ExecutionError(
+                f"error in function {self.name}: {exc}"
+            ) from exc
+
+    def _evaluate_unchecked(self, args: list[Vector], count: int) -> Vector:
+        if self.fn_vector is not None:
+            return self.fn_vector(args, count)
+        out = np.empty(count, dtype=object)
+        validity = np.ones(count, dtype=np.bool_)
+        columns = [a.data for a in args]
+        valid_masks = [a.validity for a in args]
+        fn = self.fn_scalar
+        if self.handles_null:
+            for i in range(count):
+                out[i] = fn(*[
+                    col[i] if mask[i] else None
+                    for col, mask in zip(columns, valid_masks)
+                ])
+                if out[i] is None:
+                    validity[i] = False
+        else:
+            if args and not all(a.all_valid() for a in args):
+                combined = np.logical_and.reduce(
+                    [a.validity for a in args]
+                )
+            else:
+                combined = None
+            for i in range(count):
+                if combined is not None and not combined[i]:
+                    validity[i] = False
+                    continue
+                result = fn(*[col[i] for col in columns])
+                out[i] = result
+                if result is None:
+                    validity[i] = False
+        return _materialize(self.return_type, out, validity, count)
+
+    def evaluate_row(self, args: list[Any]) -> Any:
+        """Row-wise evaluation (used by the pgsim volcano engine)."""
+        if not self.handles_null and any(a is None for a in args):
+            return None
+        if self.fn_scalar is not None:
+            try:
+                return self.fn_scalar(*args)
+            except _ENGINE_ERRORS:
+                raise
+            except Exception as exc:
+                raise ExecutionError(
+                    f"error in function {self.name}: {exc}"
+                ) from exc
+        # Fall back to the vector implementation on a 1-row chunk.
+        vectors = [
+            Vector.from_values(t, [a])
+            for t, a in zip(self._padded_types(len(args)), args)
+        ]
+        result = self.fn_vector(vectors, 1)
+        return result.value(0)
+
+    def _padded_types(self, n: int) -> list[LogicalType]:
+        types = list(self.arg_types)
+        while len(types) < n:
+            types.append(types[-1] if types else ANY)
+        return types[:n]
+
+
+def _materialize(
+    ltype: LogicalType, out: np.ndarray, validity: np.ndarray, count: int
+) -> Vector:
+    if ltype.physical == "object":
+        return Vector(ltype, out, validity)
+    dtype = {"bool": np.bool_, "int64": np.int64, "float64": np.float64}[
+        ltype.physical
+    ]
+    data = np.zeros(count, dtype=dtype)
+    for i in range(count):
+        if validity[i]:
+            data[i] = out[i]
+    return Vector(ltype, data, validity)
+
+
+@dataclass
+class AggregateFunction:
+    """An aggregate: fold rows of one (optional) argument into one value."""
+
+    name: str
+    arg_types: tuple[LogicalType, ...]
+    return_type: LogicalType
+    #: () -> state
+    init: Callable[[], Any]
+    #: (state, *values) -> state; called once per (non-filtered) row.
+    step: Callable[..., Any]
+    #: state -> final value
+    final: Callable[[Any], Any]
+    #: When False, NULL inputs are skipped (SQL semantics for sum/min/…).
+    accepts_null: bool = False
+
+    def result_type_for(self, args: tuple[LogicalType, ...]) -> LogicalType:
+        if self.return_type == ANY:
+            return args[0] if args else ANY
+        return self.return_type
+
+
+@dataclass
+class CastFunction:
+    """An explicit/implicit cast between two logical types."""
+
+    source: LogicalType
+    target: LogicalType
+    fn: Callable[[Any], Any]
+    implicit: bool = False
+
+    def apply(self, value: Any) -> Any:
+        if value is None:
+            return None
+        try:
+            return self.fn(value)
+        except Exception as exc:
+            raise ConversionError(
+                f"cannot cast {value!r} from {self.source.name} to "
+                f"{self.target.name}: {exc}"
+            ) from exc
+
+
+class FunctionRegistry:
+    """Per-database registry of scalar, aggregate and cast functions."""
+
+    def __init__(self):
+        self._scalars: dict[str, list[ScalarFunction]] = {}
+        self._aggregates: dict[str, list[AggregateFunction]] = {}
+        self._casts: dict[tuple[str, str], CastFunction] = {}
+
+    # -- registration ---------------------------------------------------------
+
+    def register_scalar(self, fn: ScalarFunction) -> None:
+        self._scalars.setdefault(fn.name.lower(), []).append(fn)
+
+    def register_aggregate(self, fn: AggregateFunction) -> None:
+        self._aggregates.setdefault(fn.name.lower(), []).append(fn)
+
+    def register_cast(self, cast: CastFunction) -> None:
+        self._casts[(cast.source.name, cast.target.name)] = cast
+
+    # -- lookup ------------------------------------------------------------------
+
+    def has_scalar(self, name: str) -> bool:
+        return name.lower() in self._scalars
+
+    def has_aggregate(self, name: str) -> bool:
+        return name.lower() in self._aggregates
+
+    def find_cast(
+        self, source: LogicalType, target: LogicalType
+    ) -> CastFunction | None:
+        return self._casts.get((source.name, target.name))
+
+    def resolve_scalar(
+        self, name: str, args: Sequence[LogicalType]
+    ) -> tuple[ScalarFunction, list[LogicalType]]:
+        """Pick the best overload; returns (function, target arg types)."""
+        candidates = self._scalars.get(name.lower())
+        if not candidates:
+            raise BinderError(f"unknown function {name!r}")
+        best: tuple[int, ScalarFunction, list[LogicalType]] | None = None
+        for fn in candidates:
+            target = self._match(fn, args)
+            if target is None:
+                continue
+            cost = sum(
+                self._cast_cost(a, t) for a, t in zip(args, target)
+            )
+            if best is None or cost < best[0]:
+                best = (cost, fn, target)
+        if best is None:
+            sig = ", ".join(t.name for t in args)
+            raise BinderError(
+                f"no overload of {name}({sig}); candidates: "
+                + "; ".join(
+                    f"{name}({', '.join(t.name for t in c.arg_types)})"
+                    for c in candidates
+                )
+            )
+        return best[1], best[2]
+
+    def resolve_aggregate(
+        self, name: str, args: Sequence[LogicalType]
+    ) -> AggregateFunction:
+        candidates = self._aggregates.get(name.lower())
+        if not candidates:
+            raise BinderError(f"unknown aggregate {name!r}")
+        best: tuple[int, AggregateFunction] | None = None
+        for fn in candidates:
+            if len(fn.arg_types) != len(args) and not (
+                fn.arg_types and fn.arg_types[-1] == ANY
+            ):
+                if len(fn.arg_types) != len(args):
+                    continue
+            costs = []
+            ok = True
+            for a, t in zip(args, fn.arg_types):
+                cost = self._cast_cost(a, t)
+                if cost is None or cost >= 100:
+                    ok = False
+                    break
+                costs.append(cost)
+            if not ok:
+                continue
+            total = sum(costs)
+            if best is None or total < best[0]:
+                best = (total, fn)
+        if best is None:
+            sig = ", ".join(t.name for t in args)
+            raise BinderError(f"no overload of aggregate {name}({sig})")
+        return best[1]
+
+    def _match(
+        self, fn: ScalarFunction, args: Sequence[LogicalType]
+    ) -> list[LogicalType] | None:
+        types = list(fn.arg_types)
+        if fn.varargs:
+            if len(args) < len(types):
+                return None
+            while len(types) < len(args):
+                types.append(types[-1] if types else ANY)
+        elif len(types) != len(args):
+            return None
+        for a, t in zip(args, types):
+            if self._cast_cost(a, t) is None:
+                return None
+        return types
+
+    def _cast_cost(self, source: LogicalType, target: LogicalType) -> int | None:
+        builtin = implicit_cast_cost(source, target)
+        if builtin is not None:
+            return builtin
+        cast = self._casts.get((source.name, target.name))
+        if cast is not None and cast.implicit:
+            return 4
+        # Registered VARCHAR "in" casts act as implicit for literals.
+        if source == VARCHAR and cast is not None:
+            return 5
+        return None

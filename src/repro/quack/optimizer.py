@@ -1,0 +1,350 @@
+"""Plan optimizer: filter pushdown, hash-join extraction, index injection.
+
+The headline rewrite is the paper's §4.3: when a filter conjunct has the
+shape ``column <op> constant`` over a base-table scan and an attached index
+advertises support for ``<op>`` on that column, the sequential scan is
+replaced by an index scan (the predicate is kept as a recheck filter, which
+is exact and cheap).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from .binder import _NOT_CONSTANT, fold_constant
+from .plan import (
+    BoundColumnRef,
+    BoundConjunction,
+    BoundExpr,
+    BoundFunction,
+    LogicalAggregate,
+    LogicalDistinct,
+    LogicalFilter,
+    LogicalGet,
+    LogicalIndexScan,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalMaterializedCTE,
+    LogicalOperator,
+    LogicalProject,
+    LogicalSetOp,
+    LogicalSort,
+)
+
+
+def optimize(plan: LogicalOperator) -> LogicalOperator:
+    """Rewrite a bound plan. Idempotent; returns a new tree."""
+    return _Optimizer().rewrite(plan)
+
+
+class _Optimizer:
+    def rewrite(self, op: LogicalOperator) -> LogicalOperator:
+        if isinstance(op, LogicalFilter):
+            return self._rewrite_filter(op)
+        if isinstance(op, LogicalJoin):
+            op.left = self.rewrite(op.left)
+            op.right = self.rewrite(op.right)
+            return op
+        if isinstance(op, LogicalProject):
+            op.child = self.rewrite(op.child)
+            return op
+        if isinstance(op, (LogicalSort, LogicalLimit, LogicalDistinct,
+                           LogicalAggregate)):
+            op.child = self.rewrite(op.child)
+            return op
+        if isinstance(op, LogicalSetOp):
+            op.left = self.rewrite(op.left)
+            op.right = self.rewrite(op.right)
+            return op
+        if isinstance(op, LogicalMaterializedCTE):
+            op.ctes = [
+                (cte_id, name, self.rewrite(plan))
+                for cte_id, name, plan in op.ctes
+            ]
+            op.child = self.rewrite(op.child)
+            return op
+        return op
+
+    # -- filter over a join tree -------------------------------------------------
+
+    def _rewrite_filter(self, op: LogicalFilter) -> LogicalOperator:
+        conjuncts = _split_conjuncts(op.condition)
+        leaves, flattened = self._flatten(op.child)
+        if not flattened:
+            child = self.rewrite(op.child)
+            child, remaining = self._try_push_into_leaf(child, conjuncts)
+            if not remaining:
+                return child
+            return LogicalFilter(_combine(remaining), child)
+
+        # Leaf offsets in the flat column space.
+        offsets: list[int] = []
+        total = 0
+        for leaf in leaves:
+            offsets.append(total)
+            total += len(leaf.output_types())
+
+        # Classify conjuncts by the highest leaf they touch.
+        per_leaf: list[list[BoundExpr]] = [[] for _ in leaves]
+        per_join: list[list[BoundExpr]] = [[] for _ in leaves]  # join idx i
+        top_level: list[BoundExpr] = []
+        for conj in conjuncts:
+            used = conj.columns_used()
+            if not used:
+                top_level.append(conj)
+                continue
+            touched = sorted(
+                {self._leaf_of(index, offsets, leaves) for index in used}
+            )
+            if len(touched) == 1:
+                per_leaf[touched[0]].append(
+                    _rebase(conj, -offsets[touched[0]])
+                )
+            else:
+                per_join[touched[-1]].append(conj)
+
+        # Rebuild: optimize each leaf with its own filters + index injection.
+        new_leaves: list[LogicalOperator] = []
+        for leaf, filters in zip(leaves, per_leaf):
+            leaf = self.rewrite(leaf)
+            leaf, remaining = self._try_push_into_leaf(leaf, filters)
+            if remaining:
+                leaf = LogicalFilter(_combine(remaining), leaf)
+            new_leaves.append(leaf)
+
+        plan = new_leaves[0]
+        for i in range(1, len(new_leaves)):
+            boundary = offsets[i]
+            equi_keys: list[tuple[BoundExpr, BoundExpr]] = []
+            residuals: list[BoundExpr] = []
+            for conj in per_join[i]:
+                pair = _extract_equi_key(conj, boundary)
+                if pair is not None:
+                    left_key, right_key = pair
+                    equi_keys.append(
+                        (left_key, _rebase(right_key, -boundary))
+                    )
+                else:
+                    residuals.append(conj)
+            index_probe = None
+            if not equi_keys:
+                index_probe = _match_join_index(
+                    residuals, boundary, new_leaves[i]
+                )
+            join_type = "inner" if (equi_keys or residuals) else "cross"
+            plan = LogicalJoin(
+                plan,
+                new_leaves[i],
+                join_type,
+                equi_keys=equi_keys,
+                residual=_combine(residuals) if residuals else None,
+                index_probe=index_probe,
+            )
+        if top_level:
+            plan = LogicalFilter(_combine(top_level), plan)
+        return plan
+
+    def _flatten(
+        self, op: LogicalOperator
+    ) -> tuple[list[LogicalOperator], bool]:
+        """Flatten a pure cross-join tree into its leaves."""
+        if isinstance(op, LogicalJoin) and op.join_type == "cross" and (
+            not op.equi_keys and op.residual is None
+        ):
+            left_leaves, _ = self._flatten(op.left)
+            right_leaves, _ = self._flatten(op.right)
+            return left_leaves + right_leaves, True
+        return [op], False
+
+    @staticmethod
+    def _leaf_of(index: int, offsets: list[int],
+                 leaves: list[LogicalOperator]) -> int:
+        for i in range(len(offsets) - 1, -1, -1):
+            if index >= offsets[i]:
+                return i
+        return 0
+
+    # -- index injection (paper §4.3) ------------------------------------------------
+
+    def _try_push_into_leaf(
+        self, leaf: LogicalOperator, filters: list[BoundExpr]
+    ) -> tuple[LogicalOperator, list[BoundExpr]]:
+        if not isinstance(leaf, LogicalGet) or not leaf.table.indexes:
+            return leaf, filters
+        for conj in filters:
+            probe = _match_index_predicate(conj)
+            if probe is None:
+                continue
+            column_index, op_name, constant = probe
+            column_name = leaf.table.column_names[column_index]
+            for index in leaf.table.indexes:
+                if index.matches(op_name, column_name, constant):
+                    scan = LogicalIndexScan(
+                        leaf.table, index, op_name, constant
+                    )
+                    # Keep every conjunct (including the matched one) as a
+                    # recheck filter: exact and cheap on the candidate set.
+                    return scan, filters
+        return leaf, filters
+
+
+# ---------------------------------------------------------------------------
+# Expression utilities
+# ---------------------------------------------------------------------------
+
+
+def _split_conjuncts(expr: BoundExpr) -> list[BoundExpr]:
+    if isinstance(expr, BoundConjunction) and expr.op == "AND":
+        out: list[BoundExpr] = []
+        for arg in expr.args:
+            out.extend(_split_conjuncts(arg))
+        return out
+    return [expr]
+
+
+def _combine(conjuncts: list[BoundExpr]) -> BoundExpr:
+    if len(conjuncts) == 1:
+        return conjuncts[0]
+    from .types import BOOLEAN
+
+    return BoundConjunction("AND", conjuncts, BOOLEAN)
+
+
+def _rebase(expr: BoundExpr, delta: int) -> BoundExpr:
+    """Shift all column indices by ``delta`` (returns a rewritten copy)."""
+    import copy
+
+    def shift(node: BoundExpr) -> BoundExpr:
+        if isinstance(node, BoundColumnRef):
+            return BoundColumnRef(node.index + delta, node.ltype, node.name)
+        clone = copy.copy(node)
+        from .plan import (
+            BoundCase,
+            BoundCast,
+            BoundConjunction,
+            BoundFunction,
+            BoundInList,
+            BoundIsNull,
+            BoundNot,
+            BoundSubqueryExpr,
+        )
+
+        if isinstance(node, (BoundFunction, BoundConjunction)):
+            clone.args = [shift(a) for a in node.args]
+        elif isinstance(node, (BoundCast, BoundIsNull, BoundNot)):
+            clone.child = shift(node.child)
+        elif isinstance(node, BoundInList):
+            clone.operand = shift(node.operand)
+            clone.items = [shift(i) for i in node.items]
+        elif isinstance(node, BoundCase):
+            clone.branches = [
+                (shift(c), shift(r)) for c, r in node.branches
+            ]
+            if node.else_result is not None:
+                clone.else_result = shift(node.else_result)
+        elif isinstance(node, BoundSubqueryExpr):
+            clone.outer_params_exprs = [
+                shift(p) for p in node.outer_params_exprs
+            ]
+        return clone
+
+    return shift(expr)
+
+
+def _extract_equi_key(
+    conj: BoundExpr, boundary: int
+) -> tuple[BoundExpr, BoundExpr] | None:
+    """If ``conj`` is ``left_expr = right_expr`` with the operands cleanly on
+    either side of ``boundary``, return (left-side expr, right-side expr)."""
+    if not isinstance(conj, BoundFunction) or conj.name != "=":
+        return None
+    if len(conj.args) != 2:
+        return None
+    a, b = conj.args
+    cols_a = a.columns_used()
+    cols_b = b.columns_used()
+    if not cols_a or not cols_b:
+        return None
+    if _subquery_free(a) is False or _subquery_free(b) is False:
+        return None
+    if max(cols_a) < boundary and min(cols_b) >= boundary:
+        return (a, b)
+    if max(cols_b) < boundary and min(cols_a) >= boundary:
+        return (b, a)
+    return None
+
+
+def _subquery_free(expr: BoundExpr) -> bool:
+    from .plan import BoundSubqueryExpr, _children
+
+    if isinstance(expr, BoundSubqueryExpr):
+        return False
+    return all(_subquery_free(c) for c in _children(expr))
+
+
+def _match_index_predicate(
+    conj: BoundExpr,
+) -> tuple[int, str, Any] | None:
+    """Match ``col <op> constant`` (or commuted for symmetric ops)."""
+    if not isinstance(conj, BoundFunction) or len(conj.args) != 2:
+        return None
+    op_name = conj.name
+    left, right = conj.args
+    column = _as_base_column(left)
+    if column is not None:
+        constant = fold_constant(right)
+        if constant is not _NOT_CONSTANT and constant is not None:
+            return (column, op_name, constant)
+    if op_name == "&&":  # symmetric: constant && col
+        column = _as_base_column(right)
+        if column is not None:
+            constant = fold_constant(left)
+            if constant is not _NOT_CONSTANT and constant is not None:
+                return (column, op_name, constant)
+    return None
+
+
+def _as_base_column(expr: BoundExpr) -> int | None:
+    if isinstance(expr, BoundColumnRef):
+        return expr.index
+    return None
+
+
+_JOIN_INDEX_OPS = ("&&", "@>", "<@")
+
+
+def _match_join_index(
+    residuals: list[BoundExpr], boundary: int, right_leaf
+) -> tuple | None:
+    """Find a residual of shape ``right_col <op> expr(left)`` (either
+    operand order) with an index on the right base table that can serve it
+    — the GiST index nested-loop join strategy.  The full residual is kept
+    as an exact recheck."""
+    if not isinstance(right_leaf, LogicalGet) or not right_leaf.table.indexes:
+        return None
+    for conj in residuals:
+        if not isinstance(conj, BoundFunction) or conj.name not in (
+            _JOIN_INDEX_OPS
+        ):
+            continue
+        if len(conj.args) != 2:
+            continue
+        for right_arg, left_arg in ((conj.args[0], conj.args[1]),
+                                    (conj.args[1], conj.args[0])):
+            if not isinstance(right_arg, BoundColumnRef):
+                continue
+            if right_arg.index < boundary:
+                continue
+            left_cols = left_arg.columns_used()
+            if not left_cols or max(left_cols) >= boundary:
+                continue
+            if not _subquery_free(left_arg):
+                continue
+            column_name = right_leaf.table.column_names[
+                right_arg.index - boundary
+            ]
+            for index in right_leaf.table.indexes:
+                if index.matches(conj.name, column_name, None):
+                    return (index, conj.name, left_arg)
+    return None

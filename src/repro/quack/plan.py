@@ -1,0 +1,456 @@
+"""Bound expressions and logical plan operators.
+
+The binder turns parsed AST into these typed structures; the optimizer
+rewrites them; the executor interprets them chunk-at-a-time.  Column
+references use flat indices into the operator's output column space
+(left-deep join order), DuckDB-style.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from .catalog import Table, TableIndex
+from .functions import AggregateFunction, CastFunction, ScalarFunction
+from .types import LogicalType
+
+
+# ---------------------------------------------------------------------------
+# Bound expressions
+# ---------------------------------------------------------------------------
+
+
+class BoundExpr:
+    ltype: LogicalType
+
+    def columns_used(self) -> set[int]:
+        """Flat input column indices this expression reads."""
+        out: set[int] = set()
+        _collect_columns(self, out)
+        return out
+
+
+def _collect_columns(expr: BoundExpr, out: set[int]) -> None:
+    if isinstance(expr, BoundColumnRef):
+        out.add(expr.index)
+    for child in _children(expr):
+        _collect_columns(child, out)
+
+
+def _children(expr: BoundExpr) -> list[BoundExpr]:
+    if isinstance(expr, (BoundFunction, BoundConjunction)):
+        return list(expr.args)
+    if isinstance(expr, BoundCast):
+        return [expr.child]
+    if isinstance(expr, BoundIsNull):
+        return [expr.child]
+    if isinstance(expr, BoundNot):
+        return [expr.child]
+    if isinstance(expr, BoundInList):
+        return [expr.operand, *expr.items]
+    if isinstance(expr, BoundCase):
+        out = []
+        for cond, result in expr.branches:
+            out.extend((cond, result))
+        if expr.else_result is not None:
+            out.append(expr.else_result)
+        return out
+    if isinstance(expr, BoundSubqueryExpr):
+        return list(expr.outer_params_exprs)
+    return []
+
+
+@dataclass
+class BoundConstant(BoundExpr):
+    value: Any
+    ltype: LogicalType
+
+
+@dataclass
+class BoundColumnRef(BoundExpr):
+    index: int
+    ltype: LogicalType
+    name: str = ""
+
+
+@dataclass
+class BoundFunction(BoundExpr):
+    function: ScalarFunction
+    args: list[BoundExpr]
+    ltype: LogicalType
+    name: str = ""
+
+
+@dataclass
+class BoundCast(BoundExpr):
+    child: BoundExpr
+    ltype: LogicalType
+    cast: CastFunction | None  # None = builtin physical cast
+    target_name: str = ""
+
+
+@dataclass
+class BoundConjunction(BoundExpr):
+    op: str  # 'AND' | 'OR'
+    args: list[BoundExpr]
+    ltype: LogicalType
+
+
+@dataclass
+class BoundNot(BoundExpr):
+    child: BoundExpr
+    ltype: LogicalType
+
+
+@dataclass
+class BoundIsNull(BoundExpr):
+    child: BoundExpr
+    negated: bool
+    ltype: LogicalType
+
+
+@dataclass
+class BoundInList(BoundExpr):
+    operand: BoundExpr
+    items: list[BoundExpr]
+    negated: bool
+    eq_function: ScalarFunction
+    ltype: LogicalType
+
+
+@dataclass
+class BoundCase(BoundExpr):
+    branches: list[tuple[BoundExpr, BoundExpr]]
+    else_result: BoundExpr | None
+    ltype: LogicalType
+
+
+@dataclass
+class BoundSubqueryExpr(BoundExpr):
+    """A subquery in expression position.
+
+    ``kind``: 'scalar' | 'exists' | 'in' | 'quantified'.
+    ``outer_params_exprs`` are expressions over the *outer* column space
+    whose per-row values parameterize the correlated subquery plan (they
+    feed the plan's :class:`BoundParameterRef` nodes by position).
+    """
+
+    kind: str
+    plan: "LogicalOperator"
+    ltype: LogicalType
+    outer_params_exprs: list[BoundExpr] = field(default_factory=list)
+    # for 'in' and 'quantified':
+    operand: BoundExpr | None = None
+    comparison: ScalarFunction | None = None
+    quantifier: str | None = None  # 'ALL' | 'ANY'
+    negated: bool = False
+
+
+@dataclass
+class BoundParameterRef(BoundExpr):
+    """Reference to a correlated outer value inside a subquery plan."""
+
+    param_index: int
+    ltype: LogicalType
+    name: str = ""
+
+
+@dataclass
+class AggregateSpec:
+    function: AggregateFunction
+    args: list[BoundExpr]
+    distinct: bool
+    ltype: LogicalType
+    name: str = ""
+
+
+# ---------------------------------------------------------------------------
+# Logical operators
+# ---------------------------------------------------------------------------
+
+
+class LogicalOperator:
+    """Base logical/physical plan node (quack interprets these directly)."""
+
+    def output_types(self) -> list[LogicalType]:
+        raise NotImplementedError
+
+    def output_names(self) -> list[str]:
+        raise NotImplementedError
+
+    def children(self) -> list["LogicalOperator"]:
+        return []
+
+    def explain(self, indent: int = 0) -> str:
+        lines = [" " * indent + self._explain_label()]
+        for child in self.children():
+            lines.append(child.explain(indent + 2))
+        return "\n".join(lines)
+
+    def _explain_label(self) -> str:
+        return type(self).__name__.replace("Logical", "").upper()
+
+
+@dataclass
+class LogicalGet(LogicalOperator):
+    table: Table
+
+    def output_types(self) -> list[LogicalType]:
+        return list(self.table.column_types)
+
+    def output_names(self) -> list[str]:
+        return list(self.table.column_names)
+
+    def _explain_label(self) -> str:
+        return f"SEQ_SCAN {self.table.name}"
+
+
+@dataclass
+class LogicalIndexScan(LogicalOperator):
+    table: Table
+    index: TableIndex
+    op_name: str
+    constant: Any
+
+    def output_types(self) -> list[LogicalType]:
+        return list(self.table.column_types)
+
+    def output_names(self) -> list[str]:
+        return list(self.table.column_names)
+
+    def _explain_label(self) -> str:
+        return (
+            f"{self.index.type_name}_INDEX_SCAN {self.table.name} "
+            f"({self.index.column} {self.op_name} …)"
+        )
+
+
+@dataclass
+class LogicalTableFunction(LogicalOperator):
+    name: str
+    args: list[Any]  # evaluated constants
+    names: list[str]
+    types: list[LogicalType]
+
+    def output_types(self) -> list[LogicalType]:
+        return list(self.types)
+
+    def output_names(self) -> list[str]:
+        return list(self.names)
+
+    def _explain_label(self) -> str:
+        return f"TABLE_FUNCTION {self.name}"
+
+
+@dataclass
+class LogicalCTERef(LogicalOperator):
+    cte_id: int
+    name: str
+    names: list[str]
+    types: list[LogicalType]
+
+    def output_types(self) -> list[LogicalType]:
+        return list(self.types)
+
+    def output_names(self) -> list[str]:
+        return list(self.names)
+
+    def _explain_label(self) -> str:
+        return f"CTE_SCAN {self.name}"
+
+
+@dataclass
+class LogicalFilter(LogicalOperator):
+    condition: BoundExpr
+    child: LogicalOperator
+
+    def output_types(self) -> list[LogicalType]:
+        return self.child.output_types()
+
+    def output_names(self) -> list[str]:
+        return self.child.output_names()
+
+    def children(self) -> list[LogicalOperator]:
+        return [self.child]
+
+    def _explain_label(self) -> str:
+        return "FILTER"
+
+
+@dataclass
+class LogicalProject(LogicalOperator):
+    exprs: list[BoundExpr]
+    names: list[str]
+    child: LogicalOperator
+
+    def output_types(self) -> list[LogicalType]:
+        return [e.ltype for e in self.exprs]
+
+    def output_names(self) -> list[str]:
+        return list(self.names)
+
+    def children(self) -> list[LogicalOperator]:
+        return [self.child]
+
+    def _explain_label(self) -> str:
+        return f"PROJECTION [{', '.join(self.names)}]"
+
+
+@dataclass
+class LogicalJoin(LogicalOperator):
+    left: LogicalOperator
+    right: LogicalOperator
+    join_type: str  # 'cross' | 'inner' | 'left'
+    #: equi-join key pairs (left expr over left cols, right expr over right
+    #: cols, both rebased to their own child's column space)
+    equi_keys: list[tuple[BoundExpr, BoundExpr]] = field(default_factory=list)
+    #: residual condition over the combined column space
+    residual: BoundExpr | None = None
+    #: parameterized index probe: (index, op_name, left_expr) — per left
+    #: row, probe the right base table's index with the evaluated left
+    #: expression (index nested-loop join, the GiST join strategy)
+    index_probe: tuple | None = None
+
+    def output_types(self) -> list[LogicalType]:
+        return self.left.output_types() + self.right.output_types()
+
+    def output_names(self) -> list[str]:
+        return self.left.output_names() + self.right.output_names()
+
+    def children(self) -> list[LogicalOperator]:
+        return [self.left, self.right]
+
+    def _explain_label(self) -> str:
+        if self.equi_keys:
+            kind = "HASH_JOIN"
+        elif self.index_probe is not None:
+            kind = f"INDEX_NL_JOIN [{self.index_probe[0].name}]"
+        elif self.residual is not None:
+            kind = "NESTED_LOOP_JOIN"
+        else:
+            kind = "CROSS_PRODUCT"
+        return f"{kind} ({self.join_type})"
+
+
+@dataclass
+class LogicalAggregate(LogicalOperator):
+    groups: list[BoundExpr]
+    aggregates: list[AggregateSpec]
+    child: LogicalOperator
+    group_names: list[str] = field(default_factory=list)
+
+    def output_types(self) -> list[LogicalType]:
+        return [g.ltype for g in self.groups] + [
+            a.ltype for a in self.aggregates
+        ]
+
+    def output_names(self) -> list[str]:
+        names = list(self.group_names) or [
+            f"group{i}" for i in range(len(self.groups))
+        ]
+        return names + [a.name or a.function.name for a in self.aggregates]
+
+    def children(self) -> list[LogicalOperator]:
+        return [self.child]
+
+    def _explain_label(self) -> str:
+        aggs = ", ".join(a.function.name for a in self.aggregates)
+        return f"HASH_GROUP_BY [{aggs}]"
+
+
+@dataclass
+class LogicalSort(LogicalOperator):
+    keys: list[tuple[BoundExpr, bool, bool | None]]  # expr, asc, nulls_first
+    child: LogicalOperator
+
+    def output_types(self) -> list[LogicalType]:
+        return self.child.output_types()
+
+    def output_names(self) -> list[str]:
+        return self.child.output_names()
+
+    def children(self) -> list[LogicalOperator]:
+        return [self.child]
+
+    def _explain_label(self) -> str:
+        return "ORDER_BY"
+
+
+@dataclass
+class LogicalLimit(LogicalOperator):
+    limit: int | None
+    offset: int
+    child: LogicalOperator
+
+    def output_types(self) -> list[LogicalType]:
+        return self.child.output_types()
+
+    def output_names(self) -> list[str]:
+        return self.child.output_names()
+
+    def children(self) -> list[LogicalOperator]:
+        return [self.child]
+
+    def _explain_label(self) -> str:
+        return f"LIMIT {self.limit}"
+
+
+@dataclass
+class LogicalDistinct(LogicalOperator):
+    child: LogicalOperator
+
+    def output_types(self) -> list[LogicalType]:
+        return self.child.output_types()
+
+    def output_names(self) -> list[str]:
+        return self.child.output_names()
+
+    def children(self) -> list[LogicalOperator]:
+        return [self.child]
+
+    def _explain_label(self) -> str:
+        return "DISTINCT"
+
+
+@dataclass
+class LogicalSetOp(LogicalOperator):
+    """UNION / UNION ALL / EXCEPT / INTERSECT."""
+
+    kind: str  # 'union' | 'except' | 'intersect'
+    all: bool
+    left: LogicalOperator
+    right: LogicalOperator
+
+    def output_types(self) -> list[LogicalType]:
+        return self.left.output_types()
+
+    def output_names(self) -> list[str]:
+        return self.left.output_names()
+
+    def children(self) -> list[LogicalOperator]:
+        return [self.left, self.right]
+
+    def _explain_label(self) -> str:
+        suffix = " ALL" if self.all else ""
+        return f"{self.kind.upper()}{suffix}"
+
+
+@dataclass
+class LogicalMaterializedCTE(LogicalOperator):
+    """Wraps the main plan with CTE definitions materialized on demand."""
+
+    ctes: list[tuple[int, str, LogicalOperator]]  # (id, name, plan)
+    child: LogicalOperator
+
+    def output_types(self) -> list[LogicalType]:
+        return self.child.output_types()
+
+    def output_names(self) -> list[str]:
+        return self.child.output_names()
+
+    def children(self) -> list[LogicalOperator]:
+        return [plan for _, _, plan in self.ctes] + [self.child]
+
+    def _explain_label(self) -> str:
+        return f"CTE [{', '.join(name for _, name, _ in self.ctes)}]"

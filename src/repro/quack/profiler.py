@@ -1,0 +1,96 @@
+"""EXPLAIN ANALYZE: instrumented plan execution.
+
+Wraps every operator of a plan with row/time counters and renders the
+annotated tree, DuckDB-style::
+
+    PROJECTION [a, b]            (rows=120, 0.8ms)
+      FILTER                     (rows=120, 2.1ms)
+        SEQ_SCAN trips           (rows=5000, 0.4ms)
+
+Timing is inclusive of children (each operator's clock runs while it waits
+on its input), so the root time is the query's total.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from .executor import ExecutionContext, execute_plan
+from .plan import LogicalOperator
+
+
+@dataclass
+class OperatorStats:
+    rows: int = 0
+    seconds: float = 0.0
+    invocations: int = 0
+
+
+class PlanProfiler:
+    """Collects per-operator statistics during one execution."""
+
+    def __init__(self):
+        self.stats: dict[int, OperatorStats] = {}
+
+    def stats_for(self, op: LogicalOperator) -> OperatorStats:
+        return self.stats.setdefault(id(op), OperatorStats())
+
+    def render(self, plan: LogicalOperator) -> str:
+        lines: list[str] = []
+
+        def visit(op: LogicalOperator, indent: int) -> None:
+            stats = self.stats.get(id(op))
+            label = op._explain_label()
+            if stats is None:
+                annotation = "(not executed)"
+            else:
+                annotation = (
+                    f"(rows={stats.rows}, "
+                    f"{stats.seconds * 1000:.2f}ms)"
+                )
+            lines.append(f"{' ' * indent}{label}  {annotation}")
+            for child in op.children():
+                visit(child, indent + 2)
+
+        visit(plan, 0)
+        return "\n".join(lines)
+
+
+def execute_plan_profiled(
+    plan: LogicalOperator, ctx: ExecutionContext, profiler: PlanProfiler
+):
+    """Execute a plan with every operator instrumented.
+
+    Monkey-wraps :func:`repro.quack.executor.execute_plan` for the
+    duration of the iteration so that nested operator invocations are
+    captured too."""
+    from . import executor as executor_module
+
+    original = executor_module.execute_plan
+
+    def instrumented(op: LogicalOperator, inner_ctx):
+        stats = profiler.stats_for(op)
+        stats.invocations += 1
+
+        def wrapped() -> Iterator:
+            start = time.perf_counter()
+            try:
+                for chunk in original(op, inner_ctx):
+                    stats.rows += chunk.count
+                    stats.seconds += time.perf_counter() - start
+                    yield chunk
+                    start = time.perf_counter()
+                stats.seconds += time.perf_counter() - start
+            except GeneratorExit:
+                stats.seconds += time.perf_counter() - start
+                raise
+
+        return wrapped()
+
+    executor_module.execute_plan = instrumented
+    try:
+        yield from instrumented(plan, ctx)
+    finally:
+        executor_module.execute_plan = original

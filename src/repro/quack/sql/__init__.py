@@ -1,0 +1,7 @@
+"""SQL front end (lexer, AST, parser) shared by quack and pgsim."""
+
+from . import ast
+from .lexer import Token, tokenize
+from .parser import Parser, parse_one, parse_sql
+
+__all__ = ["Parser", "Token", "ast", "parse_one", "parse_sql", "tokenize"]

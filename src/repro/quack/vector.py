@@ -1,0 +1,173 @@
+"""Vectors and data chunks: the unit of execution in the quack engine.
+
+A :class:`Vector` is a typed column of values with a validity mask; a
+:class:`DataChunk` is an ordered set of equally sized vectors — the
+engine's analogue of DuckDB's ``Vector`` / ``DataChunk`` (paper §3.4 shows
+scalar functions with the ``(DataChunk &args, …, Vector &result)``
+signature; the Python registration API mirrors that shape).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence
+
+import numpy as np
+
+from .errors import ExecutionError
+from .types import BOOLEAN, LogicalType
+
+STANDARD_VECTOR_SIZE = 2048
+
+_PHYSICAL_DTYPES = {
+    "bool": np.bool_,
+    "int64": np.int64,
+    "float64": np.float64,
+    "object": object,
+}
+
+
+class Vector:
+    """A column of ``count`` values of one logical type plus validity."""
+
+    __slots__ = ("ltype", "data", "validity")
+
+    def __init__(self, ltype: LogicalType, data: np.ndarray,
+                 validity: np.ndarray | None = None):
+        self.ltype = ltype
+        self.data = data
+        if validity is None:
+            validity = np.ones(len(data), dtype=np.bool_)
+        self.validity = validity
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def empty(cls, ltype: LogicalType, count: int) -> "Vector":
+        dtype = _PHYSICAL_DTYPES[ltype.physical]
+        data = np.zeros(count, dtype=dtype)
+        return cls(ltype, data, np.ones(count, dtype=np.bool_))
+
+    @classmethod
+    def from_values(cls, ltype: LogicalType, values: Iterable[Any]) -> "Vector":
+        items = list(values)
+        count = len(items)
+        validity = np.fromiter(
+            (v is not None for v in items), dtype=np.bool_, count=count
+        )
+        dtype = _PHYSICAL_DTYPES[ltype.physical]
+        if ltype.physical == "object":
+            data = np.empty(count, dtype=object)
+            for i, v in enumerate(items):
+                data[i] = v
+        else:
+            fill = False if ltype.physical == "bool" else 0
+            data = np.fromiter(
+                (fill if v is None else v for v in items),
+                dtype=dtype,
+                count=count,
+            )
+        return cls(ltype, data, validity)
+
+    @classmethod
+    def constant(cls, ltype: LogicalType, value: Any, count: int) -> "Vector":
+        if ltype.physical == "object":
+            data = np.empty(count, dtype=object)
+            for i in range(count):
+                data[i] = value
+        else:
+            dtype = _PHYSICAL_DTYPES[ltype.physical]
+            fill = (False if ltype.physical == "bool" else 0) if value is None else value
+            data = np.full(count, fill, dtype=dtype)
+        if value is None:
+            validity = np.zeros(count, dtype=np.bool_)
+        else:
+            validity = np.ones(count, dtype=np.bool_)
+        return cls(ltype, data, validity)
+
+    # -- access -----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def value(self, index: int) -> Any:
+        if not self.validity[index]:
+            return None
+        item = self.data[index]
+        if isinstance(item, np.generic):
+            return item.item()
+        return item
+
+    def to_list(self) -> list[Any]:
+        return [self.value(i) for i in range(len(self))]
+
+    def slice(self, selection: np.ndarray) -> "Vector":
+        """Select rows by an integer index array or boolean mask."""
+        return Vector(self.ltype, self.data[selection],
+                      self.validity[selection])
+
+    def take(self, indices: Sequence[int]) -> "Vector":
+        idx = np.asarray(indices, dtype=np.int64)
+        return Vector(self.ltype, self.data[idx], self.validity[idx])
+
+    def with_type(self, ltype: LogicalType) -> "Vector":
+        """Reinterpret under a different logical type (same physical)."""
+        return Vector(ltype, self.data, self.validity)
+
+    def all_valid(self) -> bool:
+        return bool(self.validity.all())
+
+    def __repr__(self) -> str:
+        preview = ", ".join(repr(self.value(i)) for i in range(min(4, len(self))))
+        return f"<Vector {self.ltype.name}[{len(self)}] {preview}…>"
+
+
+class DataChunk:
+    """A batch of rows as a list of equally sized vectors."""
+
+    __slots__ = ("vectors",)
+
+    def __init__(self, vectors: list[Vector]):
+        if vectors:
+            count = len(vectors[0])
+            for v in vectors[1:]:
+                if len(v) != count:
+                    raise ExecutionError("misaligned vectors in chunk")
+        self.vectors = vectors
+
+    @property
+    def count(self) -> int:
+        return len(self.vectors[0]) if self.vectors else 0
+
+    def column(self, index: int) -> Vector:
+        return self.vectors[index]
+
+    def slice(self, selection: np.ndarray) -> "DataChunk":
+        return DataChunk([v.slice(selection) for v in self.vectors])
+
+    def row(self, index: int) -> tuple:
+        return tuple(v.value(index) for v in self.vectors)
+
+    def rows(self) -> list[tuple]:
+        return [self.row(i) for i in range(self.count)]
+
+    def __repr__(self) -> str:
+        return f"<DataChunk {len(self.vectors)}x{self.count}>"
+
+
+def concat_vectors(parts: list[Vector]) -> Vector:
+    if not parts:
+        raise ExecutionError("cannot concatenate zero vectors")
+    ltype = parts[0].ltype
+    data = np.concatenate([p.data for p in parts])
+    validity = np.concatenate([p.validity for p in parts])
+    return Vector(ltype, data, validity)
+
+
+def boolean_selection(vector: Vector) -> np.ndarray:
+    """Boolean mask of rows where the vector is valid and true."""
+    if vector.ltype != BOOLEAN:
+        raise ExecutionError(
+            f"filter condition is {vector.ltype.name}, expected BOOLEAN"
+        )
+    mask = vector.data.astype(np.bool_, copy=False)
+    return np.logical_and(mask, vector.validity)

@@ -1,0 +1,144 @@
+"""The six §6.2 use-case operations (Figures 6–11) as integration tests.
+
+Operations (4) and (6) run the paper's SQL verbatim (including the
+``::WKB_BLOB`` proxy casts and the trailing comma of query 6).
+"""
+
+import pytest
+
+from repro import core
+from repro.berlinmod import generate, load_dataset
+
+
+@pytest.fixture(scope="module")
+def con():
+    dataset = generate(0.001, spacing_m=1200.0)
+    connection = core.connect()
+    load_dataset(connection, dataset)
+    return connection
+
+
+class TestUseCases:
+    def test_op1_all_trajectories(self, con):
+        """(1) Show the trajectories of all trips (Figure 6)."""
+        rows = con.execute(
+            "SELECT t.VehicleId, t.TripId, ST_AsText(t.Traj) AS Traj "
+            "FROM trajectories t"
+        )
+        assert len(rows) == con.execute(
+            "SELECT count(*) FROM trajectories"
+        ).scalar()
+        assert all(
+            row[2].startswith(("LINESTRING", "POINT", "MULTILINESTRING",
+                               "GEOMETRYCOLLECTION"))
+            for row in rows
+        )
+
+    def test_op2_max_district_crossings(self, con):
+        """(2) Trip(s) crossing the highest number of districts (Fig 7)."""
+        rows = con.execute(
+            """
+            WITH Crossings AS (
+              SELECT t.TripId, count(*) AS Districts
+              FROM trajectories t, hanoi h
+              WHERE ST_Intersects(t.Traj, h.Geom)
+              GROUP BY t.TripId )
+            SELECT TripId, Districts FROM Crossings
+            WHERE Districts = (SELECT max(Districts) FROM Crossings)
+            """
+        )
+        assert len(rows) >= 1
+        top = rows.fetchone()[1]
+        assert 1 <= top <= 12
+
+    def test_op3_hai_ba_trung(self, con):
+        """(3) Trips crossing the Hai Ba Trung district (Figure 8)."""
+        got = con.execute(
+            """
+            SELECT count(*) FROM trajectories t, hanoi h
+            WHERE h.MunicipalityName = 'Hai Ba Trung'
+              AND ST_Intersects(t.Traj, h.Geom)
+            """
+        ).scalar()
+        assert got >= 0  # data dependent; must simply execute
+
+    def test_op4_distance_per_district_paper_sql(self, con):
+        """(4) Total distance per district — the paper's SQL verbatim."""
+        rows = con.execute(
+            """
+            SELECT h.municipalityname, round(
+              ( sum(length(atGeometry(t.trip, h.geom::WKB_BLOB)) ) /
+              1000)::numeric, 3) AS total_km
+            FROM trajectories t, hanoi h
+            WHERE ST_Intersects(t.traj, h.geom)
+            GROUP BY h.municipalityname
+            """
+        )
+        assert len(rows) >= 6
+        for name, km in rows:
+            assert km is None or km >= 0
+
+    def test_op4_distances_bounded_by_total(self, con):
+        total_km = con.execute(
+            "SELECT sum(length(Trip)) / 1000 FROM trajectories"
+        ).scalar()
+        per_district = con.execute(
+            """
+            SELECT sum(length(atGeometry(t.Trip, h.Geom::WKB_BLOB))) / 1000
+            FROM trajectories t, hanoi h
+            WHERE ST_Intersects(t.Traj, h.Geom)
+            """
+        ).scalar()
+        # Districts overlap slightly (jittered polygons), so allow a small
+        # margin above the raw total.
+        assert per_district <= total_km * 1.2
+
+    def test_op5_top6_districts(self, con):
+        """(5) Top 6 districts by crossing trips (Figure 10)."""
+        rows = con.execute(
+            """
+            SELECT h.MunicipalityName, count(*) AS trips
+            FROM trajectories t, hanoi h
+            WHERE ST_Intersects(t.Traj, h.Geom)
+              AND atGeometry(t.Trip, h.Geom::WKB_BLOB) IS NOT NULL
+            GROUP BY h.MunicipalityName
+            ORDER BY trips DESC, h.MunicipalityName
+            LIMIT 6
+            """
+        ).fetchall()
+        assert len(rows) == 6
+        counts = [r[1] for r in rows]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_op6_close_pairs_paper_sql(self, con):
+        """(6) Pairs within 10 m — the paper's SQL verbatim (Fig 11)."""
+        rows = con.execute(
+            """
+            SELECT DISTINCT t1.VehicleId AS VehicleId1,
+              t1.TripId AS TripId1, ST_ASText(t1.Traj) AS Traj1,
+              t2.VehicleId AS VehicleId2, t2.TripId AS TripId2,
+              ST_ASText(t2.Traj) AS Traj2,
+            FROM (SELECT * FROM trajectories t1 LIMIT 100) t1,
+              (SELECT * FROM trajectories t2 LIMIT 100) t2
+            WHERE t1.VehicleId < t2.VehicleId AND
+              eDwithin(t1.Trip, t2.Trip, 10.0)
+            ORDER BY t1.VehicleId, t2.VehicleId
+            """
+        )
+        for row in rows:
+            assert row[0] < row[3]
+
+    def test_op6_pairs_actually_close(self, con):
+        """Every returned pair is verified against nearestApproachDistance."""
+        rows = con.execute(
+            """
+            SELECT t1.TripId, t2.TripId,
+              nearestApproachDistance(t1.Trip, t2.Trip) AS nad
+            FROM (SELECT * FROM trajectories t1 LIMIT 50) t1,
+              (SELECT * FROM trajectories t2 LIMIT 50) t2
+            WHERE t1.VehicleId < t2.VehicleId AND
+              eDwithin(t1.Trip, t2.Trip, 10.0)
+            """
+        )
+        for _, _, nad in rows:
+            assert nad is not None and nad <= 10.0 + 1e-6

@@ -1,0 +1,341 @@
+"""MobilityDuck extension tests: registration, casts, paper §3.5 queries."""
+
+import pytest
+
+from repro import core
+from repro.core.types import TYPE_COVERAGE
+from repro.quack import BinderError, Database
+
+
+@pytest.fixture(scope="module")
+def con():
+    return core.connect()
+
+
+class TestLoading:
+    def test_extension_name_recorded(self):
+        db = Database()
+        db.load_extension(core.extension)
+        assert "mobilityduck" in db.loaded_extensions or any(
+            "extension" in name for name in db.loaded_extensions
+        )
+
+    def test_spatial_loaded_implicitly(self, con):
+        assert con.database.types.known("GEOMETRY")
+
+    def test_trtree_registered(self, con):
+        assert con.database.config.index_types.known("TRTREE")
+
+
+class TestTable1Coverage:
+    """Paper Table 1: green cells registered, white cells absent."""
+
+    @pytest.mark.parametrize(
+        "base,template",
+        [
+            (base, template)
+            for base, row in TYPE_COVERAGE.items()
+            for template, status in row.items()
+            if status == "duck"
+        ],
+    )
+    def test_supported_types_registered(self, con, base, template):
+        name = _type_name(base, template)
+        assert con.database.types.known(name), name
+
+    @pytest.mark.parametrize(
+        "base,template",
+        [
+            (base, template)
+            for base, row in TYPE_COVERAGE.items()
+            for template, status in row.items()
+            if status == "mobilitydb"
+        ],
+    )
+    def test_upstream_only_types_absent(self, con, base, template):
+        name = _type_name(base, template)
+        assert not con.database.types.known(name), name
+
+
+def _type_name(base: str, template: str) -> str:
+    short = {
+        "integer": "int",
+        "timestamptz": "tstz",
+        "geometry": "geom",
+        "geography": "geog",
+        "bool": "bool",
+    }.get(base, base)
+    if template == "set":
+        return f"{short}set"
+    if template == "span":
+        return f"{short}span"
+    if template == "spanset":
+        return f"{short}spanset"
+    mapping = {
+        "bool": "tbool", "integer": "tint", "float": "tfloat",
+        "text": "ttext", "geometry": "tgeompoint",
+        "geography": "tgeogpoint", "pose": "tpose", "npoint": "tnpoint",
+        "cbuffer": "tcbuffer",
+    }
+    return mapping[base]
+
+
+class TestPaperSampleQueries:
+    """Every §3.5 sample query, with the paper's expected outputs."""
+
+    def test_duration(self, con):
+        got = con.execute(
+            "SELECT duration('{1@2025-01-01, 2@2025-01-02, "
+            "1@2025-01-03}'::TINT, true)"
+        ).scalar()
+        assert str(got) == "2 days"
+
+    def test_shift_scale(self, con):
+        got = con.execute(
+            "SELECT shiftScale(tstzset '{2025-01-01, 2025-01-02}', "
+            "interval '1 day', interval '1 hour')::VARCHAR"
+        ).scalar()
+        assert got == "{2025-01-02 00:00:00+00, 2025-01-02 01:00:00+00}"
+
+    def test_transform_geomset(self, con):
+        got = con.execute(
+            "SELECT asEWKT(transform(geomset 'SRID=4326;"
+            "{Point(2.340088 49.400250), Point(6.575317 51.553167)}', "
+            "3812), 6)"
+        ).scalar()
+        assert got.startswith('SRID=3812;{"POINT(502773.4')
+        assert '"POINT(803028.8' in got
+
+    def test_expand_space(self, con):
+        got = con.execute(
+            "SELECT expandSpace(stbox 'STBOX XT(((1.0,2.0),(1.0,2.0)),"
+            "[2025-01-01,2025-01-01])', 2.0)::VARCHAR"
+        ).scalar()
+        assert got == (
+            "STBOX XT(((-1,0),(3,4)),[2025-01-01 00:00:00+00, "
+            "2025-01-01 00:00:00+00])"
+        )
+
+    def test_expand_time(self, con):
+        got = con.execute(
+            "SELECT expandTime(tbox 'TBOXFLOAT XT([1.0,2.0],"
+            "[2025-01-01,2025-01-02])', interval '1 day')::VARCHAR"
+        ).scalar()
+        assert got == (
+            "TBOXFLOAT XT([1, 2],[2024-12-31 00:00:00+00, "
+            "2025-01-03 00:00:00+00])"
+        )
+
+    def test_tgeometry_constructor(self, con):
+        got = con.execute(
+            "SELECT asEWKT(tgeometry('Point(1 1)', "
+            "tstzspan '[2025-01-01, 2025-01-02]', 'step'))"
+        ).scalar()
+        assert got == (
+            "[POINT(1 1)@2025-01-01 00:00:00+00, "
+            "POINT(1 1)@2025-01-02 00:00:00+00]"
+        )
+
+    def test_overlaps_operator(self, con):
+        got = con.execute(
+            "SELECT tgeompoint '{[Point(1 1)@2025-01-01, "
+            "Point(2 2)@2025-01-02, Point(1 1)@2025-01-03],"
+            "[Point(3 3)@2025-01-04, Point(3 3)@2025-01-05]}' "
+            "&& stbox 'STBOX X((10.0,20.0),(10.0,20.0))'"
+        ).scalar()
+        assert got is False
+
+    def test_at_time(self, con):
+        got = con.execute(
+            "SELECT asText(atTime(tgeompoint "
+            "'{[Point(1 1)@2025-01-01, Point(2 2)@2025-01-02, "
+            "Point(1 1)@2025-01-03],[Point(3 3)@2025-01-04, "
+            "Point(3 3)@2025-01-05]}', "
+            "tstzspan '[2025-01-01,2025-01-02]'))"
+        ).scalar()
+        assert got == (
+            "{[POINT(1 1)@2025-01-01 00:00:00+00, "
+            "POINT(2 2)@2025-01-02 00:00:00+00]}"
+        )
+
+
+class TestCasts:
+    def test_varchar_to_temporal_and_back(self, con):
+        got = con.execute(
+            "SELECT ('[1@2025-01-01, 2@2025-01-02]'::TFLOAT)::VARCHAR"
+        ).scalar()
+        assert got == ("[1@2025-01-01 00:00:00+00, "
+                       "2@2025-01-02 00:00:00+00]")
+
+    def test_trip_to_tstzspan(self, con):
+        got = con.execute(
+            "SELECT (tgeompoint '[Point(0 0)@2025-01-01, "
+            "Point(1 1)@2025-01-02]')::tstzspan::VARCHAR"
+        ).scalar()
+        assert got == ("[2025-01-01 00:00:00+00, "
+                       "2025-01-02 00:00:00+00]")
+
+    def test_trip_to_stbox(self, con):
+        got = con.execute(
+            "SELECT (tgeompoint '[Point(0 0)@2025-01-01, "
+            "Point(2 4)@2025-01-02]')::STBOX"
+        ).scalar()
+        assert got.xmax == 2.0
+        assert got.ymax == 4.0
+
+    def test_tint_tfloat_roundtrip(self, con):
+        got = con.execute(
+            "SELECT ('{1@2025-01-01, 2@2025-01-02}'::TINT)"
+            "::TFLOAT::VARCHAR"
+        ).scalar()
+        assert got == ("{1@2025-01-01 00:00:00+00, "
+                       "2@2025-01-02 00:00:00+00}")
+
+    def test_intset_floatset(self, con):
+        got = con.execute(
+            "SELECT ('{1, 2}'::intset)::floatset::VARCHAR"
+        ).scalar()
+        assert got == "{1, 2}"
+
+    def test_dateset_tstzset(self, con):
+        got = con.execute(
+            "SELECT ('{2025-01-01}'::dateset)::tstzset::VARCHAR"
+        ).scalar()
+        assert got == "{2025-01-01 00:00:00+00}"
+
+
+class TestOperators:
+    def test_span_contains_timestamp(self, con):
+        assert con.execute(
+            "SELECT tstzspan '[2025-01-01, 2025-01-03]' @> "
+            "'2025-01-02'::TIMESTAMPTZ"
+        ).scalar() is True
+
+    def test_span_overlap(self, con):
+        assert con.execute(
+            "SELECT tstzspan '[2025-01-01, 2025-01-03]' && "
+            "tstzspan '[2025-01-02, 2025-01-05]'"
+        ).scalar() is True
+
+    def test_intspan_value_ops(self, con):
+        assert con.execute(
+            "SELECT intspan '[1, 10]' @> 5"
+        ).scalar() is True
+        assert con.execute(
+            "SELECT intspan '[1, 3]' << intspan '[5, 8]'"
+        ).scalar() is True
+
+    def test_stbox_operators(self, con):
+        assert con.execute(
+            "SELECT stbox 'STBOX X((0,0),(10,10))' @> "
+            "stbox 'STBOX X((1,1),(2,2))'"
+        ).scalar() is True
+
+    def test_temporal_overlaps_span(self, con):
+        assert con.execute(
+            "SELECT tgeompoint '[Point(0 0)@2025-01-01, "
+            "Point(1 1)@2025-01-02]' && tstzspan "
+            "'[2025-01-01 12:00:00, 2025-01-05]'"
+        ).scalar() is True
+
+
+class TestFunctionsThroughSql:
+    def test_when_true_tdwithin(self, con):
+        got = con.execute(
+            "SELECT whenTrue(tDwithin("
+            "tgeompoint '[Point(0 0)@2025-01-01, Point(10 0)@2025-01-02]',"
+            "tgeompoint '[Point(10 0)@2025-01-01, Point(0 0)@2025-01-02]',"
+            "2.0))::VARCHAR"
+        ).scalar()
+        assert got == ("{[2025-01-01 09:36:00+00, "
+                       "2025-01-01 14:24:00+00]}")
+
+    def test_edwithin(self, con):
+        assert con.execute(
+            "SELECT eDwithin("
+            "tgeompoint '[Point(0 0)@2025-01-01, Point(10 0)@2025-01-02]',"
+            "tgeompoint '[Point(0 5)@2025-01-01, Point(10 5)@2025-01-02]',"
+            "1.0)"
+        ).scalar() is False
+
+    def test_trajectory_and_length(self, con):
+        got = con.execute(
+            "SELECT ST_AsText(trajectory(tgeompoint "
+            "'[Point(0 0)@2025-01-01, Point(3 4)@2025-01-02]')::GEOMETRY)"
+        ).scalar()
+        assert got == "LINESTRING(0 0, 3 4)"
+        assert con.execute(
+            "SELECT length(tgeompoint '[Point(0 0)@2025-01-01, "
+            "Point(3 4)@2025-01-02]')"
+        ).scalar() == 5.0
+
+    def test_value_at_timestamp(self, con):
+        got = con.execute(
+            "SELECT ST_AsText(valueAtTimestamp(tgeompoint "
+            "'[Point(0 0)@2025-01-01, Point(10 0)@2025-01-03]', "
+            "'2025-01-02'::TIMESTAMPTZ)::GEOMETRY)"
+        ).scalar()
+        assert got == "POINT(5 0)"
+
+    def test_at_values_wkb(self, con):
+        got = con.execute(
+            "SELECT startTimestamp(atValues(tgeompoint "
+            "'[Point(0 0)@2025-01-01, Point(10 0)@2025-01-03]', "
+            "ST_GeomFromText('POINT(5 0)')::WKB_BLOB))"
+        ).scalar()
+        from repro.meos.timetypes import parse_timestamptz
+
+        assert got == parse_timestamptz("2025-01-02")
+
+    def test_gserialized_fast_path(self, con):
+        got = con.execute(
+            "SELECT distance_gs("
+            "trajectory_gs(tgeompoint '[Point(0 0)@2025-01-01, "
+            "Point(0 1)@2025-01-02]'), "
+            "trajectory_gs(tgeompoint '[Point(3 0)@2025-01-01, "
+            "Point(3 1)@2025-01-02]'))"
+        ).scalar()
+        assert got == 3.0
+
+    def test_collect_gs_over_list(self, con):
+        con.execute("CREATE OR REPLACE TABLE trips_tmp(t TGEOMPOINT)")
+        con.execute(
+            "INSERT INTO trips_tmp VALUES "
+            "('[Point(0 0)@2025-01-01, Point(1 0)@2025-01-02]'),"
+            "('[Point(5 5)@2025-01-01, Point(6 5)@2025-01-02]')"
+        )
+        got = con.execute(
+            "SELECT asText_gs(collect_gs(list(trajectory_gs(t)))) "
+            "FROM trips_tmp"
+        ).scalar()
+        assert got.startswith("MULTILINESTRING")
+
+    def test_extent_aggregate(self, con):
+        con.execute("CREATE OR REPLACE TABLE trips_tmp2(t TGEOMPOINT)")
+        con.execute(
+            "INSERT INTO trips_tmp2 VALUES "
+            "('[Point(0 0)@2025-01-01, Point(1 1)@2025-01-02]'),"
+            "('[Point(5 5)@2025-01-03, Point(9 9)@2025-01-04]')"
+        )
+        box = con.execute("SELECT extent(t) FROM trips_tmp2").scalar()
+        assert box.xmin == 0.0
+        assert box.xmax == 9.0
+
+    def test_tgeompoint_seq_assembly(self, con):
+        con.execute("CREATE OR REPLACE TABLE obs(p TGEOMPOINT)")
+        con.execute(
+            "INSERT INTO obs SELECT tgeompoint(ST_Point(i * 1.0, 0.0), "
+            "('2025-01-01'::TIMESTAMP + INTERVAL (i || ' hours'))) "
+            "FROM generate_series(1, 5) AS t(i)"
+        )
+        got = con.execute(
+            "SELECT numInstants(tgeompointSeq(list(p))) FROM obs"
+        ).scalar()
+        assert got == 2  # collinear instants normalize away
+
+    def test_geometry_of_stbox(self, con):
+        got = con.execute(
+            "SELECT ST_AsText(geometry(stbox 'STBOX X((0,0),(2,2))')"
+            "::GEOMETRY)"
+        ).scalar()
+        assert got.startswith("POLYGON")

@@ -1,0 +1,116 @@
+"""Failure injection: malformed inputs must fail loudly, not corrupt."""
+
+import pytest
+
+from repro import core
+from repro.quack import (
+    BinderError,
+    CatalogError,
+    ConversionError,
+    ExecutionError,
+    ParserError,
+    QuackError,
+)
+
+
+@pytest.fixture(scope="module")
+def con():
+    return core.connect()
+
+
+class TestBadLiterals:
+    @pytest.mark.parametrize(
+        "literal,type_name",
+        [
+            ("not a box", "STBOX"),
+            ("STBOX Y((1,2),(3,4))", "STBOX"),
+            ("{1, 2", "intset"),
+            ("[5, 3]", "floatspan"),
+            ("[1@nonsense]", "tint"),
+            ("Point(1)@2025-01-01", "tgeompoint"),
+            ("{}", "tstzset"),
+        ],
+    )
+    def test_rejected_with_conversion_error(self, con, literal, type_name):
+        with pytest.raises((ConversionError, QuackError)):
+            con.execute(f"SELECT '{literal}'::{type_name}")
+
+    def test_error_keeps_connection_usable(self, con):
+        with pytest.raises(QuackError):
+            con.execute("SELECT 'bogus'::STBOX")
+        assert con.execute("SELECT 1").scalar() == 1
+
+
+class TestBadWkb:
+    def test_truncated_wkb_to_geometry(self, con):
+        con.execute("CREATE OR REPLACE TABLE wkb_t(b BLOB)")
+        from repro import geo
+
+        good = geo.encode_wkb(geo.Point(1, 2))
+        con.database.catalog.get_table("wkb_t").append_rows(
+            [(good[:-3],)]
+        )
+        with pytest.raises((ConversionError, ExecutionError, Exception)):
+            con.execute("SELECT b::GEOMETRY FROM wkb_t")
+
+
+class TestBadDdl:
+    def test_index_on_missing_column(self, con):
+        con.execute("CREATE OR REPLACE TABLE g(box STBOX)")
+        with pytest.raises(CatalogError):
+            con.execute("CREATE INDEX bad ON g USING TRTREE(nope)")
+
+    def test_index_unknown_type(self, con):
+        con.execute("CREATE OR REPLACE TABLE g2(box STBOX)")
+        with pytest.raises(CatalogError):
+            con.execute("CREATE INDEX bad2 ON g2 USING FROBTREE(box)")
+
+    def test_duplicate_index_name(self, con):
+        con.execute("CREATE OR REPLACE TABLE g3(box STBOX)")
+        con.execute("CREATE INDEX once ON g3 USING TRTREE(box)")
+        with pytest.raises(CatalogError):
+            con.execute("CREATE INDEX once ON g3 USING TRTREE(box)")
+
+    def test_unknown_column_type(self, con):
+        with pytest.raises(BinderError):
+            con.execute("CREATE TABLE broken(a NOTATYPE)")
+
+
+class TestTypeMismatches:
+    def test_mixed_span_types_in_operator(self, con):
+        with pytest.raises(QuackError):
+            con.execute("SELECT intspan '[1,2]' && tstzspan "
+                        "'[2025-01-01, 2025-01-02]'")
+
+    def test_duration_on_non_temporal(self, con):
+        with pytest.raises(BinderError):
+            con.execute("SELECT duration(42)")
+
+    def test_srid_mismatch_surfaces(self, con):
+        with pytest.raises(QuackError):
+            con.execute(
+                "SELECT stbox 'SRID=4326;STBOX X((0,0),(1,1))' && "
+                "stbox 'SRID=3857;STBOX X((0,0),(1,1))'"
+            )
+
+
+class TestParserRecovery:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELEC 1",
+            "SELECT FROM t",
+            "SELECT 1 FROM",
+            "SELECT (1",
+            "INSERT INTO",
+            "CREATE TABLE t(",
+        ],
+    )
+    def test_syntax_errors(self, con, sql):
+        with pytest.raises(ParserError):
+            con.execute(sql)
+
+    def test_connection_survives_parse_error(self, con):
+        with pytest.raises(ParserError):
+            con.execute("SELECT ((")
+        assert con.execute("SELECT 2").scalar() == 2

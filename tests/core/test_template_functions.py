@@ -1,0 +1,202 @@
+"""SQL surface of the template types (sets, spans, spansets) end to end."""
+
+import pytest
+
+from repro import core
+
+
+@pytest.fixture(scope="module")
+def con():
+    return core.connect()
+
+
+class TestSetFunctions:
+    def test_accessors(self, con):
+        assert con.execute(
+            "SELECT numValues(intset '{3, 1, 2}')"
+        ).scalar() == 3
+        assert con.execute(
+            "SELECT startValue(intset '{3, 1, 2}')"
+        ).scalar() == 1
+        assert con.execute(
+            "SELECT endValue(intset '{3, 1, 2}')"
+        ).scalar() == 3
+        assert con.execute(
+            "SELECT valueN(intset '{3, 1, 2}', 2)"
+        ).scalar() == 2
+
+    def test_mem_size(self, con):
+        assert con.execute(
+            "SELECT memSize(intset '{1, 2, 3}')"
+        ).scalar() > 0
+
+    def test_predicates(self, con):
+        assert con.execute(
+            "SELECT intset '{1, 2, 3}' @> 2"
+        ).scalar() is True
+        assert con.execute(
+            "SELECT intset '{1, 2}' && intset '{2, 3}'"
+        ).scalar() is True
+        assert con.execute(
+            "SELECT intset '{1, 2}' @> intset '{2}'"
+        ).scalar() is True
+
+    def test_set_constructor_from_value(self, con):
+        assert con.execute(
+            "SELECT (set(5)::intset)::VARCHAR"
+        ).scalar() == "{5}"
+
+    def test_union_operator(self, con):
+        assert con.execute(
+            "SELECT (textset '{\"a\"}' + textset '{\"b\"}')::VARCHAR"
+        ).scalar() == '{"a", "b"}'
+
+    def test_shift(self, con):
+        assert con.execute(
+            "SELECT shift(intset '{1, 2}', 10)::VARCHAR"
+        ).scalar() == "{11, 12}"
+
+    def test_srid_of_geomset(self, con):
+        assert con.execute(
+            "SELECT SRID(geomset 'SRID=4326;{Point(0 0)}')"
+        ).scalar() == 4326
+
+
+class TestSpanFunctions:
+    def test_bounds(self, con):
+        assert con.execute(
+            "SELECT lower(floatspan '[1.5, 9]')"
+        ).scalar() == 1.5
+        assert con.execute(
+            "SELECT upper(floatspan '[1.5, 9]')"
+        ).scalar() == 9.0
+        assert con.execute(
+            "SELECT lowerInc(floatspan '(1, 2]')"
+        ).scalar() is False
+        assert con.execute(
+            "SELECT upperInc(floatspan '(1, 2]')"
+        ).scalar() is True
+
+    def test_width_and_duration(self, con):
+        assert con.execute(
+            "SELECT width(intspan '[1, 3]')"
+        ).scalar() == 3  # canonical [1, 4)
+        assert str(con.execute(
+            "SELECT duration(tstzspan '[2025-01-01, 2025-01-04]')"
+        ).scalar()) == "3 days"
+
+    def test_positional_operators(self, con):
+        assert con.execute(
+            "SELECT intspan '[1, 2]' << intspan '[5, 6]'"
+        ).scalar() is True
+        assert con.execute(
+            "SELECT intspan '[5, 6]' >> intspan '[1, 2]'"
+        ).scalar() is True
+        assert con.execute(
+            "SELECT floatspan '[1, 2)' -|- floatspan '[2, 3]'"
+        ).scalar() is True
+
+    def test_expand(self, con):
+        assert con.execute(
+            "SELECT expand(floatspan '[2, 4]', 1.0)::VARCHAR"
+        ).scalar() == "[1, 5]"
+        got = con.execute(
+            "SELECT expand(tstzspan '[2025-01-02, 2025-01-03]', "
+            "interval '1 day')::VARCHAR"
+        ).scalar()
+        assert got.startswith("[2025-01-01")
+
+    def test_shift_scale_tstz(self, con):
+        got = con.execute(
+            "SELECT shiftScale(tstzspan '[2025-01-01, 2025-01-02]', "
+            "interval '1 day', interval '2 days')::VARCHAR"
+        ).scalar()
+        assert got == ("[2025-01-02 00:00:00+00, "
+                       "2025-01-04 00:00:00+00]")
+
+
+class TestSpansetFunctions:
+    SS = "tstzspanset '{[2025-01-01, 2025-01-02], [2025-01-04, 2025-01-05]}'"
+
+    def test_structure(self, con):
+        assert con.execute(
+            f"SELECT numSpans({self.SS})"
+        ).scalar() == 2
+        assert con.execute(
+            f"SELECT startSpan({self.SS})::VARCHAR"
+        ).scalar().startswith("[2025-01-01")
+        assert con.execute(
+            f"SELECT endSpan({self.SS})::VARCHAR"
+        ).scalar().startswith("[2025-01-04")
+
+    def test_durations(self, con):
+        assert str(con.execute(
+            f"SELECT duration({self.SS})"
+        ).scalar()) == "2 days"
+        assert str(con.execute(
+            f"SELECT duration({self.SS}, true)"
+        ).scalar()) == "4 days"
+
+    def test_cast_to_span(self, con):
+        got = con.execute(f"SELECT ({self.SS})::tstzspan::VARCHAR").scalar()
+        assert got == ("[2025-01-01 00:00:00+00, "
+                       "2025-01-05 00:00:00+00]")
+
+    def test_membership(self, con):
+        assert con.execute(
+            f"SELECT {self.SS} @> '2025-01-01 12:00:00'::TIMESTAMPTZ"
+        ).scalar() is True
+        assert con.execute(
+            f"SELECT {self.SS} @> '2025-01-03'::TIMESTAMPTZ"
+        ).scalar() is False
+
+    def test_minus_operator(self, con):
+        got = con.execute(
+            f"SELECT ({self.SS} - tstzspanset "
+            "'{[2025-01-04, 2025-01-06]}')::VARCHAR"
+        ).scalar()
+        assert "2025-01-04" not in got
+
+    def test_intspanset_numbers(self, con):
+        assert con.execute(
+            "SELECT numSpans(intspanset '{[1, 2], [3, 4]}')"
+        ).scalar() == 1  # canonical merge of adjacent int spans
+
+
+class TestQueriesOverTemplateColumns:
+    """Template types as table columns with grouping/joins."""
+
+    @pytest.fixture(scope="class")
+    def data(self):
+        con = core.connect()
+        con.execute(
+            "CREATE TABLE shifts(worker VARCHAR, period TSTZSPAN)"
+        )
+        con.execute(
+            "INSERT INTO shifts VALUES "
+            "('ana', '[2025-01-01 08:00:00, 2025-01-01 16:00:00]'),"
+            "('ana', '[2025-01-02 08:00:00, 2025-01-02 12:00:00]'),"
+            "('bo', '[2025-01-01 10:00:00, 2025-01-01 18:00:00]')"
+        )
+        return con
+
+    def test_overlap_join(self, data):
+        got = data.execute(
+            "SELECT count(*) FROM shifts a, shifts b "
+            "WHERE a.worker < b.worker AND a.period && b.period"
+        ).scalar()
+        assert got == 1
+
+    def test_group_by_worker_duration(self, data):
+        rows = data.execute(
+            "SELECT worker, sum(epoch(upper(period)) - "
+            "epoch(lower(period))) / 3600 AS hours "
+            "FROM shifts GROUP BY worker ORDER BY worker"
+        ).fetchall()
+        assert rows == [("ana", 12.0), ("bo", 8.0)]
+
+    def test_order_by_span_column_via_lower(self, data):
+        rows = data.execute(
+            "SELECT worker FROM shifts ORDER BY lower(period), worker"
+        ).fetchall()
+        assert rows[0][0] == "ana"

@@ -1,0 +1,223 @@
+"""Spatial predicate/measure tests, with property-based checks."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo import (
+    GeometryError,
+    LineString,
+    Point,
+    Polygon,
+    centroid,
+    clip_segment_to_geometry,
+    clip_segment_to_polygon,
+    collect,
+    contains,
+    distance,
+    dwithin,
+    intersects,
+    length,
+    parse_wkt,
+    point_in_polygon,
+)
+
+SQUARE = Polygon([(0, 0), (10, 0), (10, 10), (0, 10)])
+DONUT = Polygon(
+    [(0, 0), (10, 0), (10, 10), (0, 10)],
+    holes=[[(4, 4), (6, 4), (6, 6), (4, 6)]],
+)
+
+
+class TestPointInPolygon:
+    def test_inside(self):
+        assert point_in_polygon((5, 5), SQUARE)
+
+    def test_outside(self):
+        assert not point_in_polygon((15, 5), SQUARE)
+
+    def test_on_boundary(self):
+        assert point_in_polygon((10, 5), SQUARE)
+        assert point_in_polygon((0, 0), SQUARE)
+
+    def test_in_hole(self):
+        assert not point_in_polygon((5, 5), DONUT)
+
+    def test_on_hole_boundary(self):
+        assert point_in_polygon((4, 5), DONUT)
+
+    def test_between_hole_and_shell(self):
+        assert point_in_polygon((2, 2), DONUT)
+
+
+class TestIntersects:
+    def test_point_in_polygon(self):
+        assert intersects(SQUARE, Point(5, 5))
+        assert not intersects(SQUARE, Point(50, 50))
+
+    def test_crossing_lines(self):
+        a = LineString([(0, 0), (10, 10)])
+        b = LineString([(0, 10), (10, 0)])
+        assert intersects(a, b)
+
+    def test_parallel_lines(self):
+        a = LineString([(0, 0), (10, 0)])
+        b = LineString([(0, 1), (10, 1)])
+        assert not intersects(a, b)
+
+    def test_collinear_overlap(self):
+        a = LineString([(0, 0), (5, 0)])
+        b = LineString([(3, 0), (8, 0)])
+        assert intersects(a, b)
+
+    def test_line_through_polygon(self):
+        line = LineString([(-5, 5), (15, 5)])
+        assert intersects(line, SQUARE)
+
+    def test_line_inside_polygon_no_boundary_cross(self):
+        line = LineString([(2, 2), (3, 3)])
+        assert intersects(line, SQUARE)
+
+    def test_polygon_containing_polygon(self):
+        inner = Polygon([(2, 2), (3, 2), (3, 3), (2, 3)])
+        assert intersects(SQUARE, inner)
+        assert intersects(inner, SQUARE)
+
+    def test_collection(self):
+        geom = collect([Point(50, 50), Point(5, 5)])
+        assert intersects(geom, SQUARE)
+
+    def test_symmetric(self):
+        line = LineString([(-5, 5), (15, 5)])
+        assert intersects(line, SQUARE) == intersects(SQUARE, line)
+
+
+class TestDistance:
+    def test_point_point(self):
+        assert distance(Point(0, 0), Point(3, 4)) == 5.0
+
+    def test_point_segment(self):
+        assert distance(Point(5, 5), LineString([(0, 0), (10, 0)])) == 5.0
+
+    def test_touching_is_zero(self):
+        assert distance(SQUARE, Point(10, 5)) == 0.0
+
+    def test_inside_is_zero(self):
+        assert distance(SQUARE, Point(5, 5)) == 0.0
+
+    def test_polygon_point(self):
+        assert distance(SQUARE, Point(13, 14)) == 5.0
+
+    def test_line_line(self):
+        a = LineString([(0, 0), (10, 0)])
+        b = LineString([(0, 3), (10, 3)])
+        assert distance(a, b) == 3.0
+
+    def test_collections_use_min(self):
+        geom = collect([Point(100, 100), Point(0, 7)])
+        assert distance(geom, Point(0, 0)) == 7.0
+
+    def test_empty_raises(self):
+        with pytest.raises(GeometryError):
+            distance(LineString([]), Point(0, 0))
+
+    def test_large_linestrings_vectorized_path(self):
+        a = LineString([(i, 0) for i in range(50)])
+        b = LineString([(i, 7) for i in range(50)])
+        assert distance(a, b) == pytest.approx(7.0)
+
+    @given(
+        st.floats(-100, 100), st.floats(-100, 100),
+        st.floats(-100, 100), st.floats(-100, 100),
+    )
+    @settings(max_examples=80)
+    def test_symmetry(self, x0, y0, x1, y1):
+        a = LineString([(x0, y0), (x0 + 5, y0 + 1)])
+        b = LineString([(x1, y1), (x1 - 2, y1 + 3)])
+        assert distance(a, b) == pytest.approx(distance(b, a), abs=1e-9)
+
+    @given(st.floats(-50, 50), st.floats(-50, 50))
+    @settings(max_examples=80)
+    def test_dwithin_consistent_with_distance(self, x, y):
+        p = Point(x, y)
+        d = distance(p, SQUARE)
+        assert dwithin(p, SQUARE, d + 0.01)
+        if d > 0.02:
+            assert not dwithin(p, SQUARE, d - 0.02)
+
+
+class TestContains:
+    def test_polygon_contains_point(self):
+        assert contains(SQUARE, Point(5, 5))
+        assert not contains(SQUARE, Point(50, 5))
+
+    def test_polygon_contains_line(self):
+        assert contains(SQUARE, LineString([(1, 1), (9, 9)]))
+        assert not contains(SQUARE, LineString([(1, 1), (19, 9)]))
+
+    def test_point_never_contains(self):
+        assert not contains(Point(0, 0), Point(0, 0))
+
+
+class TestMeasures:
+    def test_length_multilinestring(self):
+        geom = collect(
+            [LineString([(0, 0), (3, 4)]), LineString([(0, 0), (6, 8)])]
+        )
+        assert length(geom) == pytest.approx(15.0)
+
+    def test_length_ignores_points(self):
+        assert length(Point(1, 1)) == 0.0
+
+    def test_centroid_polygon(self):
+        c = centroid(SQUARE)
+        assert (c.x, c.y) == (5.0, 5.0)
+
+    def test_centroid_points(self):
+        c = centroid(collect([Point(0, 0), Point(2, 0)]))
+        assert (c.x, c.y) == (1.0, 0.0)
+
+
+class TestClipping:
+    def test_segment_through_square(self):
+        spans = clip_segment_to_polygon((-5, 5), (15, 5), SQUARE)
+        assert spans == [(0.25, 0.75)]
+
+    def test_segment_fully_inside(self):
+        spans = clip_segment_to_polygon((2, 5), (8, 5), SQUARE)
+        assert spans == [(0.0, 1.0)]
+
+    def test_segment_fully_outside(self):
+        spans = clip_segment_to_polygon((20, 20), (30, 30), SQUARE)
+        assert spans == []
+
+    def test_segment_through_donut_hole(self):
+        spans = clip_segment_to_polygon((-10, 5), (20, 5), DONUT)
+        # enters shell, exits into the hole, re-enters, exits the shell
+        assert len(spans) == 2
+        total = sum(hi - lo for lo, hi in spans)
+        assert total == pytest.approx((10.0 - 2.0) / 30.0, abs=1e-6)
+
+    def test_clip_to_geometry_merges(self):
+        left = Polygon([(0, 0), (5, 0), (5, 10), (0, 10)])
+        right = Polygon([(5, 0), (10, 0), (10, 10), (5, 10)])
+        spans = clip_segment_to_geometry(
+            (-5, 5), (15, 5), collect([left, right])
+        )
+        assert spans == [(0.25, 0.75)]
+
+    def test_clip_touch_point(self):
+        spans = clip_segment_to_geometry((0, 0), (10, 0), Point(5, 0))
+        assert spans == [(0.5, 0.5)]
+
+    @given(st.floats(-20, 20), st.floats(-20, 20),
+           st.floats(-20, 20), st.floats(-20, 20))
+    @settings(max_examples=100)
+    def test_clip_intervals_sorted_and_bounded(self, x0, y0, x1, y1):
+        spans = clip_segment_to_polygon((x0, y0), (x1, y1), SQUARE)
+        for lo, hi in spans:
+            assert 0.0 <= lo <= hi <= 1.0
+        for (a_lo, a_hi), (b_lo, b_hi) in zip(spans, spans[1:]):
+            assert a_hi <= b_lo

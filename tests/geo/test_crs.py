@@ -1,0 +1,123 @@
+"""CRS / reprojection tests (paper §3.5 transform example included)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo import (
+    GeometryError,
+    LineString,
+    Point,
+    Polygon,
+    known_srids,
+    parse_wkt,
+    transform,
+    transform_coord,
+)
+
+
+class TestRegistry:
+    def test_known_srids(self):
+        ids = known_srids()
+        for srid in (4326, 3857, 3812, 32648, 3405):
+            assert srid in ids
+
+    def test_unknown_srid_rejected(self):
+        with pytest.raises(GeometryError):
+            transform_coord(0, 0, 4326, 999999)
+
+    def test_untagged_geometry_rejected(self):
+        with pytest.raises(GeometryError):
+            transform(Point(1, 2), 3857)
+
+
+class TestPaperExample:
+    """§3.5: transform(geomset 'SRID=4326;...', 3812)."""
+
+    def test_amiens_point(self):
+        p = transform(parse_wkt("SRID=4326;POINT(2.340088 49.400250)"), 3812)
+        # Paper expects POINT(502773.429981 511805.120402); our Lambert
+        # implementation agrees to centimetres.
+        assert p.x == pytest.approx(502773.43, abs=0.5)
+        assert p.y == pytest.approx(511805.12, abs=0.5)
+
+    def test_second_point(self):
+        p = transform(parse_wkt("SRID=4326;POINT(6.575317 51.553167)"), 3812)
+        assert p.x == pytest.approx(803028.91, abs=0.5)
+        assert p.y == pytest.approx(751590.74, abs=0.5)
+
+
+class TestWebMercator:
+    def test_origin(self):
+        x, y = transform_coord(0, 0, 4326, 3857)
+        assert x == pytest.approx(0.0, abs=1e-6)
+        assert y == pytest.approx(0.0, abs=1e-6)
+
+    def test_known_value(self):
+        x, y = transform_coord(180, 0, 4326, 3857)
+        assert x == pytest.approx(20037508.34, rel=1e-6)
+
+
+class TestUtm48:
+    def test_hanoi_city_center(self):
+        # Hanoi (105.85 E, 21.03 N) is near the UTM 48N central meridian.
+        x, y = transform_coord(105.85, 21.03, 4326, 32648)
+        assert x == pytest.approx(588445, abs=2000)
+        assert y == pytest.approx(2326000, abs=5000)
+
+    def test_central_meridian_maps_to_false_easting(self):
+        x, _ = transform_coord(105.0, 20.0, 4326, 32648)
+        assert x == pytest.approx(500000.0, abs=0.01)
+
+
+class TestRoundTrips:
+    @given(
+        st.floats(100, 110), st.floats(8, 24),
+        st.sampled_from([3857, 32648, 3405]),
+    )
+    @settings(max_examples=100)
+    def test_projection_round_trip(self, lon, lat, srid):
+        x, y = transform_coord(lon, lat, 4326, srid)
+        lon2, lat2 = transform_coord(x, y, srid, 4326)
+        assert lon2 == pytest.approx(lon, abs=1e-6)
+        assert lat2 == pytest.approx(lat, abs=1e-6)
+
+    @given(st.floats(2, 7), st.floats(49, 52))
+    @settings(max_examples=100)
+    def test_lambert_round_trip(self, lon, lat):
+        x, y = transform_coord(lon, lat, 4326, 3812)
+        lon2, lat2 = transform_coord(x, y, 3812, 4326)
+        assert lon2 == pytest.approx(lon, abs=1e-6)
+        assert lat2 == pytest.approx(lat, abs=1e-6)
+
+    def test_same_srid_is_identity(self):
+        p = Point(1, 2, 4326)
+        assert transform(p, 4326) is p
+
+
+class TestGeometryKinds:
+    def test_linestring(self):
+        line = LineString([(105.8, 21.0), (105.9, 21.1)], srid=4326)
+        out = transform(line, 32648)
+        assert out.srid == 32648
+        assert len(out.points) == 2
+
+    def test_polygon_with_hole(self):
+        poly = Polygon(
+            [(105.8, 21.0), (105.9, 21.0), (105.9, 21.1), (105.8, 21.1)],
+            holes=[[(105.84, 21.04), (105.86, 21.04), (105.86, 21.06),
+                    (105.84, 21.06)]],
+            srid=4326,
+        )
+        out = transform(poly, 32648)
+        assert len(out.holes) == 1
+        assert out.area() > 1e6  # ~ 10km x 11km in metres
+
+    def test_collection(self):
+        geom = parse_wkt(
+            "SRID=4326;GEOMETRYCOLLECTION(POINT(105.8 21.0), "
+            "LINESTRING(105.8 21.0, 105.9 21.1))"
+        )
+        out = transform(geom, 32648)
+        assert out.srid == 32648
+        assert len(out.geoms) == 2

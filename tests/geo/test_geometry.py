@@ -1,0 +1,152 @@
+"""Unit tests for geometry value types."""
+
+import math
+
+import pytest
+
+from repro.geo import (
+    GeometryCollection,
+    GeometryError,
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+    collect,
+    flatten,
+)
+
+
+class TestPoint:
+    def test_coordinates(self):
+        p = Point(1.5, -2.5)
+        assert list(p.coordinates()) == [(1.5, -2.5)]
+
+    def test_distance_to(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == 5.0
+
+    def test_equality_includes_srid(self):
+        assert Point(1, 2, 4326) == Point(1, 2, 4326)
+        assert Point(1, 2, 4326) != Point(1, 2, 3857)
+        assert Point(1, 2) != Point(1, 3)
+
+    def test_hashable(self):
+        assert len({Point(1, 2), Point(1, 2), Point(3, 4)}) == 2
+
+    def test_bounds(self):
+        assert Point(1, 2).bounds() == (1, 2, 1, 2)
+
+    def test_with_srid(self):
+        p = Point(1, 2).with_srid(4326)
+        assert p.srid == 4326
+        assert p.x == 1
+
+    def test_never_empty(self):
+        assert not Point(0, 0).is_empty()
+
+
+class TestLineString:
+    def test_length(self):
+        line = LineString([(0, 0), (3, 4), (3, 10)])
+        assert line.length() == pytest.approx(11.0)
+
+    def test_segments(self):
+        line = LineString([(0, 0), (1, 0), (1, 1)])
+        assert list(line.segments()) == [
+            ((0.0, 0.0), (1.0, 0.0)),
+            ((1.0, 0.0), (1.0, 1.0)),
+        ]
+
+    def test_empty(self):
+        assert LineString([]).is_empty()
+        assert not LineString([(0, 0), (1, 1)]).is_empty()
+
+    def test_bounds(self):
+        line = LineString([(0, 5), (-3, 2), (7, 1)])
+        assert line.bounds() == (-3, 1, 7, 5)
+
+    def test_bounds_cached(self):
+        line = LineString([(0, 0), (2, 2)])
+        assert line.bounds() is line.bounds()
+
+
+class TestPolygon:
+    def test_ring_auto_closed(self):
+        poly = Polygon([(0, 0), (4, 0), (4, 4), (0, 4)])
+        assert poly.shell[0] == poly.shell[-1]
+        assert len(poly.shell) == 5
+
+    def test_area(self):
+        poly = Polygon([(0, 0), (4, 0), (4, 4), (0, 4)])
+        assert poly.area() == pytest.approx(16.0)
+
+    def test_area_with_hole(self):
+        poly = Polygon(
+            [(0, 0), (10, 0), (10, 10), (0, 10)],
+            holes=[[(2, 2), (4, 2), (4, 4), (2, 4)]],
+        )
+        assert poly.area() == pytest.approx(96.0)
+
+    def test_centroid_of_square(self):
+        poly = Polygon([(0, 0), (2, 0), (2, 2), (0, 2)])
+        c = poly.centroid()
+        assert (c.x, c.y) == (1.0, 1.0)
+
+    def test_degenerate_ring_rejected(self):
+        with pytest.raises(GeometryError):
+            Polygon([(0, 0), (1, 1)])
+
+    def test_rings_iteration(self):
+        poly = Polygon(
+            [(0, 0), (10, 0), (10, 10), (0, 10)],
+            holes=[[(2, 2), (4, 2), (4, 4), (2, 4)]],
+        )
+        assert len(list(poly.rings())) == 2
+
+
+class TestCollections:
+    def test_multipoint_type_check(self):
+        with pytest.raises(GeometryError):
+            MultiPoint([LineString([(0, 0), (1, 1)])])
+
+    def test_collect_homogeneous_points(self):
+        geom = collect([Point(0, 0), Point(1, 1)])
+        assert isinstance(geom, MultiPoint)
+        assert len(geom) == 2
+
+    def test_collect_single_passthrough(self):
+        p = Point(3, 3)
+        assert collect([p]) is p
+
+    def test_collect_mixed(self):
+        geom = collect([Point(0, 0), LineString([(0, 0), (1, 1)])])
+        assert isinstance(geom, GeometryCollection)
+
+    def test_collect_lines(self):
+        geom = collect(
+            [LineString([(0, 0), (1, 1)]), LineString([(2, 2), (3, 3)])]
+        )
+        assert isinstance(geom, MultiLineString)
+
+    def test_collect_polygons(self):
+        square = [(0, 0), (1, 0), (1, 1), (0, 1)]
+        geom = collect([Polygon(square), Polygon(square)])
+        assert isinstance(geom, MultiPolygon)
+
+    def test_collect_empty(self):
+        geom = collect([])
+        assert geom.is_empty()
+
+    def test_collect_srid_mismatch(self):
+        with pytest.raises(GeometryError):
+            collect([Point(0, 0, 4326), Point(1, 1, 3857)])
+
+    def test_flatten_nested(self):
+        inner = GeometryCollection([Point(0, 0), Point(1, 1)])
+        outer = GeometryCollection([inner, Point(2, 2)])
+        assert len(list(flatten(outer))) == 3
+
+    def test_multigeometry_inherits_srid(self):
+        geom = MultiPoint([Point(0, 0, 4326)])
+        assert geom.srid == 4326

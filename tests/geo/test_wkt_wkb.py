@@ -1,0 +1,160 @@
+"""WKT/EWKT/WKB serialization tests, including round-trip properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo import (
+    GeometryCollection,
+    GeometryError,
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+    decode_wkb,
+    encode_wkb,
+    format_ewkt,
+    format_wkt,
+    parse_wkt,
+)
+
+
+class TestParseWkt:
+    def test_point(self):
+        p = parse_wkt("POINT(1.5 -2.5)")
+        assert isinstance(p, Point)
+        assert (p.x, p.y) == (1.5, -2.5)
+
+    def test_point_with_srid(self):
+        p = parse_wkt("SRID=4326;POINT(2.34 49.40)")
+        assert p.srid == 4326
+
+    def test_case_insensitive(self):
+        assert isinstance(parse_wkt("point(0 0)"), Point)
+
+    def test_linestring(self):
+        line = parse_wkt("LINESTRING(0 0, 1 1, 2 0)")
+        assert isinstance(line, LineString)
+        assert len(line.points) == 3
+
+    def test_polygon_with_hole(self):
+        poly = parse_wkt(
+            "POLYGON((0 0, 10 0, 10 10, 0 10, 0 0),"
+            "(2 2, 4 2, 4 4, 2 4, 2 2))"
+        )
+        assert isinstance(poly, Polygon)
+        assert len(poly.holes) == 1
+
+    def test_multipoint_both_syntaxes(self):
+        a = parse_wkt("MULTIPOINT((0 0), (1 1))")
+        b = parse_wkt("MULTIPOINT(0 0, 1 1)")
+        assert a == b
+
+    def test_multilinestring(self):
+        geom = parse_wkt("MULTILINESTRING((0 0, 1 1), (2 2, 3 3))")
+        assert isinstance(geom, MultiLineString)
+        assert len(geom) == 2
+
+    def test_multipolygon(self):
+        geom = parse_wkt(
+            "MULTIPOLYGON(((0 0, 1 0, 1 1, 0 0)), ((5 5, 6 5, 6 6, 5 5)))"
+        )
+        assert isinstance(geom, MultiPolygon)
+
+    def test_geometrycollection(self):
+        geom = parse_wkt(
+            "GEOMETRYCOLLECTION(POINT(0 0), LINESTRING(0 0, 1 1))"
+        )
+        assert isinstance(geom, GeometryCollection)
+        assert len(geom) == 2
+
+    def test_empty(self):
+        assert parse_wkt("LINESTRING EMPTY").is_empty()
+        assert parse_wkt("MULTIPOINT EMPTY").is_empty()
+        assert parse_wkt("GEOMETRYCOLLECTION EMPTY").is_empty()
+
+    def test_scientific_notation(self):
+        p = parse_wkt("POINT(1e3 -2.5e-2)")
+        assert p.x == 1000.0
+        assert p.y == -0.025
+
+    def test_garbage_rejected(self):
+        with pytest.raises(GeometryError):
+            parse_wkt("TRIANGLE(0 0, 1 1, 2 2)")
+        with pytest.raises(GeometryError):
+            parse_wkt("POINT(1)")
+        with pytest.raises(GeometryError):
+            parse_wkt("POINT(1 2) trailing")
+
+    def test_bad_srid(self):
+        with pytest.raises(GeometryError):
+            parse_wkt("SRID=abc;POINT(0 0)")
+
+
+class TestFormatWkt:
+    def test_point_integers_compact(self):
+        assert format_wkt(Point(1.0, 2.0)) == "POINT(1 2)"
+
+    def test_ewkt_srid(self):
+        assert format_ewkt(Point(1, 2, 4326)) == "SRID=4326;POINT(1 2)"
+
+    def test_ewkt_no_srid(self):
+        assert format_ewkt(Point(1, 2)) == "POINT(1 2)"
+
+    def test_precision(self):
+        assert format_wkt(Point(1.23456789, 0), precision=3) == (
+            "POINT(1.235 0)"
+        )
+
+
+_coord = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def _geometries(draw):
+    kind = draw(st.integers(0, 3))
+    if kind == 0:
+        return Point(draw(_coord), draw(_coord))
+    if kind == 1:
+        pts = draw(
+            st.lists(st.tuples(_coord, _coord), min_size=2, max_size=8)
+        )
+        return LineString(pts)
+    if kind == 2:
+        cx, cy = draw(_coord), draw(_coord)
+        return Polygon(
+            [(cx, cy), (cx + 10, cy), (cx + 10, cy + 10), (cx, cy + 10)]
+        )
+    pts = draw(st.lists(st.tuples(_coord, _coord), min_size=1, max_size=5))
+    return MultiPoint([Point(x, y) for x, y in pts])
+
+
+class TestRoundTrips:
+    @given(_geometries())
+    @settings(max_examples=120)
+    def test_wkt_round_trip(self, geom):
+        assert parse_wkt(format_wkt(geom)) == geom
+
+    @given(_geometries(), st.sampled_from([0, 4326, 3857]))
+    @settings(max_examples=120)
+    def test_wkb_round_trip(self, geom, srid):
+        tagged = geom.with_srid(srid)
+        assert decode_wkb(encode_wkb(tagged)) == tagged
+
+    def test_wkb_collection_round_trip(self):
+        geom = parse_wkt(
+            "SRID=4326;GEOMETRYCOLLECTION(POINT(0 0), "
+            "POLYGON((0 0, 1 0, 1 1, 0 0)))"
+        )
+        restored = decode_wkb(encode_wkb(geom))
+        assert restored == geom
+        assert restored.srid == 4326
+
+    def test_wkb_truncated_rejected(self):
+        data = encode_wkb(Point(1, 2))
+        with pytest.raises(GeometryError):
+            decode_wkb(data[:-4])

@@ -1,0 +1,166 @@
+"""R-tree unit and property tests (incremental + STR bulk load)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index import RTree, rect_contains, rect_overlaps, rect_union
+from repro.index.rtree import rect_volume
+
+
+class TestRectPrimitives:
+    def test_union(self):
+        assert rect_union((0, 0, 1, 1), (2, 2, 3, 3)) == (0, 0, 3, 3)
+
+    def test_overlaps(self):
+        assert rect_overlaps((0, 0, 2, 2), (1, 1, 3, 3))
+        assert rect_overlaps((0, 0, 2, 2), (2, 2, 3, 3))  # touching counts
+        assert not rect_overlaps((0, 0, 1, 1), (2, 2, 3, 3))
+
+    def test_contains(self):
+        assert rect_contains((0, 0, 10, 10), (1, 1, 2, 2))
+        assert not rect_contains((0, 0, 10, 10), (9, 9, 11, 11))
+
+    def test_volume(self):
+        assert rect_volume((0, 0, 2, 3)) == 6.0
+        assert rect_volume((0, 0, 0, 5, 5, 5)) == 125.0
+
+
+def _random_items(n, seed, dims=2):
+    rng = random.Random(seed)
+    items = []
+    for i in range(n):
+        mins = [rng.uniform(0, 1000) for _ in range(dims)]
+        maxs = [m + rng.uniform(0, 20) for m in mins]
+        items.append((tuple(mins + maxs), i))
+    return items
+
+
+class TestIncremental:
+    def test_empty_search(self):
+        tree = RTree()
+        assert tree.search((0, 0, 10, 10)) == []
+        assert len(tree) == 0
+
+    def test_single_item(self):
+        tree = RTree()
+        tree.insert((1, 1, 2, 2), "a")
+        assert tree.search((0, 0, 3, 3)) == ["a"]
+        assert tree.search((5, 5, 6, 6)) == []
+
+    def test_duplicate_rects_allowed(self):
+        tree = RTree()
+        for i in range(10):
+            tree.insert((1, 1, 2, 2), i)
+        assert sorted(tree.search((1, 1, 2, 2))) == list(range(10))
+
+    def test_wrong_dimensions_rejected(self):
+        tree = RTree(dimensions=2)
+        with pytest.raises(ValueError):
+            tree.insert((0, 0, 0, 1, 1, 1), "x")
+
+    def test_max_entries_validation(self):
+        with pytest.raises(ValueError):
+            RTree(max_entries=2)
+
+    @pytest.mark.parametrize("n", [10, 100, 1500])
+    def test_matches_brute_force(self, n):
+        items = _random_items(n, seed=n)
+        tree = RTree(max_entries=8)
+        for rect, rid in items:
+            tree.insert(rect, rid)
+        tree.check_invariants()
+        query = (200, 200, 400, 400)
+        expected = sorted(r for rect, r in items
+                          if rect_overlaps(rect, query))
+        assert sorted(tree.search(query)) == expected
+
+    def test_search_contained(self):
+        tree = RTree()
+        tree.insert((1, 1, 2, 2), "inside")
+        tree.insert((1, 1, 20, 20), "partial")
+        got = tree.search_contained((0, 0, 5, 5))
+        assert got == ["inside"]
+
+    def test_all_items(self):
+        items = _random_items(50, seed=3)
+        tree = RTree()
+        for rect, rid in items:
+            tree.insert(rect, rid)
+        assert sorted(r for _, r in tree.all_items()) == list(range(50))
+
+
+class TestBulkLoad:
+    @pytest.mark.parametrize("n", [0, 1, 16, 17, 1000])
+    def test_matches_brute_force(self, n):
+        items = _random_items(n, seed=n + 7)
+        tree = RTree.bulk_load(items)
+        tree.check_invariants()
+        query = (100, 100, 500, 500)
+        expected = sorted(r for rect, r in items
+                          if rect_overlaps(rect, query))
+        assert sorted(tree.search(query)) == expected
+
+    def test_bulk_load_shallower_than_incremental(self):
+        items = _random_items(2000, seed=11)
+        bulk = RTree.bulk_load(items, max_entries=8)
+        incremental = RTree(max_entries=8)
+        for rect, rid in items:
+            incremental.insert(rect, rid)
+        assert bulk.height() <= incremental.height()
+
+    def test_bulk_then_insert(self):
+        items = _random_items(100, seed=5)
+        tree = RTree.bulk_load(items)
+        tree.insert((0, 0, 1, 1), "new")
+        tree.check_invariants()
+        assert "new" in tree.search((0, 0, 2, 2))
+
+    def test_three_dimensional(self):
+        items = _random_items(300, seed=9, dims=3)
+        tree = RTree.bulk_load(items, dimensions=3)
+        query = (0, 0, 0, 500, 500, 500)
+        expected = sorted(r for rect, r in items
+                          if rect_overlaps(rect, query))
+        assert sorted(tree.search(query)) == expected
+
+
+@st.composite
+def _item_lists(draw):
+    n = draw(st.integers(1, 120))
+    items = []
+    for i in range(n):
+        x = draw(st.floats(0, 100, allow_nan=False))
+        y = draw(st.floats(0, 100, allow_nan=False))
+        w = draw(st.floats(0, 10, allow_nan=False))
+        h = draw(st.floats(0, 10, allow_nan=False))
+        items.append(((x, y, x + w, y + h), i))
+    return items
+
+
+class TestProperties:
+    @given(_item_lists(), st.floats(0, 100), st.floats(0, 100))
+    @settings(max_examples=60, deadline=None)
+    def test_incremental_complete_and_sound(self, items, qx, qy):
+        tree = RTree(max_entries=6)
+        for rect, rid in items:
+            tree.insert(rect, rid)
+        tree.check_invariants()
+        query = (qx, qy, qx + 25, qy + 25)
+        got = sorted(tree.search(query))
+        expected = sorted(r for rect, r in items
+                          if rect_overlaps(rect, query))
+        assert got == expected
+
+    @given(_item_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_bulk_equals_incremental_results(self, items):
+        bulk = RTree.bulk_load(items, max_entries=6)
+        incremental = RTree(max_entries=6)
+        for rect, rid in items:
+            incremental.insert(rect, rid)
+        query = (20, 20, 70, 70)
+        assert sorted(bulk.search(query)) == \
+            sorted(incremental.search(query))

@@ -1,0 +1,120 @@
+"""timeSplit bucketing and stop detection."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import meos
+from repro.meos import Interval, MeosError, MeosTypeError
+from repro.meos.temporal import num_stops, stops, time_split
+from repro.meos.timetypes import USECS_PER_DAY, parse_timestamptz as ts
+
+DAY = Interval.parse("1 day")
+
+
+class TestTimeSplit:
+    RAMP = meos.tfloat("[0@2025-01-01, 10@2025-01-03]")
+
+    def test_bucket_count_and_alignment(self):
+        buckets = time_split(self.RAMP, DAY)
+        assert len(buckets) == 3
+        starts = [b for b, _ in buckets]
+        assert all(b % USECS_PER_DAY == 0 for b in starts)
+        assert starts[0] == ts("2025-01-01")
+
+    def test_fragments_partition_duration(self):
+        buckets = time_split(self.RAMP, DAY)
+        total = sum(
+            frag.duration().total_usecs() for _, frag in buckets
+        )
+        assert total == self.RAMP.duration().total_usecs()
+
+    def test_fragment_values_continuous(self):
+        buckets = time_split(self.RAMP, DAY)
+        first = buckets[0][1]
+        second = buckets[1][1]
+        assert first.end_value() == pytest.approx(
+            second.start_value(), abs=1e-9
+        )
+
+    def test_origin_shifts_grid(self):
+        origin = ts("2025-01-01") + USECS_PER_DAY // 2  # noon grid
+        buckets = time_split(self.RAMP, DAY, origin=origin)
+        assert buckets[0][0] == ts("2025-01-01") - USECS_PER_DAY // 2
+
+    def test_gap_buckets_skipped(self):
+        t = meos.tfloat(
+            "{[1@2025-01-01, 1@2025-01-01 06:00:00], "
+            "[1@2025-01-05, 1@2025-01-05 06:00:00]}"
+        )
+        buckets = time_split(t, DAY)
+        assert len(buckets) == 2
+
+    def test_invalid_width(self):
+        with pytest.raises(MeosError):
+            time_split(self.RAMP, Interval())
+
+    @given(st.integers(1, 72))
+    @settings(max_examples=60)
+    def test_bucket_width_respected(self, hours):
+        width = Interval.parse(f"{hours} hours")
+        for bucket, frag in time_split(self.RAMP, width):
+            assert frag.start_timestamp() >= bucket
+            assert frag.end_timestamp() <= bucket + width.total_usecs()
+
+
+class TestStops:
+    #: drives 5 km, parks 2 h (1 m jitter), drives on
+    TRIP = meos.tgeompoint(
+        "[Point(0 0)@2025-01-01 08:00:00, "
+        "Point(5000 0)@2025-01-01 09:00:00, "
+        "Point(5001 0)@2025-01-01 11:00:00, "
+        "Point(9000 0)@2025-01-01 12:00:00]"
+    )
+
+    def test_detects_parking(self):
+        found = stops(self.TRIP, 50.0, Interval.parse("30 minutes"))
+        assert found is not None
+        assert num_stops(self.TRIP, 50.0, Interval.parse("30 minutes")) == 1
+        stop = found.sequences()[0]
+        assert stop.start_timestamp() == ts("2025-01-01 09:00:00")
+        assert stop.end_timestamp() == ts("2025-01-01 11:00:00")
+
+    def test_min_duration_filters(self):
+        assert stops(self.TRIP, 50.0, Interval.parse("3 hours")) is None
+
+    def test_max_distance_filters(self):
+        # With a 10 km radius the whole trip is one "stop".
+        found = stops(self.TRIP, 10_000.0, Interval.parse("1 hour"))
+        assert found is not None
+        assert found.sequences()[0].num_instants() >= 3
+
+    def test_moving_trip_has_no_stops(self):
+        t = meos.tgeompoint(
+            "[Point(0 0)@2025-01-01 08:00:00, "
+            "Point(9000 0)@2025-01-01 09:00:00]"
+        )
+        assert stops(t, 50.0, Interval.parse("10 minutes")) is None
+
+    def test_two_stops(self):
+        t = meos.tgeompoint(
+            "[Point(0 0)@2025-01-01 00:00:00, "
+            "Point(1 0)@2025-01-01 01:00:00, "
+            "Point(5000 0)@2025-01-01 02:00:00, "
+            "Point(5001 0)@2025-01-01 03:00:00, "
+            "Point(9000 0)@2025-01-01 04:00:00]"
+        )
+        assert num_stops(t, 50.0, Interval.parse("30 minutes")) == 2
+
+    def test_requires_point(self):
+        with pytest.raises(MeosTypeError):
+            stops(meos.tfloat("[1@2025-01-01, 2@2025-01-02]"), 1.0, DAY)
+
+    def test_benchmark_trip_integration(self):
+        # Generated trips include traffic stops; the detector must run on
+        # them without errors.
+        from repro.berlinmod import generate
+
+        dataset = generate(0.001, spacing_m=1500.0)
+        for trip in dataset.trips[:20]:
+            num_stops(trip.trip, 30.0, Interval.parse("10 seconds"))

@@ -1,0 +1,122 @@
+"""Base-type descriptors and temporal literal parsing edge cases."""
+
+import pytest
+
+from repro import meos
+from repro.meos import MeosError
+from repro.meos.basetypes import (
+    BIGINT,
+    BOOL,
+    DATE,
+    FLOAT,
+    GEOMETRY,
+    INT,
+    TEXT,
+    TSTZ,
+    base_type,
+)
+from repro.meos.temporal.io import _split_at, _split_items
+
+
+class TestBaseTypeRegistry:
+    def test_lookup_by_name(self):
+        assert base_type("integer") is INT
+        assert base_type("int") is INT
+        assert base_type("float8") is FLOAT
+        assert base_type("timestamptz") is TSTZ
+        assert base_type("TIMESTAMP") is TSTZ
+
+    def test_unknown_rejected(self):
+        with pytest.raises(MeosError):
+            base_type("quaternion")
+
+    def test_bool_parse(self):
+        assert BOOL.parse("t") is True
+        assert BOOL.parse("FALSE") is False
+        with pytest.raises(MeosError):
+            BOOL.parse("maybe")
+
+    def test_float_format_compact(self):
+        assert FLOAT.format(2.0) == "2"
+        assert FLOAT.format(2.5) == "2.5"
+
+    def test_text_quoting(self):
+        assert TEXT.parse('"hello"') == "hello"
+        assert TEXT.parse("bare") == "bare"
+        assert TEXT.format("x") == '"x"'
+
+    def test_discreteness_flags(self):
+        assert INT.is_discrete and BIGINT.is_discrete and DATE.is_discrete
+        assert not FLOAT.is_discrete
+        assert FLOAT.is_continuous and TSTZ.is_continuous
+
+    def test_geometry_unordered(self):
+        assert not GEOMETRY.is_ordered
+        assert GEOMETRY.sort_key is not None
+
+    def test_coerce_from_text(self):
+        assert INT.coerce("42") == 42
+        assert INT.coerce(42) == 42
+
+    def test_pickle_by_name(self):
+        import pickle
+
+        assert pickle.loads(pickle.dumps(INT)) is INT
+        assert pickle.loads(pickle.dumps(GEOMETRY)) is GEOMETRY
+
+
+class TestLiteralSplitting:
+    def test_split_at_simple(self):
+        assert _split_at("1@2025-01-01") == ("1", "2025-01-01")
+
+    def test_split_at_takes_last_at(self):
+        value, stamp = _split_at('"a@b"@2025-01-01')
+        assert value == '"a@b"'
+        assert stamp == "2025-01-01"
+
+    def test_split_at_missing(self):
+        with pytest.raises(MeosError):
+            _split_at("no timestamp here")
+
+    def test_split_items_respects_parens(self):
+        items = _split_items("Point(1 1)@t1, Point(2 2)@t2")
+        assert len(items) == 2
+
+    def test_split_items_respects_quotes(self):
+        items = _split_items('"a,b"@t1, "c"@t2')
+        assert len(items) == 2
+
+
+class TestParsingEdgeCases:
+    def test_whitespace_tolerant(self):
+        t = meos.tint("  {  1@2025-01-01 ,   2@2025-01-02  }  ")
+        assert t.num_instants() == 2
+
+    def test_negative_values(self):
+        t = meos.tfloat("[-1.5@2025-01-01, -0.5@2025-01-02]")
+        assert t.min_value() == -1.5
+
+    def test_text_with_comma_inside(self):
+        t = meos.ttext('{"a,b"@2025-01-01, "c"@2025-01-02}')
+        assert t.values() == ["a,b", "c"]
+
+    def test_geometry_with_nested_parens(self):
+        t = meos.tgeometry(
+            "[Polygon((0 0, 1 0, 1 1, 0 0))@2025-01-01, "
+            "Polygon((0 0, 1 0, 1 1, 0 0))@2025-01-02]"
+        )
+        assert t.num_instants() == 2
+
+    def test_unbalanced_braces_rejected(self):
+        with pytest.raises(MeosError):
+            meos.tint("{1@2025-01-01")
+
+    def test_srid_applies_to_all_instants(self):
+        t = meos.tgeompoint(
+            "SRID=3857;{Point(0 0)@2025-01-01, Point(1 1)@2025-01-02}"
+        )
+        assert all(i.value.srid == 3857 for i in t.instants())
+
+    def test_fractional_second_timestamps(self):
+        t = meos.tint("1@2025-01-01 00:00:00.25")
+        assert t.t % 1_000_000 == 250_000

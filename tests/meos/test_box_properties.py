@@ -1,0 +1,106 @@
+"""Property-based tests on STBox/TBox algebra laws."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.meos import STBox, TBox
+from repro.meos.basetypes import FLOAT, TSTZ
+from repro.meos.span import Span
+
+_coord = st.floats(-1000, 1000, allow_nan=False)
+_width = st.floats(0.1, 100, allow_nan=False)
+_usecs = st.integers(0, 10**15)
+_duration = st.integers(1, 10**12)
+
+
+@st.composite
+def _stboxes(draw):
+    x = draw(_coord)
+    y = draw(_coord)
+    t0 = draw(_usecs)
+    return STBox(
+        x, y, x + draw(_width), y + draw(_width),
+        Span(t0, t0 + draw(_duration), True, True, TSTZ),
+    )
+
+
+@st.composite
+def _tboxes(draw):
+    lo = draw(_coord)
+    t0 = draw(_usecs)
+    return TBox(
+        Span(lo, lo + draw(_width), True, True, FLOAT),
+        Span(t0, t0 + draw(_duration), True, True, TSTZ),
+    )
+
+
+class TestSTBoxProperties:
+    @given(_stboxes(), _stboxes())
+    @settings(max_examples=200)
+    def test_overlap_symmetric(self, a, b):
+        assert a.overlaps(b) == b.overlaps(a)
+
+    @given(_stboxes(), _stboxes())
+    @settings(max_examples=200)
+    def test_union_contains_both(self, a, b):
+        union = a.union(b)
+        assert union.contains(a)
+        assert union.contains(b)
+
+    @given(_stboxes(), _stboxes())
+    @settings(max_examples=200)
+    def test_intersection_within_both(self, a, b):
+        inter = a.intersection(b)
+        if inter is None:
+            assert not a.overlaps(b)
+        else:
+            assert a.contains(inter)
+            assert b.contains(inter)
+            assert a.overlaps(b)
+
+    @given(_stboxes(), st.floats(0, 50))
+    @settings(max_examples=150)
+    def test_expand_space_monotone(self, box, amount):
+        expanded = box.expand_space(amount)
+        assert expanded.contains(box)
+        assert expanded.area() >= box.area()
+
+    @given(_stboxes())
+    @settings(max_examples=150)
+    def test_text_round_trip(self, box):
+        assert STBox.parse(str(box)).overlaps(box)
+
+    @given(_stboxes())
+    @settings(max_examples=150)
+    def test_contains_reflexive(self, box):
+        assert box.contains(box)
+        assert box.overlaps(box)
+
+    @given(_stboxes())
+    @settings(max_examples=100)
+    def test_geometry_round_trip_bounds(self, box):
+        geom = box.to_geometry()
+        xmin, ymin, xmax, ymax = geom.bounds()
+        assert xmin == pytest.approx(box.xmin)
+        assert ymax == pytest.approx(box.ymax)
+
+
+class TestTBoxProperties:
+    @given(_tboxes(), _tboxes())
+    @settings(max_examples=200)
+    def test_overlap_symmetric(self, a, b):
+        assert a.overlaps(b) == b.overlaps(a)
+
+    @given(_tboxes(), _tboxes())
+    @settings(max_examples=200)
+    def test_union_contains_both(self, a, b):
+        union = a.union(b)
+        assert union.contains(a)
+        assert union.contains(b)
+
+    @given(_tboxes())
+    @settings(max_examples=150)
+    def test_round_trip(self, box):
+        parsed = TBox.parse(str(box))
+        assert parsed.contains(box) or parsed.overlaps(box)

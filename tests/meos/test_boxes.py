@@ -1,0 +1,188 @@
+"""TBox / STBox tests, including the paper's §3.5 examples."""
+
+import pytest
+
+from repro.meos import Interval, MeosError, MeosTypeError, STBox, TBox
+from repro.meos.boxes import stbox, tbox
+
+
+class TestTBoxParsing:
+    def test_xt(self):
+        b = tbox("TBOXFLOAT XT([1.0,2.0],[2025-01-01,2025-01-02])")
+        assert b.has_x and b.has_t
+        assert b.vspan.lower == 1.0
+
+    def test_x_only(self):
+        b = tbox("TBOXFLOAT X([1.5, 2.5])")
+        assert b.has_x and not b.has_t
+
+    def test_t_only(self):
+        b = tbox("TBOX T([2025-01-01, 2025-01-02])")
+        assert b.has_t and not b.has_x
+
+    def test_int_subtype_canonicalizes(self):
+        b = tbox("TBOXINT X([1, 3])")
+        assert str(b) == "TBOXINT X([1, 4))"
+
+    def test_round_trip(self):
+        text = "TBOXFLOAT XT([1, 2],[2025-01-01 00:00:00+00, " \
+               "2025-01-02 00:00:00+00])"
+        assert str(tbox(text)) == text
+
+    def test_no_dimension_rejected(self):
+        with pytest.raises(MeosError):
+            TBox()
+
+    def test_bad_literal(self):
+        with pytest.raises(MeosError):
+            tbox("TBOX Y([1,2])")
+
+
+class TestTBoxOperations:
+    def test_expand_time_paper_example(self):
+        b = tbox("TBOXFLOAT XT([1.0,2.0],[2025-01-01,2025-01-02])")
+        got = b.expand_time(Interval.parse("1 day"))
+        assert str(got) == (
+            "TBOXFLOAT XT([1, 2],[2024-12-31 00:00:00+00, "
+            "2025-01-03 00:00:00+00])"
+        )
+
+    def test_expand_value(self):
+        b = tbox("TBOXFLOAT X([1, 2])")
+        assert str(b.expand_value(1.0)) == "TBOXFLOAT X([0, 3])"
+
+    def test_expand_missing_dimension(self):
+        with pytest.raises(MeosTypeError):
+            tbox("TBOX T([2025-01-01,2025-01-02])").expand_value(1.0)
+
+    def test_overlaps(self):
+        a = tbox("TBOXFLOAT X([1, 5])")
+        b = tbox("TBOXFLOAT X([4, 9])")
+        c = tbox("TBOXFLOAT X([6, 9])")
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_overlaps_checks_shared_dims_only(self):
+        a = tbox("TBOXFLOAT XT([1, 5],[2025-01-01,2025-01-02])")
+        b = tbox("TBOXFLOAT X([4, 9])")
+        assert a.overlaps(b)
+
+    def test_contains(self):
+        outer = tbox("TBOXFLOAT XT([0, 10],[2025-01-01,2025-01-10])")
+        inner = tbox("TBOXFLOAT XT([2, 3],[2025-01-02,2025-01-03])")
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+
+    def test_union_intersection(self):
+        a = tbox("TBOXFLOAT X([1, 5])")
+        b = tbox("TBOXFLOAT X([4, 9])")
+        assert str(a.union(b)) == "TBOXFLOAT X([1, 9])"
+        assert str(a.intersection(b)) == "TBOXFLOAT X([4, 5])"
+        assert a.intersection(tbox("TBOXFLOAT X([20, 30])")) is None
+
+
+class TestSTBoxParsing:
+    def test_x_form(self):
+        b = stbox("STBOX X((10.0,20.0),(10.0,20.0))")
+        assert (b.xmin, b.ymin, b.xmax, b.ymax) == (10, 20, 10, 20)
+        assert not b.has_t
+
+    def test_xt_form(self):
+        b = stbox(
+            "STBOX XT(((1.0,2.0),(3.0,4.0)),[2025-01-01,2025-01-02])"
+        )
+        assert b.has_x and b.has_t
+        assert (b.xmin, b.ymin, b.xmax, b.ymax) == (1, 2, 3, 4)
+
+    def test_t_form(self):
+        b = stbox("STBOX T([2025-01-01, 2025-01-02])")
+        assert b.has_t and not b.has_x
+
+    def test_srid_prefix(self):
+        b = stbox("SRID=4326;STBOX X((0,0),(1,1))")
+        assert b.srid == 4326
+        assert str(b).startswith("SRID=4326;")
+
+    def test_corner_normalization(self):
+        b = stbox("STBOX X((5,5),(1,1))")
+        assert (b.xmin, b.xmax) == (1, 5)
+
+    def test_geodetic(self):
+        b = stbox("GEODSTBOX T([2025-01-01,2025-01-02])")
+        assert b.geodetic
+
+    def test_bad_literal(self):
+        with pytest.raises(MeosError):
+            stbox("STBOX ((1,2),(3,4))")
+
+
+class TestSTBoxOperations:
+    def test_expand_space_paper_example(self):
+        b = stbox("STBOX XT(((1.0,2.0),(1.0,2.0)),[2025-01-01,2025-01-01])")
+        got = b.expand_space(2.0)
+        assert str(got) == (
+            "STBOX XT(((-1,0),(3,4)),[2025-01-01 00:00:00+00, "
+            "2025-01-01 00:00:00+00])"
+        )
+
+    def test_expand_time(self):
+        b = stbox("STBOX T([2025-01-02, 2025-01-03])")
+        got = b.expand_time(Interval.parse("1 day"))
+        assert got.tspan.lower < b.tspan.lower
+        assert got.tspan.upper > b.tspan.upper
+
+    def test_overlaps(self):
+        a = stbox("STBOX X((0,0),(10,10))")
+        assert a.overlaps(stbox("STBOX X((5,5),(15,15))"))
+        assert not a.overlaps(stbox("STBOX X((11,11),(12,12))"))
+
+    def test_overlaps_time_dimension(self):
+        a = stbox("STBOX XT(((0,0),(10,10)),[2025-01-01,2025-01-02])")
+        b = stbox("STBOX XT(((5,5),(6,6)),[2025-01-05,2025-01-06])")
+        assert not a.overlaps(b)  # spatial yes, temporal no
+
+    def test_srid_mismatch_raises(self):
+        a = stbox("SRID=4326;STBOX X((0,0),(1,1))")
+        b = stbox("SRID=3857;STBOX X((0,0),(1,1))")
+        with pytest.raises(MeosError):
+            a.overlaps(b)
+
+    def test_contains(self):
+        outer = stbox("STBOX X((0,0),(10,10))")
+        assert outer.contains(stbox("STBOX X((1,1),(2,2))"))
+        assert not outer.contains(stbox("STBOX X((9,9),(11,11))"))
+
+    def test_union_intersection(self):
+        a = stbox("STBOX X((0,0),(4,4))")
+        b = stbox("STBOX X((2,2),(8,8))")
+        u = a.union(b)
+        assert (u.xmin, u.ymin, u.xmax, u.ymax) == (0, 0, 8, 8)
+        i = a.intersection(b)
+        assert (i.xmin, i.ymin, i.xmax, i.ymax) == (2, 2, 4, 4)
+
+    def test_area(self):
+        assert stbox("STBOX X((0,0),(4,5))").area() == 20.0
+
+    def test_to_geometry(self):
+        poly = stbox("STBOX X((0,0),(4,4))").to_geometry()
+        assert poly.area() == 16.0
+        point = stbox("STBOX X((3,3),(3,3))").to_geometry()
+        assert (point.x, point.y) == (3, 3)
+
+    def test_to_tstzspan(self):
+        b = stbox("STBOX T([2025-01-01, 2025-01-02])")
+        assert str(b.to_tstzspan()).startswith("[2025-01-01")
+        with pytest.raises(MeosTypeError):
+            stbox("STBOX X((0,0),(1,1))").to_tstzspan()
+
+    def test_from_geometry(self):
+        from repro.geo import parse_wkt
+
+        b = STBox.from_geometry(parse_wkt("LINESTRING(0 0, 4 2)"))
+        assert (b.xmin, b.ymin, b.xmax, b.ymax) == (0, 0, 4, 2)
+
+    def test_transform(self):
+        b = STBox(105.8, 21.0, 105.9, 21.1, srid=4326)
+        out = b.transform(32648)
+        assert out.srid == 32648
+        assert out.xmax - out.xmin > 1000  # metres now

@@ -1,0 +1,101 @@
+"""Azimuth, direction, convex hull of temporal points + geo convex hull."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import geo, meos
+from repro.geo import (
+    GeometryError,
+    LineString,
+    MultiPoint,
+    Point,
+    Polygon,
+    convex_hull,
+    point_in_polygon,
+)
+
+
+class TestGeoConvexHull:
+    def test_triangle(self):
+        hull = convex_hull(MultiPoint([Point(0, 0), Point(4, 0),
+                                       Point(2, 3)]))
+        assert isinstance(hull, Polygon)
+        assert hull.area() == pytest.approx(6.0)
+
+    def test_interior_points_dropped(self):
+        pts = [Point(0, 0), Point(10, 0), Point(10, 10), Point(0, 10),
+               Point(5, 5), Point(2, 7)]
+        hull = convex_hull(MultiPoint(pts))
+        assert len(hull.shell) == 5  # closed square
+
+    def test_collinear_becomes_linestring(self):
+        hull = convex_hull(
+            MultiPoint([Point(0, 0), Point(1, 1), Point(2, 2)])
+        )
+        assert isinstance(hull, LineString)
+
+    def test_single_point(self):
+        hull = convex_hull(Point(3, 4))
+        assert hull == Point(3, 4)
+
+    def test_empty_rejected(self):
+        with pytest.raises(GeometryError):
+            convex_hull(LineString([]))
+
+    @given(st.lists(
+        st.tuples(st.floats(-100, 100), st.floats(-100, 100)),
+        min_size=3, max_size=30,
+    ))
+    @settings(max_examples=100)
+    def test_hull_contains_all_points(self, coords):
+        geom = MultiPoint([Point(x, y) for x, y in coords])
+        hull = convex_hull(geom)
+        if isinstance(hull, Polygon):
+            for point in coords:
+                assert point_in_polygon(point, hull)
+
+
+class TestAzimuthDirection:
+    def test_east(self):
+        t = meos.tgeompoint("[Point(0 0)@2025-01-01, Point(5 0)@2025-01-02]")
+        assert meos.direction(t) == pytest.approx(math.pi / 2)
+
+    def test_north(self):
+        t = meos.tgeompoint("[Point(0 0)@2025-01-01, Point(0 5)@2025-01-02]")
+        assert meos.direction(t) == pytest.approx(0.0)
+
+    def test_south_west(self):
+        t = meos.tgeompoint(
+            "[Point(0 0)@2025-01-01, Point(-1 -1)@2025-01-02]"
+        )
+        assert meos.direction(t) == pytest.approx(math.pi * 1.25)
+
+    def test_azimuth_step_values(self):
+        t = meos.tgeompoint(
+            "[Point(0 0)@2025-01-01, Point(1 0)@2025-01-02, "
+            "Point(1 1)@2025-01-03]"
+        )
+        az = meos.azimuth(t)
+        from repro.meos.timetypes import parse_timestamptz as ts
+
+        assert az.value_at_timestamp(ts("2025-01-01 12:00:00")) == \
+            pytest.approx(math.pi / 2)
+        assert az.value_at_timestamp(ts("2025-01-02 12:00:00")) == \
+            pytest.approx(0.0)
+
+    def test_azimuth_requires_linear(self):
+        t = meos.tgeompoint("{Point(0 0)@2025-01-01, Point(1 1)@2025-01-02}")
+        with pytest.raises(meos.MeosError):
+            meos.azimuth(t)
+
+    def test_convex_hull_of_trip(self):
+        t = meos.tgeompoint(
+            "[Point(0 0)@2025-01-01, Point(4 0)@2025-01-02, "
+            "Point(2 3)@2025-01-03]"
+        )
+        hull = meos.convex_hull(t)
+        assert isinstance(hull, Polygon)
+        assert geo.contains(hull, geo.Point(2, 1))

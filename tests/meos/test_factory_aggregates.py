@@ -1,0 +1,117 @@
+"""Constructors (from_base_*) and temporal aggregate functions."""
+
+import pytest
+
+from repro import meos
+from repro.meos import tstzset, tstzspan, tstzspanset
+from repro.meos.temporal import (
+    Interp,
+    TInstant,
+    extent_stbox,
+    extent_tbox,
+    extent_tstzspan,
+    from_base_time,
+    merge_all,
+    sequence_from_instants,
+    tcount,
+)
+from repro.meos.temporal.ttypes import TFLOAT, TGEOMPOINT, TINT
+from repro.meos.timetypes import parse_timestamptz as ts
+
+
+class TestFactory:
+    def test_from_base_timestamp(self):
+        t = from_base_time(TINT, 5, ts("2025-01-01"))
+        assert isinstance(t, TInstant)
+        assert t.value == 5
+
+    def test_from_base_span(self):
+        t = from_base_time(TFLOAT, 2.5, tstzspan("[2025-01-01, 2025-01-03]"))
+        assert t.num_instants() == 2
+        assert t.always(lambda v: v == 2.5)
+
+    def test_from_base_span_step_interp(self):
+        t = from_base_time(
+            TGEOMPOINT, "Point(1 1)",
+            tstzspan("[2025-01-01, 2025-01-02]"), "step",
+        )
+        assert t.interp is Interp.STEP
+
+    def test_from_base_set(self):
+        t = from_base_time(TINT, 7, tstzset("{2025-01-01, 2025-01-05}"))
+        assert t.interp is Interp.DISCRETE
+        assert t.num_instants() == 2
+
+    def test_from_base_spanset(self):
+        frame = tstzspanset(
+            "{[2025-01-01, 2025-01-02], [2025-01-05, 2025-01-06]}"
+        )
+        t = from_base_time(TINT, 7, frame)
+        assert t.num_sequences() == 2
+
+    def test_degenerate_span(self):
+        t = from_base_time(TFLOAT, 1.0, tstzspan("[2025-01-01, 2025-01-01]"))
+        assert t.num_instants() == 1
+
+    def test_sequence_from_instants_sorts_and_dedups(self):
+        instants = [
+            TInstant(TFLOAT, 2.0, ts("2025-01-02")),
+            TInstant(TFLOAT, 1.0, ts("2025-01-01")),
+            TInstant(TFLOAT, 2.0, ts("2025-01-02")),  # duplicate ts
+        ]
+        seq = sequence_from_instants(instants)
+        assert seq.num_instants() == 2
+        assert seq.start_value() == 1.0
+
+    def test_sequence_from_instants_empty(self):
+        with pytest.raises(meos.MeosError):
+            sequence_from_instants([])
+
+
+class TestAggregates:
+    TRIPS = [
+        meos.tgeompoint("[Point(0 0)@2025-01-01, Point(2 2)@2025-01-02]"),
+        meos.tgeompoint("[Point(5 5)@2025-01-03, Point(9 1)@2025-01-04]"),
+    ]
+
+    def test_extent_stbox(self):
+        box = extent_stbox(self.TRIPS)
+        assert (box.xmin, box.ymin, box.xmax, box.ymax) == (0, 0, 9, 5)
+        assert box.tspan.lower == ts("2025-01-01")
+        assert box.tspan.upper == ts("2025-01-04")
+
+    def test_extent_stbox_skips_none(self):
+        box = extent_stbox([None, self.TRIPS[0], None])
+        assert box.xmax == 2
+
+    def test_extent_stbox_empty(self):
+        assert extent_stbox([]) is None
+
+    def test_extent_tbox(self):
+        values = [
+            meos.tfloat("[1@2025-01-01, 5@2025-01-02]"),
+            meos.tfloat("[0@2025-01-03, 2@2025-01-04]"),
+        ]
+        box = extent_tbox(values)
+        assert box.vspan.lower == 0
+        assert box.vspan.upper == 5
+
+    def test_extent_tstzspan(self):
+        span = extent_tstzspan(self.TRIPS)
+        assert span.lower == ts("2025-01-01")
+        assert span.upper == ts("2025-01-04")
+
+    def test_tcount_overlap(self):
+        values = [
+            meos.tfloat("[1@2025-01-01, 1@2025-01-03]"),
+            meos.tfloat("[1@2025-01-02, 1@2025-01-04]"),
+        ]
+        counts = tcount(values)
+        assert counts.value_at_timestamp(ts("2025-01-01 12:00:00")) == 1
+        assert counts.value_at_timestamp(ts("2025-01-02 12:00:00")) == 2
+        assert counts.value_at_timestamp(ts("2025-01-03 12:00:00")) == 1
+
+    def test_merge_all(self):
+        merged = merge_all(self.TRIPS)
+        assert merged.num_sequences() == 2
+        assert merge_all([]) is None

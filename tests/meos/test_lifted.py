@@ -1,0 +1,166 @@
+"""Lifted operator machinery: synchronization, tbool assembly, compare."""
+
+import operator
+
+import pytest
+
+from repro import meos
+from repro.meos.basetypes import TSTZ
+from repro.meos.span import Span
+from repro.meos.temporal import (
+    Interp,
+    TInstant,
+    synchronize,
+    tbool_from_pieces,
+    temporal_compare,
+    when_true,
+)
+from repro.meos.temporal.lifted import quadratic_below
+from repro.meos.temporal.ttypes import TBOOL
+from repro.meos.timetypes import parse_timestamptz as ts
+
+
+class TestSynchronize:
+    def test_overlapping_sequences_split_at_breakpoints(self):
+        a = meos.tfloat("[0@2025-01-01, 10@2025-01-11]")
+        b = meos.tfloat("[5@2025-01-03, 5@2025-01-07, 9@2025-01-09]")
+        segments = list(synchronize(a, b))
+        boundaries = [seg.t0 for seg in segments] + [segments[-1].t1]
+        assert boundaries == [
+            ts("2025-01-03"), ts("2025-01-07"), ts("2025-01-09")
+        ]
+        # Endpoint values interpolate on both operands.
+        first = segments[0]
+        assert first.a0 == pytest.approx(2.0)
+        assert first.b0 == 5.0
+
+    def test_disjoint_time_yields_nothing(self):
+        a = meos.tfloat("[0@2025-01-01, 1@2025-01-02]")
+        b = meos.tfloat("[0@2026-01-01, 1@2026-01-02]")
+        assert list(synchronize(a, b)) == []
+
+    def test_discrete_pair_shares_instants(self):
+        a = meos.tint("{1@2025-01-01, 2@2025-01-02, 3@2025-01-03}")
+        b = meos.tint("{9@2025-01-02, 9@2025-01-04}")
+        segments = list(synchronize(a, b))
+        assert len(segments) == 1
+        assert segments[0].t0 == segments[0].t1 == ts("2025-01-02")
+        assert (segments[0].a0, segments[0].b0) == (2, 9)
+
+    def test_discrete_against_continuous(self):
+        a = meos.tint("{1@2025-01-01 12:00:00}")
+        b = meos.tfloat("[0@2025-01-01, 10@2025-01-02]")
+        segments = list(synchronize(a, b))
+        assert len(segments) == 1
+        assert segments[0].b0 == pytest.approx(5.0)
+
+    def test_step_operand_holds_value(self):
+        a = meos.tint("[1@2025-01-01, 5@2025-01-03]")  # step
+        b = meos.tfloat("[0@2025-01-01, 1@2025-01-03]")
+        segments = list(synchronize(a, b))
+        for seg in segments:
+            assert seg.a0 == seg.a1  # step: constant per segment
+
+    def test_seqset_gap_respected(self):
+        a = meos.tfloat(
+            "{[0@2025-01-01, 1@2025-01-02], [5@2025-01-05, 6@2025-01-06]}"
+        )
+        b = meos.tfloat("[0@2025-01-01, 10@2025-01-06]")
+        segments = list(synchronize(a, b))
+        covered = sum(seg.t1 - seg.t0 for seg in segments)
+        assert covered == 2 * 86_400_000_000  # the gap contributes nothing
+
+
+class TestTboolAssembly:
+    def _span(self, lo, hi, lo_inc=True, hi_inc=True):
+        return Span(ts(lo), ts(hi), lo_inc, hi_inc, TSTZ)
+
+    def test_merges_equal_adjacent(self):
+        pieces = [
+            (self._span("2025-01-01", "2025-01-02", True, False), True),
+            (self._span("2025-01-02", "2025-01-03"), True),
+        ]
+        result = tbool_from_pieces(pieces)
+        assert result.num_instants() == 2  # one run of true
+
+    def test_alternating_values(self):
+        pieces = [
+            (self._span("2025-01-01", "2025-01-02", True, False), False),
+            (self._span("2025-01-02", "2025-01-03"), True),
+        ]
+        result = tbool_from_pieces(pieces)
+        spans = when_true(result)
+        assert spans.num_spans() == 1
+        assert spans.start_span().lower == ts("2025-01-02")
+
+    def test_empty(self):
+        assert tbool_from_pieces([]) is None
+
+    def test_when_true_discrete(self):
+        t = meos.tbool("{t@2025-01-01, f@2025-01-02, t@2025-01-03}")
+        spans = when_true(t)
+        assert spans.num_spans() == 2
+        assert all(s.lower == s.upper for s in spans)
+
+    def test_when_true_all_false(self):
+        t = meos.tbool("[f@2025-01-01, f@2025-01-02]")
+        assert when_true(t) is None
+
+    def test_when_true_requires_tbool(self):
+        with pytest.raises(Exception):
+            when_true(meos.tint("1@2025-01-01"))
+
+
+class TestTemporalCompare:
+    def test_crossing_splits(self):
+        t = meos.tfloat("[0@2025-01-01, 10@2025-01-11]")
+        result = temporal_compare(t, 5.0, operator.gt)
+        spans = when_true(result)
+        assert spans.num_spans() == 1
+        assert spans.start_span().lower == ts("2025-01-06")
+
+    def test_step_no_split(self):
+        t = meos.tint("[1@2025-01-01, 9@2025-01-05, 1@2025-01-09]")
+        result = temporal_compare(t, 5, operator.gt)
+        spans = when_true(result)
+        assert spans.start_span().lower == ts("2025-01-05")
+        assert spans.start_span().upper == ts("2025-01-09")
+
+    def test_discrete(self):
+        t = meos.tint("{1@2025-01-01, 7@2025-01-02}")
+        result = temporal_compare(t, 5, operator.ge)
+        assert result.interp is Interp.DISCRETE
+        assert result.values() == [False, True]
+
+    def test_equality_at_crossing_instant(self):
+        t = meos.tfloat("[0@2025-01-01, 10@2025-01-11]")
+        result = temporal_compare(t, 5.0, operator.eq)
+        spans = when_true(result)
+        assert spans.num_spans() == 1
+        span = spans.start_span()
+        assert span.lower == span.upper == ts("2025-01-06")
+
+
+class TestQuadratic:
+    def test_always_below(self):
+        assert quadratic_below(0.0, 0.0, 1.0, 4.0) == [(0.0, 1.0)]
+
+    def test_never_below(self):
+        assert quadratic_below(0.0, 0.0, 9.0, 4.0) == []
+
+    def test_parabola_window(self):
+        # d^2(s) = (10s - 5)^2: within 2 of zero when |10s-5| <= 2
+        windows = quadratic_below(100.0, -100.0, 25.0, 4.0)
+        assert len(windows) == 1
+        lo, hi = windows[0]
+        assert lo == pytest.approx(0.3)
+        assert hi == pytest.approx(0.7)
+
+    def test_linear_case(self):
+        # d^2(s) = 16s: below 4 when s <= 0.25
+        windows = quadratic_below(0.0, 16.0, 0.0, 4.0)
+        assert windows == [(0.0, 0.25)]
+
+    def test_clamped_to_unit_interval(self):
+        windows = quadratic_below(1.0, 0.0, 0.0, 100.0)
+        assert windows == [(0.0, 1.0)]

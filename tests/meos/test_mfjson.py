@@ -1,0 +1,169 @@
+"""MF-JSON serialization tests (OGC Moving Features JSON, MEOS asMFJSON)."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import meos
+from repro.meos import MeosError, as_mfjson, as_mfjson_dict, from_mfjson
+from repro.meos.temporal import TInstant, TSequence
+from repro.meos.temporal.interp import Interp
+from repro.meos.temporal.ttypes import TGEOMPOINT
+
+
+class TestSerialization:
+    def test_moving_point_layout(self):
+        t = meos.tgeompoint(
+            "[Point(1 1)@2025-01-01, Point(2 2)@2025-01-02]"
+        )
+        doc = as_mfjson_dict(t)
+        assert doc["type"] == "MovingPoint"
+        assert doc["coordinates"] == [[1.0, 1.0], [2.0, 2.0]]
+        assert doc["datetimes"][0].startswith("2025-01-01T00:00:00")
+        assert doc["interpolation"] == "Linear"
+        assert doc["lower_inc"] and doc["upper_inc"]
+
+    def test_crs_included_when_srid(self):
+        t = meos.tgeompoint("SRID=3857;Point(0 0)@2025-01-01")
+        doc = as_mfjson_dict(t)
+        assert doc["crs"]["properties"]["name"] == "EPSG:3857"
+
+    def test_bbox_and_period(self):
+        t = meos.tgeompoint(
+            "[Point(0 0)@2025-01-01, Point(3 4)@2025-01-02]"
+        )
+        doc = as_mfjson_dict(t, with_bbox=True)
+        assert doc["bbox"] == [0.0, 0.0, 3.0, 4.0]
+        assert doc["period"]["begin"].startswith("2025-01-01")
+
+    def test_moving_float_uses_values(self):
+        t = meos.tfloat("[1.5@2025-01-01, 2.5@2025-01-02]")
+        doc = as_mfjson_dict(t)
+        assert doc["type"] == "MovingFloat"
+        assert doc["values"] == [1.5, 2.5]
+
+    def test_sequence_set(self):
+        t = meos.tfloat(
+            "{[1@2025-01-01, 2@2025-01-02], [5@2025-01-05, 6@2025-01-06]}"
+        )
+        doc = as_mfjson_dict(t)
+        assert len(doc["sequences"]) == 2
+
+    def test_step_interpolation_tag(self):
+        t = meos.tint("[1@2025-01-01, 2@2025-01-02]")
+        assert as_mfjson_dict(t)["interpolation"] == "Step"
+
+    def test_discrete_tag(self):
+        t = meos.tint("{1@2025-01-01, 2@2025-01-02}")
+        assert as_mfjson_dict(t)["interpolation"] == "Discrete"
+
+    def test_moving_geometry_wkt_values(self):
+        t = meos.tgeometry(
+            "[Point(1 1)@2025-01-01, Point(1 1)@2025-01-02]"
+        )
+        doc = as_mfjson_dict(t)
+        assert doc["type"] == "MovingGeometry"
+        assert doc["values"] == ["POINT(1 1)", "POINT(1 1)"]
+
+    def test_json_is_valid(self):
+        t = meos.ttext('["a"@2025-01-01, "b"@2025-01-02]')
+        json.loads(as_mfjson(t))
+
+
+class TestParsing:
+    def test_round_trip_cases(self):
+        cases = [
+            meos.tgeompoint("Point(1 2)@2025-01-01"),
+            meos.tgeompoint("{Point(1 2)@2025-01-01, "
+                            "Point(3 4)@2025-01-02}"),
+            meos.tgeompoint("[Point(1 2)@2025-01-01, "
+                            "Point(3 4)@2025-01-02)"),
+            meos.tgeompoint("SRID=4326;[Point(1 2)@2025-01-01, "
+                            "Point(3 4)@2025-01-02]"),
+            meos.tfloat("[1.5@2025-01-01, 2.5@2025-01-02]"),
+            meos.tint("{1@2025-01-01, 2@2025-01-02}"),
+            meos.tbool("[t@2025-01-01, f@2025-01-02]"),
+            meos.ttext('["a"@2025-01-01, "b"@2025-01-02]'),
+            meos.tfloat("{[1@2025-01-01, 2@2025-01-02], "
+                        "[5@2025-01-05, 6@2025-01-06]}"),
+        ]
+        for value in cases:
+            assert from_mfjson(as_mfjson(value)) == value, str(value)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(MeosError):
+            from_mfjson('{"type": "MovingBlob"}')
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(MeosError):
+            from_mfjson("{not json")
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(MeosError):
+            from_mfjson(
+                '{"type": "MovingFloat", "values": [1, 2], '
+                '"datetimes": ["2025-01-01T00:00:00+00:00"], '
+                '"interpolation": "Linear"}'
+            )
+
+    def test_unknown_interpolation_rejected(self):
+        with pytest.raises(MeosError):
+            from_mfjson(
+                '{"type": "MovingFloat", "values": [1], '
+                '"datetimes": ["2025-01-01T00:00:00+00:00"], '
+                '"interpolation": "Cubic"}'
+            )
+
+
+class TestSqlIntegration:
+    def test_round_trip_through_sql(self):
+        from repro import core
+
+        con = core.connect()
+        got = con.execute(
+            "SELECT tfloatFromMFJSON(asMFJSON("
+            "'[1.5@2025-01-01, 2.5@2025-01-02]'::TFLOAT))::VARCHAR"
+        ).scalar()
+        assert got == ("[1.5@2025-01-01 00:00:00+00, "
+                       "2.5@2025-01-02 00:00:00+00]")
+
+    def test_type_check_on_parse(self):
+        from repro import core
+        from repro.quack import QuackError
+
+        con = core.connect()
+        with pytest.raises(QuackError):
+            con.execute(
+                "SELECT tintFromMFJSON(asMFJSON("
+                "'[1.5@2025-01-01, 2.5@2025-01-02]'::TFLOAT))"
+            )
+
+
+@st.composite
+def _point_sequences(draw):
+    n = draw(st.integers(2, 5))
+    times = sorted(draw(st.lists(
+        st.integers(0, 10**9), min_size=n, max_size=n, unique=True
+    )))
+    from repro import geo
+
+    instants = [
+        TInstant(
+            TGEOMPOINT,
+            geo.Point(draw(st.floats(-100, 100)),
+                      draw(st.floats(-100, 100))),
+            t * 1_000_000,
+        )
+        for t in times
+    ]
+    return TSequence(TGEOMPOINT, instants, draw(st.booleans()),
+                     draw(st.booleans()), Interp.LINEAR)
+
+
+class TestProperties:
+    @given(_point_sequences())
+    @settings(max_examples=80)
+    def test_round_trip(self, seq):
+        assert from_mfjson(as_mfjson(seq)) == seq

@@ -1,0 +1,184 @@
+"""Set template type tests (intset, tstzset, geomset, …)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo import Point
+from repro.meos import Interval, MeosError, MeosTypeError
+from repro.meos.basetypes import FLOAT, INT
+from repro.meos.setcls import (
+    Set,
+    dateset,
+    floatset,
+    geomset,
+    intset,
+    parse_set,
+    textset,
+    tstzset,
+)
+
+
+class TestParsing:
+    def test_sorted_and_deduplicated(self):
+        assert str(intset("{3, 1, 2, 1}")) == "{1, 2, 3}"
+
+    def test_floatset(self):
+        assert str(floatset("{1.5, 0.5}")) == "{0.5, 1.5}"
+
+    def test_textset_quotes(self):
+        s = textset('{"b", "a"}')
+        assert s.values == ("a", "b")
+        assert str(s) == '{"a", "b"}'
+
+    def test_tstzset(self):
+        s = tstzset("{2025-01-02, 2025-01-01}")
+        assert str(s) == (
+            "{2025-01-01 00:00:00+00, 2025-01-02 00:00:00+00}"
+        )
+
+    def test_geomset_with_srid(self):
+        s = geomset("SRID=4326;{Point(1 1), Point(0 0)}")
+        assert s.srid() == 4326
+        assert all(isinstance(v, Point) for v in s.values)
+
+    def test_geomset_format_quotes(self):
+        s = geomset("{Point(1 1)}")
+        assert str(s) == '{"POINT(1 1)"}'
+
+    def test_empty_rejected(self):
+        with pytest.raises(MeosError):
+            intset("{}")
+
+    def test_unknown_type(self):
+        with pytest.raises(MeosError):
+            parse_set("{1}", "nosuchset")
+
+
+class TestAccessors:
+    def test_start_end(self):
+        s = intset("{5, 1, 9}")
+        assert s.start_value() == 1
+        assert s.end_value() == 9
+
+    def test_value_n_one_based(self):
+        s = intset("{10, 20, 30}")
+        assert s.value_at(1) == 10
+        assert s.value_at(3) == 30
+        with pytest.raises(MeosError):
+            s.value_at(0)
+        with pytest.raises(MeosError):
+            s.value_at(4)
+
+    def test_len_iter(self):
+        s = intset("{1, 2, 3}")
+        assert len(s) == 3
+        assert list(s) == [1, 2, 3]
+
+    def test_to_span(self):
+        span = intset("{1, 5, 9}").to_span()
+        assert span.contains_value(5)
+        assert span.lower == 1
+
+    def test_geomset_has_no_span(self):
+        with pytest.raises(MeosTypeError):
+            geomset("{Point(0 0)}").to_span()
+
+    def test_mem_size_positive_and_monotonic(self):
+        small = intset("{1}")
+        big = intset("{1, 2, 3, 4, 5}")
+        assert 0 < small.mem_size() < big.mem_size()
+
+
+class TestSetOperations:
+    def test_contains(self):
+        s = intset("{1, 2, 3}")
+        assert s.contains_value(2)
+        assert not s.contains_value(7)
+        assert s.contains_set(intset("{1, 3}"))
+        assert not s.contains_set(intset("{1, 9}"))
+
+    def test_overlaps(self):
+        assert intset("{1, 2}").overlaps(intset("{2, 3}"))
+        assert not intset("{1, 2}").overlaps(intset("{3, 4}"))
+
+    def test_union(self):
+        assert str(intset("{1, 2}").union(intset("{2, 3}"))) == "{1, 2, 3}"
+
+    def test_intersection(self):
+        got = intset("{1, 2, 3}").intersection(intset("{2, 3, 4}"))
+        assert str(got) == "{2, 3}"
+        assert intset("{1}").intersection(intset("{2}")) is None
+
+    def test_minus(self):
+        assert str(intset("{1, 2, 3}").minus(intset("{2}"))) == "{1, 3}"
+        assert intset("{1}").minus(intset("{1}")) is None
+
+    def test_geomset_membership(self):
+        s = geomset("{Point(0 0), Point(1 1)}")
+        assert s.contains_value(Point(1, 1))
+        assert not s.contains_value(Point(2, 2))
+
+
+class TestTransformations:
+    def test_shift_scale_paper_example(self):
+        s = tstzset("{2025-01-01, 2025-01-02}")
+        got = s.shift_scale(Interval.parse("1 day"),
+                            Interval.parse("1 hour"))
+        assert str(got) == (
+            "{2025-01-02 00:00:00+00, 2025-01-02 01:00:00+00}"
+        )
+
+    def test_shift_numeric(self):
+        assert str(intset("{1, 2}").shift_scale(shift=10)) == "{11, 12}"
+
+    def test_scale_numeric(self):
+        got = floatset("{0, 1, 2}").shift_scale(width=10.0)
+        assert got.values == (0.0, 5.0, 10.0)
+
+    def test_tstzset_shift_requires_interval(self):
+        with pytest.raises(MeosTypeError):
+            tstzset("{2025-01-01}").shift_scale(shift=5)
+
+    def test_transform_paper_example(self):
+        s = geomset(
+            "SRID=4326;{Point(2.340088 49.400250), "
+            "Point(6.575317 51.553167)}"
+        )
+        out = s.transform(3812)
+        assert out.srid() == 3812
+        xs = sorted(v.x for v in out.values)
+        assert xs[0] == pytest.approx(502773.43, abs=0.5)
+        assert xs[1] == pytest.approx(803028.91, abs=0.5)
+
+    def test_map_values_int_to_float(self):
+        got = intset("{1, 2}").map_values(float, FLOAT)
+        assert got.basetype is FLOAT
+        assert got.values == (1.0, 2.0)
+
+
+class TestProperties:
+    ints = st.lists(st.integers(-1000, 1000), min_size=1, max_size=20)
+
+    @given(ints, ints)
+    @settings(max_examples=150)
+    def test_union_commutative(self, a, b):
+        sa = Set.from_values(a, INT)
+        sb = Set.from_values(b, INT)
+        assert sa.union(sb) == sb.union(sa)
+
+    @given(ints, ints)
+    @settings(max_examples=150)
+    def test_demorgan_like_partition(self, a, b):
+        sa = Set.from_values(a, INT)
+        sb = Set.from_values(b, INT)
+        inter = sa.intersection(sb)
+        minus = sa.minus(sb)
+        count = (len(inter) if inter else 0) + (len(minus) if minus else 0)
+        assert count == len(sa)
+
+    @given(ints)
+    @settings(max_examples=100)
+    def test_round_trip(self, values):
+        s = Set.from_values(values, INT)
+        assert Set.parse(str(s), INT) == s

@@ -1,0 +1,204 @@
+"""Span template type tests (intspan, floatspan, tstzspan, …)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.meos import Interval, MeosError, MeosTypeError
+from repro.meos.basetypes import FLOAT, INT
+from repro.meos.span import (
+    Span,
+    datespan,
+    floatspan,
+    intspan,
+    parse_span,
+    tstzspan,
+)
+
+
+class TestParsingAndCanonicalization:
+    def test_intspan_canonical(self):
+        # MobilityDB: discrete spans normalize to [lo, hi)
+        assert str(intspan("[1, 3]")) == "[1, 4)"
+        assert str(intspan("(1, 3]")) == "[2, 4)"
+        assert str(intspan("[1, 3)")) == "[1, 3)"
+
+    def test_floatspan_not_canonicalized(self):
+        assert str(floatspan("[1.5, 3.5)")) == "[1.5, 3.5)"
+        assert str(floatspan("(1, 3)")) == "(1, 3)"
+
+    def test_tstzspan(self):
+        s = tstzspan("[2025-01-01, 2025-01-02)")
+        assert str(s) == (
+            "[2025-01-01 00:00:00+00, 2025-01-02 00:00:00+00)"
+        )
+
+    def test_datespan_canonical(self):
+        assert str(datespan("[2025-01-01, 2025-01-02]")) == (
+            "[2025-01-01, 2025-01-03)"
+        )
+
+    def test_degenerate_span(self):
+        s = floatspan("[5, 5]")
+        assert s.lower == s.upper == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(MeosError):
+            floatspan("[5, 5)")
+        with pytest.raises(MeosError):
+            floatspan("[7, 3]")
+
+    def test_bad_literals(self):
+        with pytest.raises(MeosError):
+            intspan("1, 3")
+        with pytest.raises(MeosError):
+            intspan("[1]")
+        with pytest.raises(MeosError):
+            parse_span("[1,2]", "nosuchspan")
+
+    def test_parse_by_name(self):
+        assert parse_span("[1, 2]", "intspan").basetype is INT
+
+
+class TestPredicates:
+    def test_contains_value(self):
+        s = floatspan("[1, 3)")
+        assert s.contains_value(1.0)
+        assert s.contains_value(2.0)
+        assert not s.contains_value(3.0)
+        assert not s.contains_value(0.5)
+
+    def test_contains_span(self):
+        outer = floatspan("[0, 10]")
+        assert outer.contains_span(floatspan("[2, 3]"))
+        assert outer.contains_span(floatspan("[0, 10]"))
+        assert not outer.contains_span(floatspan("[5, 11]"))
+        assert not floatspan("(0, 10]").contains_span(floatspan("[0, 1]"))
+
+    def test_overlaps(self):
+        assert floatspan("[1, 3]").overlaps(floatspan("[2, 5]"))
+        assert floatspan("[1, 3]").overlaps(floatspan("[3, 5]"))
+        assert not floatspan("[1, 3)").overlaps(floatspan("[3, 5]"))
+        assert not floatspan("[1, 2]").overlaps(floatspan("[3, 5]"))
+
+    def test_left_right(self):
+        a = floatspan("[1, 2]")
+        b = floatspan("[3, 4]")
+        assert a.is_left(b)
+        assert b.is_right(a)
+        assert not b.is_left(a)
+
+    def test_adjacent(self):
+        assert floatspan("[1, 2)").is_adjacent(floatspan("[2, 3]"))
+        assert not floatspan("[1, 2]").is_adjacent(floatspan("[2, 3]"))
+        assert not floatspan("[1, 2)").is_adjacent(floatspan("(2, 3]"))
+
+    def test_type_mismatch(self):
+        with pytest.raises(MeosTypeError):
+            intspan("[1, 2]").overlaps(floatspan("[1, 2]"))
+
+
+class TestSetOperations:
+    def test_intersection(self):
+        got = floatspan("[1, 5]").intersection(floatspan("[3, 8]"))
+        assert str(got) == "[3, 5]"
+
+    def test_intersection_disjoint(self):
+        assert floatspan("[1, 2]").intersection(floatspan("[3, 4]")) is None
+
+    def test_intersection_bound_semantics(self):
+        got = floatspan("[1, 5)").intersection(floatspan("(1, 5]"))
+        assert str(got) == "(1, 5)"
+
+    def test_union(self):
+        got = floatspan("[1, 3]").union(floatspan("[2, 6)"))
+        assert str(got) == "[1, 6)"
+
+    def test_union_adjacent(self):
+        got = floatspan("[1, 2)").union(floatspan("[2, 3]"))
+        assert str(got) == "[1, 3]"
+
+    def test_union_disjoint_raises(self):
+        with pytest.raises(MeosError):
+            floatspan("[1, 2)").union(floatspan("(2, 3]"))
+
+    def test_minus_middle(self):
+        pieces = floatspan("[0, 10]").minus(floatspan("[4, 6]"))
+        assert [str(p) for p in pieces] == ["[0, 4)", "(6, 10]"]
+
+    def test_minus_overlap_left(self):
+        pieces = floatspan("[0, 10]").minus(floatspan("[-5, 5]"))
+        assert [str(p) for p in pieces] == ["(5, 10]"]
+
+    def test_minus_covering(self):
+        assert floatspan("[0, 10]").minus(floatspan("[-1, 11]")) == []
+
+    def test_minus_disjoint(self):
+        s = floatspan("[0, 10]")
+        assert s.minus(floatspan("[20, 30]")) == [s]
+
+
+class TestTransformations:
+    def test_shift(self):
+        assert str(floatspan("[1, 3]").shift_scale(shift=2.0)) == "[3, 5]"
+
+    def test_scale(self):
+        assert str(floatspan("[1, 3]").shift_scale(width=10.0)) == "[1, 11]"
+
+    def test_expand(self):
+        assert str(floatspan("[2, 4]").expand(1.0)) == "[1, 5]"
+
+    def test_width(self):
+        assert floatspan("[1.5, 4.0]").width() == 2.5
+        assert intspan("[1, 3]").width() == 3  # canonical [1, 4)
+
+    def test_duration(self):
+        assert str(tstzspan("[2025-01-01, 2025-01-03]").duration()) == "2 days"
+
+    def test_duration_requires_tstz(self):
+        with pytest.raises(MeosTypeError):
+            floatspan("[1, 2]").duration()
+
+    def test_distance(self):
+        assert floatspan("[1, 2]").distance(floatspan("[5, 6]")) == 3
+        assert floatspan("[1, 5]").distance(floatspan("[2, 3]")) == 0
+        assert floatspan("[1, 2]").distance_to_value(10.0) == 8
+
+
+_bounds = st.tuples(
+    st.floats(-1e6, 1e6, allow_nan=False),
+    st.floats(-1e6, 1e6, allow_nan=False),
+).filter(lambda t: t[0] < t[1])
+
+
+@st.composite
+def _float_spans(draw):
+    lo, hi = draw(_bounds)
+    return Span(lo, hi, draw(st.booleans()), draw(st.booleans()), FLOAT)
+
+
+class TestProperties:
+    @given(_float_spans(), _float_spans())
+    @settings(max_examples=200)
+    def test_overlap_symmetric(self, a, b):
+        assert a.overlaps(b) == b.overlaps(a)
+
+    @given(_float_spans(), _float_spans())
+    @settings(max_examples=200)
+    def test_intersection_contained_in_both(self, a, b):
+        got = a.intersection(b)
+        if got is not None:
+            assert a.contains_span(got)
+            assert b.contains_span(got)
+
+    @given(_float_spans(), _float_spans())
+    @settings(max_examples=200)
+    def test_minus_disjoint_from_other(self, a, b):
+        for piece in a.minus(b):
+            assert not piece.overlaps(b)
+            assert a.contains_span(piece)
+
+    @given(_float_spans())
+    @settings(max_examples=100)
+    def test_parse_format_round_trip(self, span):
+        assert Span.parse(str(span), FLOAT) == span

@@ -1,0 +1,172 @@
+"""SpanSet template type tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.meos import Interval, MeosError, MeosTypeError
+from repro.meos.basetypes import FLOAT
+from repro.meos.span import Span, floatspan, tstzspan
+from repro.meos.spanset import (
+    SpanSet,
+    floatspanset,
+    intspanset,
+    tstzspanset,
+)
+
+
+class TestNormalization:
+    def test_sorted(self):
+        ss = floatspanset("{[5, 6], [1, 2]}")
+        assert str(ss) == "{[1, 2], [5, 6]}"
+
+    def test_overlapping_merged(self):
+        ss = floatspanset("{[1, 3], [2, 5]}")
+        assert str(ss) == "{[1, 5]}"
+
+    def test_adjacent_merged(self):
+        ss = floatspanset("{[1, 2), [2, 3]}")
+        assert str(ss) == "{[1, 3]}"
+
+    def test_non_adjacent_kept(self):
+        ss = floatspanset("{[1, 2), (2, 3]}")
+        assert len(ss) == 2
+
+    def test_int_canonicalization(self):
+        ss = intspanset("{[1, 2], [3, 4]}")
+        # [1,2] -> [1,3) and [3,4] -> [3,5): adjacent, merged.
+        assert str(ss) == "{[1, 5)}"
+
+    def test_empty_rejected(self):
+        with pytest.raises(MeosError):
+            floatspanset("{}")
+
+    def test_mixed_types_rejected(self):
+        with pytest.raises(MeosTypeError):
+            SpanSet.from_spans([floatspan("[1, 2]"),
+                                tstzspan("[2025-01-01, 2025-01-02]")])
+
+
+class TestAccessors:
+    def test_bounding_span(self):
+        ss = floatspanset("{[1, 2], [5, 8)}")
+        assert str(ss.to_span()) == "[1, 8)"
+
+    def test_width_sums_members(self):
+        ss = floatspanset("{[0, 1], [5, 8]}")
+        assert ss.width() == 4.0
+
+    def test_duration_gaps_vs_boundspan(self):
+        ss = tstzspanset("{[2025-01-01, 2025-01-02], "
+                         "[2025-01-04, 2025-01-05]}")
+        assert str(ss.duration()) == "2 days"
+        assert str(ss.duration(boundspan=True)) == "4 days"
+
+    def test_start_end_span(self):
+        ss = floatspanset("{[1, 2], [5, 6]}")
+        assert str(ss.start_span()) == "[1, 2]"
+        assert str(ss.end_span()) == "[5, 6]"
+
+
+class TestPredicates:
+    def test_contains_value(self):
+        ss = floatspanset("{[1, 2], [5, 6]}")
+        assert ss.contains_value(1.5)
+        assert not ss.contains_value(3.0)
+
+    def test_contains_span(self):
+        ss = floatspanset("{[1, 4], [5, 6]}")
+        assert ss.contains_span(floatspan("[2, 3]"))
+        assert not ss.contains_span(floatspan("[4, 5]"))
+
+    def test_overlaps(self):
+        a = floatspanset("{[1, 2], [5, 6]}")
+        b = floatspanset("{[1.5, 1.6]}")
+        c = floatspanset("{[3, 4]}")
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+
+class TestSetOperations:
+    def test_union(self):
+        a = floatspanset("{[1, 2]}")
+        b = floatspanset("{[1.5, 5]}")
+        assert str(a.union(b)) == "{[1, 5]}"
+
+    def test_intersection(self):
+        a = floatspanset("{[1, 4], [6, 9]}")
+        b = floatspanset("{[3, 7]}")
+        assert str(a.intersection(b)) == "{[3, 4], [6, 7]}"
+
+    def test_intersection_empty(self):
+        a = floatspanset("{[1, 2]}")
+        assert a.intersection(floatspanset("{[5, 6]}")) is None
+
+    def test_minus(self):
+        a = floatspanset("{[0, 10]}")
+        b = floatspanset("{[2, 3], [5, 6]}")
+        got = a.minus(b)
+        assert str(got) == "{[0, 2), (3, 5), (6, 10]}"
+
+    def test_minus_everything(self):
+        a = floatspanset("{[1, 2]}")
+        assert a.minus(floatspanset("{[0, 5]}")) is None
+
+
+class TestTransformations:
+    def test_shift(self):
+        ss = floatspanset("{[1, 2], [4, 5]}")
+        assert str(ss.shift_scale(shift=10.0)) == "{[11, 12], [14, 15]}"
+
+    def test_shift_tstz_interval(self):
+        ss = tstzspanset("{[2025-01-01, 2025-01-02]}")
+        got = ss.shift_scale(shift=Interval.parse("1 day"))
+        assert str(got) == (
+            "{[2025-01-02 00:00:00+00, 2025-01-03 00:00:00+00]}"
+        )
+
+    def test_scale(self):
+        ss = floatspanset("{[0, 1], [3, 4]}")
+        got = ss.shift_scale(width=8.0)
+        assert got.to_span().width() == 8.0
+
+
+_bound = st.floats(-1000, 1000, allow_nan=False)
+
+
+@st.composite
+def _spansets(draw):
+    spans = []
+    for _ in range(draw(st.integers(1, 4))):
+        lo = draw(_bound)
+        width = draw(st.floats(0.1, 50))
+        spans.append(Span(lo, lo + width, True, False, FLOAT))
+    return SpanSet.from_spans(spans)
+
+
+class TestProperties:
+    @given(_spansets(), _spansets())
+    @settings(max_examples=150)
+    def test_minus_then_disjoint(self, a, b):
+        got = a.minus(b)
+        if got is not None:
+            assert not got.overlaps(b)
+
+    @given(_spansets(), _spansets())
+    @settings(max_examples=150)
+    def test_union_contains_both(self, a, b):
+        union = a.union(b)
+        assert union.contains_spanset(a)
+        assert union.contains_spanset(b)
+
+    @given(_spansets())
+    @settings(max_examples=100)
+    def test_round_trip(self, ss):
+        assert SpanSet.parse(str(ss), FLOAT) == ss
+
+    @given(_spansets())
+    @settings(max_examples=100)
+    def test_members_disjoint_invariant(self, ss):
+        for a, b in zip(ss.spans, ss.spans[1:]):
+            assert a.upper <= b.lower
+            assert not a.overlaps(b)

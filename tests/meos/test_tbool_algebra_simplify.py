@@ -1,0 +1,125 @@
+"""Lifted boolean algebra (tand/tor/tnot) and trajectory simplification."""
+
+import pytest
+
+from repro import meos
+from repro.meos import MeosTypeError
+from repro.meos.temporal import (
+    douglas_peucker_simplify,
+    min_dist_simplify,
+    temporal_and,
+    temporal_not,
+    temporal_or,
+    when_true,
+)
+from repro.meos.timetypes import parse_timestamptz as ts
+
+A = meos.tbool("[t@2025-01-01, t@2025-01-03]")
+B = meos.tbool("[f@2025-01-02, f@2025-01-04]")
+
+
+class TestTemporalNot:
+    def test_instant(self):
+        assert temporal_not(meos.tbool("t@2025-01-01")).value is False
+
+    def test_sequence(self):
+        flipped = temporal_not(A)
+        assert flipped.always(lambda v: v is False)
+        assert flipped.tstzspan() == A.tstzspan()
+
+    def test_discrete(self):
+        t = meos.tbool("{t@2025-01-01, f@2025-01-02}")
+        assert temporal_not(t).values() == [False, True]
+
+    def test_double_negation(self):
+        t = meos.tbool("[t@2025-01-01, t@2025-01-02]")
+        assert temporal_not(temporal_not(t)) == t
+
+    def test_alternating_sequence(self):
+        t = meos.tbool("[t@2025-01-01, f@2025-01-02, t@2025-01-03]")
+        spans = when_true(temporal_not(t))
+        assert spans is not None
+        assert spans.contains_value(ts("2025-01-02 12:00:00"))
+        assert not spans.contains_value(ts("2025-01-01 12:00:00"))
+
+    def test_type_checked(self):
+        with pytest.raises(MeosTypeError):
+            temporal_not(meos.tint("1@2025-01-01"))
+
+
+class TestTemporalAndOr:
+    def test_and_restricted_to_common_time(self):
+        result = temporal_and(A, B)
+        span = result.tstzspan()
+        assert span.lower == ts("2025-01-02")
+        assert span.upper == ts("2025-01-03")
+
+    def test_and_values(self):
+        assert temporal_and(A, B).always(lambda v: v is False)
+        assert temporal_or(A, B).always(lambda v: v is True)
+
+    def test_disjoint_returns_none(self):
+        far = meos.tbool("[t@2026-01-01, t@2026-01-02]")
+        assert temporal_and(A, far) is None
+
+    def test_compose_with_when_true(self):
+        # (A and not B) is true where both hold.
+        not_b = temporal_not(B)
+        both = temporal_and(A, not_b)
+        spans = when_true(both)
+        assert spans is not None
+
+    def test_instants(self):
+        x = meos.tbool("{t@2025-01-01, f@2025-01-02}")
+        y = meos.tbool("{t@2025-01-01, t@2025-01-02}")
+        result = temporal_and(x, y)
+        assert result.values() == [True, False]
+
+
+class TestSimplification:
+    def _zigzag(self):
+        return meos.tgeompoint(
+            "[Point(0 0)@2025-01-01, Point(1 0.01)@2025-01-02, "
+            "Point(2 -0.01)@2025-01-03, Point(3 0)@2025-01-04, "
+            "Point(3 10)@2025-01-05]"
+        )
+
+    def test_douglas_peucker_drops_near_collinear(self):
+        simplified = douglas_peucker_simplify(self._zigzag(), 0.5)
+        assert simplified.num_instants() == 3
+        # Endpoints and the sharp corner survive.
+        assert simplified.start_value() == self._zigzag().start_value()
+        assert simplified.end_value() == self._zigzag().end_value()
+
+    def test_douglas_peucker_zero_tolerance_keeps_all(self):
+        trip = self._zigzag()
+        assert douglas_peucker_simplify(trip, 0.0).num_instants() == \
+            trip.num_instants()
+
+    def test_min_dist_simplify(self):
+        trip = meos.tgeompoint(
+            "[Point(0 0)@2025-01-01, Point(0.1 0)@2025-01-02, "
+            "Point(0.2 0)@2025-01-03, Point(5 0)@2025-01-04]"
+        )
+        simplified = min_dist_simplify(trip, 1.0)
+        assert simplified.num_instants() == 2
+
+    def test_instant_passthrough(self):
+        inst = meos.tgeompoint("Point(1 1)@2025-01-01")
+        assert douglas_peucker_simplify(inst, 1.0) is inst
+        assert min_dist_simplify(inst, 1.0) is inst
+
+    def test_simplified_stays_within_tolerance(self):
+        trip = self._zigzag()
+        simplified = douglas_peucker_simplify(trip, 0.5)
+        # Every dropped point is within tolerance of the simplified path.
+        traj = meos.trajectory(simplified)
+        from repro import geo
+
+        for inst in trip.instants():
+            assert geo.distance(inst.value, traj) <= 0.5 + 1e-9
+
+    def test_length_monotone(self):
+        trip = self._zigzag()
+        assert meos.length(douglas_peucker_simplify(trip, 0.5)) <= \
+            meos.length(trip) + 1e-9

@@ -1,0 +1,345 @@
+"""Core temporal-type machinery: parsing, subtypes, accessors, restriction."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import meos
+from repro.meos import Interval, MeosError, tstzset, tstzspan, tstzspanset
+from repro.meos.temporal import Interp, TInstant, TSequence, TSequenceSet
+from repro.meos.temporal.ttypes import TFLOAT, TINT
+from repro.meos.timetypes import parse_timestamptz as ts
+
+
+class TestParsing:
+    def test_instant(self):
+        t = meos.tint("1@2025-01-01")
+        assert isinstance(t, TInstant)
+        assert t.value == 1
+        assert str(t) == "1@2025-01-01 00:00:00+00"
+
+    def test_discrete_sequence(self):
+        t = meos.tint("{1@2025-01-01, 2@2025-01-02}")
+        assert isinstance(t, TSequence)
+        assert t.interp is Interp.DISCRETE
+        assert t.num_instants() == 2
+
+    def test_continuous_sequence_linear_default(self):
+        t = meos.tfloat("[1@2025-01-01, 2@2025-01-02)")
+        assert t.interp is Interp.LINEAR
+        assert not t.upper_inc
+
+    def test_step_for_discrete_base(self):
+        t = meos.tint("[1@2025-01-01, 2@2025-01-02]")
+        assert t.interp is Interp.STEP
+
+    def test_step_prefix(self):
+        t = meos.tfloat("Interp=Step;[1@2025-01-01, 2@2025-01-02]")
+        assert t.interp is Interp.STEP
+        assert str(t).startswith("Interp=Step;")
+
+    def test_sequence_set(self):
+        t = meos.tfloat(
+            "{[1@2025-01-01, 2@2025-01-02], [5@2025-01-05, 5@2025-01-06]}"
+        )
+        assert isinstance(t, TSequenceSet)
+        assert t.num_sequences() == 2
+
+    def test_ttext_with_at_in_value(self):
+        t = meos.ttext('"user@example.com"@2025-01-01')
+        assert t.value == "user@example.com"
+
+    def test_srid_prefix(self):
+        t = meos.tgeompoint("SRID=4326;[Point(1 1)@2025-01-01, "
+                            "Point(2 2)@2025-01-02]")
+        assert t.srid() == 4326
+        assert str(t).startswith("SRID=4326;")
+
+    def test_unsorted_instants_rejected(self):
+        with pytest.raises(MeosError):
+            meos.tint("[2@2025-01-02, 1@2025-01-01]")
+
+    def test_linear_on_discrete_base_rejected(self):
+        with pytest.raises(MeosError):
+            meos.tint("Interp=Linear;[1@2025-01-01, 2@2025-01-02]")
+
+    def test_empty_rejected(self):
+        with pytest.raises(MeosError):
+            meos.tint("{}")
+
+
+class TestNormalization:
+    def test_linear_collinear_middle_dropped(self):
+        t = meos.tfloat(
+            "[1@2025-01-01, 2@2025-01-02, 3@2025-01-03]"
+        )
+        assert t.num_instants() == 2  # middle point interpolates exactly
+
+    def test_linear_non_collinear_kept(self):
+        t = meos.tfloat("[1@2025-01-01, 5@2025-01-02, 3@2025-01-03]")
+        assert t.num_instants() == 3
+
+    def test_step_equal_values_merged(self):
+        t = meos.tint("[1@2025-01-01, 1@2025-01-02, 2@2025-01-03]")
+        assert t.num_instants() == 2
+
+    def test_endpoints_never_dropped(self):
+        t = meos.tfloat("[1@2025-01-01, 1@2025-01-02]")
+        assert t.num_instants() == 2
+
+
+class TestAccessors:
+    SEQ = meos.tfloat("[1@2025-01-01, 3@2025-01-03]")
+
+    def test_bounds(self):
+        assert self.SEQ.start_value() == 1.0
+        assert self.SEQ.end_value() == 3.0
+        assert self.SEQ.min_value() == 1.0
+        assert self.SEQ.max_value() == 3.0
+
+    def test_timestamps(self):
+        assert self.SEQ.start_timestamp() == ts("2025-01-01")
+        assert self.SEQ.end_timestamp() == ts("2025-01-03")
+
+    def test_value_at_timestamp_interpolates(self):
+        assert self.SEQ.value_at_timestamp(ts("2025-01-02")) == 2.0
+
+    def test_value_at_timestamp_outside(self):
+        assert self.SEQ.value_at_timestamp(ts("2025-02-01")) is None
+
+    def test_value_at_excluded_bound(self):
+        t = meos.tfloat("[1@2025-01-01, 3@2025-01-03)")
+        assert t.value_at_timestamp(ts("2025-01-03")) is None
+
+    def test_step_value_at(self):
+        t = meos.tint("[1@2025-01-01, 5@2025-01-03]")
+        assert t.value_at_timestamp(ts("2025-01-02")) == 1
+
+    def test_instant_n(self):
+        assert self.SEQ.instant_n(1).value == 1.0
+        with pytest.raises(MeosError):
+            self.SEQ.instant_n(5)
+
+    def test_duration_paper_semantics(self):
+        t = meos.tint("{1@2025-01-01, 2@2025-01-02, 1@2025-01-03}")
+        assert str(t.duration(True)) == "2 days"
+        assert str(t.duration(False)) == "00:00:00"
+
+    def test_duration_sequence(self):
+        assert str(self.SEQ.duration()) == "2 days"
+
+    def test_duration_seqset_with_gap(self):
+        t = meos.tfloat(
+            "{[1@2025-01-01, 1@2025-01-02], [1@2025-01-04, 1@2025-01-05]}"
+        )
+        assert str(t.duration()) == "2 days"
+        assert str(t.duration(True)) == "4 days"
+
+    def test_time_of_seqset(self):
+        t = meos.tfloat(
+            "{[1@2025-01-01, 1@2025-01-02], [1@2025-01-04, 1@2025-01-05]}"
+        )
+        assert t.time().num_spans() == 2
+
+    def test_bbox_tbox(self):
+        box = meos.tfloat("[1@2025-01-01, 3@2025-01-03]").bbox()
+        assert box.vspan.contains_value(2.0)
+        assert box.tspan.contains_value(ts("2025-01-02"))
+
+
+class TestRestriction:
+    SEQ = meos.tfloat("[0@2025-01-01, 10@2025-01-11]")
+
+    def test_at_time_span(self):
+        got = self.SEQ.at_time(tstzspan("[2025-01-03, 2025-01-05]"))
+        assert got.start_value() == 2.0
+        assert got.end_value() == 4.0
+
+    def test_at_time_outside(self):
+        assert self.SEQ.at_time(tstzspan("[2026-01-01, 2026-01-02]")) is None
+
+    def test_at_time_instant(self):
+        got = self.SEQ.at_time(ts("2025-01-02"))
+        assert isinstance(got, TInstant)
+        assert got.value == 1.0
+
+    def test_at_time_spanset(self):
+        frame = tstzspanset("{[2025-01-01, 2025-01-02], "
+                            "[2025-01-09, 2025-01-11]}")
+        got = self.SEQ.at_time(frame)
+        assert isinstance(got, TSequenceSet)
+        assert got.num_sequences() == 2
+
+    def test_at_time_tstzset(self):
+        got = self.SEQ.at_time(tstzset("{2025-01-02, 2025-01-03}"))
+        assert got.num_instants() == 2
+        assert got.interp is Interp.DISCRETE
+
+    def test_minus_time(self):
+        got = self.SEQ.minus_time(tstzspan("[2025-01-03, 2025-01-05]"))
+        assert got.time().num_spans() == 2
+        assert got.value_at_timestamp(ts("2025-01-04")) is None
+
+    def test_minus_everything(self):
+        assert self.SEQ.minus_time(tstzspan("[2024-01-01, 2026-01-01]")) \
+            is None
+
+    def test_at_value_linear_crossing(self):
+        got = self.SEQ.at_value(5.0)
+        assert isinstance(got, TInstant)
+        assert got.t == ts("2025-01-06")
+
+    def test_at_value_constant_segment(self):
+        t = meos.tfloat("[5@2025-01-01, 5@2025-01-03, 7@2025-01-05]")
+        got = t.at_value(5.0)
+        assert got.start_timestamp() == ts("2025-01-01")
+        assert got.end_timestamp() == ts("2025-01-03")
+
+    def test_at_value_missing(self):
+        assert self.SEQ.at_value(42.0) is None
+
+    def test_at_value_step(self):
+        t = meos.tint("[1@2025-01-01, 2@2025-01-03, 1@2025-01-05]")
+        got = t.at_value(1)
+        spans = got.time()
+        assert spans.contains_value(ts("2025-01-02"))
+        assert not spans.contains_value(ts("2025-01-04"))
+
+    def test_at_values_set(self):
+        from repro.meos import intset
+
+        t = meos.tint("{1@2025-01-01, 2@2025-01-02, 3@2025-01-03}")
+        got = t.at_values(intset("{1, 3}"))
+        assert got.num_instants() == 2
+
+    def test_ever_always_eq(self):
+        t = meos.tint("{1@2025-01-01, 2@2025-01-02}")
+        assert t.ever_eq(2)
+        assert not t.ever_eq(9)
+        assert not t.always_eq(1)
+        assert meos.tint("{1@2025-01-01, 1@2025-01-02}").always_eq(1)
+
+
+class TestTransformations:
+    def test_shift_time(self):
+        t = meos.tfloat("[1@2025-01-01, 2@2025-01-02]")
+        got = t.shift_time(Interval.parse("1 day"))
+        assert got.start_timestamp() == ts("2025-01-02")
+
+    def test_scale_time(self):
+        t = meos.tfloat("[1@2025-01-01, 2@2025-01-03]")
+        got = t.scale_time(Interval.parse("1 day"))
+        assert got.end_timestamp() - got.start_timestamp() == \
+            86_400_000_000
+
+    def test_map_values(self):
+        t = meos.tint("{1@2025-01-01, 2@2025-01-02}")
+        got = t.map_values(float, TFLOAT)
+        assert got.ttype is TFLOAT
+        assert got.values() == [1.0, 2.0]
+
+    def test_merge_instants(self):
+        a = meos.tint("1@2025-01-01")
+        b = meos.tint("2@2025-01-02")
+        got = meos.merge([a, b])
+        assert got.interp is Interp.DISCRETE
+        assert got.num_instants() == 2
+
+    def test_merge_sequences_with_gap(self):
+        a = meos.tfloat("[1@2025-01-01, 2@2025-01-02]")
+        b = meos.tfloat("[5@2025-01-05, 6@2025-01-06]")
+        got = meos.merge([a, b])
+        assert isinstance(got, TSequenceSet)
+
+    def test_merge_adjacent_sequences(self):
+        a = meos.tfloat("[1@2025-01-01, 2@2025-01-02]")
+        b = meos.tfloat("[2@2025-01-02, 3@2025-01-03]")
+        got = meos.merge([a, b])
+        assert isinstance(got, TSequence)
+        assert got.num_instants() == 2  # collinear normalization
+
+    def test_merge_conflicting_values_rejected(self):
+        a = meos.tint("1@2025-01-01")
+        b = meos.tint("2@2025-01-01")
+        with pytest.raises(MeosError):
+            meos.merge([a, b])
+
+
+class TestEqualityAndRoundTrip:
+    CASES = [
+        "1@2025-01-01 00:00:00+00",
+        "{1@2025-01-01 00:00:00+00, 2@2025-01-02 00:00:00+00}",
+        "[1@2025-01-01 00:00:00+00, 2@2025-01-02 00:00:00+00)",
+        "{[1@2025-01-01 00:00:00+00, 2@2025-01-02 00:00:00+00], "
+        "[5@2025-01-05 00:00:00+00, 5@2025-01-06 00:00:00+00]}",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_round_trip_tfloat(self, text):
+        t = meos.tfloat(text)
+        assert meos.tfloat(str(t)) == t
+
+    def test_hashable(self):
+        a = meos.tint("1@2025-01-01")
+        b = meos.tint("1@2025-01-01")
+        assert len({a, b}) == 1
+
+
+@st.composite
+def _float_sequences(draw):
+    n = draw(st.integers(2, 6))
+    times = sorted(
+        draw(
+            st.lists(
+                st.integers(0, 10**9), min_size=n, max_size=n, unique=True
+            )
+        )
+    )
+    values = draw(
+        st.lists(
+            st.floats(-100, 100, allow_nan=False), min_size=n, max_size=n
+        )
+    )
+    return TSequence(
+        TFLOAT,
+        [TInstant(TFLOAT, v, t * 1_000_000) for v, t in zip(values, times)],
+        True,
+        draw(st.booleans()),
+        Interp.LINEAR,
+    )
+
+
+class TestProperties:
+    @given(_float_sequences())
+    @settings(max_examples=100)
+    def test_round_trip(self, seq):
+        assert meos.tfloat(str(seq)) == seq
+
+    @given(_float_sequences(), st.floats(0.0, 1.0))
+    @settings(max_examples=100)
+    def test_at_time_preserves_value(self, seq, frac):
+        lo = seq.start_timestamp()
+        hi = seq.end_timestamp()
+        t = lo + int(frac * (hi - lo))
+        value = seq.value_at_timestamp(t)
+        restricted = seq.at_time(
+            tstzspan(f"[{meos.format_timestamptz(lo)}, "
+                     f"{meos.format_timestamptz(hi)}]")
+        )
+        if value is not None:
+            got = restricted.value_at_timestamp(t)
+            assert got == pytest.approx(value, abs=1e-6)
+
+    @given(_float_sequences())
+    @settings(max_examples=100)
+    def test_minus_plus_at_cover_time(self, seq):
+        span = tstzspan(
+            f"[{meos.format_timestamptz(seq.start_timestamp())}, "
+            f"{meos.format_timestamptz((seq.start_timestamp() + seq.end_timestamp()) // 2)}]"
+        )
+        at = seq.at_time(span)
+        minus = seq.minus_time(span)
+        total = seq.duration().total_usecs()
+        at_total = at.duration().total_usecs() if at else 0
+        minus_total = minus.duration().total_usecs() if minus else 0
+        assert at_total + minus_total == pytest.approx(total, abs=2)

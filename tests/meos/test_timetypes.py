@@ -1,0 +1,155 @@
+"""Timestamp / date / interval parsing, formatting, arithmetic."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.meos.errors import MeosError
+from repro.meos.timetypes import (
+    Interval,
+    USECS_PER_DAY,
+    USECS_PER_HOUR,
+    USECS_PER_SEC,
+    add_interval,
+    format_date,
+    format_timestamptz,
+    interval_from_usecs,
+    parse_date,
+    parse_timestamptz,
+)
+
+
+class TestTimestamps:
+    def test_date_only(self):
+        assert parse_timestamptz("2025-01-01") == 55 * 365 * 0 + parse_timestamptz("2025-01-01")
+        assert parse_timestamptz("1970-01-01") == 0
+
+    def test_with_time(self):
+        assert parse_timestamptz("1970-01-01 01:00:00") == USECS_PER_HOUR
+
+    def test_with_timezone(self):
+        utc = parse_timestamptz("2025-01-01 12:00:00+00")
+        plus2 = parse_timestamptz("2025-01-01 14:00:00+02")
+        assert utc == plus2
+
+    def test_negative_offset(self):
+        utc = parse_timestamptz("2025-01-01 12:00:00+00")
+        minus5 = parse_timestamptz("2025-01-01 07:00:00-05")
+        assert utc == minus5
+
+    def test_fractional_seconds(self):
+        t = parse_timestamptz("1970-01-01 00:00:00.5")
+        assert t == USECS_PER_SEC // 2
+
+    def test_iso_t_separator(self):
+        assert parse_timestamptz("1970-01-02T00:00:00Z") == USECS_PER_DAY
+
+    def test_format(self):
+        assert format_timestamptz(0) == "1970-01-01 00:00:00+00"
+        t = parse_timestamptz("2025-06-15 08:30:45+00")
+        assert format_timestamptz(t) == "2025-06-15 08:30:45+00"
+
+    def test_format_fractional(self):
+        assert format_timestamptz(1500000) == "1970-01-01 00:00:01.5+00"
+
+    def test_invalid(self):
+        with pytest.raises(MeosError):
+            parse_timestamptz("not a date")
+        with pytest.raises(MeosError):
+            parse_timestamptz("2025-13-01")
+
+    @given(st.integers(min_value=0, max_value=4_000_000_000_000_000))
+    @settings(max_examples=150)
+    def test_round_trip(self, usecs):
+        assert parse_timestamptz(format_timestamptz(usecs)) == usecs
+
+
+class TestDates:
+    def test_epoch(self):
+        assert parse_date("1970-01-01") == 0
+        assert parse_date("1970-01-02") == 1
+
+    def test_format_round_trip(self):
+        assert format_date(parse_date("2025-06-15")) == "2025-06-15"
+
+    def test_invalid(self):
+        with pytest.raises(MeosError):
+            parse_date("2025/06/15")
+
+
+class TestIntervalParse:
+    def test_single_unit(self):
+        assert Interval.parse("1 day") == Interval(days=1)
+        assert Interval.parse("2 hours") == Interval(usecs=2 * USECS_PER_HOUR)
+        assert Interval.parse("3 months") == Interval(months=3)
+        assert Interval.parse("1 year") == Interval(months=12)
+
+    def test_combined(self):
+        iv = Interval.parse("1 day 2 hours")
+        assert iv.days == 1
+        assert iv.usecs == 2 * USECS_PER_HOUR
+
+    def test_hms(self):
+        iv = Interval.parse("01:30:00")
+        assert iv.usecs == USECS_PER_HOUR + 30 * 60 * USECS_PER_SEC
+
+    def test_fractional(self):
+        assert Interval.parse("0.5 days").usecs == USECS_PER_DAY // 2
+
+    def test_invalid(self):
+        with pytest.raises(MeosError):
+            Interval.parse("")
+        with pytest.raises(MeosError):
+            Interval.parse("5 lightyears")
+        with pytest.raises(MeosError):
+            Interval.parse("5")
+
+
+class TestIntervalFormat:
+    def test_days(self):
+        assert str(Interval(days=2)) == "2 days"
+        assert str(Interval(days=1)) == "1 day"
+
+    def test_time_part(self):
+        assert str(Interval(usecs=USECS_PER_HOUR)) == "01:00:00"
+
+    def test_mixed(self):
+        assert str(Interval(days=1, usecs=USECS_PER_HOUR)) == "1 day 01:00:00"
+
+    def test_zero(self):
+        assert str(Interval()) == "00:00:00"
+
+    def test_years_months(self):
+        assert str(Interval(months=14)) == "1 year 2 mons"
+
+    def test_from_usecs_splits_days(self):
+        assert str(interval_from_usecs(2 * USECS_PER_DAY)) == "2 days"
+
+
+class TestIntervalArithmetic:
+    def test_add_day(self):
+        t = parse_timestamptz("2025-01-31")
+        assert format_timestamptz(add_interval(t, Interval.parse("1 day"))) \
+            == "2025-02-01 00:00:00+00"
+
+    def test_add_month_clamps(self):
+        t = parse_timestamptz("2025-01-31")
+        t2 = add_interval(t, Interval.parse("1 month"))
+        assert format_timestamptz(t2) == "2025-02-28 00:00:00+00"
+
+    def test_negate(self):
+        iv = Interval.parse("1 day")
+        assert add_interval(add_interval(0, iv), -iv) == 0
+
+    def test_addition(self):
+        total = Interval.parse("1 day") + Interval.parse("2 hours")
+        assert total.days == 1
+        assert total.usecs == 2 * USECS_PER_HOUR
+
+    def test_total_usecs(self):
+        assert Interval.parse("1 day").total_usecs() == USECS_PER_DAY
+        assert Interval(months=1).total_usecs() == 30 * USECS_PER_DAY
+
+    def test_bool(self):
+        assert Interval.parse("1 second")
+        assert not Interval()

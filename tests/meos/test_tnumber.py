@@ -1,0 +1,184 @@
+"""Temporal-number arithmetic and statistics (MEOS tnumber ops)."""
+
+import operator
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import meos
+from repro.meos import MeosError, MeosTypeError
+from repro.meos.temporal import (
+    Interp,
+    arith_const,
+    arith_temporal,
+    integral,
+    max_instant,
+    min_instant,
+    tnumber_abs,
+    tnumber_round,
+    tw_avg,
+)
+from repro.meos.timetypes import parse_timestamptz as ts
+
+RAMP = meos.tfloat("[0@2025-01-01, 10@2025-01-02]")
+
+
+class TestArithConst:
+    def test_add(self):
+        got = arith_const(RAMP, 5.0, operator.add)
+        assert got.start_value() == 5.0
+        assert got.end_value() == 15.0
+        assert got.interp is Interp.LINEAR
+
+    def test_mul(self):
+        got = arith_const(RAMP, 2.0, operator.mul)
+        assert got.end_value() == 20.0
+
+    def test_reverse_sub(self):
+        got = arith_const(RAMP, 10.0, operator.sub, reverse=True)
+        assert got.start_value() == 10.0
+        assert got.end_value() == 0.0
+
+    def test_div_by_zero(self):
+        with pytest.raises(MeosError):
+            arith_const(RAMP, 0.0, operator.truediv)
+
+    def test_reverse_div_linear_rejected(self):
+        with pytest.raises(MeosError):
+            arith_const(RAMP, 1.0, operator.truediv, reverse=True)
+
+    def test_reverse_div_step_ok(self):
+        t = meos.tint("[2@2025-01-01, 4@2025-01-02]")
+        got = arith_const(t, 8.0, operator.truediv, reverse=True)
+        assert got.start_value() == 4.0
+
+    def test_tint_plus_int_stays_tint(self):
+        t = meos.tint("{1@2025-01-01, 2@2025-01-02}")
+        got = arith_const(t, 1, operator.add)
+        assert got.ttype.name == "tint"
+
+    def test_non_number_rejected(self):
+        with pytest.raises(MeosTypeError):
+            arith_const(meos.tbool("t@2025-01-01"), 1.0, operator.add)
+
+
+class TestArithTemporal:
+    OTHER = meos.tfloat("[10@2025-01-01, 0@2025-01-02]")
+
+    def test_add_is_constant_here(self):
+        got = arith_temporal(RAMP, self.OTHER, operator.add)
+        assert got.always(lambda v: v == pytest.approx(10.0))
+
+    def test_sub(self):
+        got = arith_temporal(RAMP, self.OTHER, operator.sub)
+        assert got.start_value() == -10.0
+        assert got.end_value() == 10.0
+
+    def test_mul_has_turning_point(self):
+        got = arith_temporal(RAMP, self.OTHER, operator.mul)
+        # x(10-x) peaks at 25 at the midpoint.
+        assert got.max_value() == pytest.approx(25.0)
+
+    def test_disjoint_time_none(self):
+        far = meos.tfloat("[1@2026-01-01, 1@2026-01-02]")
+        assert arith_temporal(RAMP, far, operator.add) is None
+
+    def test_division_by_crossing_zero(self):
+        with pytest.raises(MeosError):
+            arith_temporal(RAMP, self.OTHER, operator.truediv)
+
+    def test_division_ok(self):
+        denom = meos.tfloat("[2@2025-01-01, 2@2025-01-02]")
+        got = arith_temporal(RAMP, denom, operator.truediv)
+        assert got.end_value() == pytest.approx(5.0)
+
+    def test_discrete_operands(self):
+        a = meos.tint("{1@2025-01-01, 2@2025-01-02}")
+        b = meos.tint("{10@2025-01-01, 20@2025-01-02}")
+        got = arith_temporal(a, b, operator.add)
+        assert got.values() == [11.0, 22.0]
+
+
+class TestUnary:
+    def test_abs_crossing(self):
+        t = meos.tfloat("[-10@2025-01-01, 10@2025-01-03]")
+        got = tnumber_abs(t)
+        assert got.min_value() == 0.0
+        assert got.value_at_timestamp(ts("2025-01-02")) == 0.0
+
+    def test_abs_step(self):
+        t = meos.tint("[-1@2025-01-01, 2@2025-01-02]")
+        assert tnumber_abs(t).values() == [1, 2]
+
+    def test_round(self):
+        t = meos.tfloat("[1.234@2025-01-01, 5.678@2025-01-02]")
+        got = tnumber_round(t, 1)
+        assert got.values() == [1.2, 5.7]
+
+
+class TestStatistics:
+    def test_integral_rectangle(self):
+        t = meos.tfloat("[2@2025-01-01 00:00:00, 2@2025-01-01 00:00:10]")
+        assert integral(t) == pytest.approx(20.0)
+
+    def test_integral_triangle(self):
+        t = meos.tfloat("[0@2025-01-01 00:00:00, 10@2025-01-01 00:00:10]")
+        assert integral(t) == pytest.approx(50.0)
+
+    def test_integral_step(self):
+        t = meos.tint("[3@2025-01-01 00:00:00, 9@2025-01-01 00:00:10]")
+        assert integral(t) == pytest.approx(30.0)  # holds 3 for 10 s
+
+    def test_twavg_linear(self):
+        assert tw_avg(RAMP) == pytest.approx(5.0)
+
+    def test_twavg_discrete_falls_back_to_mean(self):
+        t = meos.tint("{1@2025-01-01, 3@2025-01-02}")
+        assert tw_avg(t) == pytest.approx(2.0)
+
+    def test_twavg_weights_longer_segments(self):
+        t = meos.tfloat(
+            "[0@2025-01-01 00:00:00, 0@2025-01-01 00:00:30, "
+            "10@2025-01-01 00:00:30.000001, 10@2025-01-01 00:00:40]"
+        )
+        # ~30s at 0, ~10s at 10 -> twavg ~2.5, plain mean would be 5.
+        assert tw_avg(t) == pytest.approx(2.5, abs=0.1)
+
+    def test_min_max_instants(self):
+        t = meos.tfloat("[5@2025-01-01, 1@2025-01-02, 9@2025-01-03]")
+        assert min_instant(t).value == 1.0
+        assert max_instant(t).value == 9.0
+        assert max_instant(t).t == ts("2025-01-03")
+
+    def test_max_tie_picks_first(self):
+        t = meos.tint("{5@2025-01-01, 5@2025-01-02}")
+        assert max_instant(t).t == ts("2025-01-01")
+
+
+class TestProperties:
+    values = st.lists(
+        st.floats(-100, 100, allow_nan=False), min_size=2, max_size=6
+    )
+
+    @given(values, st.floats(-10, 10, allow_nan=False))
+    @settings(max_examples=100)
+    def test_add_then_sub_identity(self, vals, c):
+        instants = ", ".join(
+            f"{v}@2025-01-{i + 1:02d}" for i, v in enumerate(vals)
+        )
+        t = meos.tfloat(f"[{instants}]")
+        back = arith_const(arith_const(t, c, operator.add), c,
+                           operator.sub)
+        for a, b in zip(t.instants(), back.instants()):
+            assert b.value == pytest.approx(a.value, abs=1e-9)
+
+    @given(values)
+    @settings(max_examples=100)
+    def test_twavg_within_bounds(self, vals):
+        instants = ", ".join(
+            f"{v}@2025-01-{i + 1:02d}" for i, v in enumerate(vals)
+        )
+        t = meos.tfloat(f"[{instants}]")
+        avg = tw_avg(t)
+        assert t.min_value() - 1e-9 <= avg <= t.max_value() + 1e-9

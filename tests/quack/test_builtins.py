@@ -1,0 +1,146 @@
+"""Built-in scalar function and aggregate coverage (both engines)."""
+
+import pytest
+
+from repro.pgsim import RowDatabase
+from repro.quack import Database
+
+
+@pytest.fixture(params=[Database, RowDatabase], ids=["quack", "pgsim"])
+def con(request):
+    return request.param().connect()
+
+
+class TestStringFunctions:
+    def test_concat_variadic(self, con):
+        assert con.execute(
+            "SELECT concat('a', 'b', 'c')"
+        ).scalar() == "abc"
+
+    def test_concat_skips_nulls(self, con):
+        assert con.execute(
+            "SELECT concat('a', NULL, 'c')"
+        ).scalar() == "ac"
+
+    def test_length_upper_lower_trim(self, con):
+        assert con.execute("SELECT length('hello')").scalar() == 5
+        assert con.execute("SELECT upper('abc')").scalar() == "ABC"
+        assert con.execute("SELECT lower('ABC')").scalar() == "abc"
+        assert con.execute("SELECT trim('  x  ')").scalar() == "x"
+
+    def test_substring(self, con):
+        assert con.execute(
+            "SELECT substring('mobility', 3, 4)"
+        ).scalar() == "bili"
+
+    def test_contains(self, con):
+        assert con.execute(
+            "SELECT contains('mobilityduck', 'duck')"
+        ).scalar() is True
+
+    def test_like_patterns(self, con):
+        assert con.execute("SELECT 'hello' LIKE 'h%o'").scalar() is True
+        assert con.execute("SELECT 'hello' LIKE 'h_llo'").scalar() is True
+        assert con.execute("SELECT 'hello' LIKE 'H%'").scalar() is False
+        assert con.execute("SELECT 'hello' ILIKE 'H%'").scalar() is True
+        assert con.execute("SELECT 'hello' NOT LIKE 'x%'").scalar() is True
+
+
+class TestMathFunctions:
+    def test_abs_round_floor_ceil(self, con):
+        assert con.execute("SELECT abs(-4.5)").scalar() == 4.5
+        assert con.execute("SELECT round(2.567, 2)").scalar() == 2.57
+        assert con.execute("SELECT floor(2.9)").scalar() == 2
+        assert con.execute("SELECT ceil(2.1)").scalar() == 3
+
+    def test_sqrt_power_ln(self, con):
+        assert con.execute("SELECT sqrt(16.0)").scalar() == 4.0
+        assert con.execute("SELECT power(2.0, 10.0)").scalar() == 1024.0
+        assert con.execute("SELECT ln(1.0)").scalar() == 0.0
+
+    def test_greatest_least(self, con):
+        assert con.execute("SELECT greatest(1, 7, 3)").scalar() == 7
+        assert con.execute("SELECT least(1, 7, 3)").scalar() == 1
+
+    def test_nullif(self, con):
+        assert con.execute("SELECT nullif(5, 5)").scalar() is None
+        assert con.execute("SELECT nullif(5, 6)").scalar() == 5
+
+    def test_modulo_and_negate(self, con):
+        assert con.execute("SELECT 17 % 5").scalar() == 2
+        assert con.execute("SELECT -(3 + 4)").scalar() == -7
+
+
+class TestDateTimeFunctions:
+    def test_date_part_fields(self, con):
+        base = "'2025-06-15 13:45:30'::TIMESTAMP"
+        assert con.execute(
+            f"SELECT date_part('month', {base})"
+        ).scalar() == 6
+        assert con.execute(
+            f"SELECT date_part('hour', {base})"
+        ).scalar() == 13
+        assert con.execute(
+            f"SELECT date_part('isodow', {base})"
+        ).scalar() == 7  # a Sunday
+
+    def test_date_trunc(self, con):
+        got = con.execute(
+            "SELECT date_trunc('day', '2025-06-15 13:45:30'::TIMESTAMP)"
+        ).scalar()
+        from repro.meos.timetypes import parse_timestamptz
+
+        assert got == parse_timestamptz("2025-06-15")
+
+    def test_epoch(self, con):
+        assert con.execute(
+            "SELECT epoch('1970-01-02'::TIMESTAMP)"
+        ).scalar() == 86400.0
+
+    def test_interval_literal_arith(self, con):
+        got = con.execute(
+            "SELECT ('2025-01-31'::TIMESTAMP + INTERVAL '1 month')"
+            "::VARCHAR"
+        ).scalar()
+        assert got.startswith("2025-02-28")
+
+    def test_timestamp_difference_is_interval(self, con):
+        got = con.execute(
+            "SELECT ('2025-01-03'::TIMESTAMP - '2025-01-01'::TIMESTAMP)"
+            "::VARCHAR"
+        ).scalar()
+        assert got == "2 days"
+
+
+class TestAggregates:
+    @pytest.fixture
+    def data(self, con):
+        con.execute("CREATE TABLE v(g VARCHAR, x DOUBLE)")
+        con.execute(
+            "INSERT INTO v VALUES ('a', 1.0), ('a', 3.0), ('b', 5.0), "
+            "('b', NULL)"
+        )
+        return con
+
+    def test_string_agg(self, data):
+        got = data.execute(
+            "SELECT string_agg(g, ',') FROM v WHERE x IS NOT NULL"
+        ).scalar()
+        assert sorted(got.split(",")) == ["a", "a", "b"]
+
+    def test_first(self, data):
+        assert data.execute("SELECT first(g) FROM v").scalar() == "a"
+
+    def test_avg_skips_nulls(self, data):
+        assert data.execute(
+            "SELECT avg(x) FROM v WHERE g = 'b'"
+        ).scalar() == 5.0
+
+    def test_min_max_strings(self, data):
+        assert data.execute("SELECT min(g), max(g) FROM v") \
+            .fetchone() == ("a", "b")
+
+    def test_sum_empty_group_is_null(self, data):
+        assert data.execute(
+            "SELECT sum(x) FROM v WHERE g = 'zzz'"
+        ).scalar() is None

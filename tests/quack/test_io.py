@@ -1,0 +1,78 @@
+"""CSV import/export and result presentation tests."""
+
+import os
+
+import pytest
+
+from repro import core, quack
+from repro.quack import Database
+from repro.quack.errors import QuackError
+
+
+@pytest.fixture
+def con():
+    con = Database().connect()
+    con.execute("CREATE TABLE t(a INTEGER, b VARCHAR, c DOUBLE)")
+    con.execute(
+        "INSERT INTO t VALUES (1, 'x', 1.5), (2, NULL, 2.5)"
+    )
+    return con
+
+
+class TestResultHelpers:
+    def test_columns_dict(self, con):
+        cols = con.execute("SELECT a, b FROM t ORDER BY a").columns()
+        assert cols == {"a": [1, 2], "b": ["x", None]}
+
+    def test_format_table(self, con):
+        text = quack.format_table(con.execute("SELECT a, b FROM t"))
+        assert "a" in text.splitlines()[0]
+        assert "NULL" in text
+
+    def test_format_table_truncates(self, con):
+        con.execute(
+            "INSERT INTO t SELECT i, 'r', 0.0 FROM "
+            "generate_series(1, 50) AS g(i)"
+        )
+        text = quack.format_table(con.execute("SELECT a FROM t"),
+                                  max_rows=5)
+        assert "rows total" in text
+
+
+class TestCsvRoundTrip:
+    def test_basic_round_trip(self, con, tmp_path):
+        path = str(tmp_path / "out.csv")
+        result = con.execute("SELECT a, b, c FROM t ORDER BY a")
+        assert quack.write_csv(result, path) == 2
+        n = quack.read_csv(con, path, "t2")
+        assert n == 2
+        rows = con.execute("SELECT a, b, c FROM t2 ORDER BY a").fetchall()
+        assert rows[0] == (1, "x", 1.5)
+        assert rows[1][1] is None
+
+    def test_type_sniffing(self, con, tmp_path):
+        path = str(tmp_path / "sniff.csv")
+        with open(path, "w") as f:
+            f.write("i,f,s,flag\n1,1.5,abc,true\n2,2.5,def,false\n")
+        quack.read_csv(con, path, "sniffed")
+        table = con.database.catalog.get_table("sniffed")
+        assert [t.name for t in table.column_types] == [
+            "BIGINT", "DOUBLE", "VARCHAR", "BOOLEAN"
+        ]
+
+    def test_extension_type_override(self, tmp_path):
+        con = core.connect()
+        path = str(tmp_path / "trips.csv")
+        with open(path, "w") as f:
+            f.write("id,trip\n")
+            f.write('1,"[Point(0 0)@2025-01-01, Point(3 4)@2025-01-02]"\n')
+        quack.read_csv(con, path, "trips", column_types={
+            "trip": "TGEOMPOINT"
+        })
+        assert con.execute("SELECT length(trip) FROM trips").scalar() == 5.0
+
+    def test_empty_file_rejected(self, con, tmp_path):
+        path = str(tmp_path / "empty.csv")
+        open(path, "w").close()
+        with pytest.raises(QuackError):
+            quack.read_csv(con, path, "nope")

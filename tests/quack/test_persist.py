@@ -1,0 +1,101 @@
+"""Database save/load persistence tests."""
+
+import os
+
+import pytest
+
+from repro import core
+from repro.quack import Database, QuackError
+
+
+class TestPersistence:
+    def test_round_trip_plain_tables(self, tmp_path):
+        path = str(tmp_path / "db.qdb")
+        db = Database()
+        con = db.connect()
+        con.execute("CREATE TABLE t(a INTEGER, b VARCHAR)")
+        con.execute("INSERT INTO t VALUES (1, 'x'), (2, NULL)")
+        assert db.save(path) == 1
+
+        fresh = Database()
+        assert fresh.load(path) == 1
+        rows = fresh.connect().execute(
+            "SELECT a, b FROM t ORDER BY a"
+        ).fetchall()
+        assert rows == [(1, "x"), (2, None)]
+
+    def test_round_trip_extension_types(self, tmp_path):
+        path = str(tmp_path / "db.qdb")
+        con = core.connect()
+        con.execute("CREATE TABLE trips(id INTEGER, trip TGEOMPOINT)")
+        con.execute(
+            "INSERT INTO trips VALUES "
+            "(1, '[Point(0 0)@2025-01-01, Point(3 4)@2025-01-02]')"
+        )
+        con.database.save(path)
+
+        fresh = core.connect()
+        fresh.database.load(path)
+        assert fresh.execute(
+            "SELECT length(trip) FROM trips"
+        ).scalar() == 5.0
+
+    def test_indexes_rebuilt_on_load(self, tmp_path):
+        path = str(tmp_path / "db.qdb")
+        con = core.connect()
+        con.execute("CREATE TABLE g(box STBOX)")
+        con.execute("CREATE INDEX rt ON g USING TRTREE(box)")
+        con.execute(
+            "INSERT INTO g SELECT ('STBOX X((' || i || ',' || i || '),("
+            " ' || (i + 1) || ',' || (i + 1) || '))') "
+            "FROM generate_series(1, 100) AS t(i)"
+        )
+        con.database.save(path)
+
+        fresh = core.connect()
+        fresh.database.load(path)
+        query = ("SELECT count(*) FROM g WHERE box && "
+                 "stbox('STBOX X((10,10),(20,20))')")
+        assert "TRTREE_INDEX_SCAN" in fresh.explain(query)
+        assert fresh.execute(query).scalar() == 12
+
+    def test_deleted_rows_not_persisted(self, tmp_path):
+        path = str(tmp_path / "db.qdb")
+        db = Database()
+        con = db.connect()
+        con.execute("CREATE TABLE t(a INTEGER)")
+        con.execute("INSERT INTO t VALUES (1), (2), (3)")
+        con.execute("DELETE FROM t WHERE a = 2")
+        db.save(path)
+
+        fresh = Database()
+        fresh.load(path)
+        rows = fresh.connect().execute("SELECT a FROM t ORDER BY a")
+        assert [r[0] for r in rows] == [1, 3]
+
+    def test_load_replaces_existing_table(self, tmp_path):
+        path = str(tmp_path / "db.qdb")
+        db = Database()
+        con = db.connect()
+        con.execute("CREATE TABLE t(a INTEGER)")
+        con.execute("INSERT INTO t VALUES (1)")
+        db.save(path)
+        con.execute("INSERT INTO t VALUES (2)")
+        db.load(path)
+        assert con.execute("SELECT count(*) FROM t").scalar() == 1
+
+    def test_garbage_file_rejected(self, tmp_path):
+        path = str(tmp_path / "garbage.qdb")
+        with open(path, "wb") as handle:
+            handle.write(b"not a database")
+        with pytest.raises(QuackError):
+            Database().load(path)
+
+    def test_wrong_pickle_rejected(self, tmp_path):
+        import pickle
+
+        path = str(tmp_path / "other.qdb")
+        with open(path, "wb") as handle:
+            pickle.dump({"something": "else"}, handle)
+        with pytest.raises(QuackError):
+            Database().load(path)

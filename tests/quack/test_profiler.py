@@ -1,0 +1,73 @@
+"""EXPLAIN ANALYZE / plan profiler tests."""
+
+import pytest
+
+from repro import core
+from repro.quack import Database
+
+
+@pytest.fixture
+def con():
+    con = Database().connect()
+    con.execute("CREATE TABLE t(a INTEGER, b VARCHAR)")
+    con.execute(
+        "INSERT INTO t SELECT i, 'r' || i FROM "
+        "generate_series(1, 1000) AS g(i)"
+    )
+    return con
+
+
+class TestExplainAnalyze:
+    def test_row_counts_annotated(self, con):
+        text = con.execute(
+            "EXPLAIN ANALYZE SELECT count(*) FROM t WHERE a <= 100"
+        ).plan_text
+        assert "SEQ_SCAN t  (rows=1000" in text
+        assert "FILTER  (rows=100" in text
+
+    def test_timings_present(self, con):
+        text = con.execute(
+            "EXPLAIN ANALYZE SELECT a FROM t ORDER BY a LIMIT 5"
+        ).plan_text
+        assert "ms)" in text
+        assert "ORDER_BY" in text
+
+    def test_plain_explain_unchanged(self, con):
+        text = con.execute("EXPLAIN SELECT a FROM t").plan_text
+        assert "rows=" not in text
+
+    def test_join_counts(self, con):
+        con.execute("CREATE TABLE s(a INTEGER)")
+        con.execute("INSERT INTO s VALUES (1), (2)")
+        text = con.execute(
+            "EXPLAIN ANALYZE SELECT * FROM t, s WHERE t.a = s.a"
+        ).plan_text
+        assert "HASH_JOIN" in text
+        assert "(rows=2" in text
+
+    def test_limit_short_circuit_visible(self, con):
+        text = con.execute(
+            "EXPLAIN ANALYZE SELECT a FROM t LIMIT 3"
+        ).plan_text
+        # The LIMIT row count is exactly 3 even though the scan holds 1000.
+        assert "LIMIT 3  (rows=3" in text
+
+    def test_execution_unaffected_afterwards(self, con):
+        con.execute("EXPLAIN ANALYZE SELECT count(*) FROM t")
+        assert con.execute("SELECT count(*) FROM t").scalar() == 1000
+
+    def test_index_scan_annotated(self):
+        con = core.connect()
+        con.execute("CREATE TABLE g(box STBOX)")
+        con.execute("CREATE INDEX rt ON g USING TRTREE(box)")
+        con.execute(
+            "INSERT INTO g SELECT ('STBOX X((' || i || ',' || i || '),("
+            " ' || (i + 1) || ',' || (i + 1) || '))') "
+            "FROM generate_series(1, 100) AS t(i)"
+        )
+        text = con.execute(
+            "EXPLAIN ANALYZE SELECT count(*) FROM g WHERE box && "
+            "stbox('STBOX X((10,10),(20,20))')"
+        ).plan_text
+        assert "TRTREE_INDEX_SCAN" in text
+        assert "rows=" in text

@@ -1,0 +1,267 @@
+"""SQL lexer/parser tests."""
+
+import pytest
+
+from repro.quack.errors import ParserError
+from repro.quack.sql import ast, parse_one, parse_sql, tokenize
+
+
+class TestLexer:
+    def test_operators_longest_match(self):
+        kinds = [t.text for t in tokenize("a <= b <> c && d @> e")
+                 if t.kind == "op"]
+        assert kinds == ["<=", "<>", "&&", "@>"]
+
+    def test_string_escape(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].text == "it's"
+
+    def test_comments_skipped(self):
+        tokens = tokenize("SELECT 1 -- comment\n/* block */ , 2")
+        texts = [t.text for t in tokens if t.kind != "eof"]
+        assert texts == ["SELECT", "1", ",", "2"]
+
+    def test_numbers(self):
+        tokens = tokenize("1 2.5 1e3 2.5e-2")
+        assert [t.kind for t in tokens[:-1]] == ["number"] * 4
+
+    def test_quoted_identifier(self):
+        tokens = tokenize('"Times Like These"')
+        assert tokens[0].kind == "qident"
+        assert tokens[0].text == "Times Like These"
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParserError):
+            tokenize("'oops")
+
+
+class TestSelectParsing:
+    def test_simple(self):
+        stmt = parse_one("SELECT a, b FROM t")
+        assert len(stmt.select_items) == 2
+        assert isinstance(stmt.from_items[0], ast.BaseTableRef)
+
+    def test_aliases(self):
+        stmt = parse_one("SELECT a AS x, b y FROM t z")
+        assert stmt.select_items[0].alias == "x"
+        assert stmt.select_items[1].alias == "y"
+        assert stmt.from_items[0].alias == "z"
+
+    def test_distinct(self):
+        assert parse_one("SELECT DISTINCT a FROM t").distinct
+
+    def test_trailing_comma_before_from(self):
+        # Appears verbatim in the paper's use-case query 6.
+        stmt = parse_one("SELECT a, b, FROM t")
+        assert len(stmt.select_items) == 2
+
+    def test_group_order_limit(self):
+        stmt = parse_one(
+            "SELECT a, count(*) FROM t GROUP BY a HAVING count(*) > 1 "
+            "ORDER BY a DESC LIMIT 5 OFFSET 2"
+        )
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+        assert not stmt.order_by[0].ascending
+        assert isinstance(stmt.limit, ast.Literal)
+
+    def test_joins(self):
+        stmt = parse_one(
+            "SELECT * FROM a JOIN b ON a.x = b.x LEFT JOIN c ON b.y = c.y"
+        )
+        join = stmt.from_items[0]
+        assert isinstance(join, ast.JoinRef)
+        assert join.join_type == "left"
+        assert join.left.join_type == "inner"
+
+    def test_comma_join(self):
+        stmt = parse_one("SELECT * FROM a, b, c")
+        assert len(stmt.from_items) == 3
+
+    def test_subquery_in_from(self):
+        stmt = parse_one("SELECT * FROM (SELECT 1 AS x) s")
+        assert isinstance(stmt.from_items[0], ast.SubqueryRef)
+
+    def test_from_subquery_requires_alias(self):
+        with pytest.raises(ParserError):
+            parse_one("SELECT * FROM (SELECT 1)")
+
+    def test_table_function(self):
+        stmt = parse_one("SELECT i FROM generate_series(1, 10) AS t(i)")
+        ref = stmt.from_items[0]
+        assert isinstance(ref, ast.TableFunctionRef)
+        assert ref.column_aliases == ["i"]
+
+    def test_ctes(self):
+        stmt = parse_one(
+            "WITH a AS (SELECT 1 AS x), b(y) AS (SELECT x FROM a) "
+            "SELECT y FROM b"
+        )
+        assert len(stmt.ctes) == 2
+        assert stmt.ctes[1].column_names == ["y"]
+
+    def test_qualified_star(self):
+        stmt = parse_one("SELECT t.* FROM t")
+        assert isinstance(stmt.select_items[0].expr, ast.Star)
+        assert stmt.select_items[0].expr.qualifier == "t"
+
+
+class TestExpressions:
+    def _expr(self, text):
+        return parse_one(f"SELECT {text}").select_items[0].expr
+
+    def test_precedence_arith(self):
+        e = self._expr("1 + 2 * 3")
+        assert isinstance(e, ast.BinaryOp)
+        assert e.op == "+"
+        assert e.right.op == "*"
+
+    def test_precedence_and_or(self):
+        e = self._expr("a OR b AND c")
+        assert e.op == "OR"
+
+    def test_comparison_chain_with_custom_op(self):
+        e = self._expr("a && b")
+        assert e.op == "&&"
+
+    def test_cast_postfix(self):
+        e = self._expr("x::INTEGER::VARCHAR")
+        assert isinstance(e, ast.Cast)
+        assert e.type_name == "VARCHAR"
+        assert isinstance(e.operand, ast.Cast)
+
+    def test_cast_with_modifiers(self):
+        e = self._expr("x::DECIMAL(10,2)")
+        assert e.type_name.startswith("DECIMAL")
+
+    def test_typed_literal(self):
+        e = self._expr("stbox 'STBOX X((1,1),(2,2))'")
+        assert isinstance(e, ast.Cast)
+        assert e.type_name == "stbox"
+
+    def test_interval_literal(self):
+        e = self._expr("INTERVAL '1 day'")
+        assert isinstance(e, ast.IntervalExpr)
+
+    def test_interval_expression(self):
+        e = self._expr("INTERVAL (i || ' minutes')")
+        assert isinstance(e, ast.IntervalExpr)
+        assert isinstance(e.operand, ast.BinaryOp)
+
+    def test_case(self):
+        e = self._expr("CASE WHEN a THEN 1 ELSE 2 END")
+        assert isinstance(e, ast.CaseExpr)
+        assert len(e.branches) == 1
+
+    def test_in_list(self):
+        e = self._expr("a IN (1, 2, 3)")
+        assert isinstance(e, ast.InList)
+
+    def test_not_in(self):
+        e = self._expr("a NOT IN (1)")
+        assert isinstance(e, ast.InList)
+        assert e.negated
+
+    def test_between(self):
+        e = self._expr("a BETWEEN 1 AND 5")
+        assert isinstance(e, ast.Between)
+
+    def test_is_null(self):
+        assert isinstance(self._expr("a IS NULL"), ast.IsNull)
+        assert self._expr("a IS NOT NULL").negated
+
+    def test_exists(self):
+        e = self._expr("EXISTS (SELECT 1)")
+        assert isinstance(e, ast.Exists)
+
+    def test_scalar_subquery(self):
+        e = self._expr("(SELECT max(x) FROM t)")
+        assert isinstance(e, ast.ScalarSubquery)
+
+    def test_quantified_all(self):
+        e = self._expr("a <= ALL (SELECT b FROM t)")
+        assert isinstance(e, ast.QuantifiedComparison)
+        assert e.quantifier == "ALL"
+
+    def test_in_subquery(self):
+        e = self._expr("a IN (SELECT b FROM t)")
+        assert isinstance(e, ast.InSubquery)
+
+    def test_struct_literal(self):
+        e = self._expr("{min_x: 1000, min_y: 1000}::BOX_2D")
+        assert isinstance(e, ast.Cast)
+        assert isinstance(e.operand, ast.StructLiteral)
+
+    def test_count_star(self):
+        e = self._expr("count(*)")
+        assert isinstance(e, ast.FunctionCall)
+        assert e.is_star
+
+    def test_count_distinct(self):
+        e = self._expr("count(DISTINCT x)")
+        assert e.distinct
+
+    def test_unary_minus(self):
+        e = self._expr("-x")
+        assert isinstance(e, ast.UnaryOp)
+
+    def test_like(self):
+        e = self._expr("name LIKE 'a%'")
+        assert isinstance(e, ast.Like)
+
+
+class TestOtherStatements:
+    def test_create_table(self):
+        stmt = parse_one("CREATE TABLE t(a INTEGER, b TIMESTAMPTZ)")
+        assert isinstance(stmt, ast.CreateTableStatement)
+        assert [c.name for c in stmt.columns] == ["a", "b"]
+
+    def test_create_or_replace(self):
+        stmt = parse_one("CREATE OR REPLACE TABLE t(a INTEGER)")
+        assert stmt.or_replace
+
+    def test_create_table_as(self):
+        stmt = parse_one("CREATE TABLE t AS SELECT 1 AS x")
+        assert stmt.as_query is not None
+
+    def test_create_index_using(self):
+        stmt = parse_one("CREATE INDEX i ON t USING TRTREE(col)")
+        assert stmt.using == "TRTREE"
+        assert stmt.column == "col"
+
+    def test_insert_values(self):
+        stmt = parse_one("INSERT INTO t VALUES (1, 'a'), (2, 'b')")
+        assert len(stmt.values) == 2
+
+    def test_insert_columns(self):
+        stmt = parse_one("INSERT INTO t(a, b) VALUES (1, 2)")
+        assert stmt.columns == ["a", "b"]
+
+    def test_insert_select(self):
+        stmt = parse_one("INSERT INTO t SELECT * FROM s")
+        assert stmt.query is not None
+
+    def test_update(self):
+        stmt = parse_one("UPDATE t SET a = 1, b = a + 1 WHERE a > 0")
+        assert len(stmt.assignments) == 2
+        assert stmt.where is not None
+
+    def test_delete(self):
+        stmt = parse_one("DELETE FROM t WHERE a = 1")
+        assert isinstance(stmt, ast.DeleteStatement)
+
+    def test_drop(self):
+        stmt = parse_one("DROP TABLE IF EXISTS t")
+        assert stmt.if_exists
+
+    def test_explain(self):
+        stmt = parse_one("EXPLAIN SELECT 1")
+        assert isinstance(stmt, ast.ExplainStatement)
+
+    def test_script(self):
+        stmts = parse_sql("SELECT 1; SELECT 2;")
+        assert len(stmts) == 2
+
+    def test_unsupported(self):
+        with pytest.raises(ParserError):
+            parse_one("GRANT ALL TO someone")

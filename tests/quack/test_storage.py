@@ -1,0 +1,128 @@
+"""Columnar storage internals: segments, gather, tombstones, updates."""
+
+import numpy as np
+import pytest
+
+from repro.quack.catalog import ColumnData, Table
+from repro.quack.errors import CatalogError, ExecutionError
+from repro.quack.types import BIGINT, VARCHAR
+from repro.quack.vector import STANDARD_VECTOR_SIZE
+
+
+class TestColumnData:
+    def test_append_and_seal(self):
+        col = ColumnData(BIGINT)
+        for i in range(10):
+            col.append(i)
+        assert len(col) == 10
+        chunks = list(col.chunks())
+        assert sum(len(c) for c in chunks) == 10
+
+    def test_auto_seal_at_vector_size(self):
+        col = ColumnData(BIGINT)
+        for i in range(STANDARD_VECTOR_SIZE + 5):
+            col.append(i)
+        assert len(col.segments) >= 1
+        assert len(col) == STANDARD_VECTOR_SIZE + 5
+
+    def test_nulls_tracked(self):
+        col = ColumnData(VARCHAR)
+        col.append("a")
+        col.append(None)
+        vec = next(col.chunks())
+        assert vec.to_list() == ["a", None]
+
+    def test_gather_across_segments(self):
+        col = ColumnData(BIGINT)
+        for i in range(STANDARD_VECTOR_SIZE * 2 + 10):
+            col.append(i)
+        picks = np.array(
+            [0, STANDARD_VECTOR_SIZE, STANDARD_VECTOR_SIZE * 2 + 9],
+            dtype=np.int64,
+        )
+        assert col.gather(picks).to_list() == [
+            0, STANDARD_VECTOR_SIZE, STANDARD_VECTOR_SIZE * 2 + 9
+        ]
+
+    def test_gather_out_of_range(self):
+        col = ColumnData(BIGINT)
+        col.append(1)
+        with pytest.raises(ExecutionError):
+            col.gather(np.array([5], dtype=np.int64))
+
+    def test_rewrite(self):
+        col = ColumnData(BIGINT)
+        col.append(1)
+        col.append(2)
+        col.rewrite([10, None])
+        vec = next(col.chunks())
+        assert vec.to_list() == [10, None]
+
+
+class TestTable:
+    def _table(self):
+        return Table("t", [("a", BIGINT), ("b", VARCHAR)])
+
+    def test_append_and_scan(self):
+        table = self._table()
+        table.append_rows([(1, "x"), (2, "y")])
+        rows = []
+        for chunk, row_ids in table.scan():
+            rows.extend(chunk.rows())
+        assert rows == [(1, "x"), (2, "y")]
+
+    def test_wrong_arity_rejected(self):
+        table = self._table()
+        with pytest.raises(ExecutionError):
+            table.append_rows([(1,)])
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(CatalogError):
+            Table("bad", [("a", BIGINT), ("A", VARCHAR)])
+
+    def test_delete_tombstones(self):
+        table = self._table()
+        table.append_rows([(i, "r") for i in range(10)])
+        table.delete_rows([0, 5])
+        assert table.num_rows() == 8
+        scanned = []
+        for chunk, row_ids in table.scan():
+            scanned.extend(int(r) for r in row_ids)
+        assert 0 not in scanned and 5 not in scanned
+
+    def test_delete_idempotent(self):
+        table = self._table()
+        table.append_rows([(1, "x")])
+        assert table.delete_rows([0]) == 1
+        assert table.delete_rows([0]) == 0
+
+    def test_fetch_skips_deleted(self):
+        table = self._table()
+        table.append_rows([(i, "r") for i in range(5)])
+        table.delete_rows([2])
+        chunk = table.fetch(np.array([1, 2, 3], dtype=np.int64))
+        assert chunk.rows() == [(1, "r"), (3, "r")]
+
+    def test_update_column(self):
+        table = self._table()
+        table.append_rows([(1, "x"), (2, "y")])
+        table.update_column("b", ["X", "Y"])
+        rows = []
+        for chunk, _ in table.scan():
+            rows.extend(chunk.rows())
+        assert rows == [(1, "X"), (2, "Y")]
+
+    def test_column_index_case_insensitive(self):
+        table = self._table()
+        assert table.column_index("A") == 0
+        with pytest.raises(CatalogError):
+            table.column_index("nope")
+
+    def test_large_append_chunking(self):
+        table = self._table()
+        table.append_rows([(i, str(i)) for i in range(5000)])
+        total = 0
+        for chunk, _ in table.scan():
+            assert chunk.count <= STANDARD_VECTOR_SIZE
+            total += chunk.count
+        assert total == 5000

@@ -1,0 +1,151 @@
+"""Vector/DataChunk/type-system unit tests."""
+
+import numpy as np
+import pytest
+
+from repro.quack.errors import ExecutionError
+from repro.quack.types import (
+    ANY,
+    BIGINT,
+    BOOLEAN,
+    DOUBLE,
+    INTEGER,
+    SQLNULL,
+    TIMESTAMP,
+    TypeRegistry,
+    VARCHAR,
+    implicit_cast_cost,
+)
+from repro.quack.vector import (
+    DataChunk,
+    Vector,
+    boolean_selection,
+    concat_vectors,
+)
+
+
+class TestVector:
+    def test_from_values_numeric(self):
+        v = Vector.from_values(BIGINT, [1, 2, None, 4])
+        assert v.data.dtype == np.int64
+        assert v.to_list() == [1, 2, None, 4]
+        assert not v.all_valid()
+
+    def test_from_values_object(self):
+        v = Vector.from_values(VARCHAR, ["a", None, "c"])
+        assert v.value(0) == "a"
+        assert v.value(1) is None
+
+    def test_constant(self):
+        v = Vector.constant(DOUBLE, 2.5, 4)
+        assert v.to_list() == [2.5] * 4
+
+    def test_constant_null(self):
+        v = Vector.constant(VARCHAR, None, 3)
+        assert v.to_list() == [None] * 3
+
+    def test_slice_mask(self):
+        v = Vector.from_values(BIGINT, [1, 2, 3, 4])
+        mask = np.array([True, False, True, False])
+        assert v.slice(mask).to_list() == [1, 3]
+
+    def test_take(self):
+        v = Vector.from_values(BIGINT, [10, 20, 30])
+        assert v.take([2, 0, 2]).to_list() == [30, 10, 30]
+
+    def test_value_unboxes_numpy(self):
+        v = Vector.from_values(BIGINT, [1])
+        assert type(v.value(0)) is int
+
+    def test_with_type(self):
+        v = Vector.from_values(BIGINT, [1]).with_type(TIMESTAMP)
+        assert v.ltype == TIMESTAMP
+
+
+class TestDataChunk:
+    def test_count(self):
+        chunk = DataChunk([Vector.from_values(BIGINT, [1, 2])])
+        assert chunk.count == 2
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ExecutionError):
+            DataChunk([
+                Vector.from_values(BIGINT, [1, 2]),
+                Vector.from_values(BIGINT, [1]),
+            ])
+
+    def test_rows(self):
+        chunk = DataChunk([
+            Vector.from_values(BIGINT, [1, 2]),
+            Vector.from_values(VARCHAR, ["a", None]),
+        ])
+        assert chunk.rows() == [(1, "a"), (2, None)]
+
+    def test_concat(self):
+        a = Vector.from_values(BIGINT, [1])
+        b = Vector.from_values(BIGINT, [2, None])
+        assert concat_vectors([a, b]).to_list() == [1, 2, None]
+
+    def test_boolean_selection_nulls_false(self):
+        v = Vector.from_values(BOOLEAN, [True, False, None])
+        assert boolean_selection(v).tolist() == [True, False, False]
+
+    def test_boolean_selection_type_checked(self):
+        with pytest.raises(ExecutionError):
+            boolean_selection(Vector.from_values(BIGINT, [1]))
+
+
+class TestTypeRegistry:
+    def test_builtin_lookup(self):
+        reg = TypeRegistry()
+        assert reg.lookup("INTEGER") == INTEGER
+        assert reg.lookup("int4") == INTEGER
+        assert reg.lookup("timestamptz") == TIMESTAMP
+        assert reg.lookup("NUMERIC") == DOUBLE
+
+    def test_type_modifiers_stripped(self):
+        reg = TypeRegistry()
+        assert reg.lookup("DECIMAL(10,2)") == DOUBLE
+
+    def test_unknown_raises(self):
+        reg = TypeRegistry()
+        with pytest.raises(Exception):
+            reg.lookup("NOPE")
+        assert not reg.known("NOPE")
+
+    def test_register_user_type(self):
+        from repro.quack.extension import make_user_type
+
+        reg = TypeRegistry()
+        stbox = make_user_type("STBOX", object)
+        reg.register(stbox, aliases=("STBOX",))
+        assert reg.lookup("stbox") == stbox
+        assert reg.lookup("stbox").is_user
+
+    def test_equality_by_name(self):
+        from repro.quack.types import LogicalType
+
+        assert LogicalType("X", "object") == LogicalType("X", "int64")
+
+
+class TestImplicitCasts:
+    def test_exact_is_free(self):
+        assert implicit_cast_cost(INTEGER, INTEGER) == 0
+
+    def test_widening_cheap(self):
+        assert implicit_cast_cost(INTEGER, BIGINT) == 1
+        assert implicit_cast_cost(BIGINT, DOUBLE) == 1
+
+    def test_narrowing_allowed_but_pricier(self):
+        widen = implicit_cast_cost(INTEGER, DOUBLE)
+        narrow = implicit_cast_cost(DOUBLE, INTEGER)
+        assert narrow > widen
+
+    def test_null_casts_anywhere(self):
+        assert implicit_cast_cost(SQLNULL, VARCHAR) == 0
+
+    def test_any_accepts_all(self):
+        assert implicit_cast_cost(VARCHAR, ANY) is not None
+
+    def test_varchar_to_bool_not_implicit(self):
+        assert implicit_cast_cost(VARCHAR, BOOLEAN) is None
