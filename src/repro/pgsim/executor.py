@@ -7,10 +7,10 @@ model of PostgreSQL that the paper measures MobilityDB against.
 
 from __future__ import annotations
 
-import functools
 from typing import Any, Iterator
 
 from ..quack.errors import ExecutionError
+from ..quack.kernels import hashable_key as _hashable, sort_comparator
 from .table import Varlena
 from ..quack.plan import (
     BoundCase,
@@ -445,39 +445,8 @@ def _execute_sort(op: LogicalSort, ctx: RowContext) -> Iterator[tuple]:
     for row in execute_rows(op.child, ctx):
         keys = tuple(eval_row(k, row, ctx) for k, _, _ in op.keys)
         rows.append((row, keys))
-
-    def compare(a, b):
-        for pos, (_, ascending, nulls_first) in enumerate(op.keys):
-            x, y = a[1][pos], b[1][pos]
-            if x is None and y is None:
-                continue
-            nf = (not ascending) if nulls_first is None else nulls_first
-            if x is None:
-                return -1 if nf else 1
-            if y is None:
-                return 1 if nf else -1
-            if x == y:
-                continue
-            try:
-                less = x < y
-            except TypeError:
-                less = repr(x) < repr(y)
-            if less:
-                return -1 if ascending else 1
-            return 1 if ascending else -1
-        return 0
-
-    for row, _ in sorted(rows, key=functools.cmp_to_key(compare)):
+    # Shared with quack's sort fallback so both engines agree on NULL
+    # placement and NaN-sorts-greatest semantics.
+    comparator = sort_comparator([(asc, nf) for _, asc, nf in op.keys])
+    for row, _ in sorted(rows, key=comparator):
         yield row
-
-
-def _hashable(value: Any) -> Any:
-    if isinstance(value, list):
-        return tuple(_hashable(v) for v in value)
-    if isinstance(value, dict):
-        return tuple(sorted((k, _hashable(v)) for k, v in value.items()))
-    try:
-        hash(value)
-        return value
-    except TypeError:
-        return repr(value)

@@ -380,6 +380,139 @@ def _date_part(part: str, t: int) -> int:
 # ---------------------------------------------------------------------------
 # Aggregates
 # ---------------------------------------------------------------------------
+#
+# Each standard aggregate carries an optional ``step_batch`` kernel that
+# computes every group at once over NumPy arrays (see quack.kernels); the
+# executor falls back to the row-wise ``step`` loop for DISTINCT
+# aggregates, extension-registered aggregates, and payloads a kernel
+# declines (object-typed min/max and the like).
+
+
+def _is_nan(value: Any) -> bool:
+    return isinstance(value, float) and math.isnan(value)
+
+
+def _min_step(state: Any, value: Any) -> Any:
+    # NaN compares greater than every value, so min prefers non-NaN.
+    if state is None or _is_nan(state):
+        return value
+    if _is_nan(value):
+        return state
+    return min(state, value)
+
+
+def _max_step(state: Any, value: Any) -> Any:
+    if state is None or _is_nan(value):
+        return value
+    if _is_nan(state):
+        return state
+    return max(state, value)
+
+
+def _batch_count(args, codes, n_groups, ltype) -> Vector:
+    counts = np.bincount(codes[args[0].validity], minlength=n_groups)
+    return Vector(ltype, counts.astype(np.int64))
+
+
+def _batch_count_star(args, codes, n_groups, ltype) -> Vector:
+    counts = np.bincount(codes, minlength=n_groups)
+    return Vector(ltype, counts.astype(np.int64))
+
+
+def _batch_sum_int(args, codes, n_groups, ltype) -> Vector | None:
+    from .kernels import segment_reduce
+
+    vec = args[0]
+    if vec.ltype.physical != "int64":
+        return None
+    valid = vec.validity
+    sums, present = segment_reduce(
+        np.add, vec.data[valid], codes[valid], n_groups
+    )
+    return Vector(ltype, sums, present)
+
+
+def _batch_sum_float(args, codes, n_groups, ltype) -> Vector | None:
+    vec = args[0]
+    if vec.ltype.physical != "float64":
+        return None
+    # bincount accumulates weights in row order — bit-identical to the
+    # sequential row-loop fold (unlike reduceat's pairwise summation).
+    valid = vec.validity
+    grouped = codes[valid]
+    sums = np.bincount(grouped, weights=vec.data[valid],
+                       minlength=n_groups)
+    present = np.bincount(grouped, minlength=n_groups) > 0
+    return Vector(ltype, sums, present)
+
+
+def _batch_avg(args, codes, n_groups, ltype) -> Vector | None:
+    vec = args[0]
+    if vec.ltype.physical != "float64":
+        return None
+    valid = vec.validity
+    grouped = codes[valid]
+    sums = np.bincount(grouped, weights=vec.data[valid],
+                       minlength=n_groups)
+    counts = np.bincount(grouped, minlength=n_groups)
+    present = counts > 0
+    out = np.zeros(n_groups, dtype=np.float64)
+    np.divide(sums, counts, out=out, where=present)
+    return Vector(ltype, out, present)
+
+
+def _make_batch_extreme(is_max: bool):
+    def batch(args, codes, n_groups, ltype) -> Vector | None:
+        from .kernels import segment_reduce
+
+        vec = args[0]
+        physical = vec.ltype.physical
+        if physical == "object":
+            return None
+        ufunc = np.maximum if is_max else np.minimum
+        valid = vec.validity
+        values = vec.data[valid]
+        grouped = codes[valid]
+        if physical != "float64":
+            out, present = segment_reduce(ufunc, values, grouped, n_groups)
+            return Vector(ltype, out, present)
+        # Floats: canonicalize -0.0 for comparison, rank NaN greatest, and
+        # resolve ties (-0.0 vs 0.0) to the group's FIRST tied row — the
+        # same element the sequential Python min/max fold keeps.
+        canon = values + 0.0
+        nan = np.isnan(canon)
+        out, present = segment_reduce(
+            ufunc,
+            np.where(nan, -np.inf if is_max else np.inf, canon),
+            grouped, n_groups,
+        )
+        non_nan = np.bincount(grouped[~nan], minlength=n_groups)
+        if is_max:
+            # NaN is the greatest value: any NaN in a group wins.
+            nan_wins = present & (non_nan < np.bincount(
+                grouped, minlength=n_groups))
+        else:
+            # min skips NaN unless the group holds nothing else.
+            nan_wins = present & (non_nan == 0)
+        idx = np.nonzero(~nan)[0]
+        match = canon[idx] == out[grouped[idx]]
+        idx = idx[match]
+        first, has_match = segment_reduce(
+            np.minimum, idx, grouped[idx], n_groups
+        )
+        out[has_match] = values[first[has_match]]
+        out[nan_wins] = np.nan
+        return Vector(ltype, out, present)
+
+    return batch
+
+
+def _batch_first(args, codes, n_groups, ltype) -> Vector:
+    from .kernels import segment_first_valid
+
+    vec = args[0]
+    rows, present = segment_first_valid(codes, vec.validity, n_groups)
+    return Vector(ltype, vec.data[rows], present)
 
 
 def _register_aggregates(registry: FunctionRegistry) -> None:
@@ -389,6 +522,7 @@ def _register_aggregates(registry: FunctionRegistry) -> None:
             init=lambda: 0,
             step=lambda state, value: state + 1,
             final=lambda state: state,
+            step_batch=_batch_count,
         )
     )
     registry.register_aggregate(
@@ -398,6 +532,7 @@ def _register_aggregates(registry: FunctionRegistry) -> None:
             step=lambda state: state + 1,
             final=lambda state: state,
             accepts_null=True,
+            step_batch=_batch_count_star,
         )
     )
     registry.register_aggregate(
@@ -406,6 +541,7 @@ def _register_aggregates(registry: FunctionRegistry) -> None:
             init=lambda: None,
             step=lambda state, value: value if state is None else state + value,
             final=lambda state: state,
+            step_batch=_batch_sum_int,
         )
     )
     registry.register_aggregate(
@@ -414,6 +550,7 @@ def _register_aggregates(registry: FunctionRegistry) -> None:
             init=lambda: None,
             step=lambda state, value: value if state is None else state + value,
             final=lambda state: state,
+            step_batch=_batch_sum_float,
         )
     )
     registry.register_aggregate(
@@ -422,17 +559,18 @@ def _register_aggregates(registry: FunctionRegistry) -> None:
             init=lambda: (0.0, 0),
             step=lambda state, value: (state[0] + value, state[1] + 1),
             final=lambda state: (state[0] / state[1]) if state[1] else None,
+            step_batch=_batch_avg,
         )
     )
-    for name, chooser in (("min", min), ("max", max)):
+    for name, step, is_max in (("min", _min_step, False),
+                               ("max", _max_step, True)):
         registry.register_aggregate(
             AggregateFunction(
                 name, (ANY,), ANY,
                 init=lambda: None,
-                step=lambda state, value, _c=chooser: (
-                    value if state is None else _c(state, value)
-                ),
+                step=step,
                 final=lambda state: state,
+                step_batch=_make_batch_extreme(is_max),
             )
         )
     registry.register_aggregate(
@@ -461,6 +599,7 @@ def _register_aggregates(registry: FunctionRegistry) -> None:
             init=lambda: None,
             step=lambda state, value: value if state is None else state,
             final=lambda state: state,
+            step_batch=_batch_first,
         )
     )
 

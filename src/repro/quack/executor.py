@@ -7,13 +7,15 @@ per value within a batch — the execution model of the paper's host engine.
 
 from __future__ import annotations
 
-import functools
+from dataclasses import dataclass
 from typing import Any, Callable, Iterator
 
 import numpy as np
 
+from . import kernels
 from .catalog import Table
 from .errors import ExecutionError
+from .kernels import hashable_key as _hashable
 from .plan import (
     AggregateSpec,
     BoundCase,
@@ -46,11 +48,37 @@ from .plan import (
 from .types import BIGINT, BOOLEAN, LogicalType, SQLNULL
 from .vector import (
     DataChunk,
+    KernelFallback,
     STANDARD_VECTOR_SIZE,
     Vector,
     boolean_selection,
     concat_vectors,
 )
+
+
+@dataclass
+class OperatorKernelStats:
+    """Kernel-vs-fallback telemetry for one aggregate/sort/distinct
+    operator, surfaced by EXPLAIN ANALYZE."""
+
+    rows_in: int = 0
+    kernel: int = 0
+    fallback: int = 0
+
+
+#: Installed by the profiler during EXPLAIN ANALYZE; maps ``id(op)`` to
+#: that operator's kernel statistics.  None outside profiled runs.
+_KERNEL_STATS_SINK: "dict[int, OperatorKernelStats] | None" = None
+
+
+def _kernel_stats(op: "LogicalOperator") -> OperatorKernelStats | None:
+    sink = _KERNEL_STATS_SINK
+    if sink is None:
+        return None
+    stats = sink.get(id(op))
+    if stats is None:
+        stats = sink[id(op)] = OperatorKernelStats()
+    return stats
 
 
 class ExecutionContext:
@@ -675,47 +703,118 @@ def _pad_unmatched(left_chunk: DataChunk, right_types) -> DataChunk:
 
 def _execute_aggregate(op: LogicalAggregate,
                        ctx: ExecutionContext) -> Iterator[DataChunk]:
+    stats = _kernel_stats(op)
+    out_types = op.output_types()
+    columns = _materialize(op.child, ctx)
+    if columns is None:
+        if not op.groups:
+            # Aggregates over an empty input produce one row of finals.
+            finals = tuple(
+                spec.function.final(spec.function.init())
+                for spec in op.aggregates
+            )
+            yield from _rows_to_chunks([finals], out_types)
+        return
+    full = DataChunk(columns)
+    count = full.count
+    if stats is not None:
+        stats.rows_in += count
+
+    if not kernels.KERNELS_ENABLED:
+        if stats is not None:
+            stats.fallback += max(1, len(op.aggregates))
+        yield from _aggregate_row_loop(op, full, ctx, out_types)
+        return
+
+    group_vectors = [evaluate(g, full, ctx) for g in op.groups]
+    if group_vectors:
+        codes, representatives = kernels.factorize(group_vectors, count)
+        n_groups = len(representatives)
+    else:
+        codes = np.zeros(count, dtype=np.int64)
+        representatives = np.zeros(1, dtype=np.int64)
+        n_groups = 1
+    result = [gv.take(representatives) for gv in group_vectors]
+    for a, spec in enumerate(op.aggregates):
+        arg_vectors = [evaluate(arg, full, ctx) for arg in spec.args]
+        vec: Vector | None = None
+        if spec.function.step_batch is not None and not spec.distinct:
+            vec = spec.function.step_batch(arg_vectors, codes, n_groups,
+                                           spec.ltype)
+        if vec is not None:
+            if stats is not None:
+                stats.kernel += 1
+        else:
+            if stats is not None:
+                stats.fallback += 1
+            vec = _aggregate_spec_row_loop(spec, arg_vectors, codes,
+                                           n_groups)
+        result.append(vec)
+    out = DataChunk(result)
+    for start in range(0, n_groups, STANDARD_VECTOR_SIZE):
+        yield out.slice(
+            np.arange(start, min(start + STANDARD_VECTOR_SIZE, n_groups))
+        )
+
+
+def _aggregate_spec_row_loop(spec, arg_vectors: list[Vector],
+                             codes: np.ndarray, n_groups: int) -> Vector:
+    """Row-wise fallback for one aggregate (DISTINCT, extension-registered
+    aggregates, or kernels that declined the payload type)."""
+    fn = spec.function
+    states = [fn.init() for _ in range(n_groups)]
+    seen: list[set] | None = (
+        [set() for _ in range(n_groups)] if spec.distinct else None
+    )
+    for i in range(len(codes)):
+        values = [vec.value(i) for vec in arg_vectors]
+        if values and not fn.accepts_null and any(
+            v is None for v in values
+        ):
+            continue
+        group = codes[i]
+        if seen is not None:
+            marker = tuple(_hashable(v) for v in values)
+            if marker in seen[group]:
+                continue
+            seen[group].add(marker)
+        states[group] = fn.step(states[group], *values)
+    return Vector.from_values(spec.ltype, [fn.final(s) for s in states])
+
+
+def _aggregate_row_loop(op: LogicalAggregate, full: DataChunk,
+                        ctx: ExecutionContext,
+                        out_types: list[LogicalType]
+                        ) -> Iterator[DataChunk]:
+    """The pre-kernel tuple-at-a-time aggregation (kernels disabled)."""
     groups: dict[tuple, list] = {}
     group_values: dict[tuple, tuple] = {}
     distinct_seen: dict[tuple, list[set]] = {}
-    has_groups = bool(op.groups)
-
-    for chunk in execute_plan(op.child, ctx):
-        count = chunk.count
-        group_vectors = [evaluate(g, chunk, ctx) for g in op.groups]
-        arg_vectors = [
-            [evaluate(a, chunk, ctx) for a in spec.args]
-            for spec in op.aggregates
-        ]
-        for i in range(count):
-            key = tuple(_hashable(gv.value(i)) for gv in group_vectors)
-            state = groups.get(key)
-            if state is None:
-                state = [spec.function.init() for spec in op.aggregates]
-                groups[key] = state
-                group_values[key] = tuple(gv.value(i)
-                                          for gv in group_vectors)
-                distinct_seen[key] = [set() for _ in op.aggregates]
-            for a, spec in enumerate(op.aggregates):
-                values = [vec.value(i) for vec in arg_vectors[a]]
-                if not spec.function.accepts_null and any(
-                    v is None for v in values
-                ) and values:
+    group_vectors = [evaluate(g, full, ctx) for g in op.groups]
+    arg_vectors = [
+        [evaluate(a, full, ctx) for a in spec.args]
+        for spec in op.aggregates
+    ]
+    for i in range(full.count):
+        key = tuple(_hashable(gv.value(i)) for gv in group_vectors)
+        state = groups.get(key)
+        if state is None:
+            state = [spec.function.init() for spec in op.aggregates]
+            groups[key] = state
+            group_values[key] = tuple(gv.value(i) for gv in group_vectors)
+            distinct_seen[key] = [set() for _ in op.aggregates]
+        for a, spec in enumerate(op.aggregates):
+            values = [vec.value(i) for vec in arg_vectors[a]]
+            if values and not spec.function.accepts_null and any(
+                v is None for v in values
+            ):
+                continue
+            if spec.distinct:
+                marker = tuple(_hashable(v) for v in values)
+                if marker in distinct_seen[key][a]:
                     continue
-                if spec.distinct:
-                    marker = tuple(_hashable(v) for v in values)
-                    if marker in distinct_seen[key][a]:
-                        continue
-                    distinct_seen[key][a].add(marker)
-                state[a] = spec.function.step(state[a], *values)
-
-    if not groups and not has_groups:
-        # Aggregates over an empty input produce one row of finals.
-        state = [spec.function.init() for spec in op.aggregates]
-        groups[()] = state
-        group_values[()] = ()
-
-    out_types = op.output_types()
+                distinct_seen[key][a].add(marker)
+            state[a] = spec.function.step(state[a], *values)
     rows = []
     for key, state in groups.items():
         finals = [
@@ -726,80 +825,52 @@ def _execute_aggregate(op: LogicalAggregate,
     yield from _rows_to_chunks(rows, out_types)
 
 
-def _hashable(value: Any) -> Any:
-    if isinstance(value, list):
-        return tuple(_hashable(v) for v in value)
-    if isinstance(value, dict):
-        return tuple(sorted((k, _hashable(v)) for k, v in value.items()))
-    try:
-        hash(value)
-        return value
-    except TypeError:
-        return repr(value)
-
-
 def _rows_to_chunks(rows: list[tuple],
                     types: list[LogicalType]) -> Iterator[DataChunk]:
     for start in range(0, len(rows), STANDARD_VECTOR_SIZE):
         block = rows[start : start + STANDARD_VECTOR_SIZE]
-        if not block:
-            continue
         yield DataChunk(
             [
                 Vector.from_values(t, [row[c] for row in block])
                 for c, t in enumerate(types)
             ]
         )
-    if not rows:
-        return
 
 
 # -- sort / distinct ------------------------------------------------------------------
 
 
-def _sort_comparator(keys_spec):
-    def compare(row_a, row_b):
-        for pos, (index, ascending, nulls_first) in enumerate(keys_spec):
-            a = row_a[1][pos]
-            b = row_b[1][pos]
-            if a is None and b is None:
-                continue
-            if nulls_first is None:
-                nf = not ascending
-            else:
-                nf = nulls_first
-            if a is None:
-                return -1 if nf else 1
-            if b is None:
-                return 1 if nf else -1
-            if a == b:
-                continue
-            try:
-                less = a < b
-            except TypeError:
-                less = repr(a) < repr(b)
-            if less:
-                return -1 if ascending else 1
-            return 1 if ascending else -1
-        return 0
-
-    return functools.cmp_to_key(compare)
-
-
 def _execute_sort(op: LogicalSort, ctx: ExecutionContext
                   ) -> Iterator[DataChunk]:
-    rows: list[tuple] = []
-    key_rows: list[tuple] = []
-    for chunk in execute_plan(op.child, ctx):
-        key_vectors = [evaluate(k, chunk, ctx) for k, _, _ in op.keys]
-        for i in range(chunk.count):
-            rows.append(chunk.row(i))
-            key_rows.append(tuple(kv.value(i) for kv in key_vectors))
+    stats = _kernel_stats(op)
+    columns = _materialize(op.child, ctx)
+    if columns is None:
+        return
+    full = DataChunk(columns)
+    count = full.count
+    if stats is not None:
+        stats.rows_in += count
+    key_vectors = [evaluate(k, full, ctx) for k, _, _ in op.keys]
+    key_specs = [(asc, nf) for _, asc, nf in op.keys]
+    if kernels.KERNELS_ENABLED:
+        try:
+            perm = kernels.sort_permutation(key_vectors, key_specs)
+        except KernelFallback:
+            perm = None
+        if perm is not None:
+            if stats is not None:
+                stats.kernel += 1
+            for start in range(0, count, STANDARD_VECTOR_SIZE):
+                yield full.slice(perm[start : start + STANDARD_VECTOR_SIZE])
+            return
+    if stats is not None:
+        stats.fallback += 1
     keyed = sorted(
-        zip(rows, key_rows),
-        key=_sort_comparator(
-            [(i, asc, nf) for i, (_, asc, nf) in enumerate(op.keys)]
+        (
+            (full.row(i), tuple(kv.value(i) for kv in key_vectors))
+            for i in range(count)
         ),
+        key=kernels.sort_comparator(key_specs),
     )
     yield from _rows_to_chunks([r for r, _ in keyed], op.output_types())
 
@@ -854,14 +925,30 @@ def _execute_set_op(op: "LogicalSetOp",
 
 def _execute_distinct(op: LogicalDistinct,
                       ctx: ExecutionContext) -> Iterator[DataChunk]:
-    seen: set = set()
-    for chunk in execute_plan(op.child, ctx):
-        keep: list[int] = []
-        for i in range(chunk.count):
-            key = tuple(_hashable(v) for v in chunk.row(i))
-            if key in seen:
-                continue
-            seen.add(key)
-            keep.append(i)
-        if keep:
-            yield chunk.slice(np.asarray(keep, dtype=np.int64))
+    stats = _kernel_stats(op)
+    if not kernels.KERNELS_ENABLED:
+        seen: set = set()
+        for chunk in execute_plan(op.child, ctx):
+            if stats is not None:
+                stats.rows_in += chunk.count
+                stats.fallback += 1
+            keep: list[int] = []
+            for i in range(chunk.count):
+                key = tuple(_hashable(v) for v in chunk.row(i))
+                if key in seen:
+                    continue
+                seen.add(key)
+                keep.append(i)
+            if keep:
+                yield chunk.slice(np.asarray(keep, dtype=np.int64))
+        return
+    columns = _materialize(op.child, ctx)
+    if columns is None:
+        return
+    full = DataChunk(columns)
+    if stats is not None:
+        stats.rows_in += full.count
+        stats.kernel += 1
+    _, representatives = kernels.factorize(full.vectors, full.count)
+    for start in range(0, len(representatives), STANDARD_VECTOR_SIZE):
+        yield full.slice(representatives[start : start + STANDARD_VECTOR_SIZE])

@@ -153,6 +153,15 @@ class AggregateFunction:
     final: Callable[[Any], Any]
     #: When False, NULL inputs are skipped (SQL semantics for sum/min/…).
     accepts_null: bool = False
+    #: Optional vectorized kernel computing every group at once:
+    #: ``(args, codes, n_groups, result_type) -> Vector | None`` where
+    #: ``codes`` assigns each input row a dense group id.  Returning None
+    #: declines (e.g. unsupported physical type) and the executor falls
+    #: back to the row-wise ``step`` loop.  Never used for DISTINCT
+    #: aggregates.
+    step_batch: Callable[
+        [list[Vector], Any, int, LogicalType], "Vector | None"
+    ] | None = None
 
     def result_type_for(self, args: tuple[LogicalType, ...]) -> LogicalType:
         if self.return_type == ANY:

@@ -9,6 +9,7 @@ column dictionaries, pretty-print as tables, and round-trip through CSV.
 from __future__ import annotations
 
 import csv
+import re
 from typing import Any, Iterable
 
 from .database import Result
@@ -88,6 +89,16 @@ def write_csv(result: Result, path: str) -> int:
     return len(result.rows)
 
 
+# Strict SQL-literal shapes.  Python's int()/float() accept more than SQL
+# does — underscored digit groups ("1_000"), non-finite spellings ("nan",
+# "inf", "Infinity") — so sniffing gates on these patterns instead of
+# try-converting, keeping such cells VARCHAR.
+_INT_PATTERN = re.compile(r"[+-]?\d+\Z")
+_FLOAT_PATTERN = re.compile(
+    r"[+-]?(?:\d+(?:\.\d*)?|\.\d+)(?:[eE][+-]?\d+)?\Z"
+)
+
+
 def _sniff_type(values: list[str]) -> LogicalType:
     from ..meos.timetypes import parse_timestamptz
     from .types import TIMESTAMP
@@ -95,12 +106,8 @@ def _sniff_type(values: list[str]) -> LogicalType:
     non_empty = [v for v in values if v != ""]
     if not non_empty:
         return VARCHAR
-    try:
-        for v in non_empty:
-            int(v)
+    if all(_INT_PATTERN.match(v) for v in non_empty):
         return BIGINT
-    except ValueError:
-        pass
     if all(len(v) >= 10 and v[4:5] == "-" for v in non_empty):
         try:
             for v in non_empty:
@@ -108,12 +115,8 @@ def _sniff_type(values: list[str]) -> LogicalType:
             return TIMESTAMP
         except Exception:
             pass
-    try:
-        for v in non_empty:
-            float(v)
+    if all(_FLOAT_PATTERN.match(v) for v in non_empty):
         return DOUBLE
-    except ValueError:
-        pass
     lowered = {v.lower() for v in non_empty}
     if lowered <= {"true", "false", "t", "f"}:
         return BOOLEAN

@@ -17,7 +17,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Iterator
 
-from .executor import ExecutionContext, execute_plan
+from .executor import ExecutionContext, OperatorKernelStats, execute_plan
 from .plan import LogicalOperator
 
 
@@ -33,6 +33,9 @@ class PlanProfiler:
 
     def __init__(self):
         self.stats: dict[int, OperatorStats] = {}
+        #: Kernel-vs-fallback counters keyed by ``id(op)``; filled in by
+        #: the aggregate/sort/distinct operators while the profiler runs.
+        self.kernel_stats: dict[int, OperatorKernelStats] = {}
 
     def stats_for(self, op: LogicalOperator) -> OperatorStats:
         return self.stats.setdefault(id(op), OperatorStats())
@@ -46,8 +49,15 @@ class PlanProfiler:
             if stats is None:
                 annotation = "(not executed)"
             else:
+                kstats = self.kernel_stats.get(id(op))
+                kernel = (
+                    f", rows_in={kstats.rows_in}, kernel={kstats.kernel}, "
+                    f"fallback={kstats.fallback}"
+                    if kstats is not None
+                    else ""
+                )
                 annotation = (
-                    f"(rows={stats.rows}, "
+                    f"(rows={stats.rows}{kernel}, "
                     f"{stats.seconds * 1000:.2f}ms)"
                 )
             lines.append(f"{' ' * indent}{label}  {annotation}")
@@ -69,6 +79,7 @@ def execute_plan_profiled(
     from . import executor as executor_module
 
     original = executor_module.execute_plan
+    original_sink = executor_module._KERNEL_STATS_SINK
 
     def instrumented(op: LogicalOperator, inner_ctx):
         stats = profiler.stats_for(op)
@@ -90,7 +101,9 @@ def execute_plan_profiled(
         return wrapped()
 
     executor_module.execute_plan = instrumented
+    executor_module._KERNEL_STATS_SINK = profiler.kernel_stats
     try:
         yield from instrumented(plan, ctx)
     finally:
         executor_module.execute_plan = original
+        executor_module._KERNEL_STATS_SINK = original_sink

@@ -157,3 +157,93 @@ class TestDifferential:
             "SELECT a, CASE WHEN a > 0 THEN a * 2 ELSE -a END FROM t "
             f"WHERE {predicate} ORDER BY 1, 2",
         )
+
+
+def _ordered_agree(rows, sql):
+    """Row ORDER must match exactly (not just as a multiset)."""
+    duck = _load(Database, rows).execute(sql).fetchall()
+    base = _load(RowDatabase, rows).execute(sql).fetchall()
+    assert list(map(repr, duck)) == list(map(repr, base)), sql
+
+
+class TestOrderByNullSemantics:
+    """ASC/DESC x NULLS FIRST/LAST/default must agree across engines,
+    including tie stability (both engines sort stably in scan order)."""
+
+    @pytest.mark.parametrize("direction", ["ASC", "DESC"])
+    @pytest.mark.parametrize("nulls", ["", "NULLS FIRST", "NULLS LAST"])
+    @given(_tables())
+    @settings(max_examples=20, deadline=None)
+    def test_null_placement(self, direction, nulls, rows):
+        _ordered_agree(
+            rows,
+            f"SELECT a, b, c FROM t ORDER BY a {direction} {nulls}".strip(),
+        )
+
+    @pytest.mark.parametrize("keys", [
+        "a ASC NULLS FIRST, b DESC",
+        "b DESC NULLS LAST, a ASC",
+        "c ASC, a DESC NULLS FIRST",
+    ])
+    @given(_tables())
+    @settings(max_examples=15, deadline=None)
+    def test_multi_key(self, keys, rows):
+        _ordered_agree(rows, f"SELECT a, b, c FROM t ORDER BY {keys}")
+
+
+class TestNaNGroupsDifferential:
+    """NaN group keys and NaN-aware min/max must agree across engines."""
+
+    @given(st.lists(
+        st.tuples(
+            st.one_of(st.none(), st.integers(0, 2)),
+            st.one_of(
+                st.none(),
+                st.just(float("nan")),
+                st.just(-0.0),
+                st.floats(-4, 4, allow_nan=False),
+            ),
+        ),
+        min_size=0,
+        max_size=12,
+    ))
+    @settings(max_examples=40, deadline=None)
+    def test_nan_aggregates(self, rows):
+        def run(factory):
+            con = factory().connect()
+            con.execute("CREATE TABLE f(g INTEGER, x DOUBLE)")
+            if rows:
+                con.database.catalog.get_table("f").append_rows(rows)
+            return con.execute(
+                "SELECT x, count(*), min(x), max(x) FROM f GROUP BY x"
+            ).fetchall()
+
+        duck = run(Database)
+        base = run(RowDatabase)
+        assert Counter(map(repr, duck)) == Counter(map(repr, base))
+
+    @given(st.lists(
+        st.one_of(
+            st.none(),
+            st.just(float("nan")),
+            st.floats(-4, 4, allow_nan=False),
+        ),
+        min_size=0,
+        max_size=10,
+    ))
+    @settings(max_examples=40, deadline=None)
+    def test_nan_order_by(self, values):
+        def run(factory):
+            con = factory().connect()
+            con.execute("CREATE TABLE f(x DOUBLE)")
+            if values:
+                con.database.catalog.get_table("f").append_rows(
+                    [(v,) for v in values]
+                )
+            return con.execute(
+                "SELECT x FROM f ORDER BY x DESC NULLS LAST"
+            ).fetchall()
+
+        assert list(map(repr, run(Database))) == list(
+            map(repr, run(RowDatabase))
+        )

@@ -76,3 +76,35 @@ class TestCsvRoundTrip:
         open(path, "w").close()
         with pytest.raises(QuackError):
             quack.read_csv(con, path, "nope")
+
+
+class TestSnifferStrictness:
+    """Python's int()/float() accept wider syntax than SQL literals; the
+    sniffer must not promote such cells to numeric types."""
+
+    def _sniff(self, con, tmp_path, cells):
+        path = str(tmp_path / "strict.csv")
+        with open(path, "w") as f:
+            f.write("v\n")
+            for cell in cells:
+                f.write(f"{cell}\n")
+        quack.read_csv(con, path, "strict")
+        table = con.database.catalog.get_table("strict")
+        return table.column_types[0].name
+
+    def test_underscored_int_stays_varchar(self, con, tmp_path):
+        assert self._sniff(con, tmp_path, ["1_000", "2"]) == "VARCHAR"
+
+    def test_nan_literal_stays_varchar(self, con, tmp_path):
+        assert self._sniff(con, tmp_path, ["nan", "1.5"]) == "VARCHAR"
+
+    def test_inf_literal_stays_varchar(self, con, tmp_path):
+        assert self._sniff(con, tmp_path, ["inf", "-Infinity"]) == "VARCHAR"
+
+    def test_explicit_plus_sign_is_numeric(self, con, tmp_path):
+        assert self._sniff(con, tmp_path, ["+5", "-3"]) == "BIGINT"
+        con.execute("DROP TABLE strict")
+        assert self._sniff(con, tmp_path, ["+5.5", "1e3"]) == "DOUBLE"
+
+    def test_underscored_float_stays_varchar(self, con, tmp_path):
+        assert self._sniff(con, tmp_path, ["1_0.5", "2.5"]) == "VARCHAR"

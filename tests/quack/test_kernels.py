@@ -1,0 +1,254 @@
+"""Vectorized aggregation/sort/distinct kernels and their fallbacks.
+
+Covers the NumPy kernel paths against the row-loop paths they replaced:
+NaN/negative-zero group canonicalization, the typed unhashable-key
+fallback, kernel-vs-fallback parity, stable sorting, and the EXPLAIN
+ANALYZE kernel counters.
+"""
+
+import math
+
+import pytest
+
+from repro.quack import Database
+from repro.quack.extension import ExtensionUtil, make_user_type
+from repro.quack.functions import AggregateFunction
+from repro.quack.kernels import hashable_key, set_kernels_enabled
+from repro.quack.types import DOUBLE
+
+
+@pytest.fixture(params=[True, False], ids=["kernels", "row-loop"])
+def kernels_toggle(request):
+    previous = set_kernels_enabled(request.param)
+    yield request.param
+    set_kernels_enabled(previous)
+
+
+def _connect():
+    con = Database().connect()
+    con.execute("CREATE TABLE t(g INTEGER, x DOUBLE, s VARCHAR)")
+    return con
+
+
+def _append(con, rows):
+    con.database.catalog.get_table("t").append_rows(rows)
+
+
+class TestNaNGroups:
+    def test_nan_keys_form_one_group(self, kernels_toggle):
+        con = _connect()
+        # Two NaN payloads plus regular keys; NaN != NaN in Python, so the
+        # old dict-of-groups path opened a fresh group per NaN row.
+        _append(con, [
+            (1, float("nan"), "a"),
+            (1, float("nan"), "b"),
+            (1, 1.5, "c"),
+            (1, float("nan"), "d"),
+        ])
+        rows = con.execute(
+            "SELECT x, count(*) FROM t GROUP BY x"
+        ).fetchall()
+        assert len(rows) == 2
+        counts = {repr(x): n for x, n in rows}
+        assert counts["nan"] == 3
+        assert counts["1.5"] == 1
+
+    def test_negative_zero_merges_with_zero(self, kernels_toggle):
+        con = _connect()
+        _append(con, [(1, -0.0, "a"), (1, 0.0, "b"), (1, 1.0, "c")])
+        rows = con.execute(
+            "SELECT x, count(*) FROM t GROUP BY x"
+        ).fetchall()
+        assert sorted(n for _, n in rows) == [1, 2]
+
+    def test_nan_distinct(self, kernels_toggle):
+        con = _connect()
+        _append(con, [
+            (1, float("nan"), None),
+            (2, float("nan"), None),
+            (3, 2.0, None),
+        ])
+        rows = con.execute("SELECT DISTINCT x FROM t").fetchall()
+        assert len(rows) == 2
+
+    def test_min_max_with_nan(self, kernels_toggle):
+        con = _connect()
+        # DuckDB treats NaN as the greatest DOUBLE: max picks it up,
+        # min ignores it unless every value is NaN.
+        _append(con, [(1, 1.0, None), (1, float("nan"), None),
+                      (2, float("nan"), None)])
+        rows = con.execute(
+            "SELECT g, min(x), max(x) FROM t GROUP BY g ORDER BY g"
+        ).fetchall()
+        assert rows[0][1] == 1.0
+        assert math.isnan(rows[0][2])
+        assert math.isnan(rows[1][1]) and math.isnan(rows[1][2])
+
+
+class TestHashableKey:
+    def test_nan_canonicalized(self):
+        assert hashable_key(float("nan")) == hashable_key(float("nan"))
+        assert hashable_key(float("nan")) != hashable_key(1.0)
+
+    def test_negative_zero_canonicalized(self):
+        assert hashable_key(-0.0) == hashable_key(0.0)
+        assert repr(hashable_key(-0.0)) == "0.0"
+
+    def test_containers_recurse(self):
+        assert hashable_key([1, [2, 3]]) == (1, (2, 3))
+        assert hashable_key({"b": 2, "a": 1}) == (("a", 1), ("b", 2))
+
+    def test_unhashable_fallback_includes_type(self):
+        class Payload:
+            def __init__(self, v):
+                self.v = v
+
+            def __eq__(self, other):  # defines __eq__ -> unhashable
+                return type(other) is type(self) and other.v == self.v
+
+            def __repr__(self):
+                return f"<payload {self.v}>"
+
+        class Impostor(Payload):
+            pass
+
+        # Same repr, different type: must not collide.
+        assert repr(Payload(1)) == repr(Impostor(1))
+        assert hashable_key(Payload(1)) != hashable_key(Impostor(1))
+        assert hashable_key(Payload(1)) == hashable_key(Payload(1))
+
+
+class _Span:
+    """An unhashable extension payload (defines __eq__, no __hash__)."""
+
+    def __init__(self, lo, hi):
+        self.lo, self.hi = lo, hi
+
+    def __eq__(self, other):
+        return (type(other) is _Span and other.lo == self.lo
+                and other.hi == self.hi)
+
+    def __repr__(self):
+        return f"SPAN({self.lo}, {self.hi})"
+
+
+class TestExtensionTypeGrouping:
+    def test_distinct_and_group_by_on_unhashable_type(self, kernels_toggle):
+        db = Database()
+        span_type = make_user_type("SPAN", _Span)
+        ExtensionUtil.register_type(db, "SPAN", span_type)
+        con = db.connect()
+        con.execute("CREATE TABLE spans(s SPAN)")
+        con.database.catalog.get_table("spans").append_rows(
+            [(_Span(0, 1),), (_Span(0, 1),), (_Span(2, 3),)]
+        )
+        assert len(con.execute(
+            "SELECT DISTINCT s FROM spans").fetchall()) == 2
+        rows = con.execute(
+            "SELECT s, count(*) FROM spans GROUP BY s").fetchall()
+        assert sorted(n for _, n in rows) == [1, 2]
+
+
+class TestKernelParity:
+    QUERIES = [
+        "SELECT g, count(*), count(x), sum(x), min(x), max(x), avg(x) "
+        "FROM t GROUP BY g",
+        "SELECT count(*), sum(g), avg(x) FROM t",
+        "SELECT DISTINCT g, s FROM t",
+        "SELECT g, x, s FROM t ORDER BY g DESC NULLS LAST, x ASC, s",
+        "SELECT g, count(DISTINCT s) FROM t GROUP BY g",
+        "SELECT s, string_agg(s, '|') FROM t GROUP BY s",
+    ]
+
+    @pytest.mark.parametrize("sql", QUERIES)
+    def test_same_results_with_kernels_on_and_off(self, sql):
+        rows = [
+            (1, 1.5, "a"), (1, float("nan"), "b"), (2, -0.0, "a"),
+            (2, 0.0, None), (None, 4.0, "c"), (1, None, "a"),
+            (3, 2.5, "b"), (None, float("nan"), None),
+        ]
+
+        def run():
+            con = _connect()
+            _append(con, rows)
+            return [repr(r) for r in con.execute(sql).fetchall()]
+
+        previous = set_kernels_enabled(True)
+        try:
+            vectorized = run()
+            set_kernels_enabled(False)
+            row_loop = run()
+        finally:
+            set_kernels_enabled(previous)
+        assert vectorized == row_loop, sql
+
+    def test_integer_sum_stays_exact(self, kernels_toggle):
+        con = Database().connect()
+        con.execute("CREATE TABLE big(v BIGINT)")
+        con.database.catalog.get_table("big").append_rows(
+            [(2**53,), (1,), (1,)]
+        )
+        # float64 would round 2**53 + 1 back to 2**53.
+        assert con.execute("SELECT sum(v) FROM big").fetchall() == [
+            (2**53 + 2,)
+        ]
+
+
+class TestStableSort:
+    def test_equal_keys_preserve_input_order(self, kernels_toggle):
+        con = Database().connect()
+        con.execute("CREATE TABLE seq(k INTEGER, pos INTEGER)")
+        rows = [(i % 3, i) for i in range(50)]
+        con.database.catalog.get_table("seq").append_rows(rows)
+        out = con.execute("SELECT k, pos FROM seq ORDER BY k").fetchall()
+        for k in range(3):
+            positions = [pos for kk, pos in out if kk == k]
+            assert positions == sorted(positions)
+
+
+class TestExplainAnalyzeCounters:
+    def test_kernel_counters_reported(self):
+        con = _connect()
+        _append(con, [(i % 4, float(i), "s") for i in range(100)])
+        plan = con.execute(
+            "EXPLAIN ANALYZE SELECT g, sum(x), avg(x) FROM t "
+            "GROUP BY g ORDER BY g"
+        ).fetchall()[0][0]
+        group_line = next(l for l in plan.splitlines() if "GROUP_BY" in l)
+        sort_line = next(l for l in plan.splitlines() if "ORDER_BY" in l)
+        assert "rows_in=100" in group_line
+        assert "kernel=2" in group_line and "fallback=0" in group_line
+        assert "kernel=1" in sort_line and "fallback=0" in sort_line
+
+    def test_custom_aggregate_counts_as_fallback(self):
+        db = Database()
+        ExtensionUtil.register_aggregate_function(db, AggregateFunction(
+            name="sumsq",
+            arg_types=(DOUBLE,),
+            return_type=DOUBLE,
+            init=lambda: None,
+            step=lambda s, v: v * v if s is None else s + v * v,
+            final=lambda s: s,
+        ))
+        con = db.connect()
+        con.execute("CREATE TABLE t(g INTEGER, x DOUBLE, s VARCHAR)")
+        _append(con, [(i % 2, float(i), None) for i in range(10)])
+        plan = con.execute(
+            "EXPLAIN ANALYZE SELECT g, sum(x), sumsq(x) FROM t GROUP BY g"
+        ).fetchall()[0][0]
+        group_line = next(l for l in plan.splitlines() if "GROUP_BY" in l)
+        # Builtin sum runs in the kernel; the extension aggregate has no
+        # step_batch and takes the row loop.
+        assert "kernel=1" in group_line and "fallback=1" in group_line
+        assert con.execute(
+            "SELECT sumsq(x) FROM t WHERE g = 0"
+        ).fetchall() == [(0.0 + 4.0 + 16.0 + 36.0 + 64.0,)]
+
+    def test_distinct_aggregate_counts_as_fallback(self):
+        con = _connect()
+        _append(con, [(1, 1.0, "a"), (1, 1.0, "b"), (2, 2.0, "a")])
+        plan = con.execute(
+            "EXPLAIN ANALYZE SELECT g, count(DISTINCT s) FROM t GROUP BY g"
+        ).fetchall()[0][0]
+        group_line = next(l for l in plan.splitlines() if "GROUP_BY" in l)
+        assert "fallback=1" in group_line
