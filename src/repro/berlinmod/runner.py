@@ -16,6 +16,7 @@ is recorded.
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass, field
 
@@ -36,6 +37,19 @@ class CellResult:
     scenario: str
     seconds: float
     rows: int
+    #: query-statistics snapshot (``QueryStatistics.to_dict()``), when
+    #: the run captured one
+    stats: dict | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "scale_factor": self.scale_factor,
+            "query": self.query,
+            "scenario": self.scenario,
+            "seconds": self.seconds,
+            "rows": self.rows,
+            "stats": self.stats,
+        }
 
 
 @dataclass
@@ -72,6 +86,23 @@ class BenchmarkReport:
                 if duck.seconds < other.seconds:
                     wins += 1
         return wins / total if total else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "benchmark": "berlinmod-hanoi",
+            "scale_factors": self.scale_factors(),
+            "queries": self.queries(),
+            "win_ratio_vs_mobilitydb": self.win_ratio(),
+            "cells": [cell.to_dict() for cell in self.cells],
+        }
+
+    def to_json(self, path: str | None = None, indent: int = 2) -> str:
+        """Serialize the report; also write it to ``path`` when given."""
+        text = json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text)
+        return text
 
     def format_grid(self) -> str:
         lines = [
@@ -123,11 +154,14 @@ def run_benchmark(
     scenarios: tuple[str, ...] = SCENARIOS,
     seed: int = 4711,
     check_rows: bool = True,
+    profile_path: str | None = None,
 ) -> BenchmarkReport:
     """Run the benchmark grid and return a report.
 
     ``check_rows`` asserts that all scenarios agree on each query's row
-    count (correctness before performance)."""
+    count (correctness before performance).  ``profile_path`` writes the
+    full report — including per-cell query-statistics snapshots — as a
+    JSON profile artifact (the Figure 12 companion file)."""
     report = BenchmarkReport()
     for sf in scale_factors or [0.001]:
         dataset = generate(sf, seed=seed)
@@ -142,11 +176,17 @@ def run_benchmark(
                 result = con.execute(query.sql)
                 elapsed = time.perf_counter() - start
                 counts[name] = len(result)
+                stats = getattr(con, "last_query_stats", None)
                 report.cells.append(
-                    CellResult(sf, number, name, elapsed, len(result))
+                    CellResult(
+                        sf, number, name, elapsed, len(result),
+                        stats=stats.to_dict() if stats is not None else None,
+                    )
                 )
             if check_rows and len(set(counts.values())) != 1:
                 raise AssertionError(
                     f"Q{number} at SF {sf}: row counts diverge {counts}"
                 )
+    if profile_path is not None:
+        report.to_json(profile_path)
     return report

@@ -25,6 +25,7 @@ import numpy as np
 from .. import geo
 from ..index import RTree
 from ..meos import STBox
+from ..observability import count as _count
 from ..quack.catalog import IndexType, TableIndex
 from ..quack.vector import DataChunk
 
@@ -161,7 +162,10 @@ class RTreeIndex(TableIndex):
         if op_name in ("&&", "<@", "@>"):
             # Overlap search over bounding rectangles; the residual filter
             # rechecks the exact operator on the candidates.
-            return self._tree.search(rect)
+            candidates = self._tree.search(rect)
+            _count("index.trtree.probes")
+            _count("index.trtree.candidates", len(candidates))
+            return candidates
         return None
 
     def _normalize_srid(self, box: STBox) -> STBox:

@@ -16,6 +16,8 @@ from __future__ import annotations
 import math
 from typing import Any, Iterable, Iterator, Sequence
 
+from ..observability import current_stats
+
 Rect = tuple[float, ...]
 
 
@@ -273,12 +275,15 @@ class RTree:
         self._validate(rect)
         out: list[Any] = []
         if self._root.rect is None:
+            self._record_search(0, 0)
             return out
+        visited = 0
         stack = [self._root]
         while stack:
             node = stack.pop()
             if node.rect is not None and not rect_overlaps(node.rect, rect):
                 continue
+            visited += 1
             for entry_rect, payload in node.entries:
                 if not rect_overlaps(entry_rect, rect):
                     continue
@@ -286,6 +291,7 @@ class RTree:
                     out.append(payload)
                 else:
                     stack.append(payload)
+        self._record_search(visited, len(out))
         return out
 
     def search_contained(self, rect: Rect) -> list[Any]:
@@ -293,19 +299,33 @@ class RTree:
         self._validate(rect)
         out: list[Any] = []
         if self._root.rect is None:
+            self._record_search(0, 0)
             return out
+        visited = 0
         stack = [self._root]
         while stack:
             node = stack.pop()
             if node.rect is not None and not rect_overlaps(node.rect, rect):
                 continue
+            visited += 1
             for entry_rect, payload in node.entries:
                 if node.leaf:
                     if rect_contains(rect, entry_rect):
                         out.append(payload)
                 elif rect_overlaps(entry_rect, rect):
                     stack.append(payload)
+        self._record_search(visited, len(out))
         return out
+
+    @staticmethod
+    def _record_search(nodes_visited: int, leaf_hits: int) -> None:
+        # Counted locally during traversal, flushed in one shot so the
+        # hot loop stays free of contextvar lookups.
+        stats = current_stats()
+        if stats is not None:
+            stats.bump("rtree.searches")
+            stats.bump("rtree.nodes_visited", nodes_visited)
+            stats.bump("rtree.leaf_hits", leaf_hits)
 
     def all_items(self) -> Iterator[tuple[Rect, Any]]:
         stack = [self._root]

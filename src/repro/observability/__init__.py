@@ -1,0 +1,50 @@
+"""repro.observability — unified query observability for both engines.
+
+Three layers, from hot to cold:
+
+* :mod:`.context` — a contextvar holding the active query's
+  :class:`QueryStatistics`; hot subsystems (R-tree, index probes,
+  kernels, TOAST) call :func:`count` unconditionally and it no-ops when
+  nothing is active.
+* :mod:`.stats` / :mod:`.tracer` — per-query counters, gauges, and the
+  phase-timed span tree (parse → bind → optimize → execute).
+* :mod:`.metrics` — the process-wide :data:`REGISTRY` every finished
+  query is absorbed into (totals + latency histograms).
+
+Surfaced through ``Result.stats()`` / ``Connection.last_query_stats``,
+``EXPLAIN ANALYZE`` (text with a phase header, or ``format="json"`` via
+``Connection.explain_analyze``), and the BerlinMOD runner's
+``BENCH_*.json`` profile artifacts.
+"""
+
+from .context import (
+    activate,
+    collection_enabled,
+    count,
+    current_stats,
+    gauge_max,
+    maybe_span,
+    set_collection_enabled,
+)
+from .metrics import REGISTRY, Counter, Gauge, Histogram, MetricsRegistry
+from .stats import PHASES, QueryStatistics
+from .tracer import Span, Tracer
+
+__all__ = [
+    "PHASES",
+    "REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "QueryStatistics",
+    "Span",
+    "Tracer",
+    "activate",
+    "collection_enabled",
+    "count",
+    "current_stats",
+    "gauge_max",
+    "maybe_span",
+    "set_collection_enabled",
+]

@@ -1,0 +1,186 @@
+"""Process-wide metrics registry (counters, gauges, timing histograms).
+
+Per-query numbers live in :class:`~repro.observability.stats.QueryStatistics`
+(plain dicts, no locks — one writer).  This module is the long-lived
+aggregate view: every finished query is absorbed into the global
+:data:`REGISTRY`, which keeps totals across the process lifetime —
+queries executed, rows returned, cumulative subsystem counters, and a
+histogram of per-phase latencies.  ``REGISTRY.snapshot()`` is the
+machine-readable dump (what a ``/metrics`` endpoint would serve).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .stats import QueryStatistics
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def increment(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A value that goes up and down; tracks the peak it has seen."""
+
+    __slots__ = ("name", "value", "peak")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+        self.peak = float("-inf")
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.peak:
+            self.peak = value
+
+
+class Histogram:
+    """Streaming summary of observed durations (count/sum/min/max plus
+    coarse powers-of-ten buckets in seconds)."""
+
+    BUCKET_BOUNDS = (1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0)
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        #: buckets[i] counts observations <= BUCKET_BOUNDS[i];
+        #: buckets[-1] is the overflow bucket.
+        self.buckets = [0] * (len(self.BUCKET_BOUNDS) + 1)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.BUCKET_BOUNDS):
+            if value <= bound:
+                self.buckets[i] += 1
+                return
+        self.buckets[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.mean,
+            "buckets": list(self.buckets),
+        }
+
+
+class MetricsRegistry:
+    """Named metrics with create-on-first-use semantics.
+
+    Absorbing a query's statistics is one lock acquisition per query, so
+    the registry stays off the per-row hot path.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            found = self._counters.get(name)
+            if found is None:
+                found = self._counters[name] = Counter(name)
+            return found
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            found = self._gauges.get(name)
+            if found is None:
+                found = self._gauges[name] = Gauge(name)
+            return found
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            found = self._histograms.get(name)
+            if found is None:
+                found = self._histograms[name] = Histogram(name)
+            return found
+
+    def absorb(self, stats: "QueryStatistics") -> None:
+        """Merge one finished query's statistics into the registry."""
+        phases = stats.phase_seconds()
+        with self._lock:
+            self._counter_locked("queries_total").increment()
+            for name, value in stats.counters.items():
+                self._counter_locked(name).increment(value)
+            for name, value in stats.gauges.items():
+                gauge = self._gauges.get(name)
+                if gauge is None:
+                    gauge = self._gauges[name] = Gauge(name)
+                gauge.set(value)
+            for phase, seconds in phases.items():
+                self._histogram_locked(
+                    f"phase_seconds.{phase}"
+                ).observe(seconds)
+            self._histogram_locked("query_seconds").observe(
+                stats.total_seconds()
+            )
+
+    def _counter_locked(self, name: str) -> Counter:
+        found = self._counters.get(name)
+        if found is None:
+            found = self._counters[name] = Counter(name)
+        return found
+
+    def _histogram_locked(self, name: str) -> Histogram:
+        found = self._histograms.get(name)
+        if found is None:
+            found = self._histograms[name] = Histogram(name)
+        return found
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "counters": {
+                    name: c.value for name, c in self._counters.items()
+                },
+                "gauges": {
+                    name: {"value": g.value, "peak": g.peak}
+                    for name, g in self._gauges.items()
+                },
+                "histograms": {
+                    name: h.summary()
+                    for name, h in self._histograms.items()
+                },
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+#: The process-wide registry both engines publish into.
+REGISTRY = MetricsRegistry()

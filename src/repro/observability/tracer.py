@@ -1,0 +1,79 @@
+"""Lightweight span/trace API for the query lifecycle.
+
+A :class:`Tracer` records a tree of named, timed spans::
+
+    tracer = Tracer()
+    with tracer.span("optimize"):
+        with tracer.span("filter_pushdown"):
+            ...
+
+Top-level spans are the query *phases* (parse, bind, optimize, execute);
+:meth:`Tracer.phase_seconds` aggregates them by name so repeated phases
+(multi-statement scripts) sum up.  Spans nest arbitrarily deep and the
+whole tree serializes with :meth:`Span.to_dict` for the structured
+EXPLAIN output.
+
+The tracer is plain per-object state — no module globals — so any number
+of queries can trace concurrently.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class Span:
+    """One timed region; ``seconds`` is inclusive of child spans."""
+
+    name: str
+    start: float = 0.0
+    seconds: float = 0.0
+    children: list["Span"] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        node: dict = {"name": self.name, "seconds": self.seconds}
+        if self.children:
+            node["children"] = [c.to_dict() for c in self.children]
+        return node
+
+
+class Tracer:
+    """Collects a tree of spans for one query (or one script)."""
+
+    __slots__ = ("spans", "_stack")
+
+    def __init__(self):
+        #: completed (or in-flight) top-level spans, in start order
+        self.spans: list[Span] = []
+        self._stack: list[Span] = []
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[Span]:
+        span = Span(name, time.perf_counter())
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.spans.append(span)
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            span.seconds += time.perf_counter() - span.start
+            self._stack.pop()
+
+    def phase_seconds(self) -> dict[str, float]:
+        """Top-level span durations aggregated by name."""
+        out: dict[str, float] = {}
+        for span in self.spans:
+            out[span.name] = out.get(span.name, 0.0) + span.seconds
+        return out
+
+    def total_seconds(self) -> float:
+        return sum(span.seconds for span in self.spans)
+
+    def to_list(self) -> list[dict]:
+        return [span.to_dict() for span in self.spans]

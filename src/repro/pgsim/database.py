@@ -10,6 +10,14 @@ from __future__ import annotations
 
 from typing import Any
 
+from ..observability import (
+    REGISTRY,
+    QueryStatistics,
+    activate,
+    collection_enabled,
+    current_stats,
+    maybe_span,
+)
 from ..quack.binder import Binder, BinderContext, _NOT_CONSTANT, fold_constant
 from ..quack.builtins import register_builtins
 from ..quack.catalog import IndexType, IndexTypeRegistry
@@ -71,11 +79,24 @@ class RowConnection:
 
     def __init__(self, database: RowDatabase):
         self.database = database
+        #: statistics of the most recent :meth:`execute` call
+        self.last_query_stats: QueryStatistics | None = None
 
     def execute(self, sql: str) -> Result:
-        statements = parse_sql(sql)
-        if not statements:
-            return Result()
+        if not collection_enabled():
+            return self._execute_script(sql, None)
+        stats = QueryStatistics()
+        self.last_query_stats = stats
+        with activate(stats):
+            result = self._execute_script(sql, stats)
+        REGISTRY.absorb(stats)
+        result.query_stats = stats
+        return result
+
+    def _execute_script(self, sql: str,
+                        stats: QueryStatistics | None) -> Result:
+        with maybe_span(stats, "parse"):
+            statements = parse_sql(sql)
         result = Result()
         for stmt in statements:
             result = self._execute_statement(stmt)
@@ -87,6 +108,41 @@ class RowConnection:
     def explain(self, sql: str) -> str:
         result = self.execute(f"EXPLAIN {sql}")
         return result.plan_text or ""
+
+    def explain_analyze(self, sql: str, format: str = "text"):
+        """Profile one SELECT; ``format="json"`` returns the structured
+        tree (same schema as the columnar engine's)."""
+        if format not in ("text", "json"):
+            raise QuackError(f"unsupported explain format {format!r}")
+        from ..quack.profiler import PlanProfiler
+
+        stats = QueryStatistics()
+        self.last_query_stats = stats
+        profiler = PlanProfiler()
+        with activate(stats):
+            with stats.tracer.span("parse"):
+                statements = parse_sql(sql)
+            if len(statements) != 1:
+                raise BinderError(
+                    "explain_analyze expects exactly one statement"
+                )
+            stmt = statements[0]
+            if isinstance(stmt, ast.ExplainStatement):
+                stmt = stmt.inner
+            if not isinstance(stmt, (ast.SelectStatement,
+                                     ast.CompoundSelect)):
+                raise BinderError("EXPLAIN supports SELECT statements")
+            plan = self._plan_select(stmt)
+            ctx = RowContext(stats=stats, profiler=profiler)
+            with stats.tracer.span("execute"):
+                for _ in execute_rows(plan, ctx):
+                    stats.bump("executor.rows_returned")
+        REGISTRY.absorb(stats)
+        if format == "json":
+            out = profiler.to_dict(plan, stats)
+            out["engine"] = "pgsim"
+            return out
+        return profiler.render(plan, stats)
 
     # -- statement dispatch -------------------------------------------------------
 
@@ -102,13 +158,14 @@ class RowConnection:
             plan = self._plan_select(inner)
             if stmt.analyze:
                 from ..quack.profiler import PlanProfiler
-                from .profiler import execute_rows_profiled
 
                 profiler = PlanProfiler()
-                for _ in execute_rows_profiled(plan, RowContext(),
-                                               profiler):
-                    pass
-                text = profiler.render(plan)
+                stats = current_stats()
+                ctx = RowContext(stats=stats, profiler=profiler)
+                with maybe_span(stats, "execute"):
+                    for _ in execute_rows(plan, ctx):
+                        pass
+                text = profiler.render(plan, stats)
             else:
                 text = plan.explain()
             return Result(["explain"], [], [(text,)], plan_text=text)
@@ -144,19 +201,26 @@ class RowConnection:
         raise QuackError(f"unsupported statement {type(stmt).__name__}")
 
     def _plan_select(self, stmt: ast.SelectStatement) -> LogicalOperator:
+        stats = current_stats()
         context = BinderContext(
             self.database.catalog, self.database.functions,
             self.database.types,
         )
         binder = Binder(context)
-        plan = binder.bind_select(stmt)
-        if context.all_ctes:
-            plan = LogicalMaterializedCTE(context.all_ctes, plan)
-        return optimize(plan)
+        with maybe_span(stats, "bind"):
+            plan = binder.bind_select(stmt)
+            if context.all_ctes:
+                plan = LogicalMaterializedCTE(context.all_ctes, plan)
+        with maybe_span(stats, "optimize"):
+            return optimize(plan, stats)
 
     def _run_plan(self, plan: LogicalOperator) -> Result:
-        ctx = RowContext()
-        rows = list(execute_rows(plan, ctx))
+        stats = current_stats()
+        ctx = RowContext(stats=stats)
+        with maybe_span(stats, "execute"):
+            rows = list(execute_rows(plan, ctx))
+        if stats is not None:
+            stats.bump("executor.rows_returned", len(rows))
         return Result(plan.output_names(), plan.output_types(), rows)
 
     # -- DDL / DML ----------------------------------------------------------------

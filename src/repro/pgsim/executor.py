@@ -7,6 +7,7 @@ model of PostgreSQL that the paper measures MobilityDB against.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Iterator
 
 from ..quack.errors import ExecutionError
@@ -43,9 +44,15 @@ from ..quack.plan import (
 
 
 class RowContext:
-    """Per-query state (CTE results, correlated parameters)."""
+    """Per-query state (CTE results, correlated parameters) plus the
+    observability scope (statistics + optional plan profiler).
 
-    def __init__(self, parent: "RowContext | None" = None):
+    Like quack's ``ExecutionContext``, profiling is carried by the
+    context — child contexts inherit it, module state is never touched,
+    so concurrent profiled queries cannot corrupt each other."""
+
+    def __init__(self, parent: "RowContext | None" = None,
+                 stats=None, profiler=None):
         self.parent = parent
         self.cte_results: dict[int, list[tuple]] = (
             parent.cte_results if parent else {}
@@ -56,6 +63,12 @@ class RowContext:
         self.params: tuple = parent.params if parent else ()
         self.subquery_cache: dict[tuple, list[tuple]] = (
             parent.subquery_cache if parent else {}
+        )
+        self.stats = stats if stats is not None else (
+            parent.stats if parent else None
+        )
+        self.profiler = profiler if profiler is not None else (
+            parent.profiler if parent else None
         )
 
     def child_with_params(self, params: tuple) -> "RowContext":
@@ -210,6 +223,31 @@ def _eval_subquery_row(expr: BoundSubqueryExpr, row: tuple,
 
 
 def execute_rows(op: LogicalOperator, ctx: RowContext) -> Iterator[tuple]:
+    """Execute one operator; instrumented when the context carries a
+    profiler (see :class:`RowContext`)."""
+    if ctx.profiler is None:
+        return _execute_operator(op, ctx)
+    return _execute_profiled(op, ctx)
+
+
+def _execute_profiled(op: LogicalOperator,
+                      ctx: RowContext) -> Iterator[tuple]:
+    stats = ctx.profiler.stats_for(op)
+    stats.invocations += 1
+    start = time.perf_counter()
+    try:
+        for row in _execute_operator(op, ctx):
+            stats.rows += 1
+            stats.seconds += time.perf_counter() - start
+            yield row
+            start = time.perf_counter()
+        stats.seconds += time.perf_counter() - start
+    except GeneratorExit:
+        stats.seconds += time.perf_counter() - start
+        raise
+
+
+def _execute_operator(op: LogicalOperator, ctx: RowContext) -> Iterator[tuple]:
     if isinstance(op, LogicalMaterializedCTE):
         for cte_id, _, plan in op.ctes:
             ctx.cte_plans[cte_id] = plan
@@ -225,6 +263,12 @@ def execute_rows(op: LogicalOperator, ctx: RowContext) -> Iterator[tuple]:
             raise ExecutionError(
                 f"index {op.index.name} cannot serve {op.op_name}"
             )
+        if ctx.stats is not None:
+            ctx.stats.bump("executor.index_scans")
+            ctx.stats.bump("executor.index_candidates", len(row_ids))
+        if ctx.profiler is not None:
+            ctx.profiler.annotate(op, "probes")
+            ctx.profiler.annotate(op, "candidates", len(row_ids))
         for rid in sorted(row_ids):
             row = op.table.fetch(rid)
             if row is not None:
@@ -338,10 +382,15 @@ def _execute_join(op: LogicalJoin, ctx: RowContext) -> Iterator[tuple]:
         # index with the evaluated left expression (GiST join strategy).
         index, op_name, left_expr = op.index_probe
         table = index.table
+        qstats = ctx.stats
         for l_row in execute_rows(op.left, ctx):
             probe_value = eval_row(left_expr, l_row, ctx)
             matched = False
             if probe_value is not None:
+                if qstats is not None:
+                    qstats.bump("executor.join_index_probes")
+                if ctx.profiler is not None:
+                    ctx.profiler.annotate(op, "index_probes")
                 ids = index.probe(op_name, probe_value)
                 for rid in sorted(ids or ()):
                     r_row = table.fetch(rid)

@@ -16,6 +16,7 @@ from .. import geo
 from ..index import RTree
 from ..meos import STBox, Span, SpanSet, Temporal
 from ..meos.basetypes import TSTZ
+from ..observability import count as _count
 from ..quack.errors import ExecutionError
 from .table import detoast
 
@@ -109,7 +110,10 @@ class GistIndex:
         if op_name in ("&&", "@>", "<@"):
             # The R-tree gives overlap candidates; the engine rechecks the
             # exact predicate, mirroring PostgreSQL's lossy GiST semantics.
-            return self._tree.search(rect)
+            candidates = self._tree.search(rect)
+            _count("index.gist.probes")
+            _count("index.gist.candidates", len(candidates))
+            return candidates
         return None
 
 
@@ -151,5 +155,8 @@ class BTreeIndex:
 
     def probe(self, op_name: str, constant: Any) -> list[int] | None:
         if op_name == "=":
-            return list(self._map.get(constant, ()))
+            candidates = list(self._map.get(constant, ()))
+            _count("index.btree.probes")
+            _count("index.btree.candidates", len(candidates))
+            return candidates
         return None

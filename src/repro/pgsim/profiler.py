@@ -1,41 +1,20 @@
-"""EXPLAIN ANALYZE for the row engine (per-operator rows + time)."""
+"""EXPLAIN ANALYZE for the row engine (per-operator rows + time).
+
+The row engine shares :class:`repro.quack.profiler.PlanProfiler`; the
+executor drives it through :class:`~repro.pgsim.executor.RowContext`
+(context-scoped, no module-level patching), so nested and concurrent
+profiled executions are safe.  Index scans are annotated with probe and
+candidate counts, matching the columnar engine's output.
+"""
 
 from __future__ import annotations
 
-import time
-from typing import Iterator
-
 from ..quack.plan import LogicalOperator
 from ..quack.profiler import PlanProfiler
+from .executor import RowContext, execute_rows
 
 
-def execute_rows_profiled(plan: LogicalOperator, ctx, profiler: PlanProfiler):
+def execute_rows_profiled(plan: LogicalOperator, ctx: RowContext,
+                          profiler: PlanProfiler):
     """Execute a row plan with every operator instrumented."""
-    from . import executor as executor_module
-
-    original = executor_module.execute_rows
-
-    def instrumented(op: LogicalOperator, inner_ctx):
-        stats = profiler.stats_for(op)
-        stats.invocations += 1
-
-        def wrapped() -> Iterator:
-            start = time.perf_counter()
-            try:
-                for row in original(op, inner_ctx):
-                    stats.rows += 1
-                    stats.seconds += time.perf_counter() - start
-                    yield row
-                    start = time.perf_counter()
-                stats.seconds += time.perf_counter() - start
-            except GeneratorExit:
-                stats.seconds += time.perf_counter() - start
-                raise
-
-        return wrapped()
-
-    executor_module.execute_rows = instrumented
-    try:
-        yield from instrumented(plan, ctx)
-    finally:
-        executor_module.execute_rows = original
+    yield from execute_rows(plan, RowContext(ctx, profiler=profiler))

@@ -13,6 +13,7 @@ from typing import Any, Iterator, Sequence
 
 from .. import geo
 from ..meos import Set, Span, SpanSet, STBox, TBox, Temporal
+from ..observability import count as _count
 from ..quack.errors import CatalogError, ExecutionError
 from ..quack.types import LogicalType
 
@@ -36,7 +37,12 @@ class Varlena:
         return cls(pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
 
     def load(self) -> Any:
-        """Detoast: deserialize the payload (paid per datum access)."""
+        """Detoast: deserialize the payload (paid per datum access).
+
+        The per-access deserialization cost is the row engine's
+        architectural overhead (§2.1); ``pgsim.detoast`` counts how
+        often a query pays it."""
+        _count("pgsim.detoast")
         return pickle.loads(self.blob)
 
     def __repr__(self) -> str:

@@ -21,6 +21,14 @@ from typing import Any, Iterator, Sequence
 
 import numpy as np
 
+from ..observability import (
+    REGISTRY,
+    QueryStatistics,
+    activate,
+    collection_enabled,
+    current_stats,
+    maybe_span,
+)
 from .binder import Binder, BinderContext
 from .builtins import register_builtins
 from .catalog import Catalog, IndexTypeRegistry, Table
@@ -42,6 +50,12 @@ class Result:
     column_types: list[LogicalType] = field(default_factory=list)
     rows: list[tuple] = field(default_factory=list)
     plan_text: str | None = None
+    #: the QueryStatistics of the execution that produced this result
+    query_stats: QueryStatistics | None = None
+
+    def stats(self) -> QueryStatistics | None:
+        """Observability snapshot: phase timings, counters, gauges."""
+        return self.query_stats
 
     def fetchall(self) -> list[tuple]:
         return list(self.rows)
@@ -124,14 +138,27 @@ class Connection:
 
     def __init__(self, database: Database):
         self.database = database
+        #: statistics of the most recent :meth:`execute` call
+        self.last_query_stats: QueryStatistics | None = None
 
     # -- public API ----------------------------------------------------------------
 
     def execute(self, sql: str) -> Result:
         """Execute a SQL script; returns the result of the last statement."""
-        statements = parse_sql(sql)
-        if not statements:
-            return Result()
+        if not collection_enabled():
+            return self._execute_script(sql, None)
+        stats = QueryStatistics()
+        self.last_query_stats = stats
+        with activate(stats):
+            result = self._execute_script(sql, stats)
+        REGISTRY.absorb(stats)
+        result.query_stats = stats
+        return result
+
+    def _execute_script(self, sql: str,
+                        stats: QueryStatistics | None) -> Result:
+        with maybe_span(stats, "parse"):
+            statements = parse_sql(sql)
         result = Result()
         for stmt in statements:
             result = self._execute_statement(stmt)
@@ -143,6 +170,44 @@ class Connection:
     def explain(self, sql: str) -> str:
         result = self.execute(f"EXPLAIN {sql}")
         return result.plan_text or ""
+
+    def explain_analyze(self, sql: str, format: str = "text"):
+        """Profile one SELECT statement with full instrumentation.
+
+        ``format="text"`` returns the annotated plan with a phase
+        header; ``format="json"`` returns the structured tree (phases,
+        counters, gauges, recursive per-operator stats)."""
+        if format not in ("text", "json"):
+            raise QuackError(f"unsupported explain format {format!r}")
+        from .profiler import PlanProfiler
+
+        stats = QueryStatistics()
+        self.last_query_stats = stats
+        profiler = PlanProfiler()
+        with activate(stats):
+            with stats.tracer.span("parse"):
+                statements = parse_sql(sql)
+            if len(statements) != 1:
+                raise BinderError(
+                    "explain_analyze expects exactly one statement"
+                )
+            stmt = statements[0]
+            if isinstance(stmt, ast.ExplainStatement):
+                stmt = stmt.inner
+            if not isinstance(stmt, (ast.SelectStatement,
+                                     ast.CompoundSelect)):
+                raise BinderError("EXPLAIN supports SELECT statements")
+            plan = self._plan_select(stmt)
+            ctx = ExecutionContext(stats=stats, profiler=profiler)
+            with stats.tracer.span("execute"):
+                for chunk in execute_plan(plan, ctx):
+                    stats.bump("executor.rows_returned", chunk.count)
+        REGISTRY.absorb(stats)
+        if format == "json":
+            out = profiler.to_dict(plan, stats)
+            out["engine"] = "quack"
+            return out
+        return profiler.render(plan, stats)
 
     # -- statement dispatch -----------------------------------------------------------
 
@@ -157,13 +222,15 @@ class Connection:
                 raise BinderError("EXPLAIN supports SELECT statements")
             plan = self._plan_select(inner)
             if stmt.analyze:
-                from .profiler import PlanProfiler, execute_plan_profiled
+                from .profiler import PlanProfiler
 
                 profiler = PlanProfiler()
-                ctx = ExecutionContext()
-                for _ in execute_plan_profiled(plan, ctx, profiler):
-                    pass
-                text = profiler.render(plan)
+                stats = current_stats()
+                ctx = ExecutionContext(stats=stats, profiler=profiler)
+                with maybe_span(stats, "execute"):
+                    for _ in execute_plan(plan, ctx):
+                        pass
+                text = profiler.render(plan, stats)
             else:
                 text = plan.explain()
             return Result(["explain"], [], [(text,)], plan_text=text)
@@ -184,22 +251,32 @@ class Connection:
     # -- SELECT -------------------------------------------------------------------------
 
     def _plan_select(self, stmt: ast.SelectStatement) -> LogicalOperator:
+        stats = current_stats()
         context = BinderContext(
             self.database.catalog,
             self.database.functions,
             self.database.types,
         )
         binder = Binder(context)
-        plan = binder.bind_select(stmt)
-        if context.all_ctes:
-            plan = LogicalMaterializedCTE(context.all_ctes, plan)
-        return optimize(plan)
+        with maybe_span(stats, "bind"):
+            plan = binder.bind_select(stmt)
+            if context.all_ctes:
+                plan = LogicalMaterializedCTE(context.all_ctes, plan)
+        with maybe_span(stats, "optimize"):
+            return optimize(plan, stats)
 
     def _run_plan(self, plan: LogicalOperator) -> Result:
-        ctx = ExecutionContext()
+        stats = current_stats()
+        ctx = ExecutionContext(stats=stats)
         rows: list[tuple] = []
-        for chunk in execute_plan(plan, ctx):
-            rows.extend(chunk.rows())
+        chunks = 0
+        with maybe_span(stats, "execute"):
+            for chunk in execute_plan(plan, ctx):
+                chunks += 1
+                rows.extend(chunk.rows())
+        if stats is not None:
+            stats.bump("executor.result_chunks", chunks)
+            stats.bump("executor.rows_returned", len(rows))
         return Result(plan.output_names(), plan.output_types(), rows)
 
     # -- DDL ---------------------------------------------------------------------------

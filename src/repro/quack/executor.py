@@ -7,6 +7,7 @@ per value within a batch — the execution model of the paper's host engine.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator
 
@@ -66,25 +67,24 @@ class OperatorKernelStats:
     fallback: int = 0
 
 
-#: Installed by the profiler during EXPLAIN ANALYZE; maps ``id(op)`` to
-#: that operator's kernel statistics.  None outside profiled runs.
-_KERNEL_STATS_SINK: "dict[int, OperatorKernelStats] | None" = None
-
-
-def _kernel_stats(op: "LogicalOperator") -> OperatorKernelStats | None:
-    sink = _KERNEL_STATS_SINK
-    if sink is None:
+def _kernel_stats(op: "LogicalOperator",
+                  ctx: "ExecutionContext") -> OperatorKernelStats | None:
+    profiler = ctx.profiler
+    if profiler is None:
         return None
-    stats = sink.get(id(op))
-    if stats is None:
-        stats = sink[id(op)] = OperatorKernelStats()
-    return stats
+    return profiler.kernel_stats_for(op)
 
 
 class ExecutionContext:
-    """Per-query state: CTE materializations, correlated parameters."""
+    """Per-query state: CTE materializations, correlated parameters,
+    and the observability scope (statistics + optional plan profiler).
 
-    def __init__(self, parent: "ExecutionContext | None" = None):
+    Profiling is context-scoped: a child context inherits its parent's
+    profiler, so subquery and CTE execution is captured too, and two
+    contexts never share mutable profiling state."""
+
+    def __init__(self, parent: "ExecutionContext | None" = None,
+                 stats=None, profiler=None):
         self.parent = parent
         self.cte_results: dict[int, list[DataChunk]] = (
             parent.cte_results if parent else {}
@@ -96,6 +96,15 @@ class ExecutionContext:
         #: memoized correlated subquery results: (id(plan), params) -> value
         self.subquery_cache: dict[tuple, Any] = (
             parent.subquery_cache if parent else {}
+        )
+        #: the query's QueryStatistics (None when collection is disabled)
+        self.stats = stats if stats is not None else (
+            parent.stats if parent else None
+        )
+        #: PlanProfiler driving per-operator instrumentation (EXPLAIN
+        #: ANALYZE); None for regular execution
+        self.profiler = profiler if profiler is not None else (
+            parent.profiler if parent else None
         )
 
     def child_with_params(self, params: tuple) -> "ExecutionContext":
@@ -397,6 +406,36 @@ def _run_subquery(plan: LogicalOperator, params: tuple,
 
 def execute_plan(op: LogicalOperator,
                  ctx: ExecutionContext) -> Iterator[DataChunk]:
+    """Execute one operator (and, recursively, its children).
+
+    When the context carries a profiler, every operator — including
+    those inside subqueries and CTEs — streams through an instrumented
+    wrapper; there is no module-level state, so nested and concurrent
+    profiled executions cannot corrupt each other."""
+    if ctx.profiler is None:
+        return _execute_operator(op, ctx)
+    return _execute_profiled(op, ctx)
+
+
+def _execute_profiled(op: LogicalOperator,
+                      ctx: ExecutionContext) -> Iterator[DataChunk]:
+    stats = ctx.profiler.stats_for(op)
+    stats.invocations += 1
+    start = time.perf_counter()
+    try:
+        for chunk in _execute_operator(op, ctx):
+            stats.rows += chunk.count
+            stats.seconds += time.perf_counter() - start
+            yield chunk
+            start = time.perf_counter()
+        stats.seconds += time.perf_counter() - start
+    except GeneratorExit:
+        stats.seconds += time.perf_counter() - start
+        raise
+
+
+def _execute_operator(op: LogicalOperator,
+                      ctx: ExecutionContext) -> Iterator[DataChunk]:
     if isinstance(op, LogicalMaterializedCTE):
         for cte_id, _, plan in op.ctes:
             ctx.cte_plans[cte_id] = plan
@@ -413,6 +452,12 @@ def execute_plan(op: LogicalOperator,
             raise ExecutionError(
                 f"index {op.index.name} cannot serve {op.op_name}"
             )
+        if ctx.stats is not None:
+            ctx.stats.bump("executor.index_scans")
+            ctx.stats.bump("executor.index_candidates", len(row_ids))
+        if ctx.profiler is not None:
+            ctx.profiler.annotate(op, "probes")
+            ctx.profiler.annotate(op, "candidates", len(row_ids))
         live = op.table.live_row_ids(sorted(row_ids))
         for start in range(0, len(live), STANDARD_VECTOR_SIZE):
             ids = np.asarray(live[start : start + STANDARD_VECTOR_SIZE],
@@ -538,6 +583,12 @@ def _materialize(op: LogicalOperator,
     columns = []
     for i in range(len(chunks[0].vectors)):
         columns.append(concat_vectors([c.column(i) for c in chunks]))
+    if ctx.stats is not None:
+        ctx.stats.bump("executor.materializations")
+        ctx.stats.bump("executor.materialized_chunks", len(chunks))
+        ctx.stats.gauge_max(
+            "executor.peak_materialized_rows", len(columns[0])
+        )
     return columns
 
 
@@ -589,6 +640,7 @@ def _index_nl_join(op: LogicalJoin,
     index, op_name, left_expr = op.index_probe
     table = index.table
     right_types = op.right.output_types()
+    qstats = ctx.stats
     for left_chunk in execute_plan(op.left, ctx):
         probe_vector = evaluate(left_expr, left_chunk, ctx)
         matched_left: set[int] = set()
@@ -596,6 +648,10 @@ def _index_nl_join(op: LogicalJoin,
             value = probe_vector.value(i)
             if value is None:
                 continue
+            if qstats is not None:
+                qstats.bump("executor.join_index_probes")
+            if ctx.profiler is not None:
+                ctx.profiler.annotate(op, "index_probes")
             ids = index.probe(op_name, value)
             if not ids:
                 continue
@@ -703,7 +759,7 @@ def _pad_unmatched(left_chunk: DataChunk, right_types) -> DataChunk:
 
 def _execute_aggregate(op: LogicalAggregate,
                        ctx: ExecutionContext) -> Iterator[DataChunk]:
-    stats = _kernel_stats(op)
+    stats = _kernel_stats(op, ctx)
     out_types = op.output_types()
     columns = _materialize(op.child, ctx)
     if columns is None:
@@ -723,6 +779,9 @@ def _execute_aggregate(op: LogicalAggregate,
     if not kernels.KERNELS_ENABLED:
         if stats is not None:
             stats.fallback += max(1, len(op.aggregates))
+        if ctx.stats is not None:
+            ctx.stats.bump("quack.fallback_ops",
+                           max(1, len(op.aggregates)))
         yield from _aggregate_row_loop(op, full, ctx, out_types)
         return
 
@@ -744,9 +803,13 @@ def _execute_aggregate(op: LogicalAggregate,
         if vec is not None:
             if stats is not None:
                 stats.kernel += 1
+            if ctx.stats is not None:
+                ctx.stats.bump("quack.kernel_ops")
         else:
             if stats is not None:
                 stats.fallback += 1
+            if ctx.stats is not None:
+                ctx.stats.bump("quack.fallback_ops")
             vec = _aggregate_spec_row_loop(spec, arg_vectors, codes,
                                            n_groups)
         result.append(vec)
@@ -842,7 +905,7 @@ def _rows_to_chunks(rows: list[tuple],
 
 def _execute_sort(op: LogicalSort, ctx: ExecutionContext
                   ) -> Iterator[DataChunk]:
-    stats = _kernel_stats(op)
+    stats = _kernel_stats(op, ctx)
     columns = _materialize(op.child, ctx)
     if columns is None:
         return
@@ -860,11 +923,15 @@ def _execute_sort(op: LogicalSort, ctx: ExecutionContext
         if perm is not None:
             if stats is not None:
                 stats.kernel += 1
+            if ctx.stats is not None:
+                ctx.stats.bump("quack.kernel_ops")
             for start in range(0, count, STANDARD_VECTOR_SIZE):
                 yield full.slice(perm[start : start + STANDARD_VECTOR_SIZE])
             return
     if stats is not None:
         stats.fallback += 1
+    if ctx.stats is not None:
+        ctx.stats.bump("quack.fallback_ops")
     keyed = sorted(
         (
             (full.row(i), tuple(kv.value(i) for kv in key_vectors))
@@ -925,9 +992,11 @@ def _execute_set_op(op: "LogicalSetOp",
 
 def _execute_distinct(op: LogicalDistinct,
                       ctx: ExecutionContext) -> Iterator[DataChunk]:
-    stats = _kernel_stats(op)
+    stats = _kernel_stats(op, ctx)
     if not kernels.KERNELS_ENABLED:
         seen: set = set()
+        if ctx.stats is not None:
+            ctx.stats.bump("quack.fallback_ops")
         for chunk in execute_plan(op.child, ctx):
             if stats is not None:
                 stats.rows_in += chunk.count
@@ -949,6 +1018,8 @@ def _execute_distinct(op: LogicalDistinct,
     if stats is not None:
         stats.rows_in += full.count
         stats.kernel += 1
+    if ctx.stats is not None:
+        ctx.stats.bump("quack.kernel_ops")
     _, representatives = kernels.factorize(full.vectors, full.count)
     for start in range(0, len(representatives), STANDARD_VECTOR_SIZE):
         yield full.slice(representatives[start : start + STANDARD_VECTOR_SIZE])

@@ -33,12 +33,22 @@ from .plan import (
 )
 
 
-def optimize(plan: LogicalOperator) -> LogicalOperator:
-    """Rewrite a bound plan. Idempotent; returns a new tree."""
-    return _Optimizer().rewrite(plan)
+def optimize(plan: LogicalOperator, stats=None) -> LogicalOperator:
+    """Rewrite a bound plan. Idempotent; returns a new tree.
+
+    ``stats`` (a :class:`repro.observability.QueryStatistics`) receives
+    per-rule fire counts under ``optimizer.rule.<name>``."""
+    return _Optimizer(stats).rewrite(plan)
 
 
 class _Optimizer:
+    def __init__(self, stats=None):
+        self._stats = stats
+
+    def _fire(self, rule: str, n: int = 1) -> None:
+        if self._stats is not None:
+            self._stats.bump(f"optimizer.rule.{rule}", n)
+
     def rewrite(self, op: LogicalOperator) -> LogicalOperator:
         if isinstance(op, LogicalFilter):
             return self._rewrite_filter(op)
@@ -98,6 +108,7 @@ class _Optimizer:
                 {self._leaf_of(index, offsets, leaves) for index in used}
             )
             if len(touched) == 1:
+                self._fire("filter_pushdown")
                 per_leaf[touched[0]].append(
                     _rebase(conj, -offsets[touched[0]])
                 )
@@ -121,6 +132,7 @@ class _Optimizer:
             for conj in per_join[i]:
                 pair = _extract_equi_key(conj, boundary)
                 if pair is not None:
+                    self._fire("hash_join_extraction")
                     left_key, right_key = pair
                     equi_keys.append(
                         (left_key, _rebase(right_key, -boundary))
@@ -132,6 +144,8 @@ class _Optimizer:
                 index_probe = _match_join_index(
                     residuals, boundary, new_leaves[i]
                 )
+                if index_probe is not None:
+                    self._fire("index_nl_join")
             join_type = "inner" if (equi_keys or residuals) else "cross"
             plan = LogicalJoin(
                 plan,
@@ -180,6 +194,7 @@ class _Optimizer:
             column_name = leaf.table.column_names[column_index]
             for index in leaf.table.indexes:
                 if index.matches(op_name, column_name, constant):
+                    self._fire("index_scan_injection")
                     scan = LogicalIndexScan(
                         leaf.table, index, op_name, constant
                     )

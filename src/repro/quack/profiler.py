@@ -1,22 +1,31 @@
 """EXPLAIN ANALYZE: instrumented plan execution.
 
-Wraps every operator of a plan with row/time counters and renders the
-annotated tree, DuckDB-style::
+A :class:`PlanProfiler` collects per-operator row counts, inclusive
+timings, kernel-vs-fallback telemetry, and free-form operator metrics
+(index probe counts, candidate counts).  The executor drives it through
+:class:`~repro.quack.executor.ExecutionContext` — profiling is a
+property of the context, not of module state, so profiled executions
+nest and interleave safely (the old implementation monkey-patched
+``execute_plan`` and corrupted concurrent runs).
 
+Rendered text, DuckDB-style::
+
+    PHASES parse=0.03ms bind=0.21ms optimize=0.05ms execute=1.80ms total=2.09ms
     PROJECTION [a, b]            (rows=120, 0.8ms)
       FILTER                     (rows=120, 2.1ms)
         SEQ_SCAN trips           (rows=5000, 0.4ms)
 
-Timing is inclusive of children (each operator's clock runs while it waits
-on its input), so the root time is the query's total.
+Timing is inclusive of children (each operator's clock runs while it
+waits on its input), so the root time is the query's total.
+:meth:`PlanProfiler.to_dict` is the ``format="json"`` structured tree.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Iterator
+from dataclasses import dataclass
+from typing import Any
 
+from ..observability import QueryStatistics
 from .executor import ExecutionContext, OperatorKernelStats, execute_plan
 from .plan import LogicalOperator
 
@@ -29,43 +38,100 @@ class OperatorStats:
 
 
 class PlanProfiler:
-    """Collects per-operator statistics during one execution."""
+    """Collects per-operator statistics during one (or more) executions."""
 
     def __init__(self):
         self.stats: dict[int, OperatorStats] = {}
         #: Kernel-vs-fallback counters keyed by ``id(op)``; filled in by
         #: the aggregate/sort/distinct operators while the profiler runs.
         self.kernel_stats: dict[int, OperatorKernelStats] = {}
+        #: free-form per-operator counters (probes, candidates, ...)
+        self.op_metrics: dict[int, dict[str, int]] = {}
 
     def stats_for(self, op: LogicalOperator) -> OperatorStats:
         return self.stats.setdefault(id(op), OperatorStats())
 
-    def render(self, plan: LogicalOperator) -> str:
+    def kernel_stats_for(self, op: LogicalOperator) -> OperatorKernelStats:
+        found = self.kernel_stats.get(id(op))
+        if found is None:
+            found = self.kernel_stats[id(op)] = OperatorKernelStats()
+        return found
+
+    def annotate(self, op: LogicalOperator, key: str, n: int = 1) -> None:
+        metrics = self.op_metrics.setdefault(id(op), {})
+        metrics[key] = metrics.get(key, 0) + n
+
+    # -- rendering ------------------------------------------------------------
+
+    def _annotation(self, op: LogicalOperator) -> str:
+        stats = self.stats.get(id(op))
+        if stats is None:
+            return "(not executed)"
+        parts = [f"rows={stats.rows}"]
+        kstats = self.kernel_stats.get(id(op))
+        if kstats is not None:
+            parts.append(f"rows_in={kstats.rows_in}")
+            parts.append(f"kernel={kstats.kernel}")
+            parts.append(f"fallback={kstats.fallback}")
+        for key, value in sorted(
+            (self.op_metrics.get(id(op)) or {}).items()
+        ):
+            parts.append(f"{key}={value}")
+        parts.append(f"{stats.seconds * 1000:.2f}ms")
+        return f"({', '.join(parts)})"
+
+    def render(self, plan: LogicalOperator,
+               query_stats: QueryStatistics | None = None) -> str:
         lines: list[str] = []
+        if query_stats is not None:
+            lines.append(f"PHASES {query_stats.format_phases()}")
+            counters = query_stats.format_counters()
+            if counters:
+                lines.append(f"COUNTERS {counters}")
 
         def visit(op: LogicalOperator, indent: int) -> None:
-            stats = self.stats.get(id(op))
-            label = op._explain_label()
-            if stats is None:
-                annotation = "(not executed)"
-            else:
-                kstats = self.kernel_stats.get(id(op))
-                kernel = (
-                    f", rows_in={kstats.rows_in}, kernel={kstats.kernel}, "
-                    f"fallback={kstats.fallback}"
-                    if kstats is not None
-                    else ""
-                )
-                annotation = (
-                    f"(rows={stats.rows}{kernel}, "
-                    f"{stats.seconds * 1000:.2f}ms)"
-                )
-            lines.append(f"{' ' * indent}{label}  {annotation}")
+            lines.append(
+                f"{' ' * indent}{op._explain_label()}  "
+                f"{self._annotation(op)}"
+            )
             for child in op.children():
                 visit(child, indent + 2)
 
         visit(plan, 0)
         return "\n".join(lines)
+
+    def to_dict(self, plan: LogicalOperator,
+                query_stats: QueryStatistics | None = None
+                ) -> dict[str, Any]:
+        """The structured (``format="json"``) EXPLAIN ANALYZE tree."""
+
+        def visit(op: LogicalOperator) -> dict[str, Any]:
+            node: dict[str, Any] = {"operator": op._explain_label()}
+            stats = self.stats.get(id(op))
+            if stats is not None:
+                node["rows"] = stats.rows
+                node["seconds"] = stats.seconds
+                node["invocations"] = stats.invocations
+            kstats = self.kernel_stats.get(id(op))
+            if kstats is not None:
+                node["kernel"] = {
+                    "rows_in": kstats.rows_in,
+                    "kernel": kstats.kernel,
+                    "fallback": kstats.fallback,
+                }
+            metrics = self.op_metrics.get(id(op))
+            if metrics:
+                node["metrics"] = dict(metrics)
+            node["children"] = [visit(child) for child in op.children()]
+            return node
+
+        out: dict[str, Any] = {"plan": visit(plan)}
+        if query_stats is not None:
+            out["phases"] = query_stats.phase_seconds()
+            out["total_seconds"] = query_stats.total_seconds()
+            out["counters"] = dict(query_stats.counters)
+            out["gauges"] = dict(query_stats.gauges)
+        return out
 
 
 def execute_plan_profiled(
@@ -73,37 +139,6 @@ def execute_plan_profiled(
 ):
     """Execute a plan with every operator instrumented.
 
-    Monkey-wraps :func:`repro.quack.executor.execute_plan` for the
-    duration of the iteration so that nested operator invocations are
-    captured too."""
-    from . import executor as executor_module
-
-    original = executor_module.execute_plan
-    original_sink = executor_module._KERNEL_STATS_SINK
-
-    def instrumented(op: LogicalOperator, inner_ctx):
-        stats = profiler.stats_for(op)
-        stats.invocations += 1
-
-        def wrapped() -> Iterator:
-            start = time.perf_counter()
-            try:
-                for chunk in original(op, inner_ctx):
-                    stats.rows += chunk.count
-                    stats.seconds += time.perf_counter() - start
-                    yield chunk
-                    start = time.perf_counter()
-                stats.seconds += time.perf_counter() - start
-            except GeneratorExit:
-                stats.seconds += time.perf_counter() - start
-                raise
-
-        return wrapped()
-
-    executor_module.execute_plan = instrumented
-    executor_module._KERNEL_STATS_SINK = profiler.kernel_stats
-    try:
-        yield from instrumented(plan, ctx)
-    finally:
-        executor_module.execute_plan = original
-        executor_module._KERNEL_STATS_SINK = original_sink
+    Derives a child context carrying the profiler; nothing global is
+    touched, so profiled executions are re-entrant and concurrent-safe."""
+    yield from execute_plan(plan, ExecutionContext(ctx, profiler=profiler))

@@ -1,0 +1,128 @@
+"""Unit tests for the metrics registry and the span tracer."""
+
+import pytest
+
+from repro.observability import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    QueryStatistics,
+    Tracer,
+    activate,
+    count,
+    current_stats,
+    gauge_max,
+    maybe_span,
+)
+
+
+class TestPrimitives:
+    def test_counter(self):
+        c = Counter("x")
+        c.increment()
+        c.increment(4)
+        assert c.value == 5
+
+    def test_gauge_tracks_peak(self):
+        g = Gauge("x")
+        g.set(3.0)
+        g.set(1.0)
+        assert g.value == 1.0
+        assert g.peak == 3.0
+
+    def test_histogram_summary(self):
+        h = Histogram("x")
+        for v in (0.0005, 0.05, 2.0):
+            h.observe(v)
+        summary = h.summary()
+        assert summary["count"] == 3
+        assert summary["min"] == 0.0005
+        assert summary["max"] == 2.0
+        assert h.mean == pytest.approx((0.0005 + 0.05 + 2.0) / 3)
+        # Each observation lands in exactly one bucket.
+        assert sum(summary["buckets"]) == 3
+
+    def test_histogram_overflow_bucket(self):
+        h = Histogram("x")
+        h.observe(99.0)  # beyond the largest bound
+        assert h.buckets[-1] == 1
+
+
+class TestRegistry:
+    def test_absorb_merges_query_stats(self):
+        registry = MetricsRegistry()
+        stats = QueryStatistics()
+        stats.bump("rtree.searches", 2)
+        stats.gauge_max("executor.peak_materialized_rows", 128)
+        with stats.tracer.span("execute"):
+            pass
+        registry.absorb(stats)
+        registry.absorb(stats)
+        snap = registry.snapshot()
+        assert snap["counters"]["queries_total"] == 2
+        assert snap["counters"]["rtree.searches"] == 4
+        assert snap["gauges"]["executor.peak_materialized_rows"]["peak"] == 128
+        assert snap["histograms"]["query_seconds"]["count"] == 2
+        assert snap["histograms"]["phase_seconds.execute"]["count"] == 2
+
+    def test_reset(self):
+        registry = MetricsRegistry()
+        registry.counter("a").increment()
+        registry.reset()
+        assert registry.snapshot()["counters"] == {}
+
+
+class TestTracer:
+    def test_nesting_and_phase_rollup(self):
+        tracer = Tracer()
+        with tracer.span("execute"):
+            with tracer.span("scan"):
+                pass
+            with tracer.span("scan"):
+                pass
+        with tracer.span("execute"):
+            pass
+        assert len(tracer.spans) == 2
+        assert [c.name for c in tracer.spans[0].children] == ["scan", "scan"]
+        phases = tracer.phase_seconds()
+        # Nested spans roll up into their parent, not the phase total.
+        assert set(phases) == {"execute"}
+        assert tracer.total_seconds() == pytest.approx(sum(phases.values()))
+
+    def test_span_to_dict(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        node = tracer.to_list()[0]
+        assert node["name"] == "a"
+        assert node["seconds"] >= node["children"][0]["seconds"]
+
+
+class TestAmbientContext:
+    def test_count_is_noop_without_active_stats(self):
+        assert current_stats() is None
+        count("anything")  # must not raise
+        gauge_max("anything", 1.0)
+
+    def test_activate_scopes_stats(self):
+        stats = QueryStatistics()
+        with activate(stats):
+            count("hits", 3)
+            assert current_stats() is stats
+        assert current_stats() is None
+        assert stats.counter("hits") == 3
+
+    def test_maybe_span_none_is_noop(self):
+        with maybe_span(None, "parse"):
+            pass
+
+    def test_phase_sum_equals_total(self):
+        stats = QueryStatistics()
+        for phase in ("parse", "bind", "optimize", "execute"):
+            with maybe_span(stats, phase):
+                pass
+        phases = stats.phase_seconds()
+        assert set(phases) == {"parse", "bind", "optimize", "execute"}
+        assert stats.total_seconds() == pytest.approx(sum(phases.values()))
