@@ -1,0 +1,153 @@
+"""Speedup of the vectorized join pipeline and stbox predicate kernels.
+
+The quack hash join builds and probes through ``JoinBuild`` NumPy
+kernels, the index nested-loop join batches its R-tree probes, and the
+stbox operators run columnar bounding-box prefilters — all with the
+original row-at-a-time code behind ``set_kernels_enabled(False)``.
+
+This benchmark times both paths on a 100k-row equi-join (the issue's
+5x acceptance bar), a 100k-row stbox-intersects filter, and three
+BerlinMOD spatial queries, and writes the grid to
+``BENCH_join_kernels.json`` (the CI bench-smoke artifact, next to
+``BENCH_fig12.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.meos import STBox
+from repro.quack import Database
+from repro.quack.kernels import set_kernels_enabled
+from repro import core
+from repro.berlinmod import get_query
+
+from conftest import scenario_for
+
+N_ROWS = 100_000
+BERLINMOD_SF = float(os.environ.get("REPRO_BENCH_JOIN_SF", "0.002"))
+BERLINMOD_QUERIES = (4, 7, 14)
+
+_REPORT_PATH = os.environ.get(
+    "REPRO_BENCH_JOIN_JSON", "BENCH_join_kernels.json"
+)
+_RESULTS: dict[str, dict] = {}
+
+
+def _record(name: str, kernel_s: float, row_loop_s: float,
+            rows: int) -> float:
+    speedup = row_loop_s / kernel_s if kernel_s > 0 else float("inf")
+    _RESULTS[name] = {
+        "kernel_s": kernel_s,
+        "row_loop_s": row_loop_s,
+        "speedup": speedup,
+        "rows": rows,
+    }
+    # Rewrite after every entry so the artifact exists even if a later
+    # benchmark fails.
+    with open(_REPORT_PATH, "w") as fh:
+        json.dump(_RESULTS, fh, indent=2, sort_keys=True)
+    print(f"\n{name}: kernels {kernel_s * 1000:.1f}ms, "
+          f"row loop {row_loop_s * 1000:.1f}ms, speedup {speedup:.2f}x")
+    return speedup
+
+
+def _time_both(run, rounds: int = 1):
+    """Best-of-``rounds`` seconds for kernels on and off, plus results."""
+    best = {True: float("inf"), False: float("inf")}
+    results = {}
+    previous = set_kernels_enabled(True)
+    try:
+        for _ in range(rounds):
+            for mode in (True, False):
+                set_kernels_enabled(mode)
+                start = time.perf_counter()
+                results[mode] = run()
+                best[mode] = min(best[mode],
+                                 time.perf_counter() - start)
+    finally:
+        set_kernels_enabled(previous)
+    return best[True], best[False], results[True], results[False]
+
+
+class TestEquiJoinSpeedup:
+    def test_hash_join_100k(self):
+        con = Database().connect()
+        con.execute("CREATE TABLE build(k BIGINT, payload BIGINT)")
+        con.execute("CREATE TABLE probe(k BIGINT, payload BIGINT)")
+        rng = np.random.default_rng(7)
+        build_rows = [(int(i), int(i * 3)) for i in range(N_ROWS)]
+        probe_keys = rng.integers(0, N_ROWS, N_ROWS)
+        probe_rows = [(int(k), int(i)) for i, k in enumerate(probe_keys)]
+        con.database.catalog.get_table("build").append_rows(build_rows)
+        con.database.catalog.get_table("probe").append_rows(probe_rows)
+
+        sql = ("SELECT count(*), sum(b.payload) FROM probe p, build b "
+               "WHERE p.k = b.k")
+        fast_s, slow_s, fast, slow = _time_both(
+            lambda: con.execute(sql).fetchall()
+        )
+        assert fast == slow
+        speedup = _record("equi_join_100k", fast_s, slow_s, N_ROWS)
+        assert speedup >= 5.0
+
+
+class TestStboxFilterSpeedup:
+    def test_stbox_intersects_100k(self):
+        con = core.connect()
+        con.execute("CREATE TABLE boxes(id BIGINT, box STBOX)")
+        rng = np.random.default_rng(11)
+        xs = rng.uniform(0, 1000, N_ROWS)
+        ys = rng.uniform(0, 1000, N_ROWS)
+        rows = [
+            (int(i), STBox(xmin=float(x), ymin=float(y),
+                           xmax=float(x) + 5.0, ymax=float(y) + 5.0))
+            for i, (x, y) in enumerate(zip(xs, ys))
+        ]
+        con.database.catalog.get_table("boxes").append_rows(rows)
+
+        sql = ("SELECT count(*) FROM boxes WHERE box && "
+               "STBOX('STBOX X((400,400),(600,600))')")
+        fast_s, slow_s, fast, slow = _time_both(
+            lambda: con.execute(sql).fetchall()
+        )
+        assert fast == slow
+        speedup = _record("stbox_intersects_100k", fast_s, slow_s, N_ROWS)
+        assert speedup >= 1.5
+
+
+class TestBerlinmodSpatialQueries:
+    """The paper's BerlinMOD queries with kernels on vs off.
+
+    Acceptance: a measurable speedup on at least two spatial queries.
+    Q4/Q7 combine a VehicleId equi-join with ``Trip && stbox(geom)``
+    prefilters and repeated-geometry scalar work; Q14 joins trips
+    against period/point frames."""
+
+    def test_spatial_queries(self):
+        scenario = scenario_for(BERLINMOD_SF, "mobilityduck")
+        speedups = {}
+        for number in BERLINMOD_QUERIES:
+            query = get_query(number)
+            scenario.run(query.sql)  # warm caches before timing
+            fast_s, slow_s, fast, slow = _time_both(
+                lambda sql=query.sql: scenario.run(sql), rounds=3
+            )
+            assert len(fast) == len(slow)
+            speedups[number] = _record(
+                f"berlinmod_q{number}_sf{BERLINMOD_SF}",
+                fast_s, slow_s, len(fast),
+            )
+        measurable = [n for n, s in speedups.items() if s >= 1.1]
+        assert len(measurable) >= 2, speedups
+
+
+def test_report_written():
+    assert os.path.exists(_REPORT_PATH)
+    with open(_REPORT_PATH) as fh:
+        report = json.load(fh)
+    assert "equi_join_100k" in report

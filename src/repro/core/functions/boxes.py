@@ -13,6 +13,11 @@ from ... import geo, meos
 from ...meos import STBox, TBox
 from ...quack.extension import ExtensionUtil
 from ...quack.functions import ScalarFunction
+from ..boxkernels import (
+    STBOX_CONTAINED_BATCH,
+    STBOX_CONTAINS_BATCH,
+    STBOX_OVERLAPS_BATCH,
+)
 from ...quack.types import (
     BIGINT,
     BLOB,
@@ -25,10 +30,11 @@ from ..types import SPAN_TYPES, STBOX_TYPE, TBOX_TYPE
 
 
 def register(database) -> None:
-    def scalar(name, arg_types, return_type, fn):
+    def scalar(name, arg_types, return_type, fn, batch=None):
         ExtensionUtil.register_function(
             database,
-            ScalarFunction(name, tuple(arg_types), return_type, fn_scalar=fn),
+            ScalarFunction(name, tuple(arg_types), return_type, fn_scalar=fn,
+                           evaluate_batch=batch),
         )
 
     tstzspan = SPAN_TYPES["tstzspan"]
@@ -88,12 +94,12 @@ def register(database) -> None:
     scalar("transform", (STBOX_TYPE, BIGINT), STBOX_TYPE,
            lambda b, srid: b.transform(int(srid)))
 
-    for op, method in (
-        ("&&", STBox.overlaps),
-        ("@>", STBox.contains),
-        ("<@", lambda a, b: b.contains(a)),
+    for op, method, batch in (
+        ("&&", STBox.overlaps, STBOX_OVERLAPS_BATCH),
+        ("@>", STBox.contains, STBOX_CONTAINS_BATCH),
+        ("<@", lambda a, b: b.contains(a), STBOX_CONTAINED_BATCH),
     ):
-        scalar(op, (STBOX_TYPE, STBOX_TYPE), BOOLEAN, method)
+        scalar(op, (STBOX_TYPE, STBOX_TYPE), BOOLEAN, method, batch=batch)
     scalar("union", (STBOX_TYPE, STBOX_TYPE), STBOX_TYPE, STBox.union)
     scalar("intersection", (STBOX_TYPE, STBOX_TYPE), STBOX_TYPE,
            STBox.intersection)

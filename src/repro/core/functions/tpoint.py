@@ -41,6 +41,15 @@ from ...quack.types import (
     TIMESTAMP,
     VARCHAR,
 )
+from ..boxkernels import (
+    contains_decide,
+    eintersects_decide,
+    geom_soa,
+    make_batch,
+    overlaps_decide,
+    stbox_soa,
+    tpoint_soa,
+)
 from ..types import (
     GSERIALIZED_TYPE,
     SPAN_TYPES,
@@ -66,10 +75,11 @@ def _as_geom(value: Any) -> geo.Geometry:
 
 
 def register(database) -> None:
-    def scalar(name, arg_types, return_type, fn):
+    def scalar(name, arg_types, return_type, fn, batch=None):
         ExtensionUtil.register_function(
             database,
-            ScalarFunction(name, tuple(arg_types), return_type, fn_scalar=fn),
+            ScalarFunction(name, tuple(arg_types), return_type, fn_scalar=fn,
+                           evaluate_batch=batch),
         )
 
     geometry_type = (
@@ -153,31 +163,62 @@ def register(database) -> None:
                lambda t, d: meos.douglas_peucker_simplify(t, float(d)))
 
         # -- relationships ------------------------------------------------------------------
+        def _eintersects_tg(t, g):
+            return meos.e_intersects(t, _as_geom(g))
+
+        def _eintersects_gt(g, t):
+            return meos.e_intersects(t, _as_geom(g))
+
         for geom_in in geom_ins:
             scalar("eIntersects", (ltype, geom_in), BOOLEAN,
-                   lambda t, g: meos.e_intersects(t, _as_geom(g)))
+                   _eintersects_tg,
+                   batch=make_batch(tpoint_soa, geom_soa,
+                                    eintersects_decide, _eintersects_tg))
             scalar("eIntersects", (geom_in, ltype), BOOLEAN,
-                   lambda g, t: meos.e_intersects(t, _as_geom(g)))
+                   _eintersects_gt,
+                   batch=make_batch(geom_soa, tpoint_soa,
+                                    eintersects_decide, _eintersects_gt))
             scalar("aIntersects", (ltype, geom_in), BOOLEAN,
                    lambda t, g: meos.a_intersects(t, _as_geom(g)))
             scalar("tIntersects", (ltype, geom_in), _TBOOL,
                    lambda t, g: meos.t_intersects(t, _as_geom(g)))
 
         # -- bounding-box operators (drive TRTREE scan injection, §4.3) ---------------------
-        scalar("&&", (ltype, STBOX_TYPE), BOOLEAN,
-               lambda t, box: t.stbox().overlaps(box))
-        scalar("&&", (STBOX_TYPE, ltype), BOOLEAN,
-               lambda box, t: t.stbox().overlaps(box))
-        scalar("@>", (STBOX_TYPE, ltype), BOOLEAN,
-               lambda box, t: box.contains(t.stbox()))
-        scalar("<@", (ltype, STBOX_TYPE), BOOLEAN,
-               lambda t, box: box.contains(t.stbox()))
+        def _tp_overlaps_box(t, box):
+            return t.stbox().overlaps(box)
+
+        def _box_overlaps_tp(box, t):
+            return t.stbox().overlaps(box)
+
+        def _box_contains_tp(box, t):
+            return box.contains(t.stbox())
+
+        def _tp_in_box(t, box):
+            return box.contains(t.stbox())
+
+        scalar("&&", (ltype, STBOX_TYPE), BOOLEAN, _tp_overlaps_box,
+               batch=make_batch(tpoint_soa, stbox_soa, overlaps_decide,
+                                _tp_overlaps_box))
+        scalar("&&", (STBOX_TYPE, ltype), BOOLEAN, _box_overlaps_tp,
+               batch=make_batch(stbox_soa, tpoint_soa, overlaps_decide,
+                                _box_overlaps_tp))
+        scalar("@>", (STBOX_TYPE, ltype), BOOLEAN, _box_contains_tp,
+               batch=make_batch(stbox_soa, tpoint_soa, contains_decide,
+                                _box_contains_tp))
+        scalar("<@", (ltype, STBOX_TYPE), BOOLEAN, _tp_in_box,
+               batch=make_batch(tpoint_soa, stbox_soa,
+                                lambda a, b: contains_decide(b, a),
+                                _tp_in_box))
 
     # Temporal point vs temporal point.
+    def _tp_overlaps_tp(x, y):
+        return x.stbox().overlaps(y.stbox())
+
     for a in (_TGEOMPOINT, _TGEOMETRY):
         for b in (_TGEOMPOINT, _TGEOMETRY):
-            scalar("&&", (a, b), BOOLEAN,
-                   lambda x, y: x.stbox().overlaps(y.stbox()))
+            scalar("&&", (a, b), BOOLEAN, _tp_overlaps_tp,
+                   batch=make_batch(tpoint_soa, tpoint_soa,
+                                    overlaps_decide, _tp_overlaps_tp))
             scalar("tDwithin", (a, b, DOUBLE), _TBOOL, meos.t_dwithin)
             scalar("eDwithin", (a, b, DOUBLE), BOOLEAN, meos.e_dwithin)
             scalar("aDwithin", (a, b, DOUBLE), BOOLEAN, meos.a_dwithin)

@@ -18,7 +18,7 @@ the engine's residual filter.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -167,6 +167,42 @@ class RTreeIndex(TableIndex):
             _count("index.trtree.candidates", len(candidates))
             return candidates
         return None
+
+    def probe_batch(
+        self, op_name: str, values: Sequence[Any]
+    ) -> list[list[int] | None] | None:
+        """Probe many values in one R-tree traversal (§4.3 batched).
+
+        Entries whose value cannot be coerced to an stbox come back as
+        None (no candidates); returns None overall only when the
+        operator is unsupported, sending the caller to :meth:`probe`.
+        """
+        if op_name not in ("&&", "<@", "@>"):
+            return None
+        out: list[list[int] | None] = [None] * len(values)
+        rects: list[tuple[float, ...]] = []
+        slots: list[int] = []
+        for i, value in enumerate(values):
+            box = _coerce_stbox(value)
+            if box is None:
+                continue
+            box = self._normalize_srid(box)
+            rect = stbox_to_rect(box)
+            if rect is None:
+                continue
+            rects.append(rect)
+            slots.append(i)
+        if rects:
+            results = self._tree.search_batch(rects)
+            for slot, candidates in zip(slots, results):
+                out[slot] = candidates
+            _count("index.trtree.batch_probes", len(rects))
+            _count("index.trtree.batches")
+            _count(
+                "index.trtree.candidates",
+                sum(len(c) for c in results),
+            )
+        return out
 
     def _normalize_srid(self, box: STBox) -> STBox:
         """SRID normalization of §4.2.2/§4.3: all entries and queries are

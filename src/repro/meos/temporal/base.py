@@ -39,7 +39,7 @@ from .ttypes import SPATIAL_TYPES, TFLOAT, TINT, TemporalType
 class Temporal:
     """Abstract base of all temporal values."""
 
-    __slots__ = ("ttype",)
+    __slots__ = ("ttype", "_stbox_memo")
 
     subtype: str = "Temporal"
 
@@ -140,6 +140,12 @@ class Temporal:
         return self.tstzspan()
 
     def stbox(self) -> STBox:
+        # Memoized: temporal values are immutable once constructed, and
+        # box-operator kernels call stbox() once per predicate operand.
+        try:
+            return self._stbox_memo
+        except AttributeError:
+            pass
         if self.ttype not in SPATIAL_TYPES:
             raise MeosTypeError(f"{self.ttype.name} has no stbox")
         xs: list[float] = []
@@ -148,9 +154,11 @@ class Temporal:
             for x, y in inst.value.coordinates():
                 xs.append(x)
                 ys.append(y)
-        return STBox(
+        box = STBox(
             min(xs), min(ys), max(xs), max(ys), self.tstzspan(), self.srid()
         )
+        self._stbox_memo = box
+        return box
 
     def srid(self) -> int:
         if self.ttype not in SPATIAL_TYPES:

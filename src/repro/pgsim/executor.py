@@ -410,7 +410,9 @@ def _execute_join(op: LogicalJoin, ctx: RowContext) -> Iterator[tuple]:
     right_rows = list(execute_rows(op.right, ctx))
 
     if op.equi_keys:
-        # Hash join, one probe per row (PostgreSQL-style).
+        # Hash join, one probe per row (PostgreSQL-style).  Keys go
+        # through the shared ``hashable_key`` canonicalization so NaN
+        # and -0.0 keys match exactly like the columnar engine.
         table: dict[tuple, list[tuple]] = {}
         for r_row in right_rows:
             key = tuple(
@@ -419,7 +421,9 @@ def _execute_join(op: LogicalJoin, ctx: RowContext) -> Iterator[tuple]:
             )
             if any(k is None for k in key):
                 continue
-            table.setdefault(key, []).append(r_row)
+            table.setdefault(
+                tuple(_hashable(k) for k in key), []
+            ).append(r_row)
         for l_row in execute_rows(op.left, ctx):
             key = tuple(
                 eval_row(left_key, l_row, ctx)
@@ -427,7 +431,9 @@ def _execute_join(op: LogicalJoin, ctx: RowContext) -> Iterator[tuple]:
             )
             matched = False
             if not any(k is None for k in key):
-                for r_row in table.get(key, ()):
+                for r_row in table.get(
+                    tuple(_hashable(k) for k in key), ()
+                ):
                     combined = l_row + r_row
                     if op.residual is not None and not eval_row(
                         op.residual, combined, ctx

@@ -247,6 +247,15 @@ class TableIndex:
     def probe(self, op_name: str, constant: Any) -> list[int] | None:
         raise NotImplementedError
 
+    # Batched probe: one candidate list per value (None entries for
+    # values that cannot be probed, e.g. NULL).  Returning None overall
+    # means this index has no batch path and the caller must probe
+    # row-at-a-time via :meth:`probe`.
+    def probe_batch(
+        self, op_name: str, values: Sequence[Any]
+    ) -> list[list[int] | None] | None:
+        return None
+
     def matches(self, op_name: str, column_name: str, constant: Any) -> bool:
         raise NotImplementedError
 

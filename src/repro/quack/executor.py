@@ -171,12 +171,34 @@ def _evaluate_cast(expr: BoundCast, chunk: DataChunk,
     if expr.cast is not None:
         out = np.empty(count, dtype=object)
         validity = child.validity.copy()
+        # Join chunks repeat payload objects; cast functions are pure, so
+        # an identity memo converts each distinct object once per chunk.
+        memo: dict | None = None
+        if (
+            kernels.KERNELS_ENABLED
+            and count >= 16
+            and child.ltype.physical == "object"
+        ):
+            memo = {}
+        memo_hits = 0
         for i in range(count):
             if validity[i]:
-                value = expr.cast.apply(child.data[i])
+                source = child.data[i]
+                if memo is not None:
+                    hit = memo.get(id(source))
+                    if hit is not None and hit[0] is source:
+                        value = hit[1]
+                        memo_hits += 1
+                    else:
+                        value = expr.cast.apply(source)
+                        memo[id(source)] = (source, value)
+                else:
+                    value = expr.cast.apply(source)
                 out[i] = value
                 if value is None:
                     validity[i] = False
+        if memo_hits and ctx.stats is not None:
+            ctx.stats.bump("quack.cast_memo_rows", memo_hits)
         return _pack(target, out, validity, count)
     # Builtin physical casts.
     if target.physical == child.ltype.physical:
@@ -185,10 +207,8 @@ def _evaluate_cast(expr: BoundCast, chunk: DataChunk,
         dtype = {"int64": np.int64, "float64": np.float64,
                  "bool": np.bool_}[target.physical]
         if child.ltype.physical == "object":
-            out = np.zeros(count, dtype=dtype)
-            for i in range(count):
-                if child.validity[i]:
-                    out[i] = child.data[i]
+            out = _pack_object_array(child.data, child.validity, dtype,
+                                     count)
             return Vector(target, out, child.validity.copy())
         if target.physical == "int64" and child.ltype.physical == "float64":
             return Vector(target, np.rint(child.data).astype(np.int64),
@@ -209,11 +229,33 @@ def _pack(target: LogicalType, out: np.ndarray, validity: np.ndarray,
     dtype = {"int64": np.int64, "float64": np.float64, "bool": np.bool_}[
         target.physical
     ]
-    data = np.zeros(count, dtype=dtype)
-    for i in range(count):
-        if validity[i]:
-            data[i] = out[i]
-    return Vector(target, data, validity)
+    return Vector(target, _pack_object_array(out, validity, dtype, count),
+                  validity)
+
+
+def _pack_object_array(out: np.ndarray, validity: np.ndarray, dtype,
+                       count: int) -> np.ndarray:
+    """Narrow an object array to ``dtype``, zero-filling NULL slots."""
+    if not kernels.KERNELS_ENABLED:
+        data = np.zeros(count, dtype=dtype)
+        for i in range(count):
+            if validity[i]:
+                data[i] = out[i]
+        return data
+    try:
+        if validity.all():
+            return out.astype(dtype)
+        data = np.zeros(count, dtype=dtype)
+        data[validity] = out[validity].astype(dtype)
+        return data
+    except (TypeError, ValueError, OverflowError):
+        # Payloads NumPy cannot narrow in bulk (e.g. mixed objects whose
+        # __int__/__float__ must run row-wise): original loop.
+        data = np.zeros(count, dtype=dtype)
+        for i in range(count):
+            if validity[i]:
+                data[i] = out[i]
+        return data
 
 
 def _evaluate_conjunction(expr: BoundConjunction, chunk: DataChunk,
@@ -623,7 +665,8 @@ def _execute_join(op: LogicalJoin, ctx: ExecutionContext
             mask = boolean_selection(evaluate(op.residual, combined, ctx))
             matched = combined.slice(mask)
             if op.join_type == "left":
-                matched_left = set(left_idx[mask].tolist())
+                matched_left = np.zeros(n, dtype=np.bool_)
+                matched_left[left_idx[mask]] = True
                 yield from _emit_left_padding(
                     left_chunk, matched_left, right_types
                 )
@@ -636,33 +679,55 @@ def _execute_join(op: LogicalJoin, ctx: ExecutionContext
 
 def _index_nl_join(op: LogicalJoin,
                    ctx: ExecutionContext) -> Iterator[DataChunk]:
-    """Index nested-loop join: probe the right table's index per left row."""
+    """Index nested-loop join: probe the right table's index per left row.
+
+    When kernels are enabled and the index offers a batch entry point,
+    the whole left chunk is probed in one index traversal and all
+    matched rows are gathered with a single ``table.fetch`` into one
+    combined chunk; otherwise (kernels disabled, or an index without a
+    batch path) each left row probes/fetches/emits on its own.
+    """
     index, op_name, left_expr = op.index_probe
     table = index.table
     right_types = op.right.output_types()
     qstats = ctx.stats
     for left_chunk in execute_plan(op.left, ctx):
+        n = left_chunk.count
         probe_vector = evaluate(left_expr, left_chunk, ctx)
-        matched_left: set[int] = set()
-        for i in range(left_chunk.count):
-            value = probe_vector.value(i)
-            if value is None:
-                continue
-            if qstats is not None:
-                qstats.bump("executor.join_index_probes")
-            if ctx.profiler is not None:
-                ctx.profiler.annotate(op, "index_probes")
-            ids = index.probe(op_name, value)
+        id_lists = None
+        if kernels.KERNELS_ENABLED:
+            id_lists = index.probe_batch(
+                op_name, [probe_vector.value(i) for i in range(n)]
+            )
+        if id_lists is None:
+            yield from _index_nl_join_row_loop(
+                op, left_chunk, probe_vector, index, op_name, table,
+                right_types, ctx
+            )
+            continue
+        probes = sum(
+            1 for i in range(n) if probe_vector.validity[i]
+        )
+        if qstats is not None and probes:
+            qstats.bump("executor.join_index_probes", probes)
+            qstats.bump("executor.join_index_batches")
+        if ctx.profiler is not None and probes:
+            ctx.profiler.annotate(op, "index_probes", probes)
+            ctx.profiler.annotate(op, "batches")
+        left_rep: list[int] = []
+        row_ids: list[int] = []
+        for i, ids in enumerate(id_lists):
             if not ids:
                 continue
             live = table.live_row_ids(sorted(ids))
-            if not live:
-                continue
-            right_chunk = table.fetch(np.asarray(live, dtype=np.int64))
-            count = right_chunk.count
+            row_ids.extend(live)
+            left_rep.extend([i] * len(live))
+        matched = np.zeros(n, dtype=np.bool_)
+        if row_ids:
+            right_chunk = table.fetch(np.asarray(row_ids, dtype=np.int64))
+            li = np.asarray(left_rep, dtype=np.int64)
             combined = DataChunk(
-                [v.take(np.full(count, i, dtype=np.int64))
-                 for v in left_chunk.vectors]
+                [v.take(li) for v in left_chunk.vectors]
                 + right_chunk.vectors
             )
             if op.residual is not None:
@@ -670,53 +735,129 @@ def _index_nl_join(op: LogicalJoin,
                     evaluate(op.residual, combined, ctx)
                 )
                 combined = combined.slice(mask)
+                matched[li[mask]] = True
+            else:
+                matched[li] = True
             if combined.count:
-                matched_left.add(i)
                 yield combined
         if op.join_type == "left":
-            yield from _emit_left_padding(left_chunk, matched_left,
-                                          right_types)
+            yield from _emit_left_padding(left_chunk, matched, right_types)
+
+
+def _index_nl_join_row_loop(op: LogicalJoin, left_chunk: DataChunk,
+                            probe_vector: Vector, index, op_name: str,
+                            table, right_types,
+                            ctx: ExecutionContext) -> Iterator[DataChunk]:
+    """Per-row probe fallback (kernels disabled / no batch entry point)."""
+    qstats = ctx.stats
+    matched = np.zeros(left_chunk.count, dtype=np.bool_)
+    for i in range(left_chunk.count):
+        value = probe_vector.value(i)
+        if value is None:
+            continue
+        if qstats is not None:
+            qstats.bump("executor.join_index_probes")
+        if ctx.profiler is not None:
+            ctx.profiler.annotate(op, "index_probes")
+        ids = index.probe(op_name, value)
+        if not ids:
+            continue
+        live = table.live_row_ids(sorted(ids))
+        if not live:
+            continue
+        right_chunk = table.fetch(np.asarray(live, dtype=np.int64))
+        count = right_chunk.count
+        combined = DataChunk(
+            [v.take(np.full(count, i, dtype=np.int64))
+             for v in left_chunk.vectors]
+            + right_chunk.vectors
+        )
+        if op.residual is not None:
+            mask = boolean_selection(
+                evaluate(op.residual, combined, ctx)
+            )
+            combined = combined.slice(mask)
+        if combined.count:
+            matched[i] = True
+            yield combined
+    if op.join_type == "left":
+        yield from _emit_left_padding(left_chunk, matched, right_types)
 
 
 def _hash_join(op: LogicalJoin, right_columns, right_count, right_types,
                ctx: ExecutionContext) -> Iterator[DataChunk]:
-    # Build phase on the right side.
-    table: dict[tuple, list[int]] = {}
+    kstats = _kernel_stats(op, ctx)
+    qstats = ctx.stats
+    # Build phase on the right side: factorize-encode the equi-keys and
+    # group build rows by code (kernel), or fall back to the dict build.
+    key_vectors: list[Vector] = []
+    build: kernels.JoinBuild | None = None
+    hash_table: dict[tuple, list[int]] | None = None
     if right_count:
         right_chunk = DataChunk(right_columns)
         key_vectors = [
             evaluate(right_key, right_chunk, ctx)
             for _, right_key in op.equi_keys
         ]
-        for i in range(right_count):
-            if not all(kv.validity[i] for kv in key_vectors):
-                continue
-            key = tuple(kv.value(i) for kv in key_vectors)
-            table.setdefault(key, []).append(i)
+        if kernels.KERNELS_ENABLED:
+            try:
+                build = kernels.JoinBuild(key_vectors, right_count)
+            except KernelFallback:
+                build = None
+        if build is None:
+            hash_table = _hash_join_dict_build(key_vectors, right_count)
+        if qstats is not None:
+            qstats.bump("executor.join_build_rows", right_count)
+            qstats.bump(
+                "executor.join_kernel_builds" if build is not None
+                else "executor.join_fallback_builds"
+            )
+        if kstats is not None:
+            if build is not None:
+                kstats.kernel += 1
+            else:
+                kstats.fallback += 1
     # Probe with left chunks.
     for left_chunk in execute_plan(op.left, ctx):
         n = left_chunk.count
+        if right_count == 0:
+            if op.join_type == "left":
+                yield _pad_unmatched(left_chunk, right_types)
+            continue
+        if kstats is not None:
+            kstats.rows_in += n
+        if qstats is not None:
+            qstats.bump("executor.join_probe_rows", n)
         probe_vectors = [
             evaluate(left_key, left_chunk, ctx)
             for left_key, _ in op.equi_keys
         ]
-        left_idx: list[int] = []
-        right_idx: list[int] = []
-        matched_left: set[int] = set()
-        for i in range(n):
-            if not all(pv.validity[i] for pv in probe_vectors):
-                continue
-            key = tuple(pv.value(i) for pv in probe_vectors)
-            bucket = table.get(key)
-            if not bucket:
-                continue
-            for j in bucket:
-                left_idx.append(i)
-                right_idx.append(j)
-            matched_left.add(i)
-        if left_idx:
-            li = np.asarray(left_idx, dtype=np.int64)
-            ri = np.asarray(right_idx, dtype=np.int64)
+        li = ri = None
+        if build is not None:
+            try:
+                li, ri = build.probe(probe_vectors, n)
+            except KernelFallback:
+                li = None
+        if li is not None:
+            if kstats is not None:
+                kstats.kernel += 1
+            if qstats is not None:
+                qstats.bump("executor.join_kernel_probes")
+                qstats.bump("quack.kernel_ops")
+        else:
+            if hash_table is None:
+                # A probe chunk the kernel declined (e.g. key physical
+                # type mismatch): build the dict side once, lazily.
+                hash_table = _hash_join_dict_build(key_vectors,
+                                                   right_count)
+            li, ri = _hash_join_dict_probe(hash_table, probe_vectors, n)
+            if kstats is not None:
+                kstats.fallback += 1
+            if qstats is not None:
+                qstats.bump("executor.join_fallback_probes")
+                qstats.bump("quack.fallback_ops")
+        matched = np.zeros(n, dtype=np.bool_)
+        if len(li):
             combined = DataChunk(
                 [v.take(li) for v in left_chunk.vectors]
                 + [v.take(ri) for v in right_columns]
@@ -725,26 +866,58 @@ def _hash_join(op: LogicalJoin, right_columns, right_count, right_types,
                 mask = boolean_selection(
                     evaluate(op.residual, combined, ctx)
                 )
-                if op.join_type == "left":
-                    surviving = set(li[mask].tolist())
-                    matched_left = surviving
                 combined = combined.slice(mask)
+                matched[li[mask]] = True
+            else:
+                matched[li] = True
             if op.join_type == "left":
-                yield from _emit_left_padding(left_chunk, matched_left,
+                yield from _emit_left_padding(left_chunk, matched,
                                               right_types)
             if combined.count:
                 yield combined
         elif op.join_type == "left":
-            yield from _emit_left_padding(left_chunk, set(), right_types)
+            yield from _emit_left_padding(left_chunk, matched, right_types)
 
 
-def _emit_left_padding(left_chunk: DataChunk, matched_left: set[int],
+def _hash_join_dict_build(key_vectors: list[Vector],
+                          right_count: int) -> dict[tuple, list[int]]:
+    """Row-wise build fallback, keyed through ``hashable_key`` so NaN and
+    -0.0 keys behave exactly like the kernel (and the pgsim engine)."""
+    hash_table: dict[tuple, list[int]] = {}
+    for i in range(right_count):
+        if not all(kv.validity[i] for kv in key_vectors):
+            continue
+        key = tuple(_hashable(kv.value(i)) for kv in key_vectors)
+        hash_table.setdefault(key, []).append(i)
+    return hash_table
+
+
+def _hash_join_dict_probe(
+    hash_table: dict[tuple, list[int]], probe_vectors: list[Vector], n: int
+) -> tuple[np.ndarray, np.ndarray]:
+    left_idx: list[int] = []
+    right_idx: list[int] = []
+    for i in range(n):
+        if not all(pv.validity[i] for pv in probe_vectors):
+            continue
+        key = tuple(_hashable(pv.value(i)) for pv in probe_vectors)
+        bucket = hash_table.get(key)
+        if not bucket:
+            continue
+        left_idx.extend([i] * len(bucket))
+        right_idx.extend(bucket)
+    return (np.asarray(left_idx, dtype=np.int64),
+            np.asarray(right_idx, dtype=np.int64))
+
+
+def _emit_left_padding(left_chunk: DataChunk, matched: np.ndarray,
                        right_types) -> Iterator[DataChunk]:
-    unmatched = [i for i in range(left_chunk.count) if i not in matched_left]
-    if not unmatched:
+    """Pad the rows of ``left_chunk`` whose ``matched`` mask slot is
+    False with NULL right columns (LEFT JOIN semantics)."""
+    unmatched = ~matched
+    if not unmatched.any():
         return
-    idx = np.asarray(unmatched, dtype=np.int64)
-    sliced = DataChunk([v.take(idx) for v in left_chunk.vectors])
+    sliced = left_chunk.slice(unmatched)
     yield _pad_unmatched(sliced, right_types)
 
 

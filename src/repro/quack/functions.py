@@ -13,6 +13,8 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
+from . import kernels
+from ..observability import current_stats
 from .errors import BinderError, ConversionError, ExecutionError, QuackError
 from .types import (
     ANY,
@@ -46,6 +48,18 @@ class ScalarFunction:
     handles_null: bool = False
     #: Variadic functions accept any number of trailing args of the last type.
     varargs: bool = False
+    #: Optional chunk-at-a-time kernel ``(args, count) -> Vector | None``.
+    #: Returning None declines the chunk (unsupported payloads) and the
+    #: per-row ``fn_scalar`` loop runs instead.  Only consulted while the
+    #: engine kernels are enabled, so ``set_kernels_enabled(False)``
+    #: benchmarks the scalar path.
+    evaluate_batch: Callable[[list[Vector], int], "Vector | None"] | None = (
+        None
+    )
+    #: Volatile functions may return different results for equal inputs
+    #: (or have side effects); they are excluded from the per-chunk
+    #: repeated-argument memo used while kernels are enabled.
+    volatile: bool = False
 
     def evaluate(self, args: list[Vector], count: int) -> Vector:
         """Vectorized evaluation (chunk at a time).
@@ -65,6 +79,13 @@ class ScalarFunction:
     def _evaluate_unchecked(self, args: list[Vector], count: int) -> Vector:
         if self.fn_vector is not None:
             return self.fn_vector(args, count)
+        if self.evaluate_batch is not None and kernels.KERNELS_ENABLED:
+            result = self.evaluate_batch(args, count)
+            if result is not None:
+                stats = current_stats()
+                if stats is not None:
+                    stats.bump("quack.function_batch_ops")
+                return result
         out = np.empty(count, dtype=object)
         validity = np.ones(count, dtype=np.bool_)
         columns = [a.data for a in args]
@@ -85,14 +106,51 @@ class ScalarFunction:
                 )
             else:
                 combined = None
-            for i in range(count):
-                if combined is not None and not combined[i]:
-                    validity[i] = False
-                    continue
-                result = fn(*[col[i] for col in columns])
-                out[i] = result
-                if result is None:
-                    validity[i] = False
+            # Nested-loop join chunks repeat the same payload objects in
+            # runs (left side) or tiles (right side); memoizing by object
+            # identity skips re-running pure functions on those rows.
+            # Only unary functions qualify: multi-argument rows on join
+            # chunks are distinct pairs, so a memo never hits there.
+            memo: dict | None = None
+            if (
+                kernels.KERNELS_ENABLED
+                and not self.volatile
+                and count >= 16
+                and len(args) == 1
+                and args[0].ltype.physical == "object"
+            ):
+                memo = {}
+            memo_hits = 0
+            if memo is not None:
+                column = columns[0]
+                for i in range(count):
+                    if combined is not None and not combined[i]:
+                        validity[i] = False
+                        continue
+                    source = column[i]
+                    hit = memo.get(id(source))
+                    if hit is not None and hit[0] is source:
+                        result = hit[1]
+                        memo_hits += 1
+                    else:
+                        result = fn(source)
+                        memo[id(source)] = (source, result)
+                    out[i] = result
+                    if result is None:
+                        validity[i] = False
+            else:
+                for i in range(count):
+                    if combined is not None and not combined[i]:
+                        validity[i] = False
+                        continue
+                    result = fn(*[col[i] for col in columns])
+                    out[i] = result
+                    if result is None:
+                        validity[i] = False
+            if memo_hits:
+                stats = current_stats()
+                if stats is not None:
+                    stats.bump("quack.scalar_memo_rows", memo_hits)
         return _materialize(self.return_type, out, validity, count)
 
     def evaluate_row(self, args: list[Any]) -> Any:

@@ -13,6 +13,11 @@ DISTINCT hot paths vectorized end to end:
   rows sorted by group code (SUM/MIN/MAX-style kernels).
 * :func:`sort_permutation` — ``np.lexsort``-based ORDER BY with correct
   ``NULLS FIRST/LAST`` handling and NaN-sorts-greatest semantics.
+* :class:`JoinBuild` — hash-join build/probe kernels: the equi-keys of
+  the build relation are factorize-encoded into dense int64 codes, a
+  grouped row index is laid out with the same argsort/bincount/cumsum
+  segment machinery, and probes emit matched ``(probe_row, build_row)``
+  pairs with pure array ops.
 * :func:`hashable_key` / :func:`sort_comparator` — the canonicalized
   row-wise fallbacks, shared with the pgsim row engine so both engines
   agree on NaN groups and NULL ordering.
@@ -155,6 +160,196 @@ def factorize(vectors: Sequence[Vector],
     codes = remap[inverse.astype(np.int64, copy=False)]
     representatives = first_index[order].astype(np.int64, copy=False)
     return codes, representatives
+
+
+# ---------------------------------------------------------------------------
+# Hash-join build/probe kernels
+# ---------------------------------------------------------------------------
+
+
+def _lookup_sorted(values: np.ndarray, uniques: np.ndarray) -> np.ndarray:
+    """Map ``values`` into positions within sorted ``uniques`` (-1 = absent)."""
+    out = np.full(len(values), -1, dtype=np.int64)
+    if len(uniques):
+        pos = np.minimum(
+            np.searchsorted(uniques, values), len(uniques) - 1
+        )
+        hit = (values >= 0) & (uniques[pos] == values)
+        out[hit] = pos[hit]
+    return out
+
+
+class _NumericKeyMap:
+    """Build-side value -> dense code map for one bool/int64/float64 key
+    column.  Float keys canonicalize ``-0.0`` to ``0.0`` and give NaN its
+    own code (SQL join semantics shared with :func:`hashable_key`)."""
+
+    __slots__ = ("physical", "uniques", "nan_code", "cardinality")
+
+    def __init__(self, vector: Vector):
+        self.physical = vector.ltype.physical
+        values, nan = self._canonical(vector.data)
+        valid = vector.validity
+        pool = values[valid & ~nan] if nan is not None else values[valid]
+        self.uniques = np.unique(pool)
+        self.nan_code = -1
+        if nan is not None and bool((nan & valid).any()):
+            self.nan_code = len(self.uniques)
+        self.cardinality = len(self.uniques) + (self.nan_code >= 0)
+
+    def _canonical(
+        self, data: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        if self.physical == "float64":
+            values = data + 0.0  # -0.0 -> +0.0
+            return values, np.isnan(values)
+        if self.physical == "bool":
+            return data.astype(np.int64), None
+        return data, None
+
+    def codes(self, vector: Vector) -> np.ndarray:
+        """Dense codes for ``vector``'s rows; -1 marks NULL rows and
+        values absent from the build side (no match possible)."""
+        if vector.ltype.physical != self.physical:
+            raise KernelFallback(
+                f"join key physical type mismatch: "
+                f"{vector.ltype.physical} vs {self.physical}"
+            )
+        values, nan = self._canonical(vector.data)
+        codes = _lookup_sorted_values(values, self.uniques)
+        if nan is not None and self.nan_code >= 0:
+            codes[nan] = self.nan_code
+        codes[~vector.validity] = -1
+        return codes
+
+
+def _lookup_sorted_values(values: np.ndarray,
+                          uniques: np.ndarray) -> np.ndarray:
+    """Like :func:`_lookup_sorted` but for raw (possibly negative/NaN)
+    column values rather than non-negative codes."""
+    out = np.full(len(values), -1, dtype=np.int64)
+    if len(uniques):
+        pos = np.minimum(
+            np.searchsorted(uniques, values), len(uniques) - 1
+        )
+        hit = uniques[pos] == values
+        out[hit] = pos[hit]
+    return out
+
+
+class _ObjectKeyMap:
+    """Build-side value -> dense code map for one object key column,
+    keyed through :func:`hashable_key` so NaN/-0.0/unhashable payloads
+    behave exactly like the row-wise dict fallback."""
+
+    __slots__ = ("mapping", "cardinality")
+
+    def __init__(self, vector: Vector):
+        mapping: dict[Any, int] = {}
+        data = vector.data
+        valid = vector.validity
+        for i in range(len(data)):
+            if not valid[i]:
+                continue
+            key = hashable_key(data[i])
+            if key not in mapping:
+                mapping[key] = len(mapping)
+        self.mapping = mapping
+        self.cardinality = max(len(mapping), 1)
+
+    def codes(self, vector: Vector) -> np.ndarray:
+        if vector.ltype.physical != "object":
+            raise KernelFallback(
+                f"join key physical type mismatch: "
+                f"{vector.ltype.physical} vs object"
+            )
+        data = vector.data
+        valid = vector.validity
+        get = self.mapping.get
+        return np.fromiter(
+            (
+                get(hashable_key(data[i]), -1) if valid[i] else -1
+                for i in range(len(data))
+            ),
+            dtype=np.int64,
+            count=len(data),
+        )
+
+
+class JoinBuild:
+    """Vectorized hash-join build side over (multi-column) equi-keys.
+
+    The build relation's keys are encoded column by column into dense
+    codes, combined pairwise (``combined * cardinality + codes``) and
+    re-densified against the build side's observed combinations so the
+    running key never overflows.  Build rows are then grouped by final
+    code with the segment machinery (stable argsort + bincount +
+    exclusive cumsum); :meth:`probe` maps probe keys into the same code
+    space and expands matches into ``(probe_row, build_row)`` index
+    arrays.  NULL keys never match; NaN float keys all fall in one code
+    (matching :func:`hashable_key`), as does ``-0.0`` with ``0.0``.
+    """
+
+    def __init__(self, key_vectors: Sequence[Vector], count: int):
+        if not key_vectors:
+            raise KernelFallback("hash join without equi-keys")
+        self._maps: list[_NumericKeyMap | _ObjectKeyMap] = [
+            _ObjectKeyMap(kv) if kv.ltype.physical == "object"
+            else _NumericKeyMap(kv)
+            for kv in key_vectors
+        ]
+        self._steps: list[np.ndarray] = []
+        codes = self._map_codes(key_vectors, build=True)
+        n_groups = max(
+            len(self._steps[-1]) if self._steps
+            else self._maps[0].cardinality,
+            1,
+        )
+        rows = np.nonzero(codes >= 0)[0]
+        group_of_row = codes[rows]
+        order = np.argsort(group_of_row, kind="stable")
+        self.sorted_rows = rows[order].astype(np.int64, copy=False)
+        self.counts = np.bincount(group_of_row, minlength=n_groups)
+        self.starts = np.zeros(n_groups, dtype=np.int64)
+        np.cumsum(self.counts[:-1], out=self.starts[1:])
+
+    def _map_codes(self, key_vectors: Sequence[Vector],
+                   build: bool = False) -> np.ndarray:
+        combined: np.ndarray | None = None
+        for k, (key_map, kv) in enumerate(zip(self._maps, key_vectors)):
+            codes = key_map.codes(kv)
+            if combined is None:
+                combined = codes
+                continue
+            raw = combined * np.int64(key_map.cardinality) + codes
+            raw[(combined < 0) | (codes < 0)] = -1
+            if build:
+                self._steps.append(np.unique(raw[raw >= 0]))
+            combined = _lookup_sorted(raw, self._steps[k - 1])
+        return combined
+
+    def probe(self, key_vectors: Sequence[Vector],
+              count: int) -> tuple[np.ndarray, np.ndarray]:
+        """Match probe rows against the build index.
+
+        Returns ``(probe_idx, build_idx)`` index arrays covering every
+        matched pair, probe-major with build rows ascending within each
+        probe row — the same emission order as the dict fallback.
+        """
+        codes = self._map_codes(key_vectors, build=False)
+        safe = np.where(codes >= 0, codes, 0)
+        match_counts = np.where(codes >= 0, self.counts[safe], 0)
+        total = int(match_counts.sum())
+        probe_idx = np.repeat(
+            np.arange(count, dtype=np.int64), match_counts
+        )
+        ends = np.cumsum(match_counts)
+        offsets = np.repeat(ends - match_counts, match_counts)
+        within = np.arange(total, dtype=np.int64) - offsets
+        build_idx = self.sorted_rows[
+            np.repeat(self.starts[safe], match_counts) + within
+        ]
+        return probe_idx, build_idx
 
 
 # ---------------------------------------------------------------------------

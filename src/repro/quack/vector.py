@@ -34,7 +34,7 @@ class KernelFallback(Exception):
 class Vector:
     """A column of ``count`` values of one logical type plus validity."""
 
-    __slots__ = ("ltype", "data", "validity")
+    __slots__ = ("ltype", "data", "validity", "_aux")
 
     def __init__(self, ltype: LogicalType, data: np.ndarray,
                  validity: np.ndarray | None = None):
@@ -43,6 +43,20 @@ class Vector:
         if validity is None:
             validity = np.ones(len(data), dtype=np.bool_)
         self.validity = validity
+        #: lazily created per-vector cache for derived columnar views
+        #: (e.g. the struct-of-arrays bounding boxes of box kernels)
+        self._aux: dict[Any, Any] | None = None
+
+    def cached_aux(self, key: Any, builder: Callable[["Vector"], Any]) -> Any:
+        """Build-once cache of a derived view of this vector's payload."""
+        aux = self._aux
+        if aux is None:
+            aux = self._aux = {}
+        try:
+            return aux[key]
+        except KeyError:
+            value = aux[key] = builder(self)
+            return value
 
     # -- constructors -----------------------------------------------------------
 

@@ -1,0 +1,443 @@
+"""Differential join-semantics tests for the vectorized join pipeline.
+
+The quack hash join now builds and probes through NumPy kernels
+(``repro.quack.kernels.JoinBuild``) and the index nested-loop join
+batches its probes through ``RTree.search_batch``; the original
+row-at-a-time code stays behind ``set_kernels_enabled(False)``.  These
+tests pin the join semantics against the pgsim row engine in both
+modes: NULL equi-keys never match, duplicate build keys fan out,
+LEFT JOIN padding with and without residual predicates, NaN join keys
+match each other, ``-0.0`` equals ``0.0``, and the EXPLAIN ANALYZE
+counters report kernel-vs-fallback use.
+"""
+
+import math
+from collections import Counter
+
+import pytest
+
+from repro import core
+from repro.pgsim import RowDatabase
+from repro.quack import Database
+from repro.quack.kernels import JoinBuild, set_kernels_enabled
+from repro.quack.types import BIGINT, DOUBLE, VARCHAR
+from repro.quack.vector import KernelFallback, Vector
+
+
+@pytest.fixture(params=[True, False], ids=["kernels", "row-loop"])
+def kernels_toggle(request):
+    previous = set_kernels_enabled(request.param)
+    yield request.param
+    set_kernels_enabled(previous)
+
+
+_L_DDL = "CREATE TABLE l(k INTEGER, v INTEGER)"
+_R_DDL = "CREATE TABLE r(k INTEGER, w VARCHAR)"
+
+
+def _load(factory, left_rows, right_rows, left_ddl=_L_DDL, right_ddl=_R_DDL):
+    con = factory().connect()
+    con.execute(left_ddl)
+    con.execute(right_ddl)
+    if left_rows:
+        con.database.catalog.get_table("l").append_rows(left_rows)
+    if right_rows:
+        con.database.catalog.get_table("r").append_rows(right_rows)
+    return con
+
+
+def _agree(left_rows, right_rows, sql, left_ddl=_L_DDL, right_ddl=_R_DDL):
+    """Both engines must return the same multiset of rows."""
+    duck = _load(Database, left_rows, right_rows,
+                 left_ddl, right_ddl).execute(sql).fetchall()
+    base = _load(RowDatabase, left_rows, right_rows,
+                 left_ddl, right_ddl).execute(sql).fetchall()
+    assert Counter(map(repr, duck)) == Counter(map(repr, base)), sql
+    return duck
+
+
+class TestHashJoinSemantics:
+    """WHERE-form equi-joins plan as HASH_JOIN (optimizer extraction)."""
+
+    def test_null_keys_never_match(self, kernels_toggle):
+        rows = _agree(
+            [(1, 10), (None, 20), (2, 30), (None, 40)],
+            [(1, "a"), (None, "b"), (None, "c"), (3, "d")],
+            "SELECT l.k, l.v, r.w FROM l, r WHERE l.k = r.k",
+        )
+        # NULL = NULL is not a match: only the k=1 pair survives.
+        assert rows == [(1, 10, "a")]
+
+    def test_duplicate_build_keys_fan_out(self, kernels_toggle):
+        rows = _agree(
+            [(1, 10), (2, 20), (1, 30)],
+            [(1, "a"), (1, "b"), (1, "c"), (2, "d")],
+            "SELECT l.v, r.w FROM l, r WHERE l.k = r.k",
+        )
+        # Each k=1 probe row matches all three k=1 build rows.
+        assert len(rows) == 7
+
+    def test_multi_column_keys(self, kernels_toggle):
+        _agree(
+            [(1, 10), (1, 20), (2, 10), (None, 10), (2, None)],
+            [(1, "10"), (2, "10"), (1, "20"), (None, "10")],
+            "SELECT l.k, l.v, r.w FROM l, r "
+            "WHERE l.k = r.k AND l.v = CAST(r.w AS INTEGER)",
+        )
+
+    def test_varchar_keys(self, kernels_toggle):
+        _agree(
+            [("x", 1), ("y", 2), (None, 3), ("z", 4), ("x", 5)],
+            [("x", "a"), ("z", "b"), (None, "c"), ("w", "d")],
+            "SELECT l.v, r.w FROM l, r WHERE l.k = r.k",
+            left_ddl="CREATE TABLE l(k VARCHAR, v INTEGER)",
+            right_ddl="CREATE TABLE r(k VARCHAR, w VARCHAR)",
+        )
+
+    def test_nan_keys_match_each_other(self, kernels_toggle):
+        nan = float("nan")
+        rows = _agree(
+            [(nan, 1), (2.5, 2), (nan, 3), (None, 4)],
+            [(nan, "a"), (2.5, "b"), (None, "c")],
+            "SELECT l.v, r.w FROM l, r WHERE l.k = r.k",
+            left_ddl="CREATE TABLE l(k DOUBLE, v INTEGER)",
+            right_ddl="CREATE TABLE r(k DOUBLE, w VARCHAR)",
+        )
+        # Both engines canonicalize NaN, so NaN keys join (like GROUP BY).
+        assert sorted(rows) == [(1, "a"), (2, "b"), (3, "a")]
+
+    def test_negative_zero_matches_zero(self, kernels_toggle):
+        rows = _agree(
+            [(-0.0, 1), (0.0, 2)],
+            [(0.0, "a"), (-0.0, "b")],
+            "SELECT l.v, r.w FROM l, r WHERE l.k = r.k",
+            left_ddl="CREATE TABLE l(k DOUBLE, v INTEGER)",
+            right_ddl="CREATE TABLE r(k DOUBLE, w VARCHAR)",
+        )
+        assert len(rows) == 4
+
+    def test_empty_build_side(self, kernels_toggle):
+        rows = _agree(
+            [(1, 10), (2, 20)],
+            [],
+            "SELECT l.v, r.w FROM l, r WHERE l.k = r.k",
+        )
+        assert rows == []
+
+    def test_residual_predicate_on_top_of_keys(self, kernels_toggle):
+        _agree(
+            [(1, 10), (1, 20), (2, 30)],
+            [(1, "a"), (1, "bbb"), (2, "cc")],
+            "SELECT l.v, r.w FROM l, r "
+            "WHERE l.k = r.k AND l.v < 15 AND r.w <> 'a'",
+        )
+
+    def test_many_chunks(self, kernels_toggle):
+        # Cross several STANDARD_VECTOR_SIZE boundaries on the probe side.
+        left = [(i % 500, i) for i in range(5000)]
+        right = [(i, str(i)) for i in range(400)]
+        rows = _agree(
+            left, right, "SELECT l.k, l.v, r.w FROM l, r WHERE l.k = r.k"
+        )
+        assert len(rows) == sum(1 for k, _ in left if k < 400)
+
+
+class TestLeftJoinPadding:
+    """LEFT JOIN plans as a nested-loop join; padding must use the
+    matched-row masks identically in both engines."""
+
+    def test_padding_without_matches(self, kernels_toggle):
+        rows = _agree(
+            [(1, 10), (None, 20)],
+            [(7, "a")],
+            "SELECT l.k, l.v, r.w FROM l LEFT JOIN r ON l.k = r.k",
+        )
+        assert sorted(rows, key=repr) == sorted(
+            [(1, 10, None), (None, 20, None)], key=repr
+        )
+
+    def test_padding_with_partial_matches(self, kernels_toggle):
+        rows = _agree(
+            [(1, 10), (2, 20), (3, 30)],
+            [(1, "a"), (1, "b"), (3, "c")],
+            "SELECT l.k, l.v, r.w FROM l LEFT JOIN r ON l.k = r.k",
+        )
+        assert len(rows) == 4  # 1 twice, 3 once, 2 padded
+
+    def test_padding_with_residual_predicate(self, kernels_toggle):
+        # The residual disqualifies some equal-key pairs; those left rows
+        # must still appear exactly once, padded.
+        rows = _agree(
+            [(1, 10), (2, 20), (3, 30)],
+            [(1, "a"), (2, "zz"), (3, "c")],
+            "SELECT l.k, l.v, r.w FROM l LEFT JOIN r "
+            "ON l.k = r.k AND r.w < 'm'",
+        )
+        assert (2, 20, None) in rows and len(rows) == 3
+
+    def test_padding_empty_right(self, kernels_toggle):
+        rows = _agree(
+            [(1, 10), (2, 20)],
+            [],
+            "SELECT l.k, l.v, r.w FROM l LEFT JOIN r ON l.k = r.k",
+        )
+        assert rows == [(1, 10, None), (2, 20, None)]
+
+
+class TestJoinBuildKernel:
+    """Unit tests for the JoinBuild factorize/probe kernel itself."""
+
+    @staticmethod
+    def _pairs(build_keys, probe_keys, ltypes):
+        def columns(keys):
+            if keys:
+                return list(zip(*keys))
+            return [[] for _ in ltypes]
+
+        build_vectors = [
+            Vector.from_values(lt, col)
+            for lt, col in zip(ltypes, columns(build_keys))
+        ]
+        probe_vectors = [
+            Vector.from_values(lt, col)
+            for lt, col in zip(ltypes, columns(probe_keys))
+        ]
+        build = JoinBuild(build_vectors, len(build_keys))
+        li, ri = build.probe(probe_vectors, len(probe_keys))
+        return sorted(zip(li.tolist(), ri.tolist()))
+
+    @staticmethod
+    def _expected(build_keys, probe_keys):
+        def canon(key):
+            out = []
+            for part in key:
+                if isinstance(part, float) and math.isnan(part):
+                    part = "NaN"
+                elif isinstance(part, float):
+                    part = part + 0.0
+                out.append(part)
+            return tuple(out)
+
+        pairs = []
+        for p, pk in enumerate(probe_keys):
+            if any(part is None for part in pk):
+                continue
+            for b, bk in enumerate(build_keys):
+                if any(part is None for part in bk):
+                    continue
+                if canon(pk) == canon(bk):
+                    pairs.append((p, b))
+        return sorted(pairs)
+
+    def test_matches_brute_force_bigint(self):
+        build = [(1,), (2,), (1,), (None,), (3,)]
+        probe = [(1,), (None,), (3,), (4,), (1,)]
+        assert self._pairs(build, probe, [BIGINT]) == self._expected(
+            build, probe
+        )
+
+    def test_matches_brute_force_double_nan(self):
+        nan = float("nan")
+        build = [(nan,), (0.0,), (-0.0,), (None,), (2.5,)]
+        probe = [(nan,), (-0.0,), (2.5,), (None,), (7.0,)]
+        assert self._pairs(build, probe, [DOUBLE]) == self._expected(
+            build, probe
+        )
+
+    def test_matches_brute_force_multi_column(self):
+        build = [(1, "x"), (1, "y"), (2, "x"), (None, "x"), (2, None)]
+        probe = [(1, "x"), (2, "x"), (1, "z"), (None, "x"), (1, "y")]
+        assert self._pairs(
+            build, probe, [BIGINT, VARCHAR]
+        ) == self._expected(build, probe)
+
+    def test_probe_key_absent_from_build(self):
+        assert self._pairs([(1,)], [(99,)], [BIGINT]) == []
+
+    def test_empty_build(self):
+        assert self._pairs([], [(1,), (2,)], [BIGINT]) == []
+
+    def test_no_keys_falls_back(self):
+        with pytest.raises(KernelFallback):
+            JoinBuild([], 0)
+
+    def test_probe_physical_mismatch_falls_back(self):
+        build = JoinBuild([Vector.from_values(BIGINT, [1, 2])], 2)
+        with pytest.raises(KernelFallback):
+            build.probe([Vector.from_values(DOUBLE, [1.0])], 1)
+
+
+class TestIndexJoinBatch:
+    """TRTREE index nested-loop joins must agree between the batched
+    probe path and the per-row fallback, and with a plan with no index."""
+
+    @staticmethod
+    def _boxes(n, step):
+        return [
+            (i, f"STBOX X(({i * step},{i * step}),"
+                f"({i * step + 5},{i * step + 5}))")
+            for i in range(n)
+        ]
+
+    def _connect(self, with_index):
+        con = core.connect()
+        con.execute("CREATE TABLE probe(id INTEGER, box STBOX)")
+        con.execute("CREATE TABLE build(id INTEGER, box STBOX)")
+        if with_index:
+            con.execute("CREATE INDEX bidx ON build USING TRTREE(box)")
+        for table, rows in (
+            ("probe", self._boxes(40, 3.0)),
+            ("build", self._boxes(250, 0.5)),
+        ):
+            con.database.catalog.get_table(table).append_rows(
+                [
+                    (i, con.execute(
+                        f"SELECT STBOX('{text}')"
+                    ).scalar())
+                    for i, text in rows
+                ]
+            )
+        return con
+
+    SQL = ("SELECT p.id, b.id FROM probe p, build b "
+           "WHERE p.box && b.box ORDER BY 1, 2")
+
+    def test_batched_probe_agrees_with_row_loop_and_scan(self):
+        indexed = self._connect(with_index=True)
+        plain = self._connect(with_index=False)
+        previous = set_kernels_enabled(True)
+        try:
+            batched = indexed.execute(self.SQL).fetchall()
+            set_kernels_enabled(False)
+            row_loop = indexed.execute(self.SQL).fetchall()
+            unindexed = plain.execute(self.SQL).fetchall()
+        finally:
+            set_kernels_enabled(previous)
+        assert batched == row_loop == unindexed
+        assert len(batched) > 0
+
+    def test_batch_counters_visible(self):
+        con = self._connect(with_index=True)
+        previous = set_kernels_enabled(True)
+        try:
+            report = con.explain_analyze(self.SQL, format="json")
+        finally:
+            set_kernels_enabled(previous)
+        counters = report["counters"]
+        assert counters.get("executor.join_index_batches", 0) >= 1
+        assert counters.get("rtree.batch_searches", 0) >= 1
+        assert counters.get("rtree.batch_probes", 0) >= 1
+
+
+class TestJoinCounters:
+    """Acceptance: kernel-vs-fallback join counters in EXPLAIN ANALYZE,
+    both text and JSON formats."""
+
+    SQL = "SELECT l.v, r.w FROM l, r WHERE l.k = r.k"
+
+    def _con(self):
+        return _load(
+            Database,
+            [(i % 5, i) for i in range(20)],
+            [(i, str(i)) for i in range(5)],
+        )
+
+    def test_text_format_shows_kernel_stats(self):
+        con = self._con()
+        previous = set_kernels_enabled(True)
+        try:
+            plan = con.execute(
+                "EXPLAIN ANALYZE " + self.SQL
+            ).fetchall()[0][0]
+        finally:
+            set_kernels_enabled(previous)
+        join_line = next(
+            line for line in plan.splitlines() if "HASH_JOIN" in line
+        )
+        assert "kernel=" in join_line and "fallback=" in join_line
+        assert "executor.join_kernel_probes" in plan
+
+    def test_json_format_counts_kernel_use(self):
+        con = self._con()
+        previous = set_kernels_enabled(True)
+        try:
+            report = con.explain_analyze(self.SQL, format="json")
+        finally:
+            set_kernels_enabled(previous)
+        counters = report["counters"]
+        assert counters["executor.join_kernel_builds"] == 1
+        assert counters.get("executor.join_fallback_builds", 0) == 0
+        assert counters["executor.join_kernel_probes"] >= 1
+        assert counters.get("executor.join_fallback_probes", 0) == 0
+        assert counters["executor.join_build_rows"] == 5
+        assert counters["executor.join_probe_rows"] == 20
+
+    def test_json_format_counts_fallback_use(self):
+        con = self._con()
+        previous = set_kernels_enabled(False)
+        try:
+            report = con.explain_analyze(self.SQL, format="json")
+        finally:
+            set_kernels_enabled(previous)
+        counters = report["counters"]
+        assert counters.get("executor.join_kernel_builds", 0) == 0
+        assert counters["executor.join_fallback_builds"] == 1
+        assert counters["executor.join_fallback_probes"] >= 1
+
+
+class TestStboxPredicateKernels:
+    """Columnar stbox predicate kernels must agree with the scalar path
+    and with the pgsim baseline engine."""
+
+    @staticmethod
+    def _fill(con, n=120):
+        con.execute("CREATE TABLE g(id INTEGER, box STBOX)")
+        boxes = []
+        for i in range(n):
+            x = (i * 7) % 50
+            t0 = 1 + (i % 9)
+            boxes.append(
+                (i, f"STBOX XT(((${x}$,{x}),({x + 4},{x + 4})),"
+                    f"[2020-01-0{t0}, 2020-01-0{min(t0 + 1, 9)}])"
+                    .replace("$", ""))
+            )
+        for i, text in boxes:
+            con.execute(
+                f"INSERT INTO g VALUES ({i}, STBOX('{text}'))"
+            )
+
+    @pytest.mark.parametrize("op", ["&&", "@>", "<@"])
+    def test_kernel_matches_scalar_and_baseline(self, op):
+        probe = ("STBOX XT(((10,10),(30,30)),"
+                 "[2020-01-03, 2020-01-05])")
+        sql = (f"SELECT id FROM g WHERE box {op} "
+               f"STBOX('{probe}') ORDER BY id")
+        results = {}
+        for mode in (True, False):
+            con = core.connect()
+            self._fill(con)
+            previous = set_kernels_enabled(mode)
+            try:
+                results[mode] = con.execute(sql).fetchall()
+            finally:
+                set_kernels_enabled(previous)
+        baseline = core.connect_baseline()
+        self._fill(baseline)
+        results["baseline"] = baseline.execute(sql).fetchall()
+        assert results[True] == results[False] == results["baseline"]
+
+    def test_bbox_counters_recorded(self):
+        con = core.connect()
+        self._fill(con)
+        previous = set_kernels_enabled(True)
+        try:
+            report = con.explain_analyze(
+                "SELECT count(*) FROM g WHERE box && "
+                "STBOX('STBOX X((10,10),(30,30))')",
+                format="json",
+            )
+        finally:
+            set_kernels_enabled(previous)
+        counters = report["counters"]
+        assert counters.get("quack.function_batch_ops", 0) >= 1
+        assert counters.get("quack.bbox_rows_decided", 0) >= 1
