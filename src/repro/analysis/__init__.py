@@ -1,0 +1,39 @@
+"""repro.analysis — static analysis for the engine and the codebase.
+
+Two heads:
+
+* :mod:`.verifier` — a verification layer modeled on DuckDB's
+  ``PRAGMA enable_verification``: logical-plan checks after binding and
+  after optimizer rewrites, expression/type checks against the catalog,
+  and (behind :func:`set_verification_enabled`) chunk-output invariants
+  plus kernel-vs-fallback cross-checks at every fork point.
+* :mod:`.lint` — a custom AST lint (``python -m repro.analysis.lint``)
+  enforcing engine-specific rules the generic linters cannot express
+  (kernel-fallback discipline, declared observability counters,
+  cross-engine import boundaries, vector-buffer ownership).
+
+This ``__init__`` stays import-light (config + errors only): engine
+modules import the toggle from here without dragging in the verifier,
+which itself imports the plan IR.
+"""
+
+from .config import set_verification_enabled, verification_enabled
+from .errors import VerificationError
+
+__all__ = [
+    "VerificationError",
+    "set_verification_enabled",
+    "verification_enabled",
+]
+
+
+def __getattr__(name):
+    if name == "verifier":
+        from . import verifier
+
+        return verifier
+    if name == "lint":
+        from . import lint
+
+        return lint
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,25 @@
+"""Global verification toggle (the engine's ``PRAGMA enable_verification``).
+
+Kept import-light on purpose: engine modules (vector, functions, executor,
+observability) consult :func:`verification_enabled` on hot paths and must
+be able to import this module without pulling in the verifier itself.
+"""
+
+from __future__ import annotations
+
+#: Global switch: when True, plans are re-verified after binding and after
+#: optimizer rewrites, operator output chunks are invariant-checked, and
+#: every chunk-level kernel is cross-checked against its scalar fallback.
+VERIFICATION_ENABLED = False
+
+
+def set_verification_enabled(enabled: bool) -> bool:
+    """Toggle verification mode; returns the previous setting."""
+    global VERIFICATION_ENABLED
+    previous = VERIFICATION_ENABLED
+    VERIFICATION_ENABLED = bool(enabled)
+    return previous
+
+
+def verification_enabled() -> bool:
+    return VERIFICATION_ENABLED

@@ -1,0 +1,16 @@
+"""Errors raised by the verification layer.
+
+Import-light (no dependencies) so any engine module can raise/catch these
+without import cycles.
+"""
+
+from __future__ import annotations
+
+
+class VerificationError(AssertionError):
+    """An engine invariant was violated.
+
+    The message always names the guilty party — the optimizer rule, the
+    plan operator, or the kernel — so a failure pinpoints where the
+    corruption happened rather than where it was noticed.
+    """

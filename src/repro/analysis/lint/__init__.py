@@ -1,0 +1,96 @@
+"""Project-specific AST lint: engine invariants the stock linters can't see.
+
+Rules (all reported as ``path:line:col CODE message``):
+
+========  ==========================================================
+ANL001    bare ``except:`` clause
+ANL002    ``raise KernelFallback`` outside the kernel modules
+ANL003    counter/gauge name not declared in the observability registry
+ANL004    cross-engine import (pgsim ↔ quack internals, or an engine
+          import from the observability layer)
+ANL005    mutation of a ``Vector``'s ``data``/``validity`` payload
+          outside the owning module
+ANL006    ``evaluate_batch`` registration without a reachable scalar
+          fallback (missing ``fn_scalar`` or shadowed by ``fn_vector``)
+ANL007    unused import
+========  ==========================================================
+
+Run as ``python -m repro.analysis.lint [paths]`` (default: ``src``).
+The module is import-light on purpose — it parses source with ``ast``
+and never imports the engine code it checks.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from .rules import check_module
+
+__all__ = ["Violation", "lint_file", "lint_paths", "run_lint"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col} {self.code} {self.message}"
+
+
+def _module_name(path: Path) -> str | None:
+    """Dotted module name for files under a ``src/`` root (else None)."""
+    parts = path.resolve().parts
+    if "src" not in parts:
+        return None
+    rel = parts[parts.index("src") + 1 :]
+    if not rel or not rel[-1].endswith(".py"):
+        return None
+    rel = rel[:-1] + (rel[-1][: -len(".py")],)
+    if rel[-1] == "__init__":
+        rel = rel[:-1]
+    return ".".join(rel)
+
+
+def lint_file(path: Path) -> list[Violation]:
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Violation(
+                str(path), exc.lineno or 1, (exc.offset or 1) - 1,
+                "ANL000", f"syntax error: {exc.msg}",
+            )
+        ]
+    module = _module_name(path)
+    return [
+        Violation(str(path), line, col, code, message)
+        for line, col, code, message in check_module(tree, module, path.name)
+    ]
+
+
+def lint_paths(paths: Iterable[str]) -> list[Violation]:
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+    violations: list[Violation] = []
+    for file in files:
+        violations.extend(lint_file(file))
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    return violations
+
+
+def run_lint(paths: Iterable[str] = ("src",)) -> list[Violation]:
+    """Lint ``paths`` (files or directories) and return the violations."""
+    return lint_paths(paths)

@@ -1,0 +1,27 @@
+"""CLI entry point: ``python -m repro.analysis.lint [paths…]``.
+
+Lints ``src`` by default, prints one ``path:line:col CODE message`` line
+per violation, and exits 1 when anything is found (0 on a clean run).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from . import run_lint
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    paths = args or ["src"]
+    violations = run_lint(paths)
+    for violation in violations:
+        print(violation.format())
+    if violations:
+        print(f"{len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,423 @@
+"""The individual AST checks behind :mod:`repro.analysis.lint`.
+
+Each rule is a method on :class:`_Checker`; :func:`check_module` runs all
+of them over one parsed module and returns ``(line, col, code, message)``
+tuples.  The checks encode *engine invariants* — boundaries and
+conventions the stock linters have no way to know about.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ...observability.registry import (
+    DECLARED_PREFIXES,
+    is_declared_counter,
+    is_declared_gauge,
+)
+
+#: Modules allowed to raise KernelFallback — the kernels themselves plus
+#: the vector sort-key encoder and the columnar box kernels.  Everyone
+#: else must *catch* it (taking the fallback path), never signal it.
+_KERNEL_FALLBACK_MODULES = frozenset({
+    "repro.quack.kernels",
+    "repro.quack.vector",
+    "repro.core.boxkernels",
+})
+
+#: quack submodules that form the shared frontend surface the pgsim row
+#: engine may import (parser/binder/plan/optimizer/catalog + the shared
+#: key helpers).  Executor internals — kernels, vectors, the chunk
+#: executor — are quack-private.
+_PGSIM_ALLOWED_QUACK = frozenset({
+    "errors",
+    "types",
+    "plan",
+    "binder",
+    "optimizer",
+    "catalog",
+    "functions",
+    "builtins",
+    "database",
+    "profiler",
+    "keys",
+    "sql",
+})
+
+#: Module owning the Vector payload (may mutate data/validity freely).
+_VECTOR_OWNER_MODULES = frozenset({"repro.quack.vector"})
+
+#: Ambient helper functions whose first argument is a counter name.
+_COUNTER_FUNC_NAMES = frozenset({"count", "_count"})
+#: Method names whose first argument is a counter name.
+_COUNTER_ATTR_NAMES = frozenset({"bump"})
+#: Functions/methods whose first argument is a gauge name.
+_GAUGE_NAMES = frozenset({"gauge_max", "set_gauge"})
+
+
+def check_module(tree: ast.Module, module: str | None,
+                 filename: str) -> list[tuple[int, int, str, str]]:
+    checker = _Checker(module, filename)
+    checker.visit_module(tree)
+    return checker.findings
+
+
+class _Checker:
+    def __init__(self, module: str | None, filename: str):
+        self.module = module
+        self.filename = filename
+        self.findings: list[tuple[int, int, str, str]] = []
+
+    def report(self, node: ast.AST, code: str, message: str) -> None:
+        self.findings.append(
+            (node.lineno, node.col_offset, code, message)
+        )
+
+    def visit_module(self, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ExceptHandler):
+                self.check_bare_except(node)
+            elif isinstance(node, ast.Raise):
+                self.check_kernel_fallback_raise(node)
+            elif isinstance(node, ast.Call):
+                self.check_counter_name(node)
+                self.check_evaluate_batch(node)
+            elif isinstance(node, (ast.Import, ast.ImportFrom)):
+                self.check_engine_imports(node)
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                self.check_vector_mutation(node)
+        self.check_unused_imports(tree)
+
+    # -- ANL001: bare except ------------------------------------------------------
+
+    def check_bare_except(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.report(
+                node, "ANL001",
+                "bare 'except:' swallows engine errors and KeyboardInterrupt"
+                " — catch a concrete exception type",
+            )
+
+    # -- ANL002: KernelFallback provenance ---------------------------------------
+
+    def check_kernel_fallback_raise(self, node: ast.Raise) -> None:
+        target = node.exc
+        if isinstance(target, ast.Call):
+            target = target.func
+        name = None
+        if isinstance(target, ast.Name):
+            name = target.id
+        elif isinstance(target, ast.Attribute):
+            name = target.attr
+        if name != "KernelFallback":
+            return
+        if self.module is None or self.module in _KERNEL_FALLBACK_MODULES:
+            return
+        self.report(
+            node, "ANL002",
+            f"KernelFallback raised outside the kernel modules "
+            f"({self.module}): operators must catch it and take the "
+            f"fallback path, only kernels may signal it",
+        )
+
+    # -- ANL003: declared counter/gauge names ------------------------------------
+
+    def check_counter_name(self, node: ast.Call) -> None:
+        func = node.func
+        kind = None
+        if isinstance(func, ast.Name):
+            if func.id in _COUNTER_FUNC_NAMES:
+                kind = "counter"
+            elif func.id in _GAUGE_NAMES:
+                kind = "gauge"
+        elif isinstance(func, ast.Attribute):
+            if func.attr in _COUNTER_ATTR_NAMES:
+                kind = "counter"
+            elif func.attr in _GAUGE_NAMES:
+                kind = "gauge"
+        if kind is None or not node.args:
+            return
+        name, complete = _static_string(node.args[0])
+        if name is None:
+            return  # dynamic name: the runtime validator covers it
+        if complete:
+            declared = (
+                is_declared_counter(name) if kind == "counter"
+                else is_declared_gauge(name)
+            )
+            if not declared:
+                self.report(
+                    node, "ANL003",
+                    f"undeclared {kind} name {name!r}: add it to "
+                    f"repro.observability.registry",
+                )
+            return
+        # f-string: the static prefix must correspond to a declared
+        # dynamic prefix (e.g. "optimizer.rule.").
+        if not any(
+            name.startswith(prefix) or prefix.startswith(name)
+            for prefix in DECLARED_PREFIXES
+        ):
+            self.report(
+                node, "ANL003",
+                f"{kind} name built from undeclared prefix {name!r}: "
+                f"declare the prefix in repro.observability.registry",
+            )
+
+    # -- ANL004: engine import boundaries ----------------------------------------
+
+    def check_engine_imports(self, node: ast.Import | ast.ImportFrom) -> None:
+        if self.module is None:
+            return
+        for target in self._import_targets(node):
+            reason = self._boundary_violation(target)
+            if reason:
+                # One report per import statement: the base module and
+                # its aliases would word the same breach differently.
+                self.report(node, "ANL004", reason)
+                return
+
+    def _import_targets(
+        self, node: ast.Import | ast.ImportFrom
+    ) -> Iterator[str]:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield alias.name
+            return
+        if node.level == 0:
+            base = node.module or ""
+        else:
+            parts = (self.module or "").split(".")
+            if self.filename != "__init__.py":
+                parts = parts[:-1]
+            parts = parts[: len(parts) - (node.level - 1)]
+            base = ".".join(parts)
+            if node.module:
+                base = f"{base}.{node.module}" if base else node.module
+        if base:
+            yield base
+            for alias in node.names:
+                yield f"{base}.{alias.name}"
+
+    def _boundary_violation(self, target: str) -> str | None:
+        module = self.module or ""
+        if module.startswith("repro.pgsim"):
+            if target.startswith("repro.quack."):
+                segment = target.split(".")[2]
+                if segment not in _PGSIM_ALLOWED_QUACK:
+                    return (
+                        f"pgsim imports quack internal "
+                        f"'repro.quack.{segment}': the row engine may "
+                        f"only use the shared frontend "
+                        f"(plan/binder/optimizer/keys/…)"
+                    )
+        elif module.startswith("repro.quack"):
+            if target == "repro.pgsim" or target.startswith("repro.pgsim."):
+                return (
+                    f"quack imports pgsim ({target}): the columnar "
+                    f"engine must not depend on the row engine"
+                )
+        elif module.startswith("repro.observability"):
+            for engine in ("repro.quack", "repro.pgsim"):
+                if target == engine or target.startswith(engine + "."):
+                    return (
+                        f"observability imports engine code ({target}): "
+                        f"the metrics layer must stay engine-neutral"
+                    )
+        return None
+
+    # -- ANL005: Vector payload ownership ----------------------------------------
+
+    def check_vector_mutation(
+        self, node: ast.Assign | ast.AugAssign
+    ) -> None:
+        if self.module in _VECTOR_OWNER_MODULES:
+            return
+        targets = (
+            node.targets if isinstance(node, ast.Assign) else [node.target]
+        )
+        for target in targets:
+            attr = self._payload_attribute(target)
+            if attr is not None:
+                self.report(
+                    node, "ANL005",
+                    f"mutation of a Vector's .{attr} payload outside "
+                    f"repro.quack.vector: build a new Vector instead "
+                    f"(in-place writes stale the _aux caches)",
+                )
+
+    @staticmethod
+    def _payload_attribute(target: ast.expr) -> str | None:
+        """Return 'data'/'validity' when ``target`` writes through such an
+        attribute of a non-``self`` object (directly or via subscript)."""
+        if isinstance(target, ast.Subscript):
+            target = target.value
+        if not isinstance(target, ast.Attribute):
+            return None
+        if target.attr not in ("data", "validity"):
+            return None
+        owner = target.value
+        if isinstance(owner, ast.Name) and owner.id == "self":
+            return None
+        return target.attr
+
+    # -- ANL006: evaluate_batch needs a reachable scalar fallback -----------------
+
+    def check_evaluate_batch(self, node: ast.Call) -> None:
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name != "ScalarFunction":
+            return
+        keywords = {
+            kw.arg: kw.value for kw in node.keywords if kw.arg is not None
+        }
+        batch = keywords.get("evaluate_batch")
+        if batch is None or _is_none(batch):
+            return
+        # Positional layout: name, arg_types, return_type, fn_scalar,
+        # fn_vector, …
+        has_scalar = len(node.args) >= 4 or (
+            "fn_scalar" in keywords and not _is_none(keywords["fn_scalar"])
+        )
+        has_vector = len(node.args) >= 5 or (
+            "fn_vector" in keywords and not _is_none(keywords["fn_vector"])
+        )
+        if not has_scalar:
+            self.report(
+                node, "ANL006",
+                "ScalarFunction registers evaluate_batch without "
+                "fn_scalar: the kernel has no reachable scalar fallback "
+                "when it declines a chunk (or kernels are disabled)",
+            )
+        if has_vector:
+            self.report(
+                node, "ANL006",
+                "ScalarFunction registers both evaluate_batch and "
+                "fn_vector: fn_vector takes precedence, the batch kernel "
+                "is dead code",
+            )
+
+    # -- ANL007: unused imports ---------------------------------------------------
+
+    def check_unused_imports(self, tree: ast.Module) -> None:
+        if self.filename == "__init__.py":
+            return  # re-export surface
+        imported: dict[str, ast.AST] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    binding = (alias.asname or alias.name).split(".")[0]
+                    imported.setdefault(binding, node)
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "__future__":
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    if alias.asname == alias.name:
+                        continue  # explicit re-export idiom
+                    binding = alias.asname or alias.name
+                    imported.setdefault(binding, node)
+        if not imported:
+            return
+        used: set[str] = set()
+        for node in ast.walk(tree):
+            # Import statements bind through alias objects, not Name
+            # nodes, so every Name occurrence is a genuine use.
+            if isinstance(node, ast.Name):
+                used.add(node.id)
+        used |= _names_in_string_annotations(tree)
+        for target in _all_exports(tree):
+            used.add(target)
+        for binding, node in imported.items():
+            if binding.startswith("_"):
+                continue
+            if binding not in used:
+                self.report(
+                    node, "ANL007",
+                    f"unused import {binding!r}",
+                )
+
+
+def _static_string(node: ast.expr) -> tuple[str | None, bool]:
+    """Extract a string literal (value, True) or an f-string's static
+    prefix (prefix, False); (None, False) for anything dynamic."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value, True
+    if isinstance(node, ast.JoinedStr):
+        prefix = ""
+        for part in node.values:
+            if isinstance(part, ast.Constant) and isinstance(
+                part.value, str
+            ):
+                prefix += part.value
+            else:
+                return prefix, False
+        return prefix, True
+    return None, False
+
+
+def _is_none(node: ast.expr) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None
+
+
+def _names_in_string_annotations(tree: ast.Module) -> set[str]:
+    """Names referenced by forward-reference (string) annotations, e.g.
+    ``stats: "QueryStatistics"`` — those count as uses of an import."""
+    out: set[str] = set()
+
+    def handle(annotation: ast.expr | None) -> None:
+        if annotation is None:
+            return
+        for node in ast.walk(annotation):
+            if isinstance(node, ast.Constant) and isinstance(
+                node.value, str
+            ):
+                try:
+                    parsed = ast.parse(node.value, mode="eval")
+                except SyntaxError:
+                    continue
+                for name in ast.walk(parsed):
+                    if isinstance(name, ast.Name):
+                        out.add(name.id)
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.AnnAssign):
+            handle(node.annotation)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            handle(node.returns)
+            arguments = node.args
+            for arg in (
+                *arguments.posonlyargs,
+                *arguments.args,
+                *arguments.kwonlyargs,
+                arguments.vararg,
+                arguments.kwarg,
+            ):
+                if arg is not None:
+                    handle(arg.annotation)
+    return out
+
+
+def _all_exports(tree: ast.Module) -> list[str]:
+    """Names listed in a module-level ``__all__`` literal."""
+    out: list[str] = []
+    for node in tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id == "__all__"
+            and isinstance(node.value, (ast.List, ast.Tuple))
+        ):
+            for element in node.value.elts:
+                if isinstance(element, ast.Constant) and isinstance(
+                    element.value, str
+                ):
+                    out.append(element.value)
+    return out

@@ -1,0 +1,586 @@
+"""The verification layer: plan, expression, rewrite, and chunk checks.
+
+Modeled on DuckDB's ``PRAGMA enable_verification``.  Three families:
+
+* :func:`verify_plan` — structural/type checks over a bound plan: every
+  column binding resolves within its operator's input space, every
+  expression node carries a resolved :class:`LogicalType`, every function
+  and cast exists in the catalog, index scans only serve predicates their
+  index advertises.
+* :class:`RewriteVerifier` — wraps each optimizer filter rewrite: output
+  schema must be stable, the conjunction of predicates must be preserved
+  (pushdown may move conjuncts, never drop or invent them), and injected
+  index scans/probes must match their index keys.  Violations name the
+  optimizer rule(s) that fired during the rewrite.
+* :func:`verify_chunk` + the ``assert_*`` cross-check helpers — runtime
+  operator-output invariants (cardinality, validity-mask length, physical
+  dtype, stale ``_aux`` caches) and kernel-vs-fallback comparison,
+  naming the exact operator/kernel that diverged.
+
+Every message names the guilty rule or operator so a failure pinpoints
+the corruption site, not just the symptom.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Any, Iterator
+
+import numpy as np
+
+from ..quack.plan import (
+    BoundCase,
+    BoundCast,
+    BoundColumnRef,
+    BoundConjunction,
+    BoundConstant,
+    BoundExpr,
+    BoundFunction,
+    BoundInList,
+    BoundIsNull,
+    BoundNot,
+    BoundParameterRef,
+    BoundSubqueryExpr,
+    LogicalAggregate,
+    LogicalFilter,
+    LogicalIndexScan,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalOperator,
+    LogicalProject,
+    LogicalSetOp,
+    LogicalSort,
+    _children,
+)
+from ..quack.types import BOOLEAN, LogicalType, SQLNULL
+from ..quack.vector import DataChunk, Vector, _PHYSICAL_DTYPES
+from .errors import VerificationError
+
+__all__ = [
+    "RewriteVerifier",
+    "assert_index_lists_match",
+    "assert_join_pairs_match",
+    "assert_rows_match",
+    "assert_vectors_match",
+    "fingerprint",
+    "verify_chunk",
+    "verify_plan",
+]
+
+
+# ---------------------------------------------------------------------------
+# Expression fingerprints (structural identity across rebasing)
+# ---------------------------------------------------------------------------
+
+
+def fingerprint(expr: BoundExpr, delta: int = 0) -> str:
+    """Canonical structural string for ``expr`` with column indices
+    shifted by ``delta`` — used to compare predicates across pushdown
+    rebasing.  ``=`` is fingerprinted with sorted operands so equi-key
+    extraction commuting ``a = b`` does not read as a different
+    predicate."""
+    if isinstance(expr, BoundColumnRef):
+        return f"col#{expr.index + delta}"
+    if isinstance(expr, BoundConstant):
+        return f"const({expr.value!r})"
+    if isinstance(expr, BoundFunction):
+        fn_name = expr.function.name if expr.function is not None else expr.name
+        parts = [fingerprint(a, delta) for a in expr.args]
+        if fn_name == "=" and len(parts) == 2:
+            parts = sorted(parts)
+        return f"{fn_name}({', '.join(parts)})"
+    if isinstance(expr, BoundConjunction):
+        parts = ", ".join(fingerprint(a, delta) for a in expr.args)
+        return f"{expr.op}({parts})"
+    if isinstance(expr, BoundCast):
+        return f"cast[{expr.ltype.name}]({fingerprint(expr.child, delta)})"
+    if isinstance(expr, BoundNot):
+        return f"not({fingerprint(expr.child, delta)})"
+    if isinstance(expr, BoundIsNull):
+        head = "is_not_null" if expr.negated else "is_null"
+        return f"{head}({fingerprint(expr.child, delta)})"
+    if isinstance(expr, BoundInList):
+        head = "not_in" if expr.negated else "in"
+        items = ", ".join(fingerprint(i, delta) for i in expr.items)
+        return f"{head}({fingerprint(expr.operand, delta)}; {items})"
+    if isinstance(expr, BoundCase):
+        parts = [
+            f"{fingerprint(c, delta)}->{fingerprint(r, delta)}"
+            for c, r in expr.branches
+        ]
+        if expr.else_result is not None:
+            parts.append(f"else->{fingerprint(expr.else_result, delta)}")
+        return f"case({', '.join(parts)})"
+    if isinstance(expr, BoundSubqueryExpr):
+        params = ", ".join(
+            fingerprint(p, delta) for p in expr.outer_params_exprs
+        )
+        return f"subquery[{expr.kind}]#{id(expr.plan)}({params})"
+    if isinstance(expr, BoundParameterRef):
+        return f"param#{expr.param_index}"
+    return f"<{type(expr).__name__}>"
+
+
+def _split_conjuncts(expr: BoundExpr) -> list[BoundExpr]:
+    if isinstance(expr, BoundConjunction) and expr.op == "AND":
+        out: list[BoundExpr] = []
+        for arg in expr.args:
+            out.extend(_split_conjuncts(arg))
+        return out
+    return [expr]
+
+
+def _collect_conjuncts(op: LogicalOperator, delta: int,
+                       out: list[str]) -> None:
+    """Collect conjunct fingerprints from a filter/join subtree, expressed
+    in the subtree root's flat column space.  Equi-join keys count as
+    their original ``=`` conjunct (right side shifted back over the join
+    boundary); collection stops at pipeline breakers (aggregates,
+    projections, …) whose internals pushdown never crosses."""
+    if isinstance(op, LogicalFilter):
+        for conj in _split_conjuncts(op.condition):
+            out.append(fingerprint(conj, delta))
+        _collect_conjuncts(op.child, delta, out)
+        return
+    if isinstance(op, LogicalJoin):
+        left_width = len(op.left.output_types())
+        _collect_conjuncts(op.left, delta, out)
+        _collect_conjuncts(op.right, delta + left_width, out)
+        for left_key, right_key in op.equi_keys:
+            pair = sorted((
+                fingerprint(left_key, delta),
+                fingerprint(right_key, delta + left_width),
+            ))
+            out.append(f"=({', '.join(pair)})")
+        if op.residual is not None:
+            for conj in _split_conjuncts(op.residual):
+                out.append(fingerprint(conj, delta))
+        return
+    # Leaves and pipeline breakers: nothing to collect.
+
+
+# ---------------------------------------------------------------------------
+# Plan / expression verification
+# ---------------------------------------------------------------------------
+
+
+def verify_plan(plan: LogicalOperator, functions=None,
+                phase: str = "plan") -> None:
+    """Walk a bound plan checking structural and type invariants.
+
+    ``functions`` is the database's :class:`FunctionRegistry`; when given,
+    every bound function and cast is checked to still exist in the
+    catalog.  ``phase`` tags error messages (``bind``/``optimize``)."""
+    _verify_operator(plan, functions, phase)
+
+
+def verify_planned(plan: LogicalOperator, functions, stats,
+                   phase: str) -> None:
+    """Planner hook: verify and account one plan-verification pass."""
+    verify_plan(plan, functions, phase=phase)
+    if stats is not None:
+        stats.bump("verify.plans")
+
+
+def _verify_operator(op: LogicalOperator, functions, phase: str) -> None:
+    label = op._explain_label()
+
+    def fail(message: str) -> None:
+        raise VerificationError(f"[{phase}] {label}: {message}")
+
+    names = op.output_names()
+    types = op.output_types()
+    if len(names) != len(types):
+        fail(
+            f"{len(names)} output names but {len(types)} output types"
+        )
+    for i, ltype in enumerate(types):
+        if not isinstance(ltype, LogicalType):
+            fail(f"output column {i} has unresolved type {ltype!r}")
+
+    if isinstance(op, LogicalFilter):
+        cond_type = op.condition.ltype
+        # An unresolved (non-LogicalType) condition type is reported by
+        # the expression walk below with the offending node's class.
+        if isinstance(cond_type, LogicalType) and cond_type not in (
+            BOOLEAN, SQLNULL
+        ):
+            fail(
+                f"filter condition has type {cond_type.name}, "
+                f"expected BOOLEAN"
+            )
+    if isinstance(op, LogicalLimit):
+        if op.limit is not None and op.limit < 0:
+            fail(f"negative limit {op.limit}")
+        if op.offset < 0:
+            fail(f"negative offset {op.offset}")
+    if isinstance(op, LogicalSetOp):
+        left_arity = len(op.left.output_types())
+        right_arity = len(op.right.output_types())
+        if left_arity != right_arity:
+            fail(
+                f"set operation arity mismatch: {left_arity} vs "
+                f"{right_arity} columns"
+            )
+    if isinstance(op, LogicalIndexScan):
+        if not op.index.matches(op.op_name, op.index.column, op.constant):
+            fail(
+                f"index {op.index.name} does not advertise "
+                f"{op.op_name!r} on column {op.index.column!r}"
+            )
+    if isinstance(op, LogicalJoin) and op.index_probe is not None:
+        index, probe_op, _ = op.index_probe
+        if not index.matches(probe_op, index.column, None):
+            fail(
+                f"index {index.name} does not advertise {probe_op!r} "
+                f"on column {index.column!r}"
+            )
+        if op.residual is None:
+            fail("index nested-loop join without a recheck residual")
+
+    for expr, width in _operator_exprs(op):
+        _verify_expr(expr, width, functions, label, phase)
+
+    for child in op.children():
+        _verify_operator(child, functions, phase)
+
+
+def _operator_exprs(
+    op: LogicalOperator,
+) -> Iterator[tuple[BoundExpr, int]]:
+    """Yield ``(expr, input_width)`` for the operator's own expressions."""
+    if isinstance(op, LogicalFilter):
+        yield op.condition, len(op.child.output_types())
+    elif isinstance(op, LogicalProject):
+        width = len(op.child.output_types())
+        for expr in op.exprs:
+            yield expr, width
+    elif isinstance(op, LogicalJoin):
+        left_width = len(op.left.output_types())
+        right_width = len(op.right.output_types())
+        for left_key, right_key in op.equi_keys:
+            yield left_key, left_width
+            yield right_key, right_width
+        if op.residual is not None:
+            yield op.residual, left_width + right_width
+        if op.index_probe is not None:
+            yield op.index_probe[2], left_width
+    elif isinstance(op, LogicalAggregate):
+        width = len(op.child.output_types())
+        for group in op.groups:
+            yield group, width
+        for spec in op.aggregates:
+            for arg in spec.args:
+                yield arg, width
+    elif isinstance(op, LogicalSort):
+        width = len(op.child.output_types())
+        for key, _, _ in op.keys:
+            yield key, width
+
+
+def _verify_expr(expr: BoundExpr, width: int, functions, label: str,
+                 phase: str) -> None:
+    def fail(message: str) -> None:
+        raise VerificationError(f"[{phase}] {label}: {message}")
+
+    ltype = getattr(expr, "ltype", None)
+    if not isinstance(ltype, LogicalType):
+        fail(
+            f"{type(expr).__name__} carries no resolved type "
+            f"(got {ltype!r})"
+        )
+    if isinstance(expr, BoundColumnRef):
+        if not (0 <= expr.index < width):
+            fail(
+                f"dangling column binding #{expr.index} "
+                f"({expr.name or 'unnamed'}): input has {width} columns"
+            )
+    elif isinstance(expr, BoundFunction):
+        if expr.function is None:
+            fail(f"function node {expr.name!r} has no bound function")
+        if (
+            functions is not None
+            and not functions.has_scalar(expr.function.name)
+            # The binder synthesizes ad-hoc functions (e.g. struct_pack
+            # for struct literals) that carry their implementation inline
+            # instead of living in the catalog.
+            and expr.function.fn_scalar is None
+            and expr.function.fn_vector is None
+        ):
+            fail(
+                f"function {expr.function.name!r} is not in the catalog "
+                f"and carries no implementation"
+            )
+    elif isinstance(expr, BoundCast):
+        if expr.cast is not None:
+            if expr.cast.target.name != expr.ltype.name:
+                fail(
+                    f"cast resolves to {expr.cast.target.name} but node "
+                    f"is typed {expr.ltype.name}"
+                )
+            if functions is not None and functions.find_cast(
+                expr.cast.source, expr.cast.target
+            ) is None:
+                fail(
+                    f"cast {expr.cast.source.name} -> "
+                    f"{expr.cast.target.name} is not in the catalog"
+                )
+    elif isinstance(expr, BoundConjunction):
+        if expr.op not in ("AND", "OR"):
+            fail(f"unknown conjunction operator {expr.op!r}")
+    elif isinstance(expr, BoundParameterRef):
+        if expr.param_index < 0:
+            fail(f"negative parameter index {expr.param_index}")
+    elif isinstance(expr, BoundSubqueryExpr):
+        n_params = len(expr.outer_params_exprs)
+        max_used = _max_param_index(expr.plan)
+        if max_used >= n_params:
+            fail(
+                f"subquery references parameter #{max_used} but only "
+                f"{n_params} outer parameter expressions are bound"
+            )
+        _verify_operator(expr.plan, functions, phase)
+    for child in _children(expr):
+        _verify_expr(child, width, functions, label, phase)
+
+
+def _max_param_index(plan: LogicalOperator) -> int:
+    """Largest ``BoundParameterRef`` index used by ``plan``'s own
+    expressions (not descending into nested subquery plans, which have
+    their own parameter spaces)."""
+    best = -1
+
+    def visit_expr(expr: BoundExpr) -> None:
+        nonlocal best
+        if isinstance(expr, BoundParameterRef):
+            best = max(best, expr.param_index)
+        for child in _children(expr):
+            visit_expr(child)
+
+    def visit_op(op: LogicalOperator) -> None:
+        for expr, _ in _operator_exprs(op):
+            visit_expr(expr)
+        for child in op.children():
+            visit_op(child)
+
+    visit_op(plan)
+    return best
+
+
+# ---------------------------------------------------------------------------
+# Optimizer rewrite verification
+# ---------------------------------------------------------------------------
+
+
+class RewriteVerifier:
+    """Checks one optimizer filter rewrite against its snapshot.
+
+    The optimizer reports each rule through :meth:`note_fire`; the
+    conjunction/schema checks blame the rule(s) that fired during the
+    rewrite being checked."""
+
+    def __init__(self):
+        self.fired: list[str] = []
+
+    def note_fire(self, rule: str) -> None:
+        self.fired.append(rule)
+
+    def snapshot_filter(self, op: LogicalFilter):
+        conjuncts: list[str] = []
+        _collect_conjuncts(op, 0, conjuncts)
+        return (
+            list(op.output_names()),
+            [t.name for t in op.output_types()],
+            Counter(conjuncts),
+        )
+
+    def check_filter_rewrite(self, snapshot, result: LogicalOperator,
+                             fired: list[str]) -> None:
+        blame = ", ".join(sorted(set(fired))) or "(no rule fired)"
+        names, type_names, before = snapshot
+        new_names = list(result.output_names())
+        new_types = [t.name for t in result.output_types()]
+        if new_names != names or new_types != type_names:
+            raise VerificationError(
+                f"optimizer rule {blame}: schema-changing rewrite — "
+                f"{list(zip(names, type_names))} became "
+                f"{list(zip(new_names, new_types))}"
+            )
+        conjuncts: list[str] = []
+        _collect_conjuncts(result, 0, conjuncts)
+        after = Counter(conjuncts)
+        missing = before - after
+        invented = after - before
+        if missing:
+            raise VerificationError(
+                f"optimizer rule {blame}: dropped predicate(s) "
+                f"{sorted(missing.elements())}"
+            )
+        if invented:
+            raise VerificationError(
+                f"optimizer rule {blame}: invented predicate(s) "
+                f"{sorted(invented.elements())}"
+            )
+        self._check_index_injections(result)
+
+    def _check_index_injections(self, op: LogicalOperator) -> None:
+        if isinstance(op, LogicalIndexScan):
+            index = op.index
+            if not index.matches(op.op_name, index.column, op.constant):
+                raise VerificationError(
+                    f"optimizer rule index_scan_injection: index "
+                    f"{index.name} does not advertise {op.op_name!r} on "
+                    f"column {index.column!r} (constant {op.constant!r})"
+                )
+        if isinstance(op, LogicalJoin) and op.index_probe is not None:
+            index, probe_op, _ = op.index_probe
+            if not index.matches(probe_op, index.column, None):
+                raise VerificationError(
+                    f"optimizer rule index_nl_join: index {index.name} "
+                    f"does not advertise {probe_op!r} on column "
+                    f"{index.column!r}"
+                )
+            if op.residual is None:
+                raise VerificationError(
+                    "optimizer rule index_nl_join: join lost its exact "
+                    "recheck residual"
+                )
+        for child in op.children():
+            self._check_index_injections(child)
+
+
+# ---------------------------------------------------------------------------
+# Chunk verification
+# ---------------------------------------------------------------------------
+
+
+def verify_chunk(op: LogicalOperator, chunk: DataChunk) -> None:
+    """Check one operator output chunk's structural invariants."""
+    label = op._explain_label()
+    types = op.output_types()
+    if len(chunk.vectors) != len(types):
+        raise VerificationError(
+            f"{label}: produced {len(chunk.vectors)} columns, schema "
+            f"declares {len(types)}"
+        )
+    count = chunk.count
+    for i, (vector, declared) in enumerate(zip(chunk.vectors, types)):
+        if len(vector.data) != count:
+            raise VerificationError(
+                f"{label}: column {i} has {len(vector.data)} rows, "
+                f"chunk cardinality is {count}"
+            )
+        if len(vector.validity) != len(vector.data):
+            raise VerificationError(
+                f"{label}: column {i} validity mask has "
+                f"{len(vector.validity)} entries for {len(vector.data)} "
+                f"rows"
+            )
+        if vector.validity.dtype != np.bool_:
+            raise VerificationError(
+                f"{label}: column {i} validity mask dtype is "
+                f"{vector.validity.dtype}, expected bool"
+            )
+        _verify_vector_dtype(vector, declared, label, i)
+        vector.verify_aux_fresh(f"{label} column {i}")
+
+
+def _verify_vector_dtype(vector: Vector, declared: LogicalType,
+                         label: str, i: int) -> None:
+    if declared.name in ("ANY", "NULL") or vector.ltype.name == "NULL":
+        return
+    if vector.ltype.physical != declared.physical:
+        raise VerificationError(
+            f"{label}: column {i} is physically "
+            f"{vector.ltype.physical}, schema declares "
+            f"{declared.name} ({declared.physical})"
+        )
+    expected_dtype = _PHYSICAL_DTYPES[vector.ltype.physical]
+    if vector.data.dtype != np.dtype(expected_dtype):
+        raise VerificationError(
+            f"{label}: column {i} array dtype {vector.data.dtype} does "
+            f"not match physical type {vector.ltype.physical}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Kernel-vs-fallback cross-check helpers
+# ---------------------------------------------------------------------------
+
+
+def _values_equal(a: Any, b: Any) -> bool:
+    if a is None or b is None:
+        return a is None and b is None
+    if isinstance(a, float) and isinstance(b, float):
+        if math.isnan(a) and math.isnan(b):
+            return True
+        # reduceat vs sequential summation may differ in rounding only.
+        return math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-12)
+    try:
+        if bool(a == b):
+            return True
+    except Exception:
+        pass
+    return repr(a) == repr(b)
+
+
+def assert_vectors_match(actual: Vector, expected: Vector,
+                         where: str) -> None:
+    """Assert a kernel result vector equals its scalar-fallback result."""
+    if len(actual) != len(expected):
+        raise VerificationError(
+            f"kernel/fallback divergence in {where}: kernel produced "
+            f"{len(actual)} rows, fallback {len(expected)}"
+        )
+    for i in range(len(actual)):
+        a = actual.value(i)
+        b = expected.value(i)
+        if not _values_equal(a, b):
+            raise VerificationError(
+                f"kernel/fallback divergence in {where}: row {i} — "
+                f"kernel {a!r}, fallback {b!r}"
+            )
+
+
+def assert_rows_match(actual: list[tuple], expected: list[tuple],
+                      where: str) -> None:
+    if len(actual) != len(expected):
+        raise VerificationError(
+            f"kernel/fallback divergence in {where}: kernel produced "
+            f"{len(actual)} rows, fallback {len(expected)}"
+        )
+    for i, (row_a, row_b) in enumerate(zip(actual, expected)):
+        if len(row_a) != len(row_b) or not all(
+            _values_equal(a, b) for a, b in zip(row_a, row_b)
+        ):
+            raise VerificationError(
+                f"kernel/fallback divergence in {where}: row {i} — "
+                f"kernel {row_a!r}, fallback {row_b!r}"
+            )
+
+
+def assert_join_pairs_match(kernel_pairs, fallback_pairs,
+                            where: str) -> None:
+    """Assert kernel join probe output equals the dict-probe fallback
+    (exact: both emit probe-major pairs with build rows ascending)."""
+    k_left, k_right = kernel_pairs
+    f_left, f_right = fallback_pairs
+    if len(k_left) != len(f_left) or not (
+        np.array_equal(k_left, f_left) and np.array_equal(k_right, f_right)
+    ):
+        raise VerificationError(
+            f"kernel/fallback divergence in {where}: kernel emitted "
+            f"{len(k_left)} join pairs, fallback {len(f_left)} "
+            f"(or pair order differs)"
+        )
+
+
+def assert_index_lists_match(actual: list[int], expected: list[int],
+                             where: str) -> None:
+    if list(map(int, actual)) != list(map(int, expected)):
+        raise VerificationError(
+            f"kernel/fallback divergence in {where}: kernel selected "
+            f"rows {list(map(int, actual))[:16]}, fallback "
+            f"{list(map(int, expected))[:16]}"
+        )

@@ -11,12 +11,11 @@ the paper, §6.3.1).
 from __future__ import annotations
 
 import random
-from typing import Any
 
 from .. import geo
 from ..meos import Span
 from ..meos.basetypes import TSTZ
-from ..meos.timetypes import USECS_PER_DAY, USECS_PER_SEC
+from ..meos.timetypes import USECS_PER_SEC
 from .generator import Dataset
 
 #: Number of rows in the full parameter tables and in the *1/*2 samples

@@ -9,7 +9,7 @@ matches on (§4.3).
 
 from __future__ import annotations
 
-from ... import geo, meos
+from ... import geo
 from ...meos import STBox, TBox
 from ...quack.extension import ExtensionUtil
 from ...quack.functions import ScalarFunction

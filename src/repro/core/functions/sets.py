@@ -9,22 +9,13 @@ operators.
 
 from __future__ import annotations
 
-from typing import Any
 
 from ... import geo, meos
 from ...meos import basetypes
 from ...meos.setcls import Set
-from ...meos.timetypes import Interval
 from ...quack.extension import ExtensionUtil
 from ...quack.functions import ScalarFunction
-from ...quack.types import (
-    BIGINT,
-    BOOLEAN,
-    DOUBLE,
-    INTEGER,
-    INTERVAL,
-    VARCHAR,
-)
+from ...quack.types import BIGINT, BOOLEAN, DOUBLE, INTERVAL, VARCHAR
 from ..types import BASE_VALUE_TYPES, SET_BASE, SET_TYPES
 
 

@@ -36,7 +36,6 @@ from ..types import (
     SET_TYPES,
     SPAN_TYPES,
     SPANSET_TYPES,
-    STBOX_TYPE,
     TBOX_TYPE,
     TEMPORAL_BASE,
     TEMPORAL_TYPES,

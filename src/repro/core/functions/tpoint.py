@@ -19,16 +19,9 @@ from __future__ import annotations
 from typing import Any
 
 from ... import geo, meos
-from ...meos import STBox, Temporal
-from ...meos.temporal import (
-    extent_stbox,
-    extent_tstzspan,
-    merge_all,
-    sequence_from_instants,
-    tcount,
-)
+from ...meos import Temporal
+from ...meos.temporal import merge_all, sequence_from_instants, tcount
 from ...meos.temporal.base import TInstant
-from ...meos.temporal.ttypes import TGEOMPOINT
 from ...quack.extension import ExtensionUtil
 from ...quack.functions import AggregateFunction, ScalarFunction
 from ...quack.types import (

@@ -14,7 +14,6 @@ from __future__ import annotations
 
 from typing import Any
 
-import numpy as np
 
 from .. import geo
 from ..index import RTree

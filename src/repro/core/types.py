@@ -12,7 +12,6 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from .. import meos
-from ..meos import basetypes
 from ..meos.setcls import Set
 from ..meos.span import Span
 from ..meos.spanset import SpanSet
@@ -22,7 +21,6 @@ from ..quack.types import (
     BOOLEAN,
     DATE,
     DOUBLE,
-    INTEGER,
     TIMESTAMP,
     VARCHAR,
     LogicalType,

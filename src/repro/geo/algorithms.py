@@ -13,12 +13,8 @@ from typing import Sequence
 
 from .geometry import (
     Geometry,
-    GeometryCollection,
     GeometryError,
     LineString,
-    MultiLineString,
-    MultiPoint,
-    MultiPolygon,
     Point,
     Polygon,
     flatten,

@@ -9,7 +9,7 @@ parse and format values, how to order them, whether the domain is discrete
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable
 
 from .. import geo

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
-from .basetypes import BaseType, DATE, FLOAT, INT, BIGINT, TSTZ, base_type
+from .basetypes import BaseType, DATE, FLOAT, INT, BIGINT, TSTZ
 from .errors import MeosError, MeosTypeError
 from .timetypes import Interval, interval_from_usecs
 

@@ -12,14 +12,12 @@ Reproduces two widely used MEOS functions:
 
 from __future__ import annotations
 
-from typing import Any
 
 from ..basetypes import TSTZ
 from ..errors import MeosError, MeosTypeError
 from ..span import Span
 from ..timetypes import Interval
-from .base import Temporal, TInstant, TSequence, TSequenceSet, _pack_sequences
-from .interp import Interp
+from .base import Temporal, TSequence, _pack_sequences
 from .ttypes import SPATIAL_TYPES
 
 

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from typing import Any, Iterable
 
-from ..basetypes import TSTZ
 from ..errors import MeosError
 from ..setcls import Set
 from ..span import Span

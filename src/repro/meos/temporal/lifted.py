@@ -13,12 +13,12 @@ from dataclasses import dataclass
 from typing import Any, Callable, Iterator
 
 from ..basetypes import TSTZ
-from ..errors import MeosError, MeosTypeError
+from ..errors import MeosTypeError
 from ..span import Span
 from ..spanset import SpanSet
-from .base import Temporal, TInstant, TSequence, TSequenceSet, _pack_sequences
+from .base import Temporal, TInstant, TSequence, _pack_sequences
 from .interp import Interp
-from .ttypes import TBOOL, TFLOAT, TemporalType
+from .ttypes import TBOOL
 
 
 @dataclass(frozen=True)

@@ -10,7 +10,6 @@ SRID transformation.
 from __future__ import annotations
 
 import math
-from typing import Any
 
 from ... import geo
 from ..basetypes import TSTZ
@@ -19,17 +18,15 @@ from ..errors import MeosError, MeosTypeError
 from ..span import Span
 from ..spanset import SpanSet
 from ..timetypes import USECS_PER_SEC
-from .base import Temporal, TInstant, TSequence, TSequenceSet, _pack_sequences
+from .base import Temporal, TInstant, TSequence, _pack_sequences
 from .interp import Interp
 from .lifted import (
-    SyncSegment,
     quadratic_below,
     segment_distance_quadratic,
     synchronize,
     tbool_from_pieces,
-    when_true,
 )
-from .ttypes import SPATIAL_TYPES, TBOOL, TFLOAT, TGEOMPOINT, TemporalType
+from .ttypes import SPATIAL_TYPES, TBOOL, TFLOAT
 
 
 def _require_spatial(value: Temporal) -> None:

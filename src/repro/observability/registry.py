@@ -1,0 +1,89 @@
+"""Declared observability names: every counter/gauge the engines record.
+
+A dotted name passed to :meth:`QueryStatistics.bump` (directly or via the
+ambient :func:`~repro.observability.context.count`) that is not declared
+here records to nowhere anyone looks — a typo'd counter is a silent
+observability hole.  Two guards close it:
+
+* the ``repro.analysis.lint`` rule ``undeclared-counter`` checks every
+  string-literal counter name in the source tree against this registry;
+* under ``set_verification_enabled(True)``, :class:`QueryStatistics`
+  validates names at record time, catching dynamically built names.
+
+When adding a counter, declare it here first (grouped by subsystem).
+"""
+
+from __future__ import annotations
+
+#: Every fixed counter name either engine records.
+DECLARED_COUNTERS = frozenset({
+    # quack + pgsim executors
+    "executor.rows_returned",
+    "executor.result_chunks",
+    "executor.index_scans",
+    "executor.index_candidates",
+    "executor.materializations",
+    "executor.materialized_chunks",
+    "executor.join_index_probes",
+    "executor.join_index_batches",
+    "executor.join_build_rows",
+    "executor.join_kernel_builds",
+    "executor.join_fallback_builds",
+    "executor.join_probe_rows",
+    "executor.join_kernel_probes",
+    "executor.join_fallback_probes",
+    # quack kernel/fallback dispatch
+    "quack.kernel_ops",
+    "quack.fallback_ops",
+    "quack.function_batch_ops",
+    "quack.scalar_memo_rows",
+    "quack.cast_memo_rows",
+    "quack.bbox_rows_decided",
+    "quack.bbox_rows_scalar",
+    # pgsim row store
+    "pgsim.detoast",
+    # R-tree internals (shared by TRTREE and the standalone index)
+    "rtree.searches",
+    "rtree.nodes_visited",
+    "rtree.leaf_hits",
+    "rtree.batch_searches",
+    "rtree.batch_probes",
+    "rtree.batch_nodes_visited",
+    "rtree.batch_leaf_hits",
+    # index access methods
+    "index.trtree.probes",
+    "index.trtree.candidates",
+    "index.trtree.batch_probes",
+    "index.trtree.batches",
+    "index.gist.probes",
+    "index.gist.candidates",
+    "index.btree.probes",
+    "index.btree.candidates",
+    # verification layer
+    "verify.plans",
+    "verify.rules_checked",
+    "verify.chunks_checked",
+    "verify.kernel_crosschecks",
+})
+
+#: Prefix families whose members are generated (``<prefix><suffix>``).
+DECLARED_PREFIXES = (
+    "optimizer.rule.",
+)
+
+#: Every fixed gauge name.
+DECLARED_GAUGES = frozenset({
+    "executor.peak_materialized_rows",
+})
+
+
+def is_declared_counter(name: str) -> bool:
+    if name in DECLARED_COUNTERS:
+        return True
+    return any(name.startswith(p) for p in DECLARED_PREFIXES)
+
+
+def is_declared_gauge(name: str) -> bool:
+    if name in DECLARED_GAUGES:
+        return True
+    return any(name.startswith(p) for p in DECLARED_PREFIXES)

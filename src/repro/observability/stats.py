@@ -20,6 +20,9 @@ from __future__ import annotations
 
 from typing import Any
 
+from ..analysis.config import verification_enabled
+from ..analysis.errors import VerificationError
+from .registry import is_declared_counter, is_declared_gauge
 from .tracer import Tracer
 
 #: The canonical phase order for rendering.
@@ -39,14 +42,29 @@ class QueryStatistics:
     # -- recording ------------------------------------------------------------
 
     def bump(self, name: str, n: int = 1) -> None:
+        if verification_enabled() and not is_declared_counter(name):
+            raise VerificationError(
+                f"undeclared counter {name!r}: declare it in "
+                f"repro.observability.registry"
+            )
         self.counters[name] = self.counters.get(name, 0) + n
 
     def gauge_max(self, name: str, value: float) -> None:
         """Keep the largest observed value (peak gauges)."""
+        if verification_enabled() and not is_declared_gauge(name):
+            raise VerificationError(
+                f"undeclared gauge {name!r}: declare it in "
+                f"repro.observability.registry"
+            )
         if value > self.gauges.get(name, float("-inf")):
             self.gauges[name] = value
 
     def set_gauge(self, name: str, value: float) -> None:
+        if verification_enabled() and not is_declared_gauge(name):
+            raise VerificationError(
+                f"undeclared gauge {name!r}: declare it in "
+                f"repro.observability.registry"
+            )
         self.gauges[name] = value
 
     # -- reading --------------------------------------------------------------

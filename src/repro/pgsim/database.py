@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Any
 
+from ..analysis.config import verification_enabled
 from ..observability import (
     REGISTRY,
     QueryStatistics,
@@ -20,7 +21,7 @@ from ..observability import (
 )
 from ..quack.binder import Binder, BinderContext, _NOT_CONSTANT, fold_constant
 from ..quack.builtins import register_builtins
-from ..quack.catalog import IndexType, IndexTypeRegistry
+from ..quack.catalog import IndexType
 from ..quack.database import DatabaseConfig, Result
 from ..quack.errors import BinderError, CatalogError, ExecutionError, QuackError
 from ..quack.functions import FunctionRegistry
@@ -211,8 +212,17 @@ class RowConnection:
             plan = binder.bind_select(stmt)
             if context.all_ctes:
                 plan = LogicalMaterializedCTE(context.all_ctes, plan)
+        if verification_enabled():
+            from ..analysis.verifier import verify_planned
+
+            verify_planned(plan, self.database.functions, stats, "bind")
         with maybe_span(stats, "optimize"):
-            return optimize(plan, stats)
+            plan = optimize(plan, stats)
+        if verification_enabled():
+            from ..analysis.verifier import verify_planned
+
+            verify_planned(plan, self.database.functions, stats, "optimize")
+        return plan
 
     def _run_plan(self, plan: LogicalOperator) -> Result:
         stats = current_stats()

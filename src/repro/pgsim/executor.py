@@ -11,7 +11,7 @@ import time
 from typing import Any, Iterator
 
 from ..quack.errors import ExecutionError
-from ..quack.kernels import hashable_key as _hashable, sort_comparator
+from ..quack.keys import hashable_key as _hashable, sort_comparator
 from .table import Varlena
 from ..quack.plan import (
     BoundCase,

@@ -9,7 +9,6 @@ probes.  BTREE serves equality on scalar columns.
 
 from __future__ import annotations
 
-import math
 from typing import Any
 
 from .. import geo

@@ -8,8 +8,8 @@ aggregate extraction for GROUP BY queries.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Optional
+from dataclasses import dataclass
+from typing import Any
 
 from .catalog import Catalog
 from .errors import BinderError
@@ -35,7 +35,6 @@ from .plan import (
     LogicalGet,
     LogicalJoin,
     LogicalLimit,
-    LogicalMaterializedCTE,
     LogicalOperator,
     LogicalProject,
     LogicalSetOp,

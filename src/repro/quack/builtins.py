@@ -42,7 +42,6 @@ from .types import (
     LIST,
     TIMESTAMP,
     VARCHAR,
-    LogicalType,
 )
 from .vector import Vector
 

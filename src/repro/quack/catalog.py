@@ -11,7 +11,7 @@ MobilityDuck ``TRTREE``) live in extensions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Sequence
 
 import numpy as np

@@ -17,10 +17,11 @@ index types.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterator, Sequence
+from typing import Any, Iterator
 
 import numpy as np
 
+from ..analysis.config import verification_enabled
 from ..observability import (
     REGISTRY,
     QueryStatistics,
@@ -39,7 +40,7 @@ from .optimizer import optimize
 from .plan import LogicalMaterializedCTE, LogicalOperator
 from .sql import ast, parse_sql
 from .types import LogicalType, TypeRegistry
-from .vector import DataChunk, Vector, boolean_selection
+from .vector import boolean_selection
 
 
 @dataclass
@@ -262,8 +263,17 @@ class Connection:
             plan = binder.bind_select(stmt)
             if context.all_ctes:
                 plan = LogicalMaterializedCTE(context.all_ctes, plan)
+        if verification_enabled():
+            from ..analysis.verifier import verify_planned
+
+            verify_planned(plan, self.database.functions, stats, "bind")
         with maybe_span(stats, "optimize"):
-            return optimize(plan, stats)
+            plan = optimize(plan, stats)
+        if verification_enabled():
+            from ..analysis.verifier import verify_planned
+
+            verify_planned(plan, self.database.functions, stats, "optimize")
+        return plan
 
     def _run_plan(self, plan: LogicalOperator) -> Result:
         stats = current_stats()

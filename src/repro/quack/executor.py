@@ -9,16 +9,15 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Any, Callable, Iterator
+from typing import Any, Iterator
 
 import numpy as np
 
+from ..analysis import config as _verification
 from . import kernels
-from .catalog import Table
 from .errors import ExecutionError
 from .kernels import hashable_key as _hashable
 from .plan import (
-    AggregateSpec,
     BoundCase,
     BoundCast,
     BoundColumnRef,
@@ -46,7 +45,7 @@ from .plan import (
     LogicalSort,
     LogicalTableFunction,
 )
-from .types import BIGINT, BOOLEAN, LogicalType, SQLNULL
+from .types import BIGINT, BOOLEAN, LogicalType
 from .vector import (
     DataChunk,
     KernelFallback,
@@ -136,10 +135,15 @@ def evaluate(expr: BoundExpr, chunk: DataChunk,
     if isinstance(expr, BoundFunction):
         args = [evaluate(a, chunk, ctx) for a in expr.args]
         result = expr.function.evaluate(args, count)
-        if result.ltype != expr.ltype and (
-            result.ltype.physical == expr.ltype.physical
-        ):
-            result = result.with_type(expr.ltype)
+        if result.ltype != expr.ltype:
+            if result.ltype.physical == expr.ltype.physical:
+                result = result.with_type(expr.ltype)
+            else:
+                # ANY-returning functions (greatest, coalesce, …) come
+                # back as object vectors; repack under the type the
+                # binder resolved so downstream kernels see the declared
+                # physical representation.
+                result = Vector.from_values(expr.ltype, result.to_list())
         return result
     if isinstance(expr, BoundCast):
         return _evaluate_cast(expr, chunk, ctx)
@@ -453,10 +457,27 @@ def execute_plan(op: LogicalOperator,
     When the context carries a profiler, every operator — including
     those inside subqueries and CTEs — streams through an instrumented
     wrapper; there is no module-level state, so nested and concurrent
-    profiled executions cannot corrupt each other."""
+    profiled executions cannot corrupt each other.  Under verification
+    mode every produced chunk additionally passes the chunk verifier."""
+    if _verification.VERIFICATION_ENABLED:
+        return _execute_verified(op, ctx)
     if ctx.profiler is None:
         return _execute_operator(op, ctx)
     return _execute_profiled(op, ctx)
+
+
+def _execute_verified(op: LogicalOperator,
+                      ctx: ExecutionContext) -> Iterator[DataChunk]:
+    """Stream an operator's output through the chunk verifier."""
+    from ..analysis.verifier import verify_chunk
+
+    inner = (_execute_operator(op, ctx) if ctx.profiler is None
+             else _execute_profiled(op, ctx))
+    for chunk in inner:
+        verify_chunk(op, chunk)
+        if ctx.stats is not None:
+            ctx.stats.bump("verify.chunks_checked")
+        yield chunk
 
 
 def _execute_profiled(op: LogicalOperator,
@@ -705,6 +726,9 @@ def _index_nl_join(op: LogicalJoin,
                 right_types, ctx
             )
             continue
+        if _verification.VERIFICATION_ENABLED:
+            _crosscheck_index_probe(op, index, op_name, probe_vector,
+                                    id_lists, ctx)
         probes = sum(
             1 for i in range(n) if probe_vector.validity[i]
         )
@@ -742,6 +766,29 @@ def _index_nl_join(op: LogicalJoin,
                 yield combined
         if op.join_type == "left":
             yield from _emit_left_padding(left_chunk, matched, right_types)
+
+
+def _crosscheck_index_probe(op: LogicalJoin, index, op_name: str,
+                            probe_vector: Vector, id_lists,
+                            ctx: ExecutionContext) -> None:
+    """Re-probe the index row-at-a-time and compare candidate sets
+    against the batch traversal's output."""
+    from ..analysis.errors import VerificationError
+
+    where = f"{op._explain_label()} {index.name}.probe_batch"
+    for i, ids in enumerate(id_lists):
+        value = probe_vector.value(i)
+        expected = index.probe(op_name, value) if value is not None else None
+        got_set = set(map(int, ids)) if ids else set()
+        expected_set = set(map(int, expected)) if expected else set()
+        if got_set != expected_set:
+            raise VerificationError(
+                f"kernel/fallback divergence in {where}: probe row {i} — "
+                f"batch candidates {sorted(got_set)[:16]}, per-row probe "
+                f"{sorted(expected_set)[:16]}"
+            )
+    if ctx.stats is not None:
+        ctx.stats.bump("verify.kernel_crosschecks")
 
 
 def _index_nl_join_row_loop(op: LogicalJoin, left_chunk: DataChunk,
@@ -844,6 +891,20 @@ def _hash_join(op: LogicalJoin, right_columns, right_count, right_types,
             if qstats is not None:
                 qstats.bump("executor.join_kernel_probes")
                 qstats.bump("quack.kernel_ops")
+            if _verification.VERIFICATION_ENABLED:
+                from ..analysis.verifier import assert_join_pairs_match
+
+                if hash_table is None:
+                    hash_table = _hash_join_dict_build(key_vectors,
+                                                       right_count)
+                expected = _hash_join_dict_probe(hash_table,
+                                                 probe_vectors, n)
+                assert_join_pairs_match(
+                    (li, ri), expected,
+                    f"{op._explain_label()} JoinBuild.probe",
+                )
+                if qstats is not None:
+                    qstats.bump("verify.kernel_crosschecks")
         else:
             if hash_table is None:
                 # A probe chunk the kernel declined (e.g. key physical
@@ -962,6 +1023,9 @@ def _execute_aggregate(op: LogicalAggregate,
     if group_vectors:
         codes, representatives = kernels.factorize(group_vectors, count)
         n_groups = len(representatives)
+        if _verification.VERIFICATION_ENABLED:
+            _crosscheck_factorize(op, group_vectors, codes,
+                                  representatives, count, ctx)
     else:
         codes = np.zeros(count, dtype=np.int64)
         representatives = np.zeros(1, dtype=np.int64)
@@ -978,6 +1042,18 @@ def _execute_aggregate(op: LogicalAggregate,
                 stats.kernel += 1
             if ctx.stats is not None:
                 ctx.stats.bump("quack.kernel_ops")
+            if _verification.VERIFICATION_ENABLED:
+                from ..analysis.verifier import assert_vectors_match
+
+                reference = _aggregate_spec_row_loop(spec, arg_vectors,
+                                                     codes, n_groups)
+                assert_vectors_match(
+                    vec, reference,
+                    f"{op._explain_label()} "
+                    f"{spec.function.name}.step_batch",
+                )
+                if ctx.stats is not None:
+                    ctx.stats.bump("verify.kernel_crosschecks")
         else:
             if stats is not None:
                 stats.fallback += 1
@@ -1016,6 +1092,31 @@ def _aggregate_spec_row_loop(spec, arg_vectors: list[Vector],
             seen[group].add(marker)
         states[group] = fn.step(states[group], *values)
     return Vector.from_values(spec.ltype, [fn.final(s) for s in states])
+
+
+def _crosscheck_factorize(op: LogicalOperator, vectors: list[Vector],
+                          codes: np.ndarray, representatives: np.ndarray,
+                          count: int, ctx: ExecutionContext) -> None:
+    """Re-derive the grouping with the row-wise seen-dict fallback and
+    compare codes and representatives against the factorize kernel."""
+    from ..analysis.verifier import assert_index_lists_match
+
+    expected_codes: list[int] = []
+    expected_reps: list[int] = []
+    first: dict[tuple, int] = {}
+    for i in range(count):
+        key = tuple(_hashable(v.value(i)) for v in vectors)
+        code = first.get(key)
+        if code is None:
+            code = len(first)
+            first[key] = code
+            expected_reps.append(i)
+        expected_codes.append(code)
+    where = f"{op._explain_label()} kernels.factorize"
+    assert_index_lists_match(list(codes), expected_codes, where)
+    assert_index_lists_match(list(representatives), expected_reps, where)
+    if ctx.stats is not None:
+        ctx.stats.bump("verify.kernel_crosschecks")
 
 
 def _aggregate_row_loop(op: LogicalAggregate, full: DataChunk,
@@ -1098,6 +1199,9 @@ def _execute_sort(op: LogicalSort, ctx: ExecutionContext
                 stats.kernel += 1
             if ctx.stats is not None:
                 ctx.stats.bump("quack.kernel_ops")
+            if _verification.VERIFICATION_ENABLED:
+                _crosscheck_sort(op, full, key_vectors, key_specs, perm,
+                                 ctx)
             for start in range(0, count, STANDARD_VECTOR_SIZE):
                 yield full.slice(perm[start : start + STANDARD_VECTOR_SIZE])
             return
@@ -1113,6 +1217,29 @@ def _execute_sort(op: LogicalSort, ctx: ExecutionContext
         key=kernels.sort_comparator(key_specs),
     )
     yield from _rows_to_chunks([r for r, _ in keyed], op.output_types())
+
+
+def _crosscheck_sort(op: LogicalSort, full: DataChunk,
+                     key_vectors: list[Vector], key_specs, perm: np.ndarray,
+                     ctx: ExecutionContext) -> None:
+    """Re-sort row-wise with the comparator fallback and compare the row
+    sequence against the lexsort kernel's permutation."""
+    from ..analysis.verifier import assert_rows_match
+
+    keyed = sorted(
+        (
+            (full.row(i), tuple(kv.value(i) for kv in key_vectors))
+            for i in range(full.count)
+        ),
+        key=kernels.sort_comparator(key_specs),
+    )
+    actual = [full.row(int(i)) for i in perm]
+    assert_rows_match(
+        actual, [r for r, _ in keyed],
+        f"{op._explain_label()} kernels.sort_permutation",
+    )
+    if ctx.stats is not None:
+        ctx.stats.bump("verify.kernel_crosschecks")
 
 
 def _execute_set_op(op: "LogicalSetOp",
@@ -1194,5 +1321,21 @@ def _execute_distinct(op: LogicalDistinct,
     if ctx.stats is not None:
         ctx.stats.bump("quack.kernel_ops")
     _, representatives = kernels.factorize(full.vectors, full.count)
+    if _verification.VERIFICATION_ENABLED:
+        from ..analysis.verifier import assert_index_lists_match
+
+        expected: list[int] = []
+        seen_keys: set = set()
+        for i in range(full.count):
+            key = tuple(_hashable(v) for v in full.row(i))
+            if key not in seen_keys:
+                seen_keys.add(key)
+                expected.append(i)
+        assert_index_lists_match(
+            list(representatives), expected,
+            f"{op._explain_label()} kernels.factorize",
+        )
+        if ctx.stats is not None:
+            ctx.stats.bump("verify.kernel_crosschecks")
     for start in range(0, len(representatives), STANDARD_VECTOR_SIZE):
         yield full.slice(representatives[start : start + STANDARD_VECTOR_SIZE])

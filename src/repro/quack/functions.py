@@ -8,25 +8,21 @@ resolved by implicit-cast cost, like DuckDB's binder.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 import numpy as np
 
 from . import kernels
+from ..analysis.config import verification_enabled
+from ..analysis.errors import VerificationError
 from ..observability import current_stats
 from .errors import BinderError, ConversionError, ExecutionError, QuackError
-from .types import (
-    ANY,
-    LogicalType,
-    SQLNULL,
-    VARCHAR,
-    implicit_cast_cost,
-)
+from .types import ANY, LogicalType, VARCHAR, implicit_cast_cost
 from .vector import Vector
 
-#: Engine errors pass through unwrapped.
-_ENGINE_ERRORS = (QuackError,)
+#: Engine errors (and verification failures) pass through unwrapped.
+_ENGINE_ERRORS = (QuackError, VerificationError)
 
 
 @dataclass
@@ -85,7 +81,29 @@ class ScalarFunction:
                 stats = current_stats()
                 if stats is not None:
                     stats.bump("quack.function_batch_ops")
+                if verification_enabled():
+                    self._crosscheck_batch(result, args, count)
                 return result
+        return self._scalar_loop(args, count)
+
+    def _crosscheck_batch(self, result: Vector, args: list[Vector],
+                          count: int) -> None:
+        """Verification mode: re-run the scalar fallback and require the
+        batch kernel's output to match it row for row."""
+        from ..analysis.verifier import assert_vectors_match
+
+        reference = self._scalar_loop(args, count)
+        assert_vectors_match(
+            result, reference,
+            f"scalar function {self.name!r} evaluate_batch",
+        )
+        stats = current_stats()
+        if stats is not None:
+            stats.bump("verify.kernel_crosschecks")
+
+    def _scalar_loop(self, args: list[Vector], count: int) -> Vector:
+        """The row-wise fallback path (also the kernel cross-check
+        reference under verification mode)."""
         out = np.empty(count, dtype=object)
         validity = np.ones(count, dtype=np.bool_)
         columns = [a.data for a in args]

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import csv
 import re
-from typing import Any, Iterable
+from typing import Any
 
 from .database import Result
 from .errors import QuackError

@@ -18,9 +18,9 @@ DISTINCT hot paths vectorized end to end:
   grouped row index is laid out with the same argsort/bincount/cumsum
   segment machinery, and probes emit matched ``(probe_row, build_row)``
   pairs with pure array ops.
-* :func:`hashable_key` / :func:`sort_comparator` — the canonicalized
-  row-wise fallbacks, shared with the pgsim row engine so both engines
-  agree on NaN groups and NULL ordering.
+The canonicalized row-wise fallbacks :func:`hashable_key` /
+:func:`sort_comparator` live in :mod:`.keys` (the engine-neutral shared
+surface) and are re-exported here for the kernel implementations.
 
 Kernels can be globally disabled (``set_kernels_enabled(False)``) to force
 the original row-loop paths; benchmarks use this to measure the speedup.
@@ -28,13 +28,24 @@ the original row-loop paths; benchmarks use this to measure the speedup.
 
 from __future__ import annotations
 
-import functools
-import math
-from typing import Any, Callable, Sequence
+from typing import Any, Sequence
 
 import numpy as np
 
+from .keys import _NULL_KEY, hashable_key, sort_comparator
 from .vector import KernelFallback, Vector
+
+__all__ = [
+    "JoinBuild",
+    "KERNELS_ENABLED",
+    "factorize",
+    "hashable_key",
+    "segment_first_valid",
+    "segment_reduce",
+    "set_kernels_enabled",
+    "sort_comparator",
+    "sort_permutation",
+]
 
 #: Global switch: when False, operators take their row-loop fallback paths.
 KERNELS_ENABLED = True
@@ -46,42 +57,6 @@ def set_kernels_enabled(enabled: bool) -> bool:
     previous = KERNELS_ENABLED
     KERNELS_ENABLED = bool(enabled)
     return previous
-
-
-# ---------------------------------------------------------------------------
-# Canonicalized hashable keys (group-by / distinct / set operations)
-# ---------------------------------------------------------------------------
-
-#: Sentinels that cannot collide with real column values.
-_NULL_KEY = ("__quack_null__",)
-_NAN_KEY = ("__quack_nan__",)
-
-
-def hashable_key(value: Any) -> Any:
-    """A hashable grouping key for ``value`` with SQL equality semantics.
-
-    Floats are canonicalized so that all NaN payloads fall into one group
-    and ``-0.0`` joins ``0.0`` (IEEE equality); unhashable values fall back
-    to a ``(module, qualname, repr)`` key so two distinct types with equal
-    ``repr`` never merge.
-    """
-    if isinstance(value, float):  # also covers np.float64
-        if math.isnan(value):
-            return _NAN_KEY
-        return value + 0.0  # -0.0 -> +0.0
-    if isinstance(value, list):
-        return tuple(hashable_key(v) for v in value)
-    if isinstance(value, dict):
-        return tuple(sorted((k, hashable_key(v)) for k, v in value.items()))
-    try:
-        hash(value)
-        return value
-    except TypeError:
-        return (
-            type(value).__module__,
-            type(value).__qualname__,
-            repr(value),
-        )
 
 
 # ---------------------------------------------------------------------------
@@ -433,43 +408,3 @@ def sort_permutation(
         else:
             lex_keys.append((~vector.validity).astype(np.int8))
     return np.lexsort(tuple(lex_keys))
-
-
-def sort_comparator(keys_spec: Sequence[tuple[bool, bool | None]]):
-    """Row-wise ORDER BY comparator (the kernel's fallback, also used by
-    the pgsim row engine).  Items are ``(row, key_values)`` pairs.
-
-    Matches :func:`sort_permutation`: engine-default NULL placement, NaN
-    compares greater than every non-NULL value.
-    """
-
-    def compare(item_a, item_b):
-        for pos, (ascending, nulls_first) in enumerate(keys_spec):
-            a = item_a[1][pos]
-            b = item_b[1][pos]
-            if a is None and b is None:
-                continue
-            nf = (not ascending) if nulls_first is None else nulls_first
-            if a is None:
-                return -1 if nf else 1
-            if b is None:
-                return 1 if nf else -1
-            a_nan = isinstance(a, float) and math.isnan(a)
-            b_nan = isinstance(b, float) and math.isnan(b)
-            if a_nan or b_nan:
-                if a_nan and b_nan:
-                    continue
-                less = b_nan  # NaN sorts as the greatest value
-            elif a == b:
-                continue
-            else:
-                try:
-                    less = a < b
-                except TypeError:
-                    less = repr(a) < repr(b)
-            if less:
-                return -1 if ascending else 1
-            return 1 if ascending else -1
-        return 0
-
-    return functools.cmp_to_key(compare)

@@ -9,9 +9,9 @@ is exact and cheap).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any
 
+from ..analysis.config import verification_enabled
 from .binder import _NOT_CONSTANT, fold_constant
 from .plan import (
     BoundColumnRef,
@@ -37,15 +37,26 @@ def optimize(plan: LogicalOperator, stats=None) -> LogicalOperator:
     """Rewrite a bound plan. Idempotent; returns a new tree.
 
     ``stats`` (a :class:`repro.observability.QueryStatistics`) receives
-    per-rule fire counts under ``optimizer.rule.<name>``."""
-    return _Optimizer(stats).rewrite(plan)
+    per-rule fire counts under ``optimizer.rule.<name>``.  Under
+    verification mode every filter rewrite is snapshot-checked (schema
+    stability, predicate preservation, index-injection validity) and a
+    violation names the optimizer rule that fired."""
+    verifier = None
+    if verification_enabled():
+        from ..analysis.verifier import RewriteVerifier
+
+        verifier = RewriteVerifier()
+    return _Optimizer(stats, verifier).rewrite(plan)
 
 
 class _Optimizer:
-    def __init__(self, stats=None):
+    def __init__(self, stats=None, verifier=None):
         self._stats = stats
+        self._verifier = verifier
 
     def _fire(self, rule: str, n: int = 1) -> None:
+        if self._verifier is not None:
+            self._verifier.note_fire(rule)
         if self._stats is not None:
             self._stats.bump(f"optimizer.rule.{rule}", n)
 
@@ -79,6 +90,19 @@ class _Optimizer:
     # -- filter over a join tree -------------------------------------------------
 
     def _rewrite_filter(self, op: LogicalFilter) -> LogicalOperator:
+        if self._verifier is None:
+            return self._rewrite_filter_inner(op)
+        snapshot = self._verifier.snapshot_filter(op)
+        mark = len(self._verifier.fired)
+        result = self._rewrite_filter_inner(op)
+        self._verifier.check_filter_rewrite(
+            snapshot, result, self._verifier.fired[mark:]
+        )
+        if self._stats is not None:
+            self._stats.bump("verify.rules_checked")
+        return result
+
+    def _rewrite_filter_inner(self, op: LogicalFilter) -> LogicalOperator:
         conjuncts = _split_conjuncts(op.condition)
         leaves, flattened = self._flatten(op.child)
         if not flattened:

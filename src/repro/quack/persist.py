@@ -11,10 +11,9 @@ restore) so the file format stays independent of index internals.
 from __future__ import annotations
 
 import pickle
-from typing import Any
 
 from .catalog import Table
-from .database import Connection, Database
+from .database import Database
 from .errors import QuackError
 
 _MAGIC = "quackdb-v1"

@@ -9,7 +9,7 @@ references use flat indices into the operator's output column space
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any
 
 from .catalog import Table, TableIndex
 from .functions import AggregateFunction, CastFunction, ScalarFunction

@@ -10,7 +10,6 @@ are just scalar functions named by their symbol (paper §3.4).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
 
 from ..errors import ParserError
 

@@ -7,7 +7,6 @@ CREATE TABLE [AS], CREATE INDEX … USING …, DROP TABLE/INDEX, EXPLAIN.
 
 from __future__ import annotations
 
-from typing import Callable
 
 from ..errors import ParserError
 from . import ast

@@ -9,8 +9,7 @@ can refer to the type as stbox" (§3.3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable
+from dataclasses import dataclass
 
 from .errors import BinderError
 

@@ -13,10 +13,16 @@ from typing import Any, Callable, Iterable, Sequence
 
 import numpy as np
 
+from ..analysis.config import verification_enabled
+from ..analysis.errors import VerificationError
 from .errors import ExecutionError
 from .types import BOOLEAN, LogicalType
 
 STANDARD_VECTOR_SIZE = 2048
+
+#: Reserved ``_aux`` key holding the payload fingerprint recorded when the
+#: first derived view was built (verification mode only).
+_AUX_TOKEN_KEY = "__verify_payload_token__"
 
 _PHYSICAL_DTYPES = {
     "bool": np.bool_,
@@ -48,15 +54,53 @@ class Vector:
         self._aux: dict[Any, Any] | None = None
 
     def cached_aux(self, key: Any, builder: Callable[["Vector"], Any]) -> Any:
-        """Build-once cache of a derived view of this vector's payload."""
+        """Build-once cache of a derived view of this vector's payload.
+
+        Under verification mode the payload is fingerprinted when the
+        first view is built, and every later cache hit re-checks the
+        fingerprint so a mutation that stales the cached views (e.g. the
+        box SoA caches after a write) fails loudly instead of silently
+        serving stale data.
+        """
         aux = self._aux
         if aux is None:
             aux = self._aux = {}
         try:
-            return aux[key]
+            value = aux[key]
         except KeyError:
+            if verification_enabled() and _AUX_TOKEN_KEY not in aux:
+                aux[_AUX_TOKEN_KEY] = self._payload_token()
             value = aux[key] = builder(self)
             return value
+        if verification_enabled():
+            self.verify_aux_fresh("cached_aux hit")
+        return value
+
+    def _payload_token(self) -> tuple:
+        """Cheap fingerprint of the payload for stale-``_aux`` detection.
+
+        Object payloads fingerprint element identities (replacing a value
+        is caught; mutating one in place is not — those are owned by the
+        extension types and treated as immutable)."""
+        if self.data.dtype == object:
+            payload = hash(tuple(map(id, self.data.tolist())))
+        else:
+            payload = hash(self.data.tobytes())
+        return (len(self.data), payload, hash(self.validity.tobytes()))
+
+    def verify_aux_fresh(self, where: str) -> None:
+        """Raise :class:`VerificationError` if the payload changed after
+        derived ``_aux`` views were built (verification mode records the
+        fingerprint; without it this is a no-op)."""
+        aux = self._aux
+        if aux is None:
+            return
+        token = aux.get(_AUX_TOKEN_KEY)
+        if token is not None and token != self._payload_token():
+            raise VerificationError(
+                f"stale _aux cache in {where}: {self.ltype.name} vector "
+                f"payload changed after derived views were built"
+            )
 
     # -- constructors -----------------------------------------------------------
 

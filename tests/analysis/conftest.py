@@ -1,0 +1,11 @@
+import pytest
+
+from repro.analysis import set_verification_enabled
+
+
+@pytest.fixture
+def verification():
+    """Enable verification mode for one test, restoring it afterwards."""
+    set_verification_enabled(True)
+    yield
+    set_verification_enabled(False)

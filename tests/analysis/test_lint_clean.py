@@ -1,0 +1,41 @@
+"""The committed tree must be lint-clean — the CI gate in test form."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis.lint import run_lint
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_source_tree_is_lint_clean():
+    violations = run_lint([str(REPO_ROOT / "src")])
+    assert violations == [], "\n".join(v.format() for v in violations)
+
+
+def test_cli_reports_violations(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("try:\n    x = 1\nexcept:\n    pass\n")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis.lint", str(bad)],
+        capture_output=True, text=True, env=env,
+    )
+    assert proc.returncode == 1
+    assert "ANL001" in proc.stdout
+
+
+def test_cli_clean_exit(tmp_path):
+    good = tmp_path / "good.py"
+    good.write_text("VALUE = 1\n")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis.lint", str(good)],
+        capture_output=True, text=True, env=env,
+    )
+    assert proc.returncode == 0
+    assert proc.stdout.strip() == ""

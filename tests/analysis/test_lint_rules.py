@@ -1,0 +1,212 @@
+"""Unit tests for the custom AST lint rules, fed synthetic sources."""
+
+import ast
+import textwrap
+
+from repro.analysis.lint.rules import check_module
+
+
+def run(source, module="repro.quack.executor", filename="executor.py"):
+    tree = ast.parse(textwrap.dedent(source))
+    return check_module(tree, module, filename)
+
+
+def codes(source, **kwargs):
+    return [code for _, _, code, _ in run(source, **kwargs)]
+
+
+class TestBareExcept:
+    def test_flagged(self):
+        src = """
+            try:
+                x = 1
+            except:
+                pass
+        """
+        assert codes(src) == ["ANL001"]
+
+    def test_typed_except_clean(self):
+        src = """
+            try:
+                x = 1
+            except ValueError:
+                pass
+        """
+        assert codes(src) == []
+
+
+class TestKernelFallbackProvenance:
+    SRC = """
+        from .errors import KernelFallback
+
+        def f():
+            raise KernelFallback("unsupported payload")
+    """
+
+    def test_flagged_outside_kernel_modules(self):
+        assert "ANL002" in codes(self.SRC)
+
+    def test_allowed_in_kernel_modules(self):
+        assert "ANL002" not in codes(
+            self.SRC, module="repro.quack.kernels", filename="kernels.py"
+        )
+
+    def test_attribute_form_flagged(self):
+        src = """
+            import errors
+
+            def f():
+                raise errors.KernelFallback
+        """
+        assert "ANL002" in codes(src)
+
+
+class TestCounterNames:
+    def test_undeclared_literal_flagged(self):
+        violations = run('stats.bump("totally.bogus")')
+        assert [c for _, _, c, _ in violations] == ["ANL003"]
+        assert "totally.bogus" in violations[0][3]
+
+    def test_declared_literal_clean(self):
+        assert codes('stats.bump("verify.plans")') == []
+
+    def test_declared_prefix_fstring_clean(self):
+        assert codes('stats.bump(f"optimizer.rule.{name}")') == []
+
+    def test_undeclared_prefix_fstring_flagged(self):
+        assert codes('stats.bump(f"custom.{name}")') == ["ANL003"]
+
+    def test_dynamic_name_left_to_runtime(self):
+        assert codes("stats.bump(name)") == []
+
+    def test_gauge_names_checked(self):
+        assert codes(
+            'stats.set_gauge("executor.peak_materialized_rows", 5)'
+        ) == []
+        assert codes('stats.gauge_max("bogus.gauge", 1)') == ["ANL003"]
+
+
+class TestEngineImportBoundaries:
+    def test_pgsim_importing_quack_internals_flagged(self):
+        src = "from ..quack.kernels import sort_rows\nuse(sort_rows)\n"
+        assert codes(
+            src, module="repro.pgsim.executor", filename="executor.py"
+        ) == ["ANL004"]
+
+    def test_pgsim_importing_shared_frontend_clean(self):
+        src = (
+            "from ..quack.keys import hashable_key, sort_comparator\n"
+            "use(hashable_key, sort_comparator)\n"
+        )
+        assert codes(
+            src, module="repro.pgsim.executor", filename="executor.py"
+        ) == []
+
+    def test_quack_importing_pgsim_flagged(self):
+        src = "from ..pgsim.table import Varlena\nuse(Varlena)\n"
+        assert codes(
+            src, module="repro.quack.executor", filename="executor.py"
+        ) == ["ANL004"]
+
+    def test_observability_importing_engine_flagged(self):
+        src = "from repro.quack.vector import Vector\nuse(Vector)\n"
+        assert codes(
+            src, module="repro.observability.stats", filename="stats.py"
+        ) == ["ANL004"]
+
+    def test_unrelated_module_clean(self):
+        src = "from repro.quack.kernels import sort_rows\nuse(sort_rows)\n"
+        assert codes(
+            src, module="repro.core.functions.boxes", filename="boxes.py"
+        ) == []
+
+
+class TestVectorOwnership:
+    def test_foreign_payload_write_flagged(self):
+        assert codes("vec.data[0] = 1") == ["ANL005"]
+        assert codes("vec.validity = mask") == ["ANL005"]
+
+    def test_self_write_clean(self):
+        src = """
+            class Vector:
+                def reset(self):
+                    self.data = None
+        """
+        assert codes(src) == []
+
+    def test_owner_module_clean(self):
+        assert codes(
+            "vec.data[0] = 1",
+            module="repro.quack.vector",
+            filename="vector.py",
+        ) == []
+
+
+class TestEvaluateBatchFallback:
+    def test_batch_without_scalar_flagged(self):
+        src = """
+            ScalarFunction(
+                name="f", arg_types=(), return_type=T,
+                evaluate_batch=kernel,
+            )
+        """
+        violations = run(src)
+        assert [c for _, _, c, _ in violations] == ["ANL006"]
+        assert "no reachable scalar fallback" in violations[0][3]
+
+    def test_batch_with_scalar_clean(self):
+        src = """
+            ScalarFunction(
+                name="f", arg_types=(), return_type=T,
+                fn_scalar=impl, evaluate_batch=kernel,
+            )
+        """
+        assert codes(src) == []
+
+    def test_batch_shadowed_by_vector_flagged(self):
+        src = """
+            ScalarFunction(
+                name="f", arg_types=(), return_type=T,
+                fn_scalar=impl, fn_vector=vec, evaluate_batch=kernel,
+            )
+        """
+        violations = run(src)
+        assert [c for _, _, c, _ in violations] == ["ANL006"]
+        assert "dead code" in violations[0][3]
+
+
+class TestUnusedImports:
+    def test_unused_flagged(self):
+        violations = run("import os\n")
+        assert [c for _, _, c, _ in violations] == ["ANL007"]
+        assert "'os'" in violations[0][3]
+
+    def test_used_clean(self):
+        assert codes("import os\nprint(os.sep)\n") == []
+
+    def test_string_annotation_counts_as_use(self):
+        src = """
+            from stats import QueryStatistics
+
+            def absorb(stats: "QueryStatistics") -> None:
+                pass
+        """
+        assert codes(src) == []
+
+    def test_explicit_reexport_idiom_clean(self):
+        assert codes("from mod import thing as thing\n") == []
+
+    def test_all_export_counts_as_use(self):
+        src = """
+            from mod import thing
+
+            __all__ = ["thing"]
+        """
+        assert codes(src) == []
+
+    def test_init_py_exempt(self):
+        assert codes(
+            "from mod import thing\n",
+            module="repro.quack",
+            filename="__init__.py",
+        ) == []

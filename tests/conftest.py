@@ -1,0 +1,13 @@
+"""Shared test configuration.
+
+Setting ``REPRO_VERIFICATION=1`` runs the whole suite with the
+verification layer enabled (chunk checks, rewrite checks, kernel
+cross-checks) — the slow CI job; the default run leaves it off.
+"""
+
+import os
+
+from repro.analysis import set_verification_enabled
+
+if os.environ.get("REPRO_VERIFICATION") == "1":
+    set_verification_enabled(True)

@@ -109,10 +109,10 @@ class TestAmbientContext:
     def test_activate_scopes_stats(self):
         stats = QueryStatistics()
         with activate(stats):
-            count("hits", 3)
+            count("rtree.searches", 3)
             assert current_stats() is stats
         assert current_stats() is None
-        assert stats.counter("hits") == 3
+        assert stats.counter("rtree.searches") == 3
 
     def test_maybe_span_none_is_noop(self):
         with maybe_span(None, "parse"):
