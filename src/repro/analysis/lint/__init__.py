@@ -13,6 +13,8 @@ ANL005    mutation of a ``Vector``'s ``data``/``validity`` payload
 ANL006    ``evaluate_batch`` registration without a reachable scalar
           fallback (missing ``fn_scalar`` or shadowed by ``fn_vector``)
 ANL007    unused import
+ANL008    module-level mutable container in ``repro.quack`` without an
+          UPPER_CASE registry name (worker threads share module globals)
 ========  ==========================================================
 
 Run as ``python -m repro.analysis.lint [paths]`` (default: ``src``).

@@ -88,6 +88,7 @@ class _Checker:
             elif isinstance(node, (ast.Assign, ast.AugAssign)):
                 self.check_vector_mutation(node)
         self.check_unused_imports(tree)
+        self.check_module_mutables(tree)
 
     # -- ANL001: bare except ------------------------------------------------------
 
@@ -342,6 +343,65 @@ class _Checker:
                     node, "ANL007",
                     f"unused import {binding!r}",
                 )
+
+    # -- ANL008: module-level mutable state in quack ------------------------------
+
+    def check_module_mutables(self, tree: ast.Module) -> None:
+        """Morsel workers share module globals: a module-level mutable
+        container in ``repro.quack`` is cross-thread state.  UPPER_CASE
+        names mark the deliberate import-time registries (populated once,
+        then read-only, or guarded by an explicit lock); anything else is
+        presumed accidental shared state."""
+        if not (self.module or "").startswith("repro.quack"):
+            return
+        for node in tree.body:
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+                value = node.value
+            elif isinstance(node, ast.AnnAssign):
+                targets = [node.target]
+                value = node.value
+            else:
+                continue
+            if value is None or not _is_mutable_container(value):
+                continue
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                name = target.id
+                if name.isupper():
+                    continue
+                if name.startswith("__") and name.endswith("__"):
+                    continue  # __all__ and friends
+                self.report(
+                    node, "ANL008",
+                    f"module-level mutable {name!r}: quack worker threads "
+                    f"share module globals — make it an UPPER_CASE "
+                    f"registry with synchronized writes, or move it into "
+                    f"per-query state (ExecutionContext/Connection)",
+                )
+
+
+#: Constructors whose result is a shared-mutable container.
+_MUTABLE_CONSTRUCTORS = frozenset({
+    "dict", "list", "set", "bytearray",
+    "defaultdict", "deque", "Counter", "OrderedDict",
+})
+
+
+def _is_mutable_container(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Dict, ast.List, ast.Set,
+                         ast.ListComp, ast.SetComp, ast.DictComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        return name in _MUTABLE_CONSTRUCTORS
+    return False
 
 
 def _static_string(node: ast.expr) -> tuple[str | None, bool]:

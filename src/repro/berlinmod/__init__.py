@@ -14,8 +14,10 @@ from .runner import (
     BenchmarkReport,
     CellResult,
     SCENARIOS,
+    format_parallel_grid,
     prepare_scenario,
     run_benchmark,
+    run_parallel_benchmark,
 )
 from .schema import (
     BASELINE_INDEX_DDL,
@@ -28,8 +30,10 @@ __all__ = [
     "BenchmarkReport",
     "CellResult",
     "SCENARIOS",
+    "format_parallel_grid",
     "prepare_scenario",
     "run_benchmark",
+    "run_parallel_benchmark",
     "BenchmarkQuery",
     "Dataset",
     "District",

@@ -35,14 +35,16 @@ def load(database) -> None:
         RTreeModule.register_rtree_index(database)
 
 
-def connect():
+def connect(workers: int | None = None):
     """Create a quack database with MobilityDuck loaded; returns a
-    connection (convenience for examples and tests)."""
+    connection (convenience for examples and tests).  ``workers > 1``
+    enables morsel-driven parallel execution (default: the
+    ``REPRO_THREADS`` environment variable, else serial)."""
     from ..quack import Database as _Database
 
     db = _Database()
     db.load_extension(_module())
-    return db.connect()
+    return db.connect(workers=workers)
 
 
 def connect_baseline():

@@ -64,6 +64,13 @@ DECLARED_COUNTERS = frozenset({
     "verify.rules_checked",
     "verify.chunks_checked",
     "verify.kernel_crosschecks",
+    "verify.parallel_crosschecks",
+    # morsel-driven parallel execution
+    "parallel.morsels",
+    "parallel.batches",
+    "parallel.build_partitions",
+    "parallel.agg_partials",
+    "parallel.sort_runs",
 })
 
 #: Prefix families whose members are generated (``<prefix><suffix>``).
@@ -74,6 +81,7 @@ DECLARED_PREFIXES = (
 #: Every fixed gauge name.
 DECLARED_GAUGES = frozenset({
     "executor.peak_materialized_rows",
+    "parallel.workers",
 })
 
 

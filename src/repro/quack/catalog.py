@@ -11,6 +11,7 @@ MobilityDuck ``TRTREE``) live in extensions.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Sequence
 
@@ -32,7 +33,7 @@ class ColumnData:
     """Append-only storage of one column: sealed segments + tail buffer."""
 
     __slots__ = ("ltype", "segments", "validity_segments", "tail",
-                 "tail_validity")
+                 "tail_validity", "_seal_lock")
 
     def __init__(self, ltype: LogicalType):
         self.ltype = ltype
@@ -40,6 +41,10 @@ class ColumnData:
         self.validity_segments: list[np.ndarray] = []
         self.tail: list[Any] = []
         self.tail_validity: list[bool] = []
+        # Read paths (scan/gather) seal lazily; two morsel workers
+        # sealing the same column concurrently would double-append the
+        # tail as two segments without this lock.
+        self._seal_lock = threading.Lock()
 
     def __len__(self) -> int:
         return sum(len(s) for s in self.segments) + len(self.tail)
@@ -58,24 +63,27 @@ class ColumnData:
     def seal(self) -> None:
         if not self.tail:
             return
-        dtype = _PHYSICAL_DTYPES[self.ltype.physical]
-        if self.ltype.physical == "object":
-            data = np.empty(len(self.tail), dtype=object)
-            for i, v in enumerate(self.tail):
-                data[i] = v
-        else:
-            fill = False if self.ltype.physical == "bool" else 0
-            data = np.fromiter(
-                (fill if v is None else v for v in self.tail),
-                dtype=dtype,
-                count=len(self.tail),
+        with self._seal_lock:
+            if not self.tail:  # another thread sealed while we waited
+                return
+            dtype = _PHYSICAL_DTYPES[self.ltype.physical]
+            if self.ltype.physical == "object":
+                data = np.empty(len(self.tail), dtype=object)
+                for i, v in enumerate(self.tail):
+                    data[i] = v
+            else:
+                fill = False if self.ltype.physical == "bool" else 0
+                data = np.fromiter(
+                    (fill if v is None else v for v in self.tail),
+                    dtype=dtype,
+                    count=len(self.tail),
+                )
+            self.segments.append(data)
+            self.validity_segments.append(
+                np.array(self.tail_validity, dtype=np.bool_)
             )
-        self.segments.append(data)
-        self.validity_segments.append(
-            np.array(self.tail_validity, dtype=np.bool_)
-        )
-        self.tail.clear()
-        self.tail_validity.clear()
+            self.tail.clear()
+            self.tail_validity.clear()
 
     def chunks(self) -> Iterator[Vector]:
         self.seal()

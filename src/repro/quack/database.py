@@ -36,7 +36,9 @@ from .catalog import Catalog, IndexTypeRegistry, Table
 from .errors import BinderError, CatalogError, ExecutionError, QuackError
 from .executor import ExecutionContext, evaluate, execute_plan
 from .functions import FunctionRegistry
+from .kernels import kernels_snapshot
 from .optimizer import optimize
+from .parallel import MorselPool, default_workers
 from .plan import LogicalMaterializedCTE, LogicalOperator
 from .sql import ast, parse_sql
 from .types import LogicalType, TypeRegistry
@@ -108,8 +110,16 @@ class Database:
         self.loaded_extensions: list[str] = []
         register_builtins(self.functions)
 
-    def connect(self) -> "Connection":
-        return Connection(self)
+    def connect(self, workers: int | None = None) -> "Connection":
+        """Open a connection; ``workers > 1`` enables morsel-driven
+        parallel execution on a connection-owned thread pool (also
+        settable later with ``SET threads = N``).  When ``workers`` is
+        not given, the ``REPRO_THREADS`` environment variable supplies
+        the default (so the whole test suite can be soaked at
+        ``workers=4`` without touching every ``connect()`` call)."""
+        if workers is None:
+            workers = default_workers()
+        return Connection(self, workers=workers)
 
     def save(self, path: str) -> int:
         """Persist all tables (and index definitions) to one file."""
@@ -137,10 +147,35 @@ class Database:
 class Connection:
     """A connection to a database; executes SQL statements."""
 
-    def __init__(self, database: Database):
+    def __init__(self, database: Database, workers: int = 1):
         self.database = database
+        #: morsel parallelism degree (1 = serial); ``SET threads = N``
+        self.workers = max(1, int(workers))
+        self._pool: MorselPool | None = None
         #: statistics of the most recent :meth:`execute` call
         self.last_query_stats: QueryStatistics | None = None
+
+    def set_workers(self, workers: int) -> None:
+        """Change the parallelism degree; the old pool is drained."""
+        workers = max(1, int(workers))
+        if workers == self.workers and self._pool is not None:
+            return
+        self.workers = workers
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def _morsel_pool(self) -> MorselPool | None:
+        if self.workers <= 1:
+            return None
+        if self._pool is None:
+            self._pool = MorselPool(self.workers)
+        return self._pool
 
     # -- public API ----------------------------------------------------------------
 
@@ -199,8 +234,8 @@ class Connection:
                                      ast.CompoundSelect)):
                 raise BinderError("EXPLAIN supports SELECT statements")
             plan = self._plan_select(stmt)
-            ctx = ExecutionContext(stats=stats, profiler=profiler)
-            with stats.tracer.span("execute"):
+            ctx = self._execution_context(stats, profiler)
+            with kernels_snapshot(), stats.tracer.span("execute"):
                 for chunk in execute_plan(plan, ctx):
                     stats.bump("executor.rows_returned", chunk.count)
         REGISTRY.absorb(stats)
@@ -213,6 +248,14 @@ class Connection:
     # -- statement dispatch -----------------------------------------------------------
 
     def _execute_statement(self, stmt: ast.Statement) -> Result:
+        # Snapshot the kernel flag for the whole statement: every reader
+        # (executor, functions, morsel workers via the propagated
+        # context) sees one consistent value even if another thread
+        # flips set_kernels_enabled mid-query.
+        with kernels_snapshot():
+            return self._dispatch_statement(stmt)
+
+    def _dispatch_statement(self, stmt: ast.Statement) -> Result:
         if isinstance(stmt, (ast.SelectStatement, ast.CompoundSelect)):
             plan = self._plan_select(stmt)
             return self._run_plan(plan)
@@ -227,7 +270,7 @@ class Connection:
 
                 profiler = PlanProfiler()
                 stats = current_stats()
-                ctx = ExecutionContext(stats=stats, profiler=profiler)
+                ctx = self._execution_context(stats, profiler)
                 with maybe_span(stats, "execute"):
                     for _ in execute_plan(plan, ctx):
                         pass
@@ -247,9 +290,45 @@ class Connection:
             return self._execute_delete(stmt)
         if isinstance(stmt, ast.DropStatement):
             return self._execute_drop(stmt)
+        if isinstance(stmt, ast.SetStatement):
+            return self._execute_set(stmt)
         raise QuackError(f"unsupported statement {type(stmt).__name__}")
 
+    def _execute_set(self, stmt: ast.SetStatement) -> Result:
+        name = stmt.name.lower()
+        if name not in ("threads", "workers"):
+            raise QuackError(f"unknown setting {stmt.name!r}")
+        context = BinderContext(
+            self.database.catalog,
+            self.database.functions,
+            self.database.types,
+        )
+        from .binder import _NOT_CONSTANT, fold_constant
+
+        value = fold_constant(Binder(context).bind_expr(stmt.value))
+        if (
+            value is _NOT_CONSTANT
+            or isinstance(value, bool)
+            or not isinstance(value, int)
+            or value < 1
+        ):
+            raise QuackError(
+                f"SET {stmt.name} expects a positive integer"
+            )
+        self.set_workers(value)
+        return Result()
+
     # -- SELECT -------------------------------------------------------------------------
+
+    def _execution_context(self, stats,
+                           profiler=None) -> ExecutionContext:
+        """The root context of one statement, carrying the connection's
+        parallelism degree and pool."""
+        pool = self._morsel_pool()
+        if stats is not None and pool is not None:
+            stats.set_gauge("parallel.workers", self.workers)
+        return ExecutionContext(stats=stats, profiler=profiler,
+                                workers=self.workers, pool=pool)
 
     def _plan_select(self, stmt: ast.SelectStatement) -> LogicalOperator:
         stats = current_stats()
@@ -277,7 +356,7 @@ class Connection:
 
     def _run_plan(self, plan: LogicalOperator) -> Result:
         stats = current_stats()
-        ctx = ExecutionContext(stats=stats)
+        ctx = self._execution_context(stats)
         rows: list[tuple] = []
         chunks = 0
         with maybe_span(stats, "execute"):

@@ -7,6 +7,8 @@ per value within a batch — the execution model of the paper's host engine.
 
 from __future__ import annotations
 
+import heapq
+import threading
 import time
 from dataclasses import dataclass
 from typing import Any, Iterator
@@ -15,6 +17,7 @@ import numpy as np
 
 from ..analysis import config as _verification
 from . import kernels
+from . import parallel as _parallel
 from .errors import ExecutionError
 from .kernels import hashable_key as _hashable
 from .plan import (
@@ -45,6 +48,7 @@ from .plan import (
     LogicalSort,
     LogicalTableFunction,
 )
+from .optimizer import _subquery_free, streaming_fragment
 from .types import BIGINT, BOOLEAN, LogicalType
 from .vector import (
     DataChunk,
@@ -83,7 +87,7 @@ class ExecutionContext:
     contexts never share mutable profiling state."""
 
     def __init__(self, parent: "ExecutionContext | None" = None,
-                 stats=None, profiler=None):
+                 stats=None, profiler=None, workers: int = 1, pool=None):
         self.parent = parent
         self.cte_results: dict[int, list[DataChunk]] = (
             parent.cte_results if parent else {}
@@ -105,11 +109,49 @@ class ExecutionContext:
         self.profiler = profiler if profiler is not None else (
             parent.profiler if parent else None
         )
+        #: morsel parallelism degree and the connection's worker pool
+        #: (children inherit; workers=1 / pool=None means serial)
+        self.workers = parent.workers if parent else max(1, int(workers))
+        self.pool = parent.pool if parent else pool
+        #: shared-cache guards, created once at the root context and
+        #: inherited by every child so all contexts of one query agree
+        self._subquery_lock = (
+            parent._subquery_lock if parent else threading.Lock()
+        )
+        self._cte_lock = (
+            parent._cte_lock if parent else threading.RLock()
+        )
 
     def child_with_params(self, params: tuple) -> "ExecutionContext":
         ctx = ExecutionContext(self)
         ctx.params = params
         return ctx
+
+    def serial_child(self) -> "ExecutionContext":
+        """A child context that never scatters — used wherever a lock is
+        held (CTE materialization) or inside pool workers, so a lock
+        holder / worker never waits on further pool tasks."""
+        ctx = ExecutionContext(self)
+        ctx.workers = 1
+        ctx.pool = None
+        return ctx
+
+    def worker_child(self, stats) -> "ExecutionContext":
+        """The context a pool worker runs under: serial, stats redirected
+        to the worker-local object (the coordinator merges it back), no
+        profiler (profiler dicts are not thread-safe — profiled fragments
+        feed the profiler coordinator-side from returned timings)."""
+        ctx = self.serial_child()
+        ctx.stats = stats
+        ctx.profiler = None
+        return ctx
+
+    def can_parallel(self) -> bool:
+        return (
+            self.pool is not None
+            and self.workers > 1
+            and kernels.kernels_enabled()
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -179,7 +221,7 @@ def _evaluate_cast(expr: BoundCast, chunk: DataChunk,
         # an identity memo converts each distinct object once per chunk.
         memo: dict | None = None
         if (
-            kernels.KERNELS_ENABLED
+            kernels.kernels_enabled()
             and count >= 16
             and child.ltype.physical == "object"
         ):
@@ -240,7 +282,7 @@ def _pack(target: LogicalType, out: np.ndarray, validity: np.ndarray,
 def _pack_object_array(out: np.ndarray, validity: np.ndarray, dtype,
                        count: int) -> np.ndarray:
     """Narrow an object array to ``dtype``, zero-filling NULL slots."""
-    if not kernels.KERNELS_ENABLED:
+    if not kernels.kernels_enabled():
         data = np.zeros(count, dtype=dtype)
         for i in range(count):
             if validity[i]:
@@ -433,15 +475,22 @@ def _eval_quantified_rows(expr, operand_value, rows) -> tuple[bool, bool]:
 
 def _run_subquery(plan: LogicalOperator, params: tuple,
                   ctx: ExecutionContext) -> list[tuple]:
+    # The memo dict is shared by every context of the query, including
+    # morsel workers evaluating correlated subqueries concurrently: reads
+    # and the publish go through the lock.  The subquery itself runs
+    # outside it (two workers may race to compute the same key — the
+    # setdefault keeps the first result, so callers agree on one list).
     key = (id(plan), params)
-    cached = ctx.subquery_cache.get(key)
+    with ctx._subquery_lock:
+        cached = ctx.subquery_cache.get(key)
     if cached is not None:
         return cached
     sub_ctx = ctx.child_with_params(params)
     rows: list[tuple] = []
     for chunk in execute_plan(plan, sub_ctx):
         rows.extend(chunk.rows())
-    ctx.subquery_cache[key] = rows
+    with ctx._subquery_lock:
+        rows = ctx.subquery_cache.setdefault(key, rows)
     return rows
 
 
@@ -535,17 +584,8 @@ def _execute_operator(op: LogicalOperator,
     if isinstance(op, LogicalCTERef):
         yield from _execute_cte_ref(op, ctx)
         return
-    if isinstance(op, LogicalFilter):
-        for chunk in execute_plan(op.child, ctx):
-            mask = boolean_selection(evaluate(op.condition, chunk, ctx))
-            if mask.any():
-                yield chunk.slice(mask)
-        return
-    if isinstance(op, LogicalProject):
-        for chunk in execute_plan(op.child, ctx):
-            yield DataChunk(
-                [evaluate(e, chunk, ctx) for e in op.exprs]
-            )
+    if isinstance(op, (LogicalFilter, LogicalProject)):
+        yield from _execute_streaming(op, ctx)
         return
     if isinstance(op, LogicalJoin):
         yield from _execute_join(op, ctx)
@@ -622,15 +662,143 @@ def _execute_table_function(op: LogicalTableFunction) -> Iterator[DataChunk]:
     raise ExecutionError(f"unknown table function {op.name!r}")
 
 
+# -- streaming fragments (filter/project chains) ------------------------------
+
+
+def _execute_streaming(op: LogicalOperator,
+                       ctx: ExecutionContext) -> Iterator[DataChunk]:
+    """Run a Filter/Project, scattering its streaming chain when possible.
+
+    A chunk entering a ``[Project|Filter]*`` chain is independent of every
+    other chunk, so the whole chain is the morsel-parallel unit: source
+    chunks fan out to pool workers, each applies the full chain, and the
+    coordinator re-emits results in source order.  ``execute_plan``
+    reaches only the *top* of a chain here (inner stages are consumed by
+    the fragment), so parallelism composes with the verified/profiled
+    wrappers exactly once per chain.
+    """
+    if ctx.can_parallel():
+        produced = _execute_fragment_parallel(op, ctx)
+        if produced is not None:
+            yield from produced
+            return
+    if isinstance(op, LogicalFilter):
+        for chunk in execute_plan(op.child, ctx):
+            mask = boolean_selection(evaluate(op.condition, chunk, ctx))
+            if mask.any():
+                yield chunk.slice(mask)
+        return
+    for chunk in execute_plan(op.child, ctx):
+        yield DataChunk([evaluate(e, chunk, ctx) for e in op.exprs])
+
+
+def _stage_exprs(stage: LogicalOperator) -> list:
+    if isinstance(stage, LogicalFilter):
+        return [stage.condition]
+    return list(stage.exprs)
+
+
+def _execute_fragment_parallel(op: LogicalOperator,
+                               ctx: ExecutionContext
+                               ) -> Iterator[DataChunk] | None:
+    """The parallel plan for one streaming chain, or None to stay serial.
+
+    Profiled runs keep fragments containing subqueries serial: a worker
+    context carries no profiler, so subquery operators executed inside a
+    worker would drop out of the EXPLAIN ANALYZE tree."""
+    chain, source = streaming_fragment(op)
+    if ctx.profiler is not None and not all(
+        _subquery_free(e) for stage in chain for e in _stage_exprs(stage)
+    ):
+        return None
+    return _fragment_parallel_iter(op, chain, source, ctx)
+
+
+def _fragment_parallel_iter(op: LogicalOperator,
+                            chain: list[LogicalOperator],
+                            source: LogicalOperator,
+                            ctx: ExecutionContext) -> Iterator[DataChunk]:
+    from ..analysis.verifier import verify_chunk
+
+    qstats = ctx.stats
+    profiler = ctx.profiler
+    stages = list(reversed(chain))  # bottom-up application order
+    verify = _verification.VERIFICATION_ENABLED
+
+    def apply_chain(chunk: DataChunk, worker_stats):
+        wctx = ctx.worker_child(worker_stats if qstats is not None
+                                else None)
+        out: DataChunk | None = chunk
+        rows = [0] * len(stages)
+        seconds = [0.0] * len(stages)
+        for s, stage in enumerate(stages):
+            start = time.perf_counter()
+            if isinstance(stage, LogicalFilter):
+                mask = boolean_selection(
+                    evaluate(stage.condition, out, wctx)
+                )
+                out = out.slice(mask) if mask.any() else None
+            else:
+                out = DataChunk(
+                    [evaluate(e, out, wctx) for e in stage.exprs]
+                )
+            seconds[s] = time.perf_counter() - start
+            if out is None:
+                break
+            rows[s] = out.count
+            # Inner stages bypass _execute_verified (the chain is one
+            # unit); verify them here.  The top stage (stage is op) is
+            # verified by the coordinator's wrapper as usual.
+            if verify and stage is not op:
+                verify_chunk(stage, out)
+                if worker_stats is not None and qstats is not None:
+                    worker_stats.bump("verify.chunks_checked")
+        return out, rows, seconds
+
+    source_chunks = execute_plan(source, ctx)
+    produced = _parallel.ordered_map(ctx.pool, source_chunks, apply_chain,
+                                     qstats)
+    if qstats is not None:
+        qstats.bump("parallel.batches")
+    if profiler is not None:
+        for stage in stages:
+            if stage is not op:  # op's invocation counted by its wrapper
+                profiler.stats_for(stage).invocations += 1
+    try:
+        for out, rows, seconds in produced:
+            if qstats is not None:
+                qstats.bump("parallel.morsels")
+            if profiler is not None:
+                # Inner stages bypass the _execute_profiled wrapper; feed
+                # their worker-measured rows/seconds here.  The top stage
+                # (op) is rowed and timed by its own wrapper.
+                for s, stage in enumerate(stages):
+                    if stage is not op:
+                        pstats = profiler.stats_for(stage)
+                        pstats.seconds += seconds[s]
+                        pstats.rows += rows[s]
+            if out is not None:
+                yield out
+    finally:
+        produced.close()
+
+
 def _execute_cte_ref(op: LogicalCTERef,
                      ctx: ExecutionContext) -> Iterator[DataChunk]:
-    cached = ctx.cte_results.get(op.cte_id)
-    if cached is None:
-        plan = ctx.cte_plans.get(op.cte_id)
-        if plan is None:
-            raise ExecutionError(f"CTE {op.name!r} was not materialized")
-        cached = list(execute_plan(plan, ctx))
-        ctx.cte_results[op.cte_id] = cached
+    # Materialization runs under the (reentrant) CTE lock and on a serial
+    # child context: the lock holder must never wait on pool workers, or
+    # a worker blocked on this same lock for another CTE would deadlock
+    # the pool.  Nested CTE refs re-enter the RLock on the same thread.
+    with ctx._cte_lock:
+        cached = ctx.cte_results.get(op.cte_id)
+        if cached is None:
+            plan = ctx.cte_plans.get(op.cte_id)
+            if plan is None:
+                raise ExecutionError(
+                    f"CTE {op.name!r} was not materialized"
+                )
+            cached = list(execute_plan(plan, ctx.serial_child()))
+            ctx.cte_results[op.cte_id] = cached
     yield from cached
 
 
@@ -712,60 +880,116 @@ def _index_nl_join(op: LogicalJoin,
     table = index.table
     right_types = op.right.output_types()
     qstats = ctx.stats
-    for left_chunk in execute_plan(op.left, ctx):
-        n = left_chunk.count
-        probe_vector = evaluate(left_expr, left_chunk, ctx)
-        id_lists = None
-        if kernels.KERNELS_ENABLED:
-            id_lists = index.probe_batch(
-                op_name, [probe_vector.value(i) for i in range(n)]
+    if ctx.can_parallel() and (
+        ctx.profiler is None
+        or (_subquery_free(left_expr)
+            and (op.residual is None or _subquery_free(op.residual)))
+    ):
+        # Index probes and table fetches are read-only (lazy segment
+        # sealing is lock-guarded), so whole left chunks scatter to
+        # workers; profiler annotations travel back as notes.
+        def probe_chunk(left_chunk: DataChunk, worker_stats):
+            wctx = ctx.worker_child(
+                worker_stats if qstats is not None else None
             )
-        if id_lists is None:
-            yield from _index_nl_join_row_loop(
-                op, left_chunk, probe_vector, index, op_name, table,
-                right_types, ctx
+            return _index_nl_join_chunk(
+                op, left_chunk, index, op_name, left_expr, table,
+                right_types, wctx
             )
-            continue
-        if _verification.VERIFICATION_ENABLED:
-            _crosscheck_index_probe(op, index, op_name, probe_vector,
-                                    id_lists, ctx)
-        probes = sum(
-            1 for i in range(n) if probe_vector.validity[i]
+
+        produced = _parallel.ordered_map(
+            ctx.pool, execute_plan(op.left, ctx), probe_chunk, qstats
         )
-        if qstats is not None and probes:
+        if qstats is not None:
+            qstats.bump("parallel.batches")
+        try:
+            for chunks, notes in produced:
+                if qstats is not None:
+                    qstats.bump("parallel.morsels")
+                _annotate_join(op, notes, ctx)
+                yield from chunks
+        finally:
+            produced.close()
+        return
+    for left_chunk in execute_plan(op.left, ctx):
+        chunks, notes = _index_nl_join_chunk(
+            op, left_chunk, index, op_name, left_expr, table, right_types,
+            ctx
+        )
+        _annotate_join(op, notes, ctx)
+        yield from chunks
+
+
+def _annotate_join(op: LogicalJoin, notes: dict[str, int],
+                   ctx: ExecutionContext) -> None:
+    if ctx.profiler is not None:
+        for key_name, n in notes.items():
+            ctx.profiler.annotate(op, key_name, n)
+
+
+def _index_nl_join_chunk(op: LogicalJoin, left_chunk: DataChunk,
+                         index, op_name: str, left_expr, table,
+                         right_types,
+                         ctx: ExecutionContext
+                         ) -> tuple[list[DataChunk], dict[str, int]]:
+    """Probe/fetch/combine one left chunk; profiler work is returned as
+    ``notes`` so workers never touch the (unsynchronized) profiler."""
+    notes: dict[str, int] = {}
+    qstats = ctx.stats
+    n = left_chunk.count
+    probe_vector = evaluate(left_expr, left_chunk, ctx)
+    id_lists = None
+    if kernels.kernels_enabled():
+        id_lists = index.probe_batch(
+            op_name, [probe_vector.value(i) for i in range(n)]
+        )
+    if id_lists is None:
+        return _index_nl_join_row_loop(
+            op, left_chunk, probe_vector, index, op_name, table,
+            right_types, ctx, notes
+        ), notes
+    if _verification.VERIFICATION_ENABLED:
+        _crosscheck_index_probe(op, index, op_name, probe_vector,
+                                id_lists, ctx)
+    probes = sum(
+        1 for i in range(n) if probe_vector.validity[i]
+    )
+    if probes:
+        if qstats is not None:
             qstats.bump("executor.join_index_probes", probes)
             qstats.bump("executor.join_index_batches")
-        if ctx.profiler is not None and probes:
-            ctx.profiler.annotate(op, "index_probes", probes)
-            ctx.profiler.annotate(op, "batches")
-        left_rep: list[int] = []
-        row_ids: list[int] = []
-        for i, ids in enumerate(id_lists):
-            if not ids:
-                continue
-            live = table.live_row_ids(sorted(ids))
-            row_ids.extend(live)
-            left_rep.extend([i] * len(live))
-        matched = np.zeros(n, dtype=np.bool_)
-        if row_ids:
-            right_chunk = table.fetch(np.asarray(row_ids, dtype=np.int64))
-            li = np.asarray(left_rep, dtype=np.int64)
-            combined = DataChunk(
-                [v.take(li) for v in left_chunk.vectors]
-                + right_chunk.vectors
+        notes["index_probes"] = probes
+        notes["batches"] = 1
+    out: list[DataChunk] = []
+    left_rep: list[int] = []
+    row_ids: list[int] = []
+    for i, ids in enumerate(id_lists):
+        if not ids:
+            continue
+        live = table.live_row_ids(sorted(ids))
+        row_ids.extend(live)
+        left_rep.extend([i] * len(live))
+    matched = np.zeros(n, dtype=np.bool_)
+    if row_ids:
+        right_chunk = table.fetch(np.asarray(row_ids, dtype=np.int64))
+        li = np.asarray(left_rep, dtype=np.int64)
+        combined = DataChunk(
+            [v.take(li) for v in left_chunk.vectors]
+            + right_chunk.vectors
+        )
+        if op.residual is not None:
+            mask = boolean_selection(
+                evaluate(op.residual, combined, ctx)
             )
-            if op.residual is not None:
-                mask = boolean_selection(
-                    evaluate(op.residual, combined, ctx)
-                )
-                combined = combined.slice(mask)
-                matched[li[mask]] = True
-            else:
-                matched[li] = True
-            if combined.count:
-                yield combined
-        if op.join_type == "left":
-            yield from _emit_left_padding(left_chunk, matched, right_types)
+            combined = combined.slice(mask)
+            matched[li[mask]] = True
+        else:
+            matched[li] = True
+        if combined.count:
+            out.append(combined)
+    if op.join_type == "left":
+        out.extend(_emit_left_padding(left_chunk, matched, right_types))
+    return out, notes
 
 
 def _crosscheck_index_probe(op: LogicalJoin, index, op_name: str,
@@ -793,10 +1017,11 @@ def _crosscheck_index_probe(op: LogicalJoin, index, op_name: str,
 
 def _index_nl_join_row_loop(op: LogicalJoin, left_chunk: DataChunk,
                             probe_vector: Vector, index, op_name: str,
-                            table, right_types,
-                            ctx: ExecutionContext) -> Iterator[DataChunk]:
+                            table, right_types, ctx: ExecutionContext,
+                            notes: dict[str, int]) -> list[DataChunk]:
     """Per-row probe fallback (kernels disabled / no batch entry point)."""
     qstats = ctx.stats
+    out: list[DataChunk] = []
     matched = np.zeros(left_chunk.count, dtype=np.bool_)
     for i in range(left_chunk.count):
         value = probe_vector.value(i)
@@ -804,8 +1029,7 @@ def _index_nl_join_row_loop(op: LogicalJoin, left_chunk: DataChunk,
             continue
         if qstats is not None:
             qstats.bump("executor.join_index_probes")
-        if ctx.profiler is not None:
-            ctx.profiler.annotate(op, "index_probes")
+        notes["index_probes"] = notes.get("index_probes", 0) + 1
         ids = index.probe(op_name, value)
         if not ids:
             continue
@@ -826,9 +1050,10 @@ def _index_nl_join_row_loop(op: LogicalJoin, left_chunk: DataChunk,
             combined = combined.slice(mask)
         if combined.count:
             matched[i] = True
-            yield combined
+            out.append(combined)
     if op.join_type == "left":
-        yield from _emit_left_padding(left_chunk, matched, right_types)
+        out.extend(_emit_left_padding(left_chunk, matched, right_types))
+    return out
 
 
 def _hash_join(op: LogicalJoin, right_columns, right_count, right_types,
@@ -838,7 +1063,8 @@ def _hash_join(op: LogicalJoin, right_columns, right_count, right_types,
     # Build phase on the right side: factorize-encode the equi-keys and
     # group build rows by code (kernel), or fall back to the dict build.
     key_vectors: list[Vector] = []
-    build: kernels.JoinBuild | None = None
+    build = None
+    partitioned = False
     hash_table: dict[tuple, list[int]] | None = None
     if right_count:
         right_chunk = DataChunk(right_columns)
@@ -846,11 +1072,22 @@ def _hash_join(op: LogicalJoin, right_columns, right_count, right_types,
             evaluate(right_key, right_chunk, ctx)
             for _, right_key in op.equi_keys
         ]
-        if kernels.KERNELS_ENABLED:
-            try:
-                build = kernels.JoinBuild(key_vectors, right_count)
-            except KernelFallback:
-                build = None
+        if kernels.kernels_enabled():
+            if ctx.can_parallel():
+                build = _parallel.PartitionedJoinBuild.build(
+                    ctx.pool, key_vectors, right_count, qstats
+                )
+                partitioned = build is not None
+                if partitioned and qstats is not None:
+                    qstats.bump("parallel.batches")
+                    qstats.bump("parallel.build_partitions",
+                                build.partitions)
+                    qstats.bump("parallel.morsels", build.partitions)
+            if build is None:
+                try:
+                    build = kernels.JoinBuild(key_vectors, right_count)
+                except KernelFallback:
+                    build = None
         if build is None:
             hash_table = _hash_join_dict_build(key_vectors, right_count)
         if qstats is not None:
@@ -905,6 +1142,11 @@ def _hash_join(op: LogicalJoin, right_columns, right_count, right_types,
                 )
                 if qstats is not None:
                     qstats.bump("verify.kernel_crosschecks")
+                    if partitioned:
+                        # The dict reference doubles as the serial
+                        # reference: the merged partition pairs matched
+                        # the exact serial probe order.
+                        qstats.bump("verify.parallel_crosschecks")
         else:
             if hash_table is None:
                 # A probe chunk the kernel declined (e.g. key physical
@@ -993,7 +1235,7 @@ def _pad_unmatched(left_chunk: DataChunk, right_types) -> DataChunk:
 
 def _execute_aggregate(op: LogicalAggregate,
                        ctx: ExecutionContext) -> Iterator[DataChunk]:
-    stats = _kernel_stats(op, ctx)
+    kstats = _kernel_stats(op, ctx)
     out_types = op.output_types()
     columns = _materialize(op.child, ctx)
     if columns is None:
@@ -1007,19 +1249,56 @@ def _execute_aggregate(op: LogicalAggregate,
         return
     full = DataChunk(columns)
     count = full.count
-    if stats is not None:
-        stats.rows_in += count
+    if kstats is not None:
+        kstats.rows_in += count
 
-    if not kernels.KERNELS_ENABLED:
-        if stats is not None:
-            stats.fallback += max(1, len(op.aggregates))
+    if not kernels.kernels_enabled():
+        if kstats is not None:
+            kstats.fallback += max(1, len(op.aggregates))
         if ctx.stats is not None:
             ctx.stats.bump("quack.fallback_ops",
                            max(1, len(op.aggregates)))
         yield from _aggregate_row_loop(op, full, ctx, out_types)
         return
 
-    group_vectors = [evaluate(g, full, ctx) for g in op.groups]
+    out: DataChunk | None = None
+    if (
+        ctx.can_parallel()
+        and count >= _parallel.MIN_PARALLEL_ROWS
+        and (ctx.profiler is None or all(
+            _subquery_free(e)
+            for e in [*op.groups,
+                      *(a for spec in op.aggregates for a in spec.args)]
+        ))
+    ):
+        out = _aggregate_parallel(op, full, count, ctx, kstats)
+    if out is None:
+        group_vectors = [evaluate(g, full, ctx) for g in op.groups]
+        codes, representatives, n_groups = _aggregate_codes(
+            op, group_vectors, count, ctx
+        )
+        result = [gv.take(representatives) for gv in group_vectors]
+        arg_vectors = [
+            [evaluate(arg, full, ctx) for arg in spec.args]
+            for spec in op.aggregates
+        ]
+        result.extend(
+            _aggregate_specs_reduce(op, arg_vectors, codes, n_groups, ctx,
+                                    kstats)
+        )
+        out = DataChunk(result)
+    n_out = out.count
+    for start in range(0, n_out, STANDARD_VECTOR_SIZE):
+        yield out.slice(
+            np.arange(start, min(start + STANDARD_VECTOR_SIZE, n_out))
+        )
+
+
+def _aggregate_codes(op: LogicalAggregate, group_vectors: list[Vector],
+                     count: int, ctx: ExecutionContext
+                     ) -> tuple[np.ndarray, np.ndarray, int]:
+    """Factorize the grouping columns into (codes, representatives,
+    n_groups); the no-GROUP-BY case is one implicit group."""
     if group_vectors:
         codes, representatives = kernels.factorize(group_vectors, count)
         n_groups = len(representatives)
@@ -1030,22 +1309,31 @@ def _execute_aggregate(op: LogicalAggregate,
         codes = np.zeros(count, dtype=np.int64)
         representatives = np.zeros(1, dtype=np.int64)
         n_groups = 1
-    result = [gv.take(representatives) for gv in group_vectors]
+    return codes, representatives, n_groups
+
+
+def _aggregate_specs_reduce(op: LogicalAggregate,
+                            arg_vectors: list[list[Vector]],
+                            codes: np.ndarray, n_groups: int,
+                            ctx: ExecutionContext,
+                            kstats) -> list[Vector]:
+    """Reduce every aggregate spec over pre-evaluated argument vectors
+    (step_batch kernel with crosscheck, else the row loop)."""
+    result: list[Vector] = []
     for a, spec in enumerate(op.aggregates):
-        arg_vectors = [evaluate(arg, full, ctx) for arg in spec.args]
         vec: Vector | None = None
         if spec.function.step_batch is not None and not spec.distinct:
-            vec = spec.function.step_batch(arg_vectors, codes, n_groups,
-                                           spec.ltype)
+            vec = spec.function.step_batch(arg_vectors[a], codes,
+                                           n_groups, spec.ltype)
         if vec is not None:
-            if stats is not None:
-                stats.kernel += 1
+            if kstats is not None:
+                kstats.kernel += 1
             if ctx.stats is not None:
                 ctx.stats.bump("quack.kernel_ops")
             if _verification.VERIFICATION_ENABLED:
                 from ..analysis.verifier import assert_vectors_match
 
-                reference = _aggregate_spec_row_loop(spec, arg_vectors,
+                reference = _aggregate_spec_row_loop(spec, arg_vectors[a],
                                                      codes, n_groups)
                 assert_vectors_match(
                     vec, reference,
@@ -1055,18 +1343,169 @@ def _execute_aggregate(op: LogicalAggregate,
                 if ctx.stats is not None:
                     ctx.stats.bump("verify.kernel_crosschecks")
         else:
-            if stats is not None:
-                stats.fallback += 1
+            if kstats is not None:
+                kstats.fallback += 1
             if ctx.stats is not None:
                 ctx.stats.bump("quack.fallback_ops")
-            vec = _aggregate_spec_row_loop(spec, arg_vectors, codes,
+            vec = _aggregate_spec_row_loop(spec, arg_vectors[a], codes,
                                            n_groups)
         result.append(vec)
-    out = DataChunk(result)
-    for start in range(0, n_groups, STANDARD_VECTOR_SIZE):
-        yield out.slice(
-            np.arange(start, min(start + STANDARD_VECTOR_SIZE, n_groups))
+    return result
+
+
+def _aggregate_parallel(op: LogicalAggregate, full: DataChunk, count: int,
+                        ctx: ExecutionContext,
+                        kstats) -> DataChunk | None:
+    """Morsel-parallel aggregation: workers evaluate the grouping and
+    argument expressions per morsel and — when every spec declares a
+    ``combine`` kernel — pre-reduce thread-local partials; the
+    coordinator maps morsel-local groups to global codes and combines.
+    Non-combinable specs (avg, list, string_agg, DISTINCT) still get
+    parallel expression evaluation, then a serial reduce over the
+    concatenated vectors.  Returns None to take the serial path."""
+    qstats = ctx.stats
+    ranges = _parallel.morsel_ranges(count, ctx.workers)
+    if len(ranges) <= 1:
+        return None
+    combinable = all(
+        spec.function.step_batch is not None
+        and spec.function.combine is not None
+        and not spec.distinct
+        for spec in op.aggregates
+    )
+
+    def eval_morsel(bounds: tuple[int, int], worker_stats):
+        start, end = bounds
+        wctx = ctx.worker_child(
+            worker_stats if qstats is not None else None
         )
+        morsel = DataChunk(_parallel.row_range(full.vectors, start, end))
+        gvs = [evaluate(g, morsel, wctx) for g in op.groups]
+        avs = [
+            [evaluate(a, morsel, wctx) for a in spec.args]
+            for spec in op.aggregates
+        ]
+        partial = (
+            _aggregate_morsel_partial(op, gvs, avs, end - start)
+            if combinable else None
+        )
+        return gvs, avs, partial
+
+    results = _parallel.run_tasks(
+        ctx.pool,
+        [lambda ws, b=bounds: eval_morsel(b, ws) for bounds in ranges],
+        qstats,
+    )
+    if qstats is not None:
+        qstats.bump("parallel.batches")
+        qstats.bump("parallel.morsels", len(ranges))
+    group_vectors = [
+        concat_vectors([r[0][g] for r in results])
+        for g in range(len(op.groups))
+    ]
+    codes, representatives, n_groups = _aggregate_codes(
+        op, group_vectors, count, ctx
+    )
+    result = [gv.take(representatives) for gv in group_vectors]
+    agg_vecs: list[Vector] | None = None
+    partials = [r[2] for r in results]
+    if combinable and all(p is not None for p in partials):
+        agg_vecs = _aggregate_combine_partials(op, partials, ranges,
+                                               codes, n_groups)
+        if agg_vecs is not None:
+            if qstats is not None and op.aggregates:
+                qstats.bump("parallel.agg_partials", len(op.aggregates))
+                qstats.bump("quack.kernel_ops", len(op.aggregates))
+            if kstats is not None:
+                kstats.kernel += len(op.aggregates)
+    arg_vectors: list[list[Vector]] | None = None
+    if agg_vecs is None or _verification.VERIFICATION_ENABLED:
+        arg_vectors = [
+            [
+                concat_vectors([r[1][a][i] for r in results])
+                for i in range(len(spec.args))
+            ]
+            for a, spec in enumerate(op.aggregates)
+        ]
+    if agg_vecs is None:
+        agg_vecs = _aggregate_specs_reduce(op, arg_vectors, codes,
+                                           n_groups, ctx, kstats)
+    elif _verification.VERIFICATION_ENABLED:
+        # The combine path took a different reduction shape: recompute
+        # serially from the same evaluated vectors and compare rows.
+        _crosscheck_parallel_aggregate(op, result, agg_vecs, arg_vectors,
+                                       codes, n_groups, ctx)
+    return DataChunk(result + agg_vecs)
+
+
+def _aggregate_morsel_partial(op: LogicalAggregate,
+                              group_vectors: list[Vector],
+                              arg_vectors: list[list[Vector]],
+                              m: int):
+    """One morsel's thread-local partial: (local representative rows,
+    one partial vector per spec), or None when a kernel declines."""
+    try:
+        if group_vectors:
+            codes, reps = kernels.factorize(group_vectors, m)
+        else:
+            codes = np.zeros(m, dtype=np.int64)
+            reps = np.zeros(1, dtype=np.int64)
+    except KernelFallback:
+        return None
+    n_local = len(reps)
+    parts: list[Vector] = []
+    for a, spec in enumerate(op.aggregates):
+        vec = spec.function.step_batch(arg_vectors[a], codes, n_local,
+                                       spec.ltype)
+        if vec is None:
+            return None
+        parts.append(vec)
+    return reps, parts
+
+
+def _aggregate_combine_partials(op: LogicalAggregate, partials,
+                                ranges: list[tuple[int, int]],
+                                codes: np.ndarray,
+                                n_groups: int) -> list[Vector] | None:
+    """Merge per-morsel partials: each partial row belongs to the global
+    group of its morsel-local representative row (``codes[start + rep]``);
+    partials concatenate in morsel order so order-sensitive combines
+    (min/max ties, first) resolve exactly like the serial scan."""
+    merged_codes = np.concatenate([
+        codes[start + reps]
+        for (start, _), (reps, _) in zip(ranges, partials)
+    ])
+    out: list[Vector] = []
+    for a, spec in enumerate(op.aggregates):
+        merged = concat_vectors([parts[a] for _, parts in partials])
+        vec = spec.function.combine([merged], merged_codes, n_groups,
+                                    spec.ltype)
+        if vec is None:
+            return None
+        out.append(vec)
+    return out
+
+
+def _crosscheck_parallel_aggregate(op: LogicalAggregate,
+                                   group_columns: list[Vector],
+                                   agg_vecs: list[Vector],
+                                   arg_vectors: list[list[Vector]],
+                                   codes: np.ndarray, n_groups: int,
+                                   ctx: ExecutionContext) -> None:
+    """Recompute the combined-partials result with the serial per-spec
+    reduce over the same evaluated vectors and compare row-for-row."""
+    from ..analysis.verifier import assert_rows_match
+
+    ref_ctx = ctx.worker_child(None)
+    reference = _aggregate_specs_reduce(op, arg_vectors, codes, n_groups,
+                                        ref_ctx, None)
+    assert_rows_match(
+        DataChunk(group_columns + agg_vecs).rows(),
+        DataChunk(group_columns + reference).rows(),
+        f"{op._explain_label()} parallel aggregate combine",
+    )
+    if ctx.stats is not None:
+        ctx.stats.bump("verify.parallel_crosschecks")
 
 
 def _aggregate_spec_row_loop(spec, arg_vectors: list[Vector],
@@ -1179,34 +1618,55 @@ def _rows_to_chunks(rows: list[tuple],
 
 def _execute_sort(op: LogicalSort, ctx: ExecutionContext
                   ) -> Iterator[DataChunk]:
-    stats = _kernel_stats(op, ctx)
+    kstats = _kernel_stats(op, ctx)
     columns = _materialize(op.child, ctx)
     if columns is None:
         return
     full = DataChunk(columns)
     count = full.count
-    if stats is not None:
-        stats.rows_in += count
-    key_vectors = [evaluate(k, full, ctx) for k, _, _ in op.keys]
+    if kstats is not None:
+        kstats.rows_in += count
     key_specs = [(asc, nf) for _, asc, nf in op.keys]
-    if kernels.KERNELS_ENABLED:
-        try:
-            perm = kernels.sort_permutation(key_vectors, key_specs)
-        except KernelFallback:
-            perm = None
+    key_vectors: list[Vector] | None = None
+    if kernels.kernels_enabled():
+        perm = None
+        merged = False
+        if (
+            ctx.can_parallel()
+            and count >= _parallel.MIN_PARALLEL_ROWS
+            and (ctx.profiler is None
+                 or all(_subquery_free(k) for k, _, _ in op.keys))
+        ):
+            perm = _sort_parallel(op, full, count, key_specs, ctx)
+            merged = perm is not None
+        if perm is None:
+            key_vectors = [evaluate(k, full, ctx) for k, _, _ in op.keys]
+            try:
+                perm = kernels.sort_permutation(key_vectors, key_specs)
+            except KernelFallback:
+                perm = None
         if perm is not None:
-            if stats is not None:
-                stats.kernel += 1
+            if kstats is not None:
+                kstats.kernel += 1
             if ctx.stats is not None:
                 ctx.stats.bump("quack.kernel_ops")
             if _verification.VERIFICATION_ENABLED:
+                if key_vectors is None:
+                    key_vectors = [evaluate(k, full, ctx)
+                                   for k, _, _ in op.keys]
                 _crosscheck_sort(op, full, key_vectors, key_specs, perm,
                                  ctx)
+                if merged and ctx.stats is not None:
+                    # The comparator reference re-sorts serially, so the
+                    # merged permutation was checked against a serial run.
+                    ctx.stats.bump("verify.parallel_crosschecks")
             for start in range(0, count, STANDARD_VECTOR_SIZE):
                 yield full.slice(perm[start : start + STANDARD_VECTOR_SIZE])
             return
-    if stats is not None:
-        stats.fallback += 1
+    if key_vectors is None:
+        key_vectors = [evaluate(k, full, ctx) for k, _, _ in op.keys]
+    if kstats is not None:
+        kstats.fallback += 1
     if ctx.stats is not None:
         ctx.stats.bump("quack.fallback_ops")
     keyed = sorted(
@@ -1217,6 +1677,56 @@ def _execute_sort(op: LogicalSort, ctx: ExecutionContext
         key=kernels.sort_comparator(key_specs),
     )
     yield from _rows_to_chunks([r for r, _ in keyed], op.output_types())
+
+
+def _sort_parallel(op: LogicalSort, full: DataChunk, count: int,
+                   key_specs, ctx: ExecutionContext) -> np.ndarray | None:
+    """Morsel-parallel sort: per-morsel stable ``sort_permutation`` runs
+    on workers, then a stable k-way ``heapq.merge`` on the coordinator.
+
+    Each run is already in global row order (ranges are ascending and
+    contiguous), and both the per-run lexsort and the merge are stable,
+    so the merged permutation is exactly the serial stable sort's.
+    Returns None (serial takes over) when a morsel kernel declines."""
+    qstats = ctx.stats
+    ranges = _parallel.morsel_ranges(count, ctx.workers)
+    if len(ranges) <= 1:
+        return None
+
+    def sort_morsel(bounds: tuple[int, int], worker_stats):
+        start, end = bounds
+        wctx = ctx.worker_child(
+            worker_stats if qstats is not None else None
+        )
+        morsel = DataChunk(_parallel.row_range(full.vectors, start, end))
+        kvs = [evaluate(k, morsel, wctx) for k, _, _ in op.keys]
+        try:
+            perm = kernels.sort_permutation(kvs, key_specs)
+        except KernelFallback:
+            return None
+        rows = (perm + start).tolist()
+        keys = [
+            tuple(kv.value(int(i)) for kv in kvs) for i in perm
+        ]
+        return rows, keys
+
+    runs = _parallel.run_tasks(
+        ctx.pool,
+        [lambda ws, b=bounds: sort_morsel(b, ws) for bounds in ranges],
+        qstats,
+    )
+    if any(run is None for run in runs):
+        return None
+    if qstats is not None:
+        qstats.bump("parallel.batches")
+        qstats.bump("parallel.morsels", len(ranges))
+        qstats.bump("parallel.sort_runs", len(runs))
+    merged = heapq.merge(
+        *[zip(rows, keys) for rows, keys in runs],
+        key=kernels.sort_comparator(key_specs),
+    )
+    return np.fromiter((row for row, _ in merged), dtype=np.int64,
+                       count=count)
 
 
 def _crosscheck_sort(op: LogicalSort, full: DataChunk,
@@ -1293,7 +1803,7 @@ def _execute_set_op(op: "LogicalSetOp",
 def _execute_distinct(op: LogicalDistinct,
                       ctx: ExecutionContext) -> Iterator[DataChunk]:
     stats = _kernel_stats(op, ctx)
-    if not kernels.KERNELS_ENABLED:
+    if not kernels.kernels_enabled():
         seen: set = set()
         if ctx.stats is not None:
             ctx.stats.bump("quack.fallback_ops")

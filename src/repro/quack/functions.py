@@ -75,7 +75,7 @@ class ScalarFunction:
     def _evaluate_unchecked(self, args: list[Vector], count: int) -> Vector:
         if self.fn_vector is not None:
             return self.fn_vector(args, count)
-        if self.evaluate_batch is not None and kernels.KERNELS_ENABLED:
+        if self.evaluate_batch is not None and kernels.kernels_enabled():
             result = self.evaluate_batch(args, count)
             if result is not None:
                 stats = current_stats()
@@ -131,7 +131,7 @@ class ScalarFunction:
             # chunks are distinct pairs, so a memo never hits there.
             memo: dict | None = None
             if (
-                kernels.KERNELS_ENABLED
+                kernels.kernels_enabled()
                 and not self.volatile
                 and count >= 16
                 and len(args) == 1
@@ -236,6 +236,17 @@ class AggregateFunction:
     #: back to the row-wise ``step`` loop.  Never used for DISTINCT
     #: aggregates.
     step_batch: Callable[
+        [list[Vector], Any, int, LogicalType], "Vector | None"
+    ] | None = None
+    #: Optional partial-merge kernel for parallel aggregation, with the
+    #: ``step_batch`` signature: the input rows are per-morsel partial
+    #: results (one per (morsel, group) pair, ``codes`` mapping each to
+    #: its global group).  Only declared when folding partials with it
+    #: is equivalent to folding the original rows — e.g. sum of partial
+    #: sums, min of partial mins.  ``avg`` has no combine (its (sum,
+    #: count) state is not a single vector), so it takes the
+    #: concatenate-then-reduce path instead.
+    combine: Callable[
         [list[Vector], Any, int, LogicalType], "Vector | None"
     ] | None = None
 

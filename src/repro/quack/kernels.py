@@ -28,7 +28,9 @@ the original row-loop paths; benchmarks use this to measure the speedup.
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Any, Iterator, Sequence
 
 import numpy as np
 
@@ -40,6 +42,8 @@ __all__ = [
     "KERNELS_ENABLED",
     "factorize",
     "hashable_key",
+    "kernels_enabled",
+    "kernels_snapshot",
     "segment_first_valid",
     "segment_reduce",
     "set_kernels_enabled",
@@ -50,6 +54,17 @@ __all__ = [
 #: Global switch: when False, operators take their row-loop fallback paths.
 KERNELS_ENABLED = True
 
+#: Per-query snapshot of the global switch.  The executor freezes the
+#: flag once at statement entry (:func:`kernels_snapshot`); every call
+#: site reads :func:`kernels_enabled` so a concurrent
+#: ``set_kernels_enabled`` mid-query cannot produce a half-kernel,
+#: half-fallback execution (which breaks the kernel-vs-fallback
+#: cross-checks).  Being a contextvar, the snapshot propagates into
+#: morsel worker threads via ``contextvars.copy_context``.
+_KERNELS_SNAPSHOT: ContextVar[bool | None] = ContextVar(
+    "repro_kernels_snapshot", default=None
+)
+
 
 def set_kernels_enabled(enabled: bool) -> bool:
     """Toggle the vectorized kernels; returns the previous setting."""
@@ -57,6 +72,23 @@ def set_kernels_enabled(enabled: bool) -> bool:
     previous = KERNELS_ENABLED
     KERNELS_ENABLED = bool(enabled)
     return previous
+
+
+def kernels_enabled() -> bool:
+    """The effective kernel switch: the active query's snapshot when one
+    is set, the mutable global otherwise."""
+    snapshot = _KERNELS_SNAPSHOT.get()
+    return KERNELS_ENABLED if snapshot is None else snapshot
+
+
+@contextmanager
+def kernels_snapshot() -> Iterator[bool]:
+    """Freeze the kernel switch for the duration of one statement."""
+    token = _KERNELS_SNAPSHOT.set(KERNELS_ENABLED)
+    try:
+        yield KERNELS_ENABLED
+    finally:
+        _KERNELS_SNAPSHOT.reset(token)
 
 
 # ---------------------------------------------------------------------------

@@ -288,3 +288,12 @@ class DeleteStatement(Statement):
 class ExplainStatement(Statement):
     inner: Statement
     analyze: bool = False
+
+
+@dataclass
+class SetStatement(Statement):
+    """``SET <name> = <value>`` / ``SET <name> TO <value>`` — session
+    configuration (e.g. ``SET threads = 4``)."""
+
+    name: str
+    value: Expr

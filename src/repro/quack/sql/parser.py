@@ -109,7 +109,16 @@ class Parser:
             self.advance()
             analyze = bool(self.accept_keyword("ANALYZE"))
             return ast.ExplainStatement(self.parse_statement(), analyze)
+        if word == "SET":
+            return self._parse_set()
         raise ParserError(f"unsupported statement {token.text!r}")
+
+    def _parse_set(self) -> ast.SetStatement:
+        self.expect_keyword("SET")
+        name = self.expect_ident()
+        if not self.accept_op("="):
+            self.expect_keyword("TO")
+        return ast.SetStatement(name, self.parse_expression())
 
     # -- SELECT ---------------------------------------------------------------------
 

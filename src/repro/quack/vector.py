@@ -9,6 +9,7 @@ signature; the Python registration API mirrors that shape).
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Callable, Iterable, Sequence
 
 import numpy as np
@@ -19,6 +20,14 @@ from .errors import ExecutionError
 from .types import BOOLEAN, LogicalType
 
 STANDARD_VECTOR_SIZE = 2048
+
+#: Serializes ``_aux`` publication.  The builders run *outside* the lock
+#: (they can be expensive — box SoA extraction walks object payloads);
+#: the lock only covers the publish step, so concurrent morsel workers
+#: may double-compute a view but every reader observes exactly one
+#: fully-built value per key.  A single module-level lock is enough:
+#: publishes are rare (once per vector per view) and very short.
+_AUX_PUBLISH_LOCK = threading.Lock()
 
 #: Reserved ``_aux`` key holding the payload fingerprint recorded when the
 #: first derived view was built (verification mode only).
@@ -61,19 +70,35 @@ class Vector:
         fingerprint so a mutation that stales the cached views (e.g. the
         box SoA caches after a write) fails loudly instead of silently
         serving stale data.
+
+        Thread-safe for concurrent morsel workers: the value is computed
+        outside :data:`_AUX_PUBLISH_LOCK` and published atomically under
+        it (first publish wins, losers discard their copy), so no reader
+        ever observes a partially-written entry and repeat lookups always
+        return the same object.
         """
         aux = self._aux
-        if aux is None:
-            aux = self._aux = {}
-        try:
-            value = aux[key]
-        except KeyError:
-            if verification_enabled() and _AUX_TOKEN_KEY not in aux:
-                aux[_AUX_TOKEN_KEY] = self._payload_token()
-            value = aux[key] = builder(self)
-            return value
-        if verification_enabled():
-            self.verify_aux_fresh("cached_aux hit")
+        if aux is not None:
+            try:
+                value = aux[key]
+            except KeyError:
+                pass
+            else:
+                if verification_enabled():
+                    self.verify_aux_fresh("cached_aux hit")
+                return value
+        # The fingerprint must be taken *before* the builder runs: the
+        # builder reads the payload, and a token captured afterwards
+        # could mask a concurrent mutation that the builder already saw.
+        token = self._payload_token() if verification_enabled() else None
+        value = builder(self)
+        with _AUX_PUBLISH_LOCK:
+            aux = self._aux
+            if aux is None:
+                aux = self._aux = {}
+            if token is not None:
+                aux.setdefault(_AUX_TOKEN_KEY, token)
+            value = aux.setdefault(key, value)
         return value
 
     def _payload_token(self) -> tuple:

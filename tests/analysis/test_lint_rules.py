@@ -210,3 +210,48 @@ class TestUnusedImports:
             module="repro.quack",
             filename="__init__.py",
         ) == []
+
+
+class TestModuleMutableState:
+    def test_lowercase_dict_flagged(self):
+        violations = run("cache = {}\n")
+        assert [c for _, _, c, _ in violations] == ["ANL008"]
+        assert "'cache'" in violations[0][3]
+
+    def test_constructor_calls_flagged(self):
+        assert codes("memo = dict()\n") == ["ANL008"]
+        assert codes("pending = list()\n") == ["ANL008"]
+        assert codes("seen = set()\n") == ["ANL008"]
+
+    def test_comprehension_flagged(self):
+        assert codes("index = {k: [] for k in KEYS}\n") == ["ANL008"]
+
+    def test_annotated_assignment_flagged(self):
+        assert codes("cache: dict = {}\n") == ["ANL008"]
+
+    def test_upper_case_registry_clean(self):
+        assert codes("CAST_MEMO = {}\n") == []
+        assert codes("_SNAPSHOT_STACK = []\n") == []
+
+    def test_dunder_all_clean(self):
+        assert codes('__all__ = ["thing"]\n') == []
+
+    def test_immutable_values_clean(self):
+        assert codes("timeout = 5\n") == []
+        assert codes("names = ('a', 'b')\n") == []
+        assert codes("empty = frozenset()\n") == []
+
+    def test_function_local_mutables_clean(self):
+        src = """
+            def f():
+                cache = {}
+                return cache
+        """
+        assert codes(src) == []
+
+    def test_outside_quack_clean(self):
+        assert codes(
+            "cache = {}\n",
+            module="repro.pgsim.executor",
+            filename="executor.py",
+        ) == []
