@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Compare fresh benchmark artifacts against committed baselines.
+
+The CI bench-smoke job produces three JSON artifacts —
+``BENCH_fig12.json`` (the Figure 12 grid), ``BENCH_join_kernels.json``
+(kernel-vs-row-loop microbenchmarks), and ``BENCH_parallel.json`` (the
+morsel-parallel scaling curve).  This script reduces each to a flat
+``metric name -> seconds`` series, diffs it against the snapshot in
+``benchmarks/baselines/``, renders a per-query delta table (also into
+``$GITHUB_STEP_SUMMARY`` when set, so the deltas land in the job
+summary), and exits non-zero when any metric regressed by more than
+**25% and 0.05s absolute** — the double condition keeps microsecond
+noise and shared-runner jitter from tripping the gate.
+
+Usage::
+
+    python benchmarks/compare_bench.py            # compare, exit 1 on regression
+    python benchmarks/compare_bench.py --write    # (re)generate the baselines
+
+New metrics (no baseline entry yet) and retired ones are reported but
+never fail the gate; refresh with ``--write`` after intentional changes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+#: Regression gate: fail only when BOTH hold (relative and absolute).
+MAX_REGRESSION_RATIO = 1.25
+MIN_ABSOLUTE_DELTA_S = 0.05
+
+ARTIFACTS = (
+    "BENCH_fig12.json",
+    "BENCH_join_kernels.json",
+    "BENCH_parallel.json",
+)
+
+DEFAULT_BASELINE_DIR = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "baselines"
+)
+
+
+def extract_metrics(name: str, payload: dict) -> dict[str, float]:
+    """Flatten one artifact into ``metric -> seconds``."""
+    if name == "BENCH_fig12.json":
+        return {
+            (
+                f"Q{cell['query']} sf={cell['scale_factor']} "
+                f"{cell['scenario']}"
+            ): float(cell["seconds"])
+            for cell in payload.get("cells", [])
+        }
+    if name == "BENCH_join_kernels.json":
+        out: dict[str, float] = {}
+        for bench, row in payload.items():
+            out[f"{bench} kernels"] = float(row["kernel_s"])
+            out[f"{bench} row_loop"] = float(row["row_loop_s"])
+        return out
+    if name == "BENCH_parallel.json":
+        return {
+            f"Q{leg['query']} workers={leg['workers']}":
+                float(leg["seconds"])
+            for leg in payload.get("legs", [])
+        }
+    raise ValueError(f"unknown artifact {name!r}")
+
+
+def load_json(path: str) -> dict | None:
+    if not os.path.exists(path):
+        return None
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def compare_one(name: str, current: dict[str, float],
+                baseline: dict[str, float]) -> tuple[list[str], list[str]]:
+    """Markdown table rows and regression messages for one artifact."""
+    rows: list[str] = []
+    regressions: list[str] = []
+    for metric in sorted(set(current) | set(baseline)):
+        new = current.get(metric)
+        old = baseline.get(metric)
+        if new is None:
+            rows.append(f"| {metric} | {old:.4f} | — | retired |")
+            continue
+        if old is None:
+            rows.append(f"| {metric} | — | {new:.4f} | new |")
+            continue
+        delta = new - old
+        pct = (new / old - 1.0) * 100.0 if old > 0 else 0.0
+        flag = ""
+        if (old > 0 and new > old * MAX_REGRESSION_RATIO
+                and delta > MIN_ABSOLUTE_DELTA_S):
+            flag = " **REGRESSED**"
+            regressions.append(
+                f"{name}: {metric} {old:.4f}s -> {new:.4f}s "
+                f"(+{pct:.0f}%, +{delta:.3f}s)"
+            )
+        rows.append(
+            f"| {metric} | {old:.4f} | {new:.4f} | {pct:+.1f}%{flag} |"
+        )
+    return rows, regressions
+
+
+def render(sections: dict[str, list[str]]) -> str:
+    lines = ["## Benchmark comparison vs committed baselines", ""]
+    for name, rows in sections.items():
+        lines.append(f"### {name}")
+        lines.append("")
+        if rows:
+            lines.append("| metric | baseline (s) | current (s) | delta |")
+            lines.append("|---|---|---|---|")
+            lines.extend(rows)
+        else:
+            lines.append("_artifact missing — benchmark step skipped?_")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--baseline-dir", default=DEFAULT_BASELINE_DIR,
+        help="directory of committed baseline series",
+    )
+    parser.add_argument(
+        "--artifact-dir", default=".",
+        help="directory holding the fresh BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--write", action="store_true",
+        help="write the current series as the new baselines and exit",
+    )
+    args = parser.parse_args(argv)
+
+    sections: dict[str, list[str]] = {}
+    all_regressions: list[str] = []
+    for name in ARTIFACTS:
+        payload = load_json(os.path.join(args.artifact_dir, name))
+        if payload is None:
+            sections[name] = []
+            continue
+        current = extract_metrics(name, payload)
+        if args.write:
+            os.makedirs(args.baseline_dir, exist_ok=True)
+            out = os.path.join(args.baseline_dir, name)
+            with open(out, "w", encoding="utf-8") as handle:
+                json.dump(current, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"wrote {out} ({len(current)} metrics)")
+            continue
+        baseline = load_json(os.path.join(args.baseline_dir, name)) or {}
+        rows, regressions = compare_one(name, current, baseline)
+        sections[name] = rows
+        all_regressions.extend(regressions)
+
+    if args.write:
+        return 0
+
+    report = render(sections)
+    print(report)
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+
+    if all_regressions:
+        print("Regressions beyond the "
+              f">{(MAX_REGRESSION_RATIO - 1) * 100:.0f}% and "
+              f">{MIN_ABSOLUTE_DELTA_S}s gate:", file=sys.stderr)
+        for message in all_regressions:
+            print(f"  {message}", file=sys.stderr)
+        return 1
+    print("No regressions beyond the gate.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

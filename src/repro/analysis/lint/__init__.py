@@ -15,6 +15,9 @@ ANL006    ``evaluate_batch`` registration without a reachable scalar
 ANL007    unused import
 ANL008    module-level mutable container in ``repro.quack`` without an
           UPPER_CASE registry name (worker threads share module globals)
+ANL009    trace-event ``.emit(...)`` call not guarded by a
+          ``<collector> is not None`` / ``collection_enabled()`` check
+          (unguarded emission defeats the ~0%-when-off overhead bar)
 ========  ==========================================================
 
 Run as ``python -m repro.analysis.lint [paths]`` (default: ``src``).

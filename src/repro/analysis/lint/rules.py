@@ -89,6 +89,7 @@ class _Checker:
                 self.check_vector_mutation(node)
         self.check_unused_imports(tree)
         self.check_module_mutables(tree)
+        self.check_trace_guards(tree)
 
     # -- ANL001: bare except ------------------------------------------------------
 
@@ -380,6 +381,108 @@ class _Checker:
                     f"registry with synchronized writes, or move it into "
                     f"per-query state (ExecutionContext/Connection)",
                 )
+
+
+    # -- ANL009: trace emission must be guarded -----------------------------------
+
+    def check_trace_guards(self, tree: ast.Module) -> None:
+        """Every ``<collector>.emit(...)`` call must sit inside an ``if``
+        that checks the collector (``if ctx.trace is not None:`` /
+        ``if trace is not None:``) or ``collection_enabled()``.  The
+        collector only exists when collection is on; an unguarded emit
+        either crashes on None or — worse — pays event-building cost on
+        the collection-off path, breaking the ~0% overhead guarantee.
+        The observability package itself (where collectors live and are
+        always non-None by construction) is exempt."""
+        if (self.module or "").startswith("repro.observability"):
+            return
+        self._trace_walk(tree.body, frozenset())
+
+    def _trace_walk(self, stmts: list[ast.stmt],
+                    guards: frozenset[str]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # A nested function runs later, under conditions the
+                # definition site's guards don't constrain.
+                self._trace_walk(stmt.body, frozenset())
+                continue
+            if isinstance(stmt, ast.If):
+                self._check_emits_in(stmt.test, guards)
+                self._trace_walk(
+                    stmt.body, guards | self._guards_from_test(stmt.test)
+                )
+                self._trace_walk(stmt.orelse, guards)
+                continue
+            for _, value in ast.iter_fields(stmt):
+                if isinstance(value, ast.expr):
+                    self._check_emits_in(value, guards)
+                elif isinstance(value, list):
+                    for item in value:
+                        if isinstance(item, ast.stmt):
+                            self._trace_walk([item], guards)
+                        elif isinstance(item, ast.expr):
+                            self._check_emits_in(item, guards)
+                        elif isinstance(item, ast.excepthandler):
+                            self._trace_walk(item.body, guards)
+                        elif isinstance(item, ast.withitem):
+                            self._check_emits_in(
+                                item.context_expr, guards
+                            )
+
+    def _guards_from_test(self, test: ast.expr) -> frozenset[str]:
+        """Collector receivers an ``if`` test establishes as non-None
+        (any mention counts — ``x is not None``, truthiness, ``and``
+        chains); ``collection_enabled()`` guards everything (``*``)."""
+        out: set[str] = set()
+        for node in ast.walk(test):
+            dotted = _dotted_name(node)
+            if dotted is not None and _is_trace_receiver(dotted):
+                out.add(dotted)
+            if isinstance(node, ast.Call):
+                func = _dotted_name(node.func)
+                if func and func.split(".")[-1] == "collection_enabled":
+                    out.add("*")
+        return frozenset(out)
+
+    def _check_emits_in(self, expr: ast.expr,
+                        guards: frozenset[str]) -> None:
+        for node in ast.walk(expr):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute)
+                    and func.attr == "emit"):
+                continue
+            receiver = _dotted_name(func.value)
+            if receiver is None or not _is_trace_receiver(receiver):
+                continue
+            if "*" in guards or receiver in guards:
+                continue
+            self.report(
+                node, "ANL009",
+                f"unguarded trace emission {receiver}.emit(...): wrap it "
+                f"in 'if {receiver} is not None:' (or a "
+                f"collection_enabled() check) so the collection-off path "
+                f"stays free",
+            )
+
+
+#: Name segments that identify a trace-collector receiver.
+_TRACE_SEGMENTS = frozenset({"trace", "_trace", "collector", "_collector"})
+
+
+def _is_trace_receiver(dotted: str) -> bool:
+    return any(seg in _TRACE_SEGMENTS for seg in dotted.split("."))
+
+
+def _dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a pure Name/Attribute chain, else None."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _dotted_name(node.value)
+        return f"{base}.{node.attr}" if base is not None else None
+    return None
 
 
 #: Constructors whose result is a shared-mutable container.

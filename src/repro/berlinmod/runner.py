@@ -17,6 +17,7 @@ is recorded.
 from __future__ import annotations
 
 import json
+import os
 import time
 from dataclasses import dataclass, field
 
@@ -148,6 +149,15 @@ def prepare_scenario(name: str, dataset: Dataset):
     return con
 
 
+def _export_cell_trace(con, trace_dir: str, label: str) -> None:
+    """Write one executed query's timeline into ``trace_dir``."""
+    export = getattr(con, "export_trace", None)
+    if export is None or getattr(con, "last_query_stats", None) is None:
+        return
+    os.makedirs(trace_dir, exist_ok=True)
+    export(os.path.join(trace_dir, f"{label}.trace.json"))
+
+
 def run_benchmark(
     scale_factors: list[float] | None = None,
     queries: list[int] | None = None,
@@ -155,13 +165,16 @@ def run_benchmark(
     seed: int = 4711,
     check_rows: bool = True,
     profile_path: str | None = None,
+    trace_dir: str | None = None,
 ) -> BenchmarkReport:
     """Run the benchmark grid and return a report.
 
     ``check_rows`` asserts that all scenarios agree on each query's row
     count (correctness before performance).  ``profile_path`` writes the
     full report — including per-cell query-statistics snapshots — as a
-    JSON profile artifact (the Figure 12 companion file)."""
+    JSON profile artifact (the Figure 12 companion file).  ``trace_dir``
+    additionally writes one Chrome trace-event JSON per cell
+    (``sf<sf>_q<n>_<scenario>.trace.json``, Perfetto-loadable)."""
     report = BenchmarkReport()
     for sf in scale_factors or [0.001]:
         dataset = generate(sf, seed=seed)
@@ -183,6 +196,10 @@ def run_benchmark(
                         stats=stats.to_dict() if stats is not None else None,
                     )
                 )
+                if trace_dir is not None:
+                    _export_cell_trace(
+                        con, trace_dir, f"sf{sf}_q{number}_{name}"
+                    )
             if check_rows and len(set(counts.values())) != 1:
                 raise AssertionError(
                     f"Q{number} at SF {sf}: row counts diverge {counts}"
@@ -199,6 +216,7 @@ def run_parallel_benchmark(
     seed: int = 4711,
     repeats: int = 3,
     profile_path: str | None = None,
+    trace_dir: str | None = None,
 ) -> dict:
     """Measure the morsel-parallel scaling curve on the columnar engine.
 
@@ -245,6 +263,12 @@ def run_parallel_benchmark(
                 )
             if workers == 1:
                 serial_seconds = best
+            if trace_dir is not None:
+                # the last repeat's timeline (last_query_stats is the
+                # most recent execute)
+                _export_cell_trace(
+                    con, trace_dir, f"q{number}_w{workers}"
+                )
             legs.append({
                 "query": number,
                 "workers": workers,

@@ -13,7 +13,13 @@ Quickstart::
 """
 
 from . import spatial
-from .extension import EXTENSION_NAME, connect, connect_baseline, load
+from .extension import (
+    EXTENSION_NAME,
+    connect,
+    connect_baseline,
+    load,
+    serve_metrics,
+)
 from .rtree_index import RTreeIndex, RTreeModule, TYPE_NAME
 from .types import (
     ALL_TYPES,
@@ -44,5 +50,6 @@ __all__ = [
     "connect",
     "connect_baseline",
     "load",
+    "serve_metrics",
     "spatial",
 ]

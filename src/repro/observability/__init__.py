@@ -26,8 +26,18 @@ from .context import (
     maybe_span,
     set_collection_enabled,
 )
-from .metrics import REGISTRY, Counter, Gauge, Histogram, MetricsRegistry
+from .metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsServer,
+    serve_metrics,
+)
+from .querylog import QueryLog, QueryRecord
 from .stats import PHASES, QueryStatistics
+from .trace import TraceCollector, TraceEvent, chrome_trace, write_trace
 from .tracer import Span, Tracer
 
 __all__ = [
@@ -37,14 +47,22 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "MetricsServer",
+    "QueryLog",
+    "QueryRecord",
     "QueryStatistics",
     "Span",
+    "TraceCollector",
+    "TraceEvent",
     "Tracer",
     "activate",
+    "chrome_trace",
     "collection_enabled",
     "count",
     "current_stats",
     "gauge_max",
     "maybe_span",
+    "serve_metrics",
     "set_collection_enabled",
+    "write_trace",
 ]

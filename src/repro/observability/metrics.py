@@ -6,11 +6,14 @@ aggregate view: every finished query is absorbed into the global
 :data:`REGISTRY`, which keeps totals across the process lifetime —
 queries executed, rows returned, cumulative subsystem counters, and a
 histogram of per-phase latencies.  ``REGISTRY.snapshot()`` is the
-machine-readable dump (what a ``/metrics`` endpoint would serve).
+machine-readable dump, :meth:`MetricsRegistry.expose_text` the same data
+in Prometheus text-exposition format, and :func:`serve_metrics` a
+stdlib ``http.server`` endpoint a scraper can poll.
 """
 
 from __future__ import annotations
 
+import re
 import threading
 from typing import TYPE_CHECKING, Any
 
@@ -82,6 +85,48 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimated q-quantile (0 < q <= 1) from the bucket counts.
+
+        Linear interpolation inside the bucket holding the target rank;
+        the observed ``min``/``max`` tighten the first and overflow
+        buckets, so single-bucket histograms still report sane tails.
+        The estimate is exact at the bucket boundaries and never leaves
+        ``[min, max]``.
+        """
+        if not self.count:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for i, n in enumerate(self.buckets):
+            if n == 0:
+                continue
+            if cumulative + n >= rank:
+                lower = 0.0 if i == 0 else self.BUCKET_BOUNDS[i - 1]
+                upper = (
+                    self.BUCKET_BOUNDS[i]
+                    if i < len(self.BUCKET_BOUNDS)
+                    else self.max
+                )
+                lower = max(lower, self.min)
+                upper = min(upper, self.max)
+                if upper <= lower:
+                    return lower
+                fraction = (rank - cumulative) / n
+                value = lower + (upper - lower) * fraction
+                return min(max(value, self.min), self.max)
+            cumulative += n
+        return self.max
+
+    #: The quantiles every summary / exposition reports (mean alone
+    #: hides tail latency).
+    QUANTILES = (0.5, 0.95, 0.99)
+
+    def quantiles(self) -> dict[str, float]:
+        return {
+            f"p{int(q * 100)}": self.quantile(q) for q in self.QUANTILES
+        }
+
     def summary(self) -> dict[str, Any]:
         return {
             "count": self.count,
@@ -90,6 +135,7 @@ class Histogram:
             "max": self.max if self.count else 0.0,
             "mean": self.mean,
             "buckets": list(self.buckets),
+            **self.quantiles(),
         }
 
 
@@ -180,6 +226,139 @@ class MetricsRegistry:
             self._counters.clear()
             self._gauges.clear()
             self._histograms.clear()
+
+    # -- Prometheus text exposition -------------------------------------------
+
+    def expose_text(self) -> str:
+        """The registry in Prometheus text-exposition format.
+
+        Dotted metric names become underscore-separated with a
+        ``repro_`` prefix (``executor.rows_returned`` →
+        ``repro_executor_rows_returned_total``).  Counters gain the
+        conventional ``_total`` suffix, gauges export value and peak,
+        histograms export cumulative ``_bucket{le=...}`` series plus
+        ``_sum``/``_count``, and the p50/p95/p99 estimates surface as a
+        separate ``<name>_quantile{quantile=...}`` gauge family (kept
+        out of the histogram family so the output stays parseable by a
+        strict exposition-format reader).
+        """
+        snapshot = self.snapshot()
+        lines: list[str] = []
+        for name, value in sorted(snapshot["counters"].items()):
+            metric = _prometheus_name(name)
+            if not metric.endswith("_total"):
+                metric += "_total"
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {_format_value(value)}")
+        for name, gauge in sorted(snapshot["gauges"].items()):
+            metric = _prometheus_name(name)
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {_format_value(gauge['value'])}")
+            lines.append(f"# TYPE {metric}_peak gauge")
+            lines.append(f"{metric}_peak {_format_value(gauge['peak'])}")
+        for name, summary in sorted(snapshot["histograms"].items()):
+            metric = _prometheus_name(name)
+            lines.append(f"# TYPE {metric} histogram")
+            cumulative = 0
+            for bound, count in zip(Histogram.BUCKET_BOUNDS,
+                                    summary["buckets"]):
+                cumulative += count
+                lines.append(
+                    f'{metric}_bucket{{le="{_format_value(bound)}"}} '
+                    f"{cumulative}"
+                )
+            lines.append(
+                f'{metric}_bucket{{le="+Inf"}} {summary["count"]}'
+            )
+            lines.append(f"{metric}_sum {_format_value(summary['sum'])}")
+            lines.append(f"{metric}_count {summary['count']}")
+            lines.append(f"# TYPE {metric}_quantile gauge")
+            for q in Histogram.QUANTILES:
+                key = f"p{int(q * 100)}"
+                lines.append(
+                    f'{metric}_quantile{{quantile="{q}"}} '
+                    f"{_format_value(summary[key])}"
+                )
+        return "\n".join(lines) + "\n"
+
+
+_PROM_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prometheus_name(name: str) -> str:
+    """A valid Prometheus metric name: ``repro_`` + sanitized dotted name."""
+    return "repro_" + _PROM_INVALID.sub("_", name)
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, bool) or not isinstance(value, float):
+        return str(value)
+    if value != value:  # NaN
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    return repr(value)
+
+
+class MetricsServer:
+    """Handle on a running metrics endpoint (see :func:`serve_metrics`)."""
+
+    def __init__(self, server, thread):
+        self._server = server
+        self._thread = thread
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host = self._server.server_address[0]
+        return f"http://{host}:{self.port}/metrics"
+
+    def shutdown(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5.0)
+
+
+def serve_metrics(port: int = 0, host: str = "127.0.0.1",
+                  registry: "MetricsRegistry | None" = None) -> MetricsServer:
+    """Serve ``registry.expose_text()`` at ``/metrics`` on a daemon thread.
+
+    ``port=0`` binds an ephemeral port (read it back from the returned
+    handle).  Stdlib ``http.server`` only — no web framework — so the
+    hook costs nothing when unused and adds no dependencies.
+    """
+    from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+    target = registry if registry is not None else REGISTRY
+
+    class _Handler(BaseHTTPRequestHandler):
+        def do_GET(self):  # noqa: N802 - http.server API
+            if self.path.split("?", 1)[0] not in ("/", "/metrics"):
+                self.send_error(404)
+                return
+            body = target.expose_text().encode("utf-8")
+            self.send_response(200)
+            self.send_header(
+                "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+            )
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def log_message(self, format, *args):  # silence per-request spam
+            pass
+
+    server = ThreadingHTTPServer((host, port), _Handler)
+    thread = threading.Thread(
+        target=server.serve_forever, daemon=True, name="repro-metrics"
+    )
+    thread.start()
+    return MetricsServer(server, thread)
 
 
 #: The process-wide registry both engines publish into.

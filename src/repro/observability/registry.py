@@ -71,6 +71,10 @@ DECLARED_COUNTERS = frozenset({
     "parallel.build_partitions",
     "parallel.agg_partials",
     "parallel.sort_runs",
+    # timeline tracing + query log
+    "trace.events",
+    "querylog.records",
+    "querylog.suppressed",
 })
 
 #: Prefix families whose members are generated (``<prefix><suffix>``).

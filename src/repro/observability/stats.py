@@ -32,12 +32,16 @@ PHASES = ("parse", "bind", "optimize", "execute")
 class QueryStatistics:
     """Counters, gauges, and the span trace of one query/script."""
 
-    __slots__ = ("counters", "gauges", "tracer")
+    __slots__ = ("counters", "gauges", "tracer", "trace")
 
     def __init__(self):
         self.counters: dict[str, int] = {}
         self.gauges: dict[str, float] = {}
         self.tracer = Tracer()
+        #: optional timeline-event collector
+        #: (:class:`repro.observability.trace.TraceCollector`), attached
+        #: by the connection entry points; None keeps emission free.
+        self.trace = None
 
     # -- recording ------------------------------------------------------------
 

@@ -27,17 +27,28 @@ from typing import Iterator
 
 @dataclass
 class Span:
-    """One timed region; ``seconds`` is inclusive of child spans."""
+    """One timed region; ``seconds`` is inclusive of child spans.
+
+    ``start`` is a raw ``time.perf_counter()`` reading — meaningless on
+    its own, meaningful as an offset from the query's first span (the
+    query-local clock trace events share; see
+    :mod:`repro.observability.trace`)."""
 
     name: str
     start: float = 0.0
     seconds: float = 0.0
     children: list["Span"] = field(default_factory=list)
 
-    def to_dict(self) -> dict:
+    def to_dict(self, t0: float | None = None) -> dict:
+        """Serialize the subtree; ``t0`` (the query's first span start)
+        turns the raw perf-counter ``start`` into a timeline offset so
+        serialized span trees can be placed on the same clock as trace
+        events."""
         node: dict = {"name": self.name, "seconds": self.seconds}
+        if t0 is not None:
+            node["start"] = self.start - t0
         if self.children:
-            node["children"] = [c.to_dict() for c in self.children]
+            node["children"] = [c.to_dict(t0) for c in self.children]
         return node
 
 
@@ -75,5 +86,11 @@ class Tracer:
     def total_seconds(self) -> float:
         return sum(span.seconds for span in self.spans)
 
+    def t0(self) -> float | None:
+        """The query's clock origin: the first span's start (None when
+        nothing was traced)."""
+        return self.spans[0].start if self.spans else None
+
     def to_list(self) -> list[dict]:
-        return [span.to_dict() for span in self.spans]
+        t0 = self.t0()
+        return [span.to_dict(t0) for span in self.spans]

@@ -8,17 +8,22 @@ and B-tree index types are built in, mirroring PostgreSQL; without
 
 from __future__ import annotations
 
+import time
 from typing import Any
 
 from ..analysis.config import verification_enabled
 from ..observability import (
     REGISTRY,
+    QueryLog,
+    QueryRecord,
     QueryStatistics,
+    TraceCollector,
     activate,
     collection_enabled,
     current_stats,
     maybe_span,
 )
+from ..observability.trace import write_trace
 from ..quack.binder import Binder, BinderContext, _NOT_CONSTANT, fold_constant
 from ..quack.builtins import register_builtins
 from ..quack.catalog import IndexType
@@ -82,17 +87,79 @@ class RowConnection:
         self.database = database
         #: statistics of the most recent :meth:`execute` call
         self.last_query_stats: QueryStatistics | None = None
+        #: rolling log of completed queries (``SET log_min_duration``
+        #: tunes the slow-query threshold)
+        self._query_log = QueryLog()
 
     def execute(self, sql: str) -> Result:
         if not collection_enabled():
             return self._execute_script(sql, None)
         stats = QueryStatistics()
+        stats.trace = TraceCollector()
         self.last_query_stats = stats
-        with activate(stats):
-            result = self._execute_script(sql, stats)
-        REGISTRY.absorb(stats)
+        start = time.perf_counter()
+        error: str | None = None
+        result = Result()
+        try:
+            with activate(stats):
+                result = self._execute_script(sql, stats)
+        except Exception as exc:
+            error = f"{type(exc).__name__}: {exc}"
+            raise
+        finally:
+            self._finish_query(
+                sql, stats, time.perf_counter() - start, result, error
+            )
         result.query_stats = stats
         return result
+
+    def _finish_query(self, sql: str, stats: QueryStatistics,
+                      seconds: float, result: Result,
+                      error: str | None) -> None:
+        """Record the finished query in the log and the global registry."""
+        if stats.trace is not None and len(stats.trace):
+            stats.bump("trace.events", len(stats.trace))
+        record = QueryRecord(
+            sql=sql,
+            seconds=seconds,
+            rows=len(result.rows) if error is None else None,
+            engine="pgsim",
+            workers=1,
+            error=error,
+            phases=stats.phase_seconds(),
+            counters=dict(stats.counters),
+        )
+        if self._query_log.record(record):
+            stats.bump("querylog.records")
+        else:
+            stats.bump("querylog.suppressed")
+        REGISTRY.absorb(stats)
+
+    def query_log(self, n: int | None = None,
+                  format: str = "records"):
+        """The connection's rolling log of completed queries.
+
+        ``format="records"`` returns :class:`QueryRecord` objects
+        (oldest first), ``"text"`` a rendered log, ``"json"`` a JSON
+        string.  ``n`` limits to the most recent n queries."""
+        if format == "records":
+            return self._query_log.records(n)
+        if format == "text":
+            return self._query_log.format_text(n)
+        if format == "json":
+            return self._query_log.to_json(n)
+        raise QuackError(f"unsupported query_log format {format!r}")
+
+    def export_trace(self, path: str) -> dict:
+        """Write the last executed query's timeline to ``path`` as
+        Chrome trace-event JSON (Perfetto-loadable); returns the dict."""
+        if self.last_query_stats is None:
+            raise QuackError(
+                "no traced query: execute one with collection enabled "
+                "before export_trace"
+            )
+        return write_trace(self.last_query_stats, path,
+                           meta={"engine": "pgsim"})
 
     def _execute_script(self, sql: str,
                         stats: QueryStatistics | None) -> Result:
@@ -112,12 +179,14 @@ class RowConnection:
 
     def explain_analyze(self, sql: str, format: str = "text"):
         """Profile one SELECT; ``format="json"`` returns the structured
-        tree (same schema as the columnar engine's)."""
-        if format not in ("text", "json"):
+        tree (same schema as the columnar engine's), ``format="trace"``
+        the execution timeline as Chrome trace-event JSON."""
+        if format not in ("text", "json", "trace"):
             raise QuackError(f"unsupported explain format {format!r}")
         from ..quack.profiler import PlanProfiler
 
         stats = QueryStatistics()
+        stats.trace = TraceCollector()
         self.last_query_stats = stats
         profiler = PlanProfiler()
         with activate(stats):
@@ -138,11 +207,15 @@ class RowConnection:
             with stats.tracer.span("execute"):
                 for _ in execute_rows(plan, ctx):
                     stats.bump("executor.rows_returned")
+        if stats.trace is not None and len(stats.trace):
+            stats.bump("trace.events", len(stats.trace))
         REGISTRY.absorb(stats)
         if format == "json":
             out = profiler.to_dict(plan, stats)
             out["engine"] = "pgsim"
             return out
+        if format == "trace":
+            return profiler.trace_dict(plan, stats, engine="pgsim")
         return profiler.render(plan, stats)
 
     # -- statement dispatch -------------------------------------------------------
@@ -199,7 +272,40 @@ class RowConnection:
             if index is not None:
                 index.table.indexes.remove(index)
             return Result()
+        if isinstance(stmt, ast.SetStatement):
+            return self._execute_set(stmt)
+        if isinstance(stmt, ast.ShowStatement):
+            return self._execute_show(stmt)
         raise QuackError(f"unsupported statement {type(stmt).__name__}")
+
+    def _execute_set(self, stmt: ast.SetStatement) -> Result:
+        name = stmt.name.lower()
+        if name != "log_min_duration":
+            # no morsel pool here — the row engine is single-threaded
+            raise QuackError(f"unknown setting {stmt.name!r}")
+        context = BinderContext(
+            self.database.catalog, self.database.functions,
+            self.database.types,
+        )
+        value = fold_constant(Binder(context).bind_expr(stmt.value))
+        if (
+            value is _NOT_CONSTANT
+            or isinstance(value, bool)
+            or not isinstance(value, (int, float))
+        ):
+            raise QuackError(
+                "SET log_min_duration expects a number of milliseconds"
+            )
+        self._query_log.min_duration_ms = float(value)
+        return Result()
+
+    def _execute_show(self, stmt: ast.ShowStatement) -> Result:
+        name = stmt.name.lower()
+        if name != "log_min_duration":
+            raise QuackError(f"unknown setting {stmt.name!r}")
+        return Result(
+            [name], [], [(self._query_log.min_duration_ms,)]
+        )
 
     def _plan_select(self, stmt: ast.SelectStatement) -> LogicalOperator:
         stats = current_stats()

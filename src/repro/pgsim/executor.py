@@ -70,6 +70,11 @@ class RowContext:
         self.profiler = profiler if profiler is not None else (
             parent.profiler if parent else None
         )
+        #: the query's shared TraceCollector (timeline events; the row
+        #: engine is single-threaded, so everything lands on one lane)
+        self.trace = parent.trace if parent is not None else (
+            stats.trace if stats is not None else None
+        )
 
     def child_with_params(self, params: tuple) -> "RowContext":
         ctx = RowContext(self)
@@ -234,7 +239,9 @@ def _execute_profiled(op: LogicalOperator,
                       ctx: RowContext) -> Iterator[tuple]:
     stats = ctx.profiler.stats_for(op)
     stats.invocations += 1
-    start = time.perf_counter()
+    rows_before = stats.rows
+    opened = time.perf_counter()
+    start = opened
     try:
         for row in _execute_operator(op, ctx):
             stats.rows += 1
@@ -245,6 +252,15 @@ def _execute_profiled(op: LogicalOperator,
     except GeneratorExit:
         stats.seconds += time.perf_counter() - start
         raise
+    finally:
+        # One timeline event per invocation lifetime (not per row): the
+        # Volcano loop would otherwise emit millions of micro-events.
+        if ctx.trace is not None:
+            ctx.trace.emit(
+                op._explain_label(), "operator", opened,
+                time.perf_counter() - opened,
+                rows=stats.rows - rows_before,
+            )
 
 
 def _execute_operator(op: LogicalOperator, ctx: RowContext) -> Iterator[tuple]:

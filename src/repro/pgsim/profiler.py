@@ -4,7 +4,10 @@ The row engine shares :class:`repro.quack.profiler.PlanProfiler`; the
 executor drives it through :class:`~repro.pgsim.executor.RowContext`
 (context-scoped, no module-level patching), so nested and concurrent
 profiled executions are safe.  Index scans are annotated with probe and
-candidate counts, matching the columnar engine's output.
+candidate counts, matching the columnar engine's output.  The shared
+profiler also serves ``explain_analyze(format="trace")`` here: the row
+engine is single-threaded, so its timeline renders as one lane of
+nested operator events (see :meth:`PlanProfiler.trace_dict`).
 """
 
 from __future__ import annotations

@@ -16,6 +16,7 @@ index types.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
@@ -24,12 +25,16 @@ import numpy as np
 from ..analysis.config import verification_enabled
 from ..observability import (
     REGISTRY,
+    QueryLog,
+    QueryRecord,
     QueryStatistics,
+    TraceCollector,
     activate,
     collection_enabled,
     current_stats,
     maybe_span,
 )
+from ..observability.trace import chrome_trace, write_trace
 from .binder import Binder, BinderContext
 from .builtins import register_builtins
 from .catalog import Catalog, IndexTypeRegistry, Table
@@ -59,6 +64,14 @@ class Result:
     def stats(self) -> QueryStatistics | None:
         """Observability snapshot: phase timings, counters, gauges."""
         return self.query_stats
+
+    def trace(self) -> dict | None:
+        """The execution timeline as a Chrome trace-event JSON object
+        (load in Perfetto / ``chrome://tracing``); None when collection
+        was disabled for the query."""
+        if self.query_stats is None:
+            return None
+        return chrome_trace(self.query_stats)
 
     def fetchall(self) -> list[tuple]:
         return list(self.rows)
@@ -154,6 +167,9 @@ class Connection:
         self._pool: MorselPool | None = None
         #: statistics of the most recent :meth:`execute` call
         self.last_query_stats: QueryStatistics | None = None
+        #: rolling log of completed queries (``SET log_min_duration``
+        #: tunes the slow-query threshold)
+        self._query_log = QueryLog()
 
     def set_workers(self, workers: int) -> None:
         """Change the parallelism degree; the old pool is drained."""
@@ -184,12 +200,71 @@ class Connection:
         if not collection_enabled():
             return self._execute_script(sql, None)
         stats = QueryStatistics()
+        stats.trace = TraceCollector()
         self.last_query_stats = stats
-        with activate(stats):
-            result = self._execute_script(sql, stats)
-        REGISTRY.absorb(stats)
+        start = time.perf_counter()
+        error: str | None = None
+        result = Result()
+        try:
+            with activate(stats):
+                result = self._execute_script(sql, stats)
+        except Exception as exc:
+            error = f"{type(exc).__name__}: {exc}"
+            raise
+        finally:
+            self._finish_query(
+                sql, stats, time.perf_counter() - start, result, error
+            )
         result.query_stats = stats
         return result
+
+    def _finish_query(self, sql: str, stats: QueryStatistics,
+                      seconds: float, result: Result,
+                      error: str | None) -> None:
+        """Record the finished query in the log and the global registry."""
+        if stats.trace is not None and len(stats.trace):
+            stats.bump("trace.events", len(stats.trace))
+        record = QueryRecord(
+            sql=sql,
+            seconds=seconds,
+            rows=len(result.rows) if error is None else None,
+            engine="quack",
+            workers=self.workers,
+            error=error,
+            phases=stats.phase_seconds(),
+            counters=dict(stats.counters),
+        )
+        if self._query_log.record(record):
+            stats.bump("querylog.records")
+        else:
+            stats.bump("querylog.suppressed")
+        REGISTRY.absorb(stats)
+
+    def query_log(self, n: int | None = None,
+                  format: str = "records"):
+        """The connection's rolling log of completed queries.
+
+        ``format="records"`` returns :class:`QueryRecord` objects
+        (oldest first), ``"text"`` a rendered log, ``"json"`` a JSON
+        string.  ``n`` limits to the most recent n queries."""
+        if format == "records":
+            return self._query_log.records(n)
+        if format == "text":
+            return self._query_log.format_text(n)
+        if format == "json":
+            return self._query_log.to_json(n)
+        raise QuackError(f"unsupported query_log format {format!r}")
+
+    def export_trace(self, path: str) -> dict:
+        """Write the last executed query's timeline to ``path`` as
+        Chrome trace-event JSON (Perfetto-loadable); returns the dict."""
+        if self.last_query_stats is None:
+            raise QuackError(
+                "no traced query: execute one with collection enabled "
+                "before export_trace"
+            )
+        return write_trace(self.last_query_stats, path,
+                           meta={"engine": "quack"})
 
     def _execute_script(self, sql: str,
                         stats: QueryStatistics | None) -> Result:
@@ -212,12 +287,16 @@ class Connection:
 
         ``format="text"`` returns the annotated plan with a phase
         header; ``format="json"`` returns the structured tree (phases,
-        counters, gauges, recursive per-operator stats)."""
-        if format not in ("text", "json"):
+        counters, gauges, recursive per-operator stats);
+        ``format="trace"`` returns the execution timeline as Chrome
+        trace-event JSON (operator/fragment/morsel events on per-worker
+        lanes — load in Perfetto)."""
+        if format not in ("text", "json", "trace"):
             raise QuackError(f"unsupported explain format {format!r}")
         from .profiler import PlanProfiler
 
         stats = QueryStatistics()
+        stats.trace = TraceCollector()
         self.last_query_stats = stats
         profiler = PlanProfiler()
         with activate(stats):
@@ -238,11 +317,15 @@ class Connection:
             with kernels_snapshot(), stats.tracer.span("execute"):
                 for chunk in execute_plan(plan, ctx):
                     stats.bump("executor.rows_returned", chunk.count)
+        if stats.trace is not None and len(stats.trace):
+            stats.bump("trace.events", len(stats.trace))
         REGISTRY.absorb(stats)
         if format == "json":
             out = profiler.to_dict(plan, stats)
             out["engine"] = "quack"
             return out
+        if format == "trace":
+            return profiler.trace_dict(plan, stats, engine="quack")
         return profiler.render(plan, stats)
 
     # -- statement dispatch -----------------------------------------------------------
@@ -292,11 +375,13 @@ class Connection:
             return self._execute_drop(stmt)
         if isinstance(stmt, ast.SetStatement):
             return self._execute_set(stmt)
+        if isinstance(stmt, ast.ShowStatement):
+            return self._execute_show(stmt)
         raise QuackError(f"unsupported statement {type(stmt).__name__}")
 
     def _execute_set(self, stmt: ast.SetStatement) -> Result:
         name = stmt.name.lower()
-        if name not in ("threads", "workers"):
+        if name not in ("threads", "workers", "log_min_duration"):
             raise QuackError(f"unknown setting {stmt.name!r}")
         context = BinderContext(
             self.database.catalog,
@@ -306,6 +391,18 @@ class Connection:
         from .binder import _NOT_CONSTANT, fold_constant
 
         value = fold_constant(Binder(context).bind_expr(stmt.value))
+        if name == "log_min_duration":
+            # milliseconds; 0 logs everything, negative disables logging
+            if (
+                value is _NOT_CONSTANT
+                or isinstance(value, bool)
+                or not isinstance(value, (int, float))
+            ):
+                raise QuackError(
+                    "SET log_min_duration expects a number of milliseconds"
+                )
+            self._query_log.min_duration_ms = float(value)
+            return Result()
         if (
             value is _NOT_CONSTANT
             or isinstance(value, bool)
@@ -317,6 +414,16 @@ class Connection:
             )
         self.set_workers(value)
         return Result()
+
+    def _execute_show(self, stmt: ast.ShowStatement) -> Result:
+        name = stmt.name.lower()
+        if name in ("threads", "workers"):
+            value: Any = self.workers
+        elif name == "log_min_duration":
+            value = self._query_log.min_duration_ms
+        else:
+            raise QuackError(f"unknown setting {stmt.name!r}")
+        return Result([stmt.name.lower()], [], [(value,)])
 
     # -- SELECT -------------------------------------------------------------------------
 

@@ -109,6 +109,13 @@ class ExecutionContext:
         self.profiler = profiler if profiler is not None else (
             parent.profiler if parent else None
         )
+        #: the query's shared TraceCollector (timeline events); unlike
+        #: ``stats`` it is NOT redirected in worker children — the
+        #: collector is thread-safe and events carry their own lane, so
+        #: workers emit straight into the query-wide timeline
+        self.trace = parent.trace if parent is not None else (
+            stats.trace if stats is not None else None
+        )
         #: morsel parallelism degree and the connection's worker pool
         #: (children inherit; workers=1 / pool=None means serial)
         self.workers = parent.workers if parent else max(1, int(workers))
@@ -533,7 +540,9 @@ def _execute_profiled(op: LogicalOperator,
                       ctx: ExecutionContext) -> Iterator[DataChunk]:
     stats = ctx.profiler.stats_for(op)
     stats.invocations += 1
-    start = time.perf_counter()
+    rows_before = stats.rows
+    opened = time.perf_counter()
+    start = opened
     try:
         for chunk in _execute_operator(op, ctx):
             stats.rows += chunk.count
@@ -544,6 +553,16 @@ def _execute_profiled(op: LogicalOperator,
     except GeneratorExit:
         stats.seconds += time.perf_counter() - start
         raise
+    finally:
+        # One timeline event per invocation lifetime (first pull to
+        # exhaustion, consumer time included — matching the inclusive
+        # profiler clock), so nested operators nest on the lane.
+        if ctx.trace is not None:
+            ctx.trace.emit(
+                op._explain_label(), "operator", opened,
+                time.perf_counter() - opened,
+                rows=stats.rows - rows_before,
+            )
 
 
 def _execute_operator(op: LogicalOperator,
@@ -725,7 +744,11 @@ def _fragment_parallel_iter(op: LogicalOperator,
     stages = list(reversed(chain))  # bottom-up application order
     verify = _verification.VERIFICATION_ENABLED
 
+    trace = ctx.trace
+    fragment_name = f"fragment {op._explain_label()}"
+
     def apply_chain(chunk: DataChunk, worker_stats):
+        opened = time.perf_counter()
         wctx = ctx.worker_child(worker_stats if qstats is not None
                                 else None)
         out: DataChunk | None = chunk
@@ -753,6 +776,12 @@ def _fragment_parallel_iter(op: LogicalOperator,
                 verify_chunk(stage, out)
                 if worker_stats is not None and qstats is not None:
                     worker_stats.bump("verify.chunks_checked")
+        if trace is not None:
+            trace.emit(
+                fragment_name, "fragment", opened,
+                time.perf_counter() - opened, rows=chunk.count,
+                args={"rows_out": out.count if out is not None else 0},
+            )
         return out, rows, seconds
 
     source_chunks = execute_plan(source, ctx)
@@ -888,14 +917,26 @@ def _index_nl_join(op: LogicalJoin,
         # Index probes and table fetches are read-only (lazy segment
         # sealing is lock-guarded), so whole left chunks scatter to
         # workers; profiler annotations travel back as notes.
+        trace = ctx.trace
+
         def probe_chunk(left_chunk: DataChunk, worker_stats):
+            opened = time.perf_counter()
             wctx = ctx.worker_child(
                 worker_stats if qstats is not None else None
             )
-            return _index_nl_join_chunk(
+            out = _index_nl_join_chunk(
                 op, left_chunk, index, op_name, left_expr, table,
                 right_types, wctx
             )
+            if trace is not None:
+                trace.emit(
+                    "index_nl_probe", "morsel", opened,
+                    time.perf_counter() - opened, rows=left_chunk.count,
+                    args={
+                        "rows_out": sum(c.count for c in out[0]),
+                    },
+                )
+            return out
 
         produced = _parallel.ordered_map(
             ctx.pool, execute_plan(op.left, ctx), probe_chunk, qstats
@@ -1075,7 +1116,8 @@ def _hash_join(op: LogicalJoin, right_columns, right_count, right_types,
         if kernels.kernels_enabled():
             if ctx.can_parallel():
                 build = _parallel.PartitionedJoinBuild.build(
-                    ctx.pool, key_vectors, right_count, qstats
+                    ctx.pool, key_vectors, right_count, qstats,
+                    trace=ctx.trace,
                 )
                 partitioned = build is not None
                 if partitioned and qstats is not None:
@@ -1374,8 +1416,11 @@ def _aggregate_parallel(op: LogicalAggregate, full: DataChunk, count: int,
         for spec in op.aggregates
     )
 
+    trace = ctx.trace
+
     def eval_morsel(bounds: tuple[int, int], worker_stats):
         start, end = bounds
+        opened = time.perf_counter()
         wctx = ctx.worker_child(
             worker_stats if qstats is not None else None
         )
@@ -1389,6 +1434,11 @@ def _aggregate_parallel(op: LogicalAggregate, full: DataChunk, count: int,
             _aggregate_morsel_partial(op, gvs, avs, end - start)
             if combinable else None
         )
+        if trace is not None:
+            trace.emit(
+                "aggregate_morsel", "morsel", opened,
+                time.perf_counter() - opened, rows=end - start,
+            )
         return gvs, avs, partial
 
     results = _parallel.run_tasks(
@@ -1693,8 +1743,11 @@ def _sort_parallel(op: LogicalSort, full: DataChunk, count: int,
     if len(ranges) <= 1:
         return None
 
+    trace = ctx.trace
+
     def sort_morsel(bounds: tuple[int, int], worker_stats):
         start, end = bounds
+        opened = time.perf_counter()
         wctx = ctx.worker_child(
             worker_stats if qstats is not None else None
         )
@@ -1704,6 +1757,12 @@ def _sort_parallel(op: LogicalSort, full: DataChunk, count: int,
             perm = kernels.sort_permutation(kvs, key_specs)
         except KernelFallback:
             return None
+        finally:
+            if trace is not None:
+                trace.emit(
+                    "sort_run", "morsel", opened,
+                    time.perf_counter() - opened, rows=end - start,
+                )
         rows = (perm + start).tolist()
         keys = [
             tuple(kv.value(int(i)) for kv in kvs) for i in perm

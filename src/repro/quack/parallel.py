@@ -27,6 +27,7 @@ from __future__ import annotations
 import contextvars
 import os
 import threading
+import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Iterable, Iterator
@@ -72,7 +73,33 @@ class MorselPool:
                     max_workers=self.workers,
                     thread_name_prefix="quack-morsel",
                 )
+                self._prestart(self._executor)
             return self._executor
+
+    def _prestart(self, executor: ThreadPoolExecutor) -> None:
+        """Spawn the full worker complement up front.
+
+        ``ThreadPoolExecutor`` creates threads lazily — one per submit
+        that finds no idle worker — so a producer-bound pipeline that
+        never has two tasks in flight funnels every morsel through
+        worker 0 forever, and bursty sinks race the spawn path on their
+        first batch.  A barrier task per worker forces all threads to
+        exist before the first real morsel: a finished worker rejoins
+        the queue behind its idle peers, so even strictly sequential
+        fragment streams rotate across lanes.
+        """
+        if self.workers <= 1:
+            return
+        barrier = threading.Barrier(self.workers)
+
+        def wait() -> None:
+            try:
+                barrier.wait(timeout=10.0)
+            except threading.BrokenBarrierError:
+                pass
+
+        for future in [executor.submit(wait) for _ in range(self.workers)]:
+            future.result()
 
     def shutdown(self) -> None:
         with self._lock:
@@ -214,10 +241,13 @@ class PartitionedJoinBuild:
     @classmethod
     def build(cls, pool: MorselPool, key_vectors: list[Vector],
               right_count: int,
-              stats: QueryStatistics | None = None
-              ) -> "PartitionedJoinBuild | None":
+              stats: QueryStatistics | None = None,
+              trace=None) -> "PartitionedJoinBuild | None":
         """Build partitioned; None when too small or a kernel declines
-        (the caller then takes the serial build path)."""
+        (the caller then takes the serial build path).  ``trace`` is the
+        query's :class:`~repro.observability.trace.TraceCollector`: each
+        partition build emits one ``morsel`` timeline event from its
+        worker lane."""
         if right_count < MIN_PARALLEL_ROWS:
             return None
         parts = min(pool.workers, right_count // MIN_MORSEL_ROWS)
@@ -230,9 +260,16 @@ class PartitionedJoinBuild:
 
         def make_task(start: int, end: int) -> Task:
             def task(local_stats: QueryStatistics):
-                return kernels.JoinBuild(
+                opened = time.perf_counter()
+                out = kernels.JoinBuild(
                     row_range(key_vectors, start, end), end - start
                 )
+                if trace is not None:
+                    trace.emit(
+                        "join_build_partition", "morsel", opened,
+                        time.perf_counter() - opened, rows=end - start,
+                    )
+                return out
 
             return task
 

@@ -100,6 +100,19 @@ class PlanProfiler:
         visit(plan, 0)
         return "\n".join(lines)
 
+    def trace_dict(self, plan: LogicalOperator,
+                   query_stats: QueryStatistics,
+                   engine: str = "quack") -> dict[str, Any]:
+        """The ``format="trace"`` output: the query's timeline (phase
+        spans + operator/fragment/morsel events on per-worker lanes) as
+        Chrome trace-event JSON, with the plan text riding along in
+        ``otherData`` so the viewer tab is self-describing."""
+        from ..observability.trace import chrome_trace
+
+        return chrome_trace(
+            query_stats, meta={"engine": engine, "plan": plan.explain()}
+        )
+
     def to_dict(self, plan: LogicalOperator,
                 query_stats: QueryStatistics | None = None
                 ) -> dict[str, Any]:

@@ -297,3 +297,11 @@ class SetStatement(Statement):
 
     name: str
     value: Expr
+
+
+@dataclass
+class ShowStatement(Statement):
+    """``SHOW <name>`` — read back a session setting
+    (e.g. ``SHOW threads``, ``SHOW log_min_duration``)."""
+
+    name: str

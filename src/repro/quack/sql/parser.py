@@ -111,6 +111,8 @@ class Parser:
             return ast.ExplainStatement(self.parse_statement(), analyze)
         if word == "SET":
             return self._parse_set()
+        if word == "SHOW":
+            return self._parse_show()
         raise ParserError(f"unsupported statement {token.text!r}")
 
     def _parse_set(self) -> ast.SetStatement:
@@ -119,6 +121,10 @@ class Parser:
         if not self.accept_op("="):
             self.expect_keyword("TO")
         return ast.SetStatement(name, self.parse_expression())
+
+    def _parse_show(self) -> ast.ShowStatement:
+        self.expect_keyword("SHOW")
+        return ast.ShowStatement(self.expect_ident())
 
     # -- SELECT ---------------------------------------------------------------------
 

@@ -255,3 +255,82 @@ class TestModuleMutableState:
             module="repro.pgsim.executor",
             filename="executor.py",
         ) == []
+
+
+class TestTraceEmitGuard:
+    def test_unguarded_emit_flagged(self):
+        src = """
+            def f(ctx, t0, dt):
+                ctx.trace.emit("scan", "operator", t0, dt)
+        """
+        assert codes(src) == ["ANL009"]
+
+    def test_is_not_none_guard_clean(self):
+        src = """
+            def f(ctx, t0, dt):
+                if ctx.trace is not None:
+                    ctx.trace.emit("scan", "operator", t0, dt)
+        """
+        assert codes(src) == []
+
+    def test_local_alias_guard_clean(self):
+        src = """
+            def f(ctx, t0, dt):
+                trace = ctx.trace
+                if trace is not None:
+                    trace.emit("scan", "operator", t0, dt)
+        """
+        assert codes(src) == []
+
+    def test_collection_enabled_guard_clean(self):
+        src = """
+            def f(ctx, t0, dt):
+                if collection_enabled():
+                    ctx.trace.emit("scan", "operator", t0, dt)
+        """
+        assert codes(src) == []
+
+    def test_guard_does_not_leak_into_else(self):
+        src = """
+            def f(ctx, t0, dt):
+                if ctx.trace is not None:
+                    pass
+                else:
+                    ctx.trace.emit("scan", "operator", t0, dt)
+        """
+        assert codes(src) == ["ANL009"]
+
+    def test_guard_resets_at_function_boundary(self):
+        src = """
+            def f(ctx, t0, dt):
+                if ctx.trace is not None:
+                    def g():
+                        ctx.trace.emit("scan", "operator", t0, dt)
+        """
+        assert codes(src) == ["ANL009"]
+
+    def test_wrong_receiver_guard_still_flagged(self):
+        src = """
+            def f(ctx, other, t0, dt):
+                if other.trace is not None:
+                    ctx.trace.emit("scan", "operator", t0, dt)
+        """
+        assert codes(src) == ["ANL009"]
+
+    def test_non_trace_emit_ignored(self):
+        src = """
+            def f(bus, t0):
+                bus.emit("event", t0)
+        """
+        assert codes(src) == []
+
+    def test_observability_modules_exempt(self):
+        src = """
+            def f(collector, t0, dt):
+                collector.emit("scan", "operator", t0, dt)
+        """
+        assert codes(
+            src,
+            module="repro.observability.trace",
+            filename="trace.py",
+        ) == []

@@ -14,6 +14,7 @@ from repro.observability import (
     current_stats,
     gauge_max,
     maybe_span,
+    serve_metrics,
 )
 
 
@@ -47,6 +48,125 @@ class TestPrimitives:
         h = Histogram("x")
         h.observe(99.0)  # beyond the largest bound
         assert h.buckets[-1] == 1
+
+
+class TestQuantiles:
+    def test_exact_at_known_distribution(self):
+        h = Histogram("x")
+        # 100 observations spread across two buckets: 50 around 5ms,
+        # 50 around 50ms — the median sits at the 1e-2 boundary region.
+        for _ in range(50):
+            h.observe(0.005)
+        for _ in range(50):
+            h.observe(0.05)
+        q = h.quantiles()
+        assert set(q) == {"p50", "p95", "p99"}
+        assert 0.001 <= q["p50"] <= 0.01
+        assert 0.01 < q["p95"] <= 0.05
+        assert q["p50"] <= q["p95"] <= q["p99"] <= h.max
+
+    def test_never_leaves_observed_range(self):
+        h = Histogram("x")
+        h.observe(0.0333)  # single observation
+        for key, value in h.quantiles().items():
+            assert value == pytest.approx(0.0333), key
+
+    def test_empty_histogram(self):
+        assert Histogram("x").quantiles() == {
+            "p50": 0.0, "p95": 0.0, "p99": 0.0,
+        }
+
+    def test_summary_carries_quantiles(self):
+        h = Histogram("x")
+        h.observe(0.002)
+        summary = h.summary()
+        assert {"p50", "p95", "p99"} <= set(summary)
+
+
+class TestExposition:
+    @staticmethod
+    def _populated():
+        registry = MetricsRegistry()
+        stats = QueryStatistics()
+        stats.bump("rtree.searches", 3)
+        stats.gauge_max("parallel.workers", 4)
+        with stats.tracer.span("execute"):
+            pass
+        registry.absorb(stats)
+        return registry
+
+    def test_prometheus_text_shape(self):
+        text = self._populated().expose_text()
+        assert "# TYPE repro_queries_total counter" in text
+        assert "repro_rtree_searches_total 3" in text
+        assert "repro_parallel_workers 4" in text
+        assert "# TYPE repro_query_seconds histogram" in text
+        assert 'repro_query_seconds_bucket{le="+Inf"} 1' in text
+        assert "repro_query_seconds_count 1" in text
+        assert 'repro_query_seconds_quantile{quantile="0.99"}' in text
+
+    def test_parses_as_exposition_format(self):
+        """Every line is a comment or `name[{labels}] value`, histogram
+        buckets are cumulative, and _count matches the +Inf bucket."""
+        import re
+
+        sample = re.compile(
+            r"^[a-zA-Z_:][a-zA-Z0-9_:]*"  # metric name
+            r'(\{[a-zA-Z_]+="[^"]*"\})?'   # optional single label
+            r" (-?[0-9.e+-]+|\+Inf|-Inf|NaN)$"
+        )
+        buckets = {}
+        counts = {}
+        for line in self._populated().expose_text().splitlines():
+            if line.startswith("# TYPE "):
+                parts = line.split()
+                assert len(parts) == 4
+                assert parts[3] in ("counter", "gauge", "histogram")
+                continue
+            assert sample.match(line), f"unparseable line: {line!r}"
+            name = line.split("{")[0].split(" ")[0]
+            value = float(line.rsplit(" ", 1)[1].replace("+Inf", "inf"))
+            if "_bucket{" in line:
+                seen = buckets.setdefault(name, [])
+                if seen:
+                    assert value >= seen[-1], "buckets must be cumulative"
+                seen.append(value)
+            elif name.endswith("_count"):
+                counts[name[: -len("_count")]] = value
+        for name, series in buckets.items():
+            family = name[: -len("_bucket")]
+            assert series[-1] == counts[family]
+
+    def test_serve_metrics_http_roundtrip(self):
+        from urllib.request import urlopen
+
+        registry = self._populated()
+        server = serve_metrics(port=0, registry=registry)
+        try:
+            with urlopen(server.url, timeout=5) as response:
+                assert response.status == 200
+                assert response.headers["Content-Type"].startswith(
+                    "text/plain; version=0.0.4"
+                )
+                body = response.read().decode("utf-8")
+            assert body == registry.expose_text()
+            with urlopen(f"http://127.0.0.1:{server.port}/",
+                         timeout=5) as response:
+                assert response.status == 200
+        finally:
+            server.shutdown()
+
+    def test_unknown_path_is_404(self):
+        from urllib.error import HTTPError
+        from urllib.request import urlopen
+
+        server = serve_metrics(port=0, registry=MetricsRegistry())
+        try:
+            with pytest.raises(HTTPError) as excinfo:
+                urlopen(f"http://127.0.0.1:{server.port}/nope", timeout=5)
+            assert excinfo.value.code == 404
+        finally:
+            server.shutdown()
 
 
 class TestRegistry:

@@ -177,10 +177,17 @@ class TestCounters:
     def test_counter_parity_with_serial(self, serial_con, par_con):
         """A streaming fragment bumps exactly the serial counters — the
         worker-local stats objects must merge without losing or double
-        counting anything; only the parallel.* family is new."""
+        counting anything; only the parallel.* family (and the
+        observability-recording trace./querylog. counters, which track
+        timeline events that exist only when morsels scatter) is new."""
+        meta = ("parallel.", "trace.", "querylog.")
         sql = "SELECT i + 1, x FROM big WHERE i % 5 = 0"
         serial_con.execute(sql)
-        serial = dict(serial_con.last_query_stats.counters)
+        serial = {
+            k: v
+            for k, v in serial_con.last_query_stats.counters.items()
+            if not k.startswith(meta)
+        }
         par_con.execute(sql)
         par = dict(par_con.last_query_stats.counters)
         par_only = {
@@ -188,7 +195,7 @@ class TestCounters:
         }
         assert par_only  # the parallel path actually ran
         assert {
-            k: v for k, v in par.items() if not k.startswith("parallel.")
+            k: v for k, v in par.items() if not k.startswith(meta)
         } == serial
 
     def test_serial_connection_has_no_parallel_counters(self, serial_con):
