@@ -1,10 +1,11 @@
 #!/usr/bin/env python3
 """Compare fresh benchmark artifacts against committed baselines.
 
-The CI bench-smoke job produces three JSON artifacts —
+The CI bench-smoke job produces four JSON artifacts —
 ``BENCH_fig12.json`` (the Figure 12 grid), ``BENCH_join_kernels.json``
-(kernel-vs-row-loop microbenchmarks), and ``BENCH_parallel.json`` (the
-morsel-parallel scaling curve).  This script reduces each to a flat
+(kernel-vs-row-loop microbenchmarks), ``BENCH_parallel.json`` (the
+morsel-parallel scaling curve), and ``BENCH_cbo.json`` (cost-based vs
+heuristic join ordering).  This script reduces each to a flat
 ``metric name -> seconds`` series, diffs it against the snapshot in
 ``benchmarks/baselines/``, renders a per-query delta table (also into
 ``$GITHUB_STEP_SUMMARY`` when set, so the deltas land in the job
@@ -18,7 +19,9 @@ Usage::
     python benchmarks/compare_bench.py --write    # (re)generate the baselines
 
 New metrics (no baseline entry yet) and retired ones are reported but
-never fail the gate; refresh with ``--write`` after intentional changes.
+never fail the gate; a whole artifact with no committed baseline file
+(a freshly added benchmark) passes with a note in the summary.  Refresh
+with ``--write`` after intentional changes.
 """
 
 from __future__ import annotations
@@ -36,6 +39,7 @@ ARTIFACTS = (
     "BENCH_fig12.json",
     "BENCH_join_kernels.json",
     "BENCH_parallel.json",
+    "BENCH_cbo.json",
 )
 
 DEFAULT_BASELINE_DIR = os.path.join(
@@ -63,6 +67,11 @@ def extract_metrics(name: str, payload: dict) -> dict[str, float]:
         return {
             f"Q{leg['query']} workers={leg['workers']}":
                 float(leg["seconds"])
+            for leg in payload.get("legs", [])
+        }
+    if name == "BENCH_cbo.json":
+        return {
+            f"{leg['query']} cbo={leg['cbo']}": float(leg["seconds"])
             for leg in payload.get("legs", [])
         }
     raise ValueError(f"unknown artifact {name!r}")
@@ -105,16 +114,19 @@ def compare_one(name: str, current: dict[str, float],
     return rows, regressions
 
 
-def render(sections: dict[str, list[str]]) -> str:
+def render(sections: dict[str, tuple[str | None, list[str]]]) -> str:
     lines = ["## Benchmark comparison vs committed baselines", ""]
-    for name, rows in sections.items():
+    for name, (note, rows) in sections.items():
         lines.append(f"### {name}")
         lines.append("")
+        if note:
+            lines.append(note)
+            lines.append("")
         if rows:
             lines.append("| metric | baseline (s) | current (s) | delta |")
             lines.append("|---|---|---|---|")
             lines.extend(rows)
-        else:
+        elif not note:
             lines.append("_artifact missing — benchmark step skipped?_")
         lines.append("")
     return "\n".join(lines)
@@ -136,12 +148,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    sections: dict[str, list[str]] = {}
+    sections: dict[str, tuple[str | None, list[str]]] = {}
     all_regressions: list[str] = []
     for name in ARTIFACTS:
         payload = load_json(os.path.join(args.artifact_dir, name))
         if payload is None:
-            sections[name] = []
+            sections[name] = (None, [])
             continue
         current = extract_metrics(name, payload)
         if args.write:
@@ -152,9 +164,22 @@ def main(argv: list[str] | None = None) -> int:
                 handle.write("\n")
             print(f"wrote {out} ({len(current)} metrics)")
             continue
-        baseline = load_json(os.path.join(args.baseline_dir, name)) or {}
+        baseline = load_json(os.path.join(args.baseline_dir, name))
+        if baseline is None:
+            # Freshly added benchmark: nothing to regress against — pass
+            # with a note instead of failing the job.
+            rows = [
+                f"| {metric} | — | {current[metric]:.4f} | new |"
+                for metric in sorted(current)
+            ]
+            sections[name] = (
+                "_new benchmark — no committed baseline yet; "
+                "pin one with `--write`_",
+                rows,
+            )
+            continue
         rows, regressions = compare_one(name, current, baseline)
-        sections[name] = rows
+        sections[name] = (None, rows)
         all_regressions.extend(regressions)
 
     if args.write:

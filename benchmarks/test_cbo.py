@@ -1,0 +1,126 @@
+"""Cost-based vs heuristic join ordering on BerlinMOD workloads.
+
+Each query here lists its FROM tables in an order that is bad for the
+heuristic left-deep planner — the selective ``Licences`` filter sits on
+the *last* relation, and the 4-table skew query interleaves ``Periods``
+so that the binder-order plan starts with a Trips x Periods cross
+product.  With ``ANALYZE`` statistics and ``SET cbo = on`` the DP join
+search pulls the filtered relation ahead and the cross product never
+forms.
+
+Every leg runs both ways (``cbo = on`` / ``cbo = off``) on the same
+connection, checks the row multisets agree, and appends
+``{"query", "cbo", "seconds"}`` legs to ``BENCH_cbo.json`` (the CI
+bench-smoke artifact, next to ``BENCH_fig12.json``).  The acceptance
+bar lives on the seeded-skew 4-table join: cbo-on must beat cbo-off
+wall-clock.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro import core
+from repro.berlinmod import generate, load_dataset
+
+BERLINMOD_SF = float(os.environ.get("REPRO_BENCH_CBO_SF", "0.005"))
+ROUNDS = int(os.environ.get("REPRO_BENCH_CBO_ROUNDS", "3"))
+
+_REPORT_PATH = os.environ.get("REPRO_BENCH_CBO_JSON", "BENCH_cbo.json")
+_LEGS: list[dict] = []
+
+#: (name, sql) — FROM-orders chosen so the heuristic plan is maximally
+#: wrong: the selective predicate is always on the last relation.
+QUERIES = [
+    (
+        "chain_3",
+        "SELECT count(*) FROM Trips t, Vehicles v, Licences l"
+        " WHERE t.VehicleId = v.VehicleId AND v.VehicleId = l.VehicleId"
+        " AND l.LicenceId <= 3",
+    ),
+    (
+        "skew_4",
+        # Binder order joins Trips x Periods first — no conjunct links
+        # them, so the heuristic plan opens with a cross product of the
+        # two; the DP instead starts from the 5-row Licences slice.
+        "SELECT count(*), min(t.SeqNo) FROM"
+        " Trips t, Periods p, Vehicles v, Licences l"
+        " WHERE t.VehicleId = v.VehicleId AND v.VehicleId = l.VehicleId"
+        " AND p.PeriodId = l.LicenceId AND l.LicenceId <= 5",
+    ),
+    (
+        "star_5",
+        "SELECT count(*) FROM"
+        " Trips t, Instants i, Periods p, Vehicles v, Licences l"
+        " WHERE t.VehicleId = v.VehicleId AND v.VehicleId = l.VehicleId"
+        " AND p.PeriodId = l.LicenceId AND i.InstantId = p.PeriodId"
+        " AND l.LicenceId BETWEEN 3 AND 12",
+    ),
+]
+
+
+def _record(query: str, cbo: str, seconds: float) -> None:
+    _LEGS.append({"query": query, "cbo": cbo, "seconds": seconds})
+    # Rewrite after every leg so the artifact exists even if a later
+    # benchmark fails.
+    with open(_REPORT_PATH, "w") as fh:
+        json.dump({"scale_factor": BERLINMOD_SF, "legs": _LEGS}, fh,
+                  indent=2, sort_keys=True)
+    print(f"\n{query} cbo={cbo}: {seconds * 1000:.1f}ms")
+
+
+def _time_both(con, sql: str) -> tuple[float, float]:
+    """Best-of-``ROUNDS`` seconds with cbo on and off; asserts both
+    modes return the same rows."""
+    best = {"on": float("inf"), "off": float("inf")}
+    rows = {}
+    try:
+        for _ in range(ROUNDS):
+            for mode in ("on", "off"):
+                con.execute(f"SET cbo = {mode}")
+                start = time.perf_counter()
+                rows[mode] = con.execute(sql).fetchall()
+                best[mode] = min(best[mode],
+                                 time.perf_counter() - start)
+    finally:
+        con.execute("SET cbo = on")
+    assert sorted(map(repr, rows["on"])) == sorted(map(repr, rows["off"]))
+    return best["on"], best["off"]
+
+
+class TestCostBasedJoinOrder:
+    con = None
+
+    @classmethod
+    def setup_class(cls):
+        cls.con = core.connect()
+        load_dataset(cls.con, generate(BERLINMOD_SF))
+        cls.con.execute("ANALYZE")
+
+    @classmethod
+    def teardown_class(cls):
+        if cls.con is not None:
+            cls.con.close()
+
+    def test_join_order_legs(self):
+        ratios = {}
+        for name, sql in QUERIES:
+            self.con.execute(sql)  # warm caches before timing
+            on_s, off_s = _time_both(self.con, sql)
+            _record(name, "on", on_s)
+            _record(name, "off", off_s)
+            ratios[name] = off_s / on_s if on_s > 0 else float("inf")
+            print(f"{name}: cbo-on is {ratios[name]:.2f}x vs heuristic")
+        # Acceptance bar: on the seeded-skew 4-table join the
+        # cost-based order must win wall-clock.
+        assert ratios["skew_4"] > 1.0, ratios
+
+
+def test_report_written():
+    assert os.path.exists(_REPORT_PATH)
+    with open(_REPORT_PATH) as fh:
+        report = json.load(fh)
+    names = {leg["query"] for leg in report["legs"]}
+    assert {"chain_3", "skew_4", "star_5"} <= names

@@ -18,6 +18,9 @@ ANL008    module-level mutable container in ``repro.quack`` without an
 ANL009    trace-event ``.emit(...)`` call not guarded by a
           ``<collector> is not None`` / ``collection_enabled()`` check
           (unguarded emission defeats the ~0%-when-off overhead bar)
+ANL010    a ``*_selectivity`` estimator returns a value not wrapped in
+          ``clamp01(...)`` (an out-of-range selectivity corrupts every
+          cardinality product built on it)
 ========  ==========================================================
 
 Run as ``python -m repro.analysis.lint [paths]`` (default: ``src``).

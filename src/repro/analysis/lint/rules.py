@@ -43,6 +43,7 @@ _PGSIM_ALLOWED_QUACK = frozenset({
     "profiler",
     "keys",
     "sql",
+    "stats",
 })
 
 #: Module owning the Vector payload (may mutate data/validity freely).
@@ -87,6 +88,8 @@ class _Checker:
                 self.check_engine_imports(node)
             elif isinstance(node, (ast.Assign, ast.AugAssign)):
                 self.check_vector_mutation(node)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.check_selectivity_clamped(node)
         self.check_unused_imports(tree)
         self.check_module_mutables(tree)
         self.check_trace_guards(tree)
@@ -383,6 +386,28 @@ class _Checker:
                 )
 
 
+    # -- ANL010: selectivity estimators must clamp to [0, 1] -----------------------
+
+    def check_selectivity_clamped(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        """A function named ``*_selectivity`` feeds cardinality math that
+        multiplies its results together; one value outside [0, 1] (from a
+        histogram edge case, a division, NaN) silently corrupts every
+        downstream estimate.  Every return must therefore go through
+        ``clamp01(...)`` as the outermost call."""
+        if not node.name.endswith("_selectivity"):
+            return
+        for ret in _own_returns(node):
+            if ret.value is not None and _is_clamp_call(ret.value):
+                continue
+            self.report(
+                ret, "ANL010",
+                f"selectivity estimator {node.name!r} returns an "
+                f"unclamped value: wrap the result in clamp01(...) so "
+                f"estimates stay in [0, 1]",
+            )
+
     # -- ANL009: trace emission must be guarded -----------------------------------
 
     def check_trace_guards(self, tree: ast.Module) -> None:
@@ -465,6 +490,39 @@ class _Checker:
                 f"collection_enabled() check) so the collection-off path "
                 f"stays free",
             )
+
+
+def _own_returns(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> Iterator[ast.Return]:
+    """Return statements belonging to ``func`` itself (nested function
+    definitions have their own contract and are skipped)."""
+    stack: list[ast.stmt] = list(func.body)
+    while stack:
+        stmt = stack.pop()
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if isinstance(stmt, ast.Return):
+            yield stmt
+            continue
+        for _, value in ast.iter_fields(stmt):
+            if isinstance(value, list):
+                for item in value:
+                    if isinstance(item, ast.stmt):
+                        stack.append(item)
+                    elif isinstance(item, ast.excepthandler):
+                        stack.extend(item.body)
+
+
+def _is_clamp_call(node: ast.expr) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id == "clamp01"
+    if isinstance(func, ast.Attribute):
+        return func.attr == "clamp01"
+    return False
 
 
 #: Name segments that identify a trace-collector receiver.

@@ -74,14 +74,23 @@ __all__ = [
 # ---------------------------------------------------------------------------
 
 
-def fingerprint(expr: BoundExpr, delta: int = 0) -> str:
+def _shift(delta, index: int) -> int:
+    """Apply a column-space transform: a plain offset (pushdown rebasing)
+    or an arbitrary index mapping (cost-based join reordering)."""
+    if callable(delta):
+        return delta(index)
+    return index + delta
+
+
+def fingerprint(expr: BoundExpr, delta=0) -> str:
     """Canonical structural string for ``expr`` with column indices
-    shifted by ``delta`` — used to compare predicates across pushdown
-    rebasing.  ``=`` is fingerprinted with sorted operands so equi-key
-    extraction commuting ``a = b`` does not read as a different
-    predicate."""
+    mapped through ``delta`` — an integer shift (pushdown rebasing) or a
+    callable index transform (join reordering) — used to compare
+    predicates across rewrites.  ``=`` is fingerprinted with sorted
+    operands so equi-key extraction commuting ``a = b`` does not read as
+    a different predicate."""
     if isinstance(expr, BoundColumnRef):
-        return f"col#{expr.index + delta}"
+        return f"col#{_shift(delta, expr.index)}"
     if isinstance(expr, BoundConstant):
         return f"const({expr.value!r})"
     if isinstance(expr, BoundFunction):
@@ -131,12 +140,36 @@ def _split_conjuncts(expr: BoundExpr) -> list[BoundExpr]:
     return [expr]
 
 
-def _collect_conjuncts(op: LogicalOperator, delta: int,
+def _permutation_transform(op: LogicalProject):
+    """If ``op`` is a pure column permutation (every expression a bare
+    column reference, bijective over the child's width), return the map
+    child-space index → output position; otherwise ``None``.  The
+    cost-based optimizer emits such projections to restore binder column
+    order after join reordering."""
+    width = len(op.child.output_types())
+    if len(op.exprs) != width:
+        return None
+    position_of: dict[int, int] = {}
+    for position, expr in enumerate(op.exprs):
+        if not isinstance(expr, BoundColumnRef):
+            return None
+        if expr.index in position_of:
+            return None
+        position_of[expr.index] = position
+    if len(position_of) != width:
+        return None
+    return position_of
+
+
+def _collect_conjuncts(op: LogicalOperator, delta,
                        out: list[str]) -> None:
     """Collect conjunct fingerprints from a filter/join subtree, expressed
-    in the subtree root's flat column space.  Equi-join keys count as
-    their original ``=`` conjunct (right side shifted back over the join
-    boundary); collection stops at pipeline breakers (aggregates,
+    in the subtree root's flat column space.  ``delta`` maps each node's
+    local indices into that space — an integer shift or, below a
+    column-permutation projection (cost-based join reordering), a
+    composed index transform.  Equi-join keys count as their original
+    ``=`` conjunct (right side shifted back over the join boundary);
+    collection stops at pipeline breakers (aggregates, computing
     projections, …) whose internals pushdown never crosses."""
     if isinstance(op, LogicalFilter):
         for conj in _split_conjuncts(op.condition):
@@ -145,17 +178,32 @@ def _collect_conjuncts(op: LogicalOperator, delta: int,
         return
     if isinstance(op, LogicalJoin):
         left_width = len(op.left.output_types())
+
+        def right_delta(index: int, _delta=delta,
+                        _width=left_width) -> int:
+            return _shift(_delta, index + _width)
+
         _collect_conjuncts(op.left, delta, out)
-        _collect_conjuncts(op.right, delta + left_width, out)
+        _collect_conjuncts(op.right, right_delta, out)
         for left_key, right_key in op.equi_keys:
             pair = sorted((
                 fingerprint(left_key, delta),
-                fingerprint(right_key, delta + left_width),
+                fingerprint(right_key, right_delta),
             ))
             out.append(f"=({', '.join(pair)})")
         if op.residual is not None:
             for conj in _split_conjuncts(op.residual):
                 out.append(fingerprint(conj, delta))
+        return
+    if isinstance(op, LogicalProject):
+        position_of = _permutation_transform(op)
+        if position_of is not None:
+
+            def child_delta(index: int, _delta=delta,
+                            _position_of=position_of) -> int:
+                return _shift(_delta, _position_of[index])
+
+            _collect_conjuncts(op.child, child_delta, out)
         return
     # Leaves and pipeline breakers: nothing to collect.
 

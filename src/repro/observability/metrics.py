@@ -102,7 +102,10 @@ class Histogram:
             if n == 0:
                 continue
             if cumulative + n >= rank:
-                lower = 0.0 if i == 0 else self.BUCKET_BOUNDS[i - 1]
+                # The first bucket has no finite lower bound of its own;
+                # use the observed min so negative observations do not
+                # get pinned to 0.0.
+                lower = self.min if i == 0 else self.BUCKET_BOUNDS[i - 1]
                 upper = (
                     self.BUCKET_BOUNDS[i]
                     if i < len(self.BUCKET_BOUNDS)

@@ -80,6 +80,7 @@ DECLARED_COUNTERS = frozenset({
 #: Prefix families whose members are generated (``<prefix><suffix>``).
 DECLARED_PREFIXES = (
     "optimizer.rule.",
+    "optimizer.cbo.",
 )
 
 #: Every fixed gauge name.

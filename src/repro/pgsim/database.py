@@ -90,6 +90,8 @@ class RowConnection:
         #: rolling log of completed queries (``SET log_min_duration``
         #: tunes the slow-query threshold)
         self._query_log = QueryLog()
+        #: cost-based optimizer kill switch (``SET cbo = on|off``)
+        self._cbo = True
 
     def execute(self, sql: str) -> Result:
         if not collection_enabled():
@@ -272,14 +274,39 @@ class RowConnection:
             if index is not None:
                 index.table.indexes.remove(index)
             return Result()
+        if isinstance(stmt, ast.AnalyzeStatement):
+            return self._execute_analyze(stmt)
         if isinstance(stmt, ast.SetStatement):
             return self._execute_set(stmt)
         if isinstance(stmt, ast.ShowStatement):
             return self._execute_show(stmt)
         raise QuackError(f"unsupported statement {type(stmt).__name__}")
 
+    def _execute_analyze(self, stmt: ast.AnalyzeStatement) -> Result:
+        """Collect optimizer statistics for one table (or all tables)."""
+        from ..quack.stats import analyze_table
+
+        catalog = self.database.catalog
+        if stmt.table is not None:
+            tables = [catalog.get_table(stmt.table)]
+        else:
+            tables = list(catalog.tables.values())
+        rows = []
+        for table in tables:
+            table.stats = analyze_table(table)
+            rows.append(
+                (table.name, table.stats.row_count,
+                 len(table.stats.columns))
+            )
+        return Result(["table", "rows", "columns"], [], rows)
+
     def _execute_set(self, stmt: ast.SetStatement) -> Result:
         name = stmt.name.lower()
+        if name == "cbo":
+            from ..quack.database import _parse_on_off
+
+            self._cbo = _parse_on_off(stmt.value, "cbo")
+            return Result()
         if name != "log_min_duration":
             # no morsel pool here — the row engine is single-threaded
             raise QuackError(f"unknown setting {stmt.name!r}")
@@ -301,6 +328,8 @@ class RowConnection:
 
     def _execute_show(self, stmt: ast.ShowStatement) -> Result:
         name = stmt.name.lower()
+        if name == "cbo":
+            return Result([name], [], [("on" if self._cbo else "off",)])
         if name != "log_min_duration":
             raise QuackError(f"unknown setting {stmt.name!r}")
         return Result(
@@ -323,7 +352,7 @@ class RowConnection:
 
             verify_planned(plan, self.database.functions, stats, "bind")
         with maybe_span(stats, "optimize"):
-            plan = optimize(plan, stats)
+            plan = optimize(plan, stats, cbo=self._cbo)
         if verification_enabled():
             from ..analysis.verifier import verify_planned
 

@@ -136,6 +136,9 @@ class Table:
         self._deleted: list[np.ndarray] = []  # parallels sealed structure
         self._deleted_ids: set[int] = set()
         self.indexes: list["TableIndex"] = []
+        #: per-table ANALYZE statistics (repro.quack.stats.TableStats);
+        #: None until ANALYZE runs — the optimizer then stays heuristic.
+        self.stats = None
 
     # -- metadata -----------------------------------------------------------------
 

@@ -157,6 +157,24 @@ class Database:
         self.loaded_extensions.append(name)
 
 
+def _parse_on_off(value: ast.Expr, setting: str) -> bool:
+    """Interpret a ``SET <setting> = on|off`` value straight from the AST
+    (``on``/``off`` parse as bare column references, which constant
+    folding cannot resolve)."""
+    if isinstance(value, ast.Literal) and isinstance(value.value, bool):
+        return value.value
+    word = None
+    if isinstance(value, ast.ColumnRef) and len(value.parts) == 1:
+        word = value.parts[0].lower()
+    elif isinstance(value, ast.Literal) and isinstance(value.value, str):
+        word = value.value.lower()
+    if word in ("on", "true", "1"):
+        return True
+    if word in ("off", "false", "0"):
+        return False
+    raise QuackError(f"SET {setting} expects on or off")
+
+
 class Connection:
     """A connection to a database; executes SQL statements."""
 
@@ -170,6 +188,9 @@ class Connection:
         #: rolling log of completed queries (``SET log_min_duration``
         #: tunes the slow-query threshold)
         self._query_log = QueryLog()
+        #: cost-based optimizer kill switch (``SET cbo = on|off``);
+        #: tables without ANALYZE statistics plan heuristically anyway
+        self._cbo = True
 
     def set_workers(self, workers: int) -> None:
         """Change the parallelism degree; the old pool is drained."""
@@ -373,14 +394,37 @@ class Connection:
             return self._execute_delete(stmt)
         if isinstance(stmt, ast.DropStatement):
             return self._execute_drop(stmt)
+        if isinstance(stmt, ast.AnalyzeStatement):
+            return self._execute_analyze(stmt)
         if isinstance(stmt, ast.SetStatement):
             return self._execute_set(stmt)
         if isinstance(stmt, ast.ShowStatement):
             return self._execute_show(stmt)
         raise QuackError(f"unsupported statement {type(stmt).__name__}")
 
+    def _execute_analyze(self, stmt: ast.AnalyzeStatement) -> Result:
+        """Collect optimizer statistics for one table (or all tables)."""
+        from .stats import analyze_table
+
+        catalog = self.database.catalog
+        if stmt.table is not None:
+            tables = [catalog.get_table(stmt.table)]
+        else:
+            tables = list(catalog.tables.values())
+        rows = []
+        for table in tables:
+            table.stats = analyze_table(table)
+            rows.append(
+                (table.name, table.stats.row_count,
+                 len(table.stats.columns))
+            )
+        return Result(["table", "rows", "columns"], [], rows)
+
     def _execute_set(self, stmt: ast.SetStatement) -> Result:
         name = stmt.name.lower()
+        if name == "cbo":
+            self._cbo = _parse_on_off(stmt.value, "cbo")
+            return Result()
         if name not in ("threads", "workers", "log_min_duration"):
             raise QuackError(f"unknown setting {stmt.name!r}")
         context = BinderContext(
@@ -421,6 +465,8 @@ class Connection:
             value: Any = self.workers
         elif name == "log_min_duration":
             value = self._query_log.min_duration_ms
+        elif name == "cbo":
+            value = "on" if self._cbo else "off"
         else:
             raise QuackError(f"unknown setting {stmt.name!r}")
         return Result([stmt.name.lower()], [], [(value,)])
@@ -454,7 +500,7 @@ class Connection:
 
             verify_planned(plan, self.database.functions, stats, "bind")
         with maybe_span(stats, "optimize"):
-            plan = optimize(plan, stats)
+            plan = optimize(plan, stats, cbo=self._cbo)
         if verification_enabled():
             from ..analysis.verifier import verify_planned
 

@@ -1,15 +1,27 @@
-"""Plan optimizer: filter pushdown, hash-join extraction, index injection.
+"""Plan optimizer: filter pushdown, join ordering, index injection.
 
-The headline rewrite is the paper's §4.3: when a filter conjunct has the
-shape ``column <op> constant`` over a base-table scan and an attached index
-advertises support for ``<op>`` on that column, the sequential scan is
-replaced by an index scan (the predicate is kept as a recheck filter, which
-is exact and cheap).
+The headline rewrites:
+
+* Paper §4.3 — when a filter conjunct has the shape ``column <op>
+  constant`` over a base-table scan and an attached index advertises
+  support for ``<op>`` on that column, the sequential scan is replaced by
+  an index scan (the predicate is kept as a recheck filter, which is
+  exact and cheap).
+* Cost-based join ordering — when every leaf of a flattened comma-join
+  carries ``ANALYZE`` statistics (:mod:`repro.quack.stats`), join order
+  is chosen by dynamic programming over estimated cardinalities (up to
+  :data:`DP_MAX_RELATIONS` leaves; greedy pairwise merging beyond), and
+  each join picks hash vs index-nested-loop vs nested-loop by estimated
+  cost instead of by rule.  Without statistics — or under
+  ``SET cbo = off`` — the plan falls back to the original heuristic
+  left-deep build, bit-identically.
 """
 
 from __future__ import annotations
 
-from typing import Any
+import copy
+import math
+from typing import Any, Callable
 
 from ..analysis.config import verification_enabled
 from .binder import _NOT_CONSTANT, fold_constant
@@ -18,6 +30,9 @@ from .plan import (
     BoundConjunction,
     BoundExpr,
     BoundFunction,
+    BoundInList,
+    BoundIsNull,
+    BoundNot,
     LogicalAggregate,
     LogicalDistinct,
     LogicalFilter,
@@ -31,28 +46,53 @@ from .plan import (
     LogicalSetOp,
     LogicalSort,
 )
+from . import stats as table_stats
+
+#: Exhaustive DP join enumeration up to this many relations; greedy
+#: pairwise merging beyond (3^n subset partitions grow too fast).
+DP_MAX_RELATIONS = 8
+
+#: Cost-model weights (unit: row touches).
+_HASH_BUILD_FACTOR = 2.0
+_CROSS_PENALTY = 10.0
 
 
-def optimize(plan: LogicalOperator, stats=None) -> LogicalOperator:
-    """Rewrite a bound plan. Idempotent; returns a new tree.
+def optimize(plan: LogicalOperator, stats=None,
+             cbo: bool = True) -> LogicalOperator:
+    """Rewrite a bound plan. Idempotent; returns a new tree — the input
+    plan is never mutated, so a cached bound plan can be re-optimized.
 
     ``stats`` (a :class:`repro.observability.QueryStatistics`) receives
-    per-rule fire counts under ``optimizer.rule.<name>``.  Under
-    verification mode every filter rewrite is snapshot-checked (schema
-    stability, predicate preservation, index-injection validity) and a
-    violation names the optimizer rule that fired."""
+    per-rule fire counts under ``optimizer.rule.<name>`` and cost-based
+    planning counters under ``optimizer.cbo.<name>``.  ``cbo`` is the
+    ``SET cbo = on|off`` kill switch: when off — or when any join leaf
+    lacks ``ANALYZE`` statistics — planning stays on the heuristic path
+    and produces the same plan as before the cost-based optimizer
+    existed.  Under verification mode every filter rewrite is
+    snapshot-checked (schema stability, predicate preservation,
+    index-injection validity) and a violation names the optimizer rule
+    that fired."""
     verifier = None
     if verification_enabled():
         from ..analysis.verifier import RewriteVerifier
 
         verifier = RewriteVerifier()
-    return _Optimizer(stats, verifier).rewrite(plan)
+    return _Optimizer(stats, verifier, cbo).rewrite(plan)
+
+
+def _with(op: LogicalOperator, **fields) -> LogicalOperator:
+    """Shallow-copy ``op`` with ``fields`` replaced (copy-on-write)."""
+    clone = copy.copy(op)
+    for name, value in fields.items():
+        setattr(clone, name, value)
+    return clone
 
 
 class _Optimizer:
-    def __init__(self, stats=None, verifier=None):
+    def __init__(self, stats=None, verifier=None, cbo: bool = True):
         self._stats = stats
         self._verifier = verifier
+        self._cbo = cbo
 
     def _fire(self, rule: str, n: int = 1) -> None:
         if self._verifier is not None:
@@ -60,31 +100,39 @@ class _Optimizer:
         if self._stats is not None:
             self._stats.bump(f"optimizer.rule.{rule}", n)
 
+    def _count(self, name: str, n: int = 1) -> None:
+        if self._stats is not None:
+            self._stats.bump(f"optimizer.cbo.{name}", n)
+
     def rewrite(self, op: LogicalOperator) -> LogicalOperator:
         if isinstance(op, LogicalFilter):
             return self._rewrite_filter(op)
         if isinstance(op, LogicalJoin):
-            op.left = self.rewrite(op.left)
-            op.right = self.rewrite(op.right)
-            return op
+            return _with(
+                op,
+                left=self.rewrite(op.left),
+                right=self.rewrite(op.right),
+            )
         if isinstance(op, LogicalProject):
-            op.child = self.rewrite(op.child)
-            return op
+            return _with(op, child=self.rewrite(op.child))
         if isinstance(op, (LogicalSort, LogicalLimit, LogicalDistinct,
                            LogicalAggregate)):
-            op.child = self.rewrite(op.child)
-            return op
+            return _with(op, child=self.rewrite(op.child))
         if isinstance(op, LogicalSetOp):
-            op.left = self.rewrite(op.left)
-            op.right = self.rewrite(op.right)
-            return op
+            return _with(
+                op,
+                left=self.rewrite(op.left),
+                right=self.rewrite(op.right),
+            )
         if isinstance(op, LogicalMaterializedCTE):
-            op.ctes = [
-                (cte_id, name, self.rewrite(plan))
-                for cte_id, name, plan in op.ctes
-            ]
-            op.child = self.rewrite(op.child)
-            return op
+            return _with(
+                op,
+                ctes=[
+                    (cte_id, name, self.rewrite(plan))
+                    for cte_id, name, plan in op.ctes
+                ],
+                child=self.rewrite(op.child),
+            )
         return op
 
     # -- filter over a join tree -------------------------------------------------
@@ -119,9 +167,11 @@ class _Optimizer:
             offsets.append(total)
             total += len(leaf.output_types())
 
-        # Classify conjuncts by the highest leaf they touch.
+        # Classify conjuncts: single-leaf ones push down (rebased to
+        # the leaf's own space); multi-leaf ones become join predicates;
+        # column-free ones stay above the whole join tree.
         per_leaf: list[list[BoundExpr]] = [[] for _ in leaves]
-        per_join: list[list[BoundExpr]] = [[] for _ in leaves]  # join idx i
+        multi: list[tuple[BoundExpr, tuple[int, ...]]] = []
         top_level: list[BoundExpr] = []
         for conj in conjuncts:
             used = conj.columns_used()
@@ -137,7 +187,7 @@ class _Optimizer:
                     _rebase(conj, -offsets[touched[0]])
                 )
             else:
-                per_join[touched[-1]].append(conj)
+                multi.append((conj, tuple(touched)))
 
         # Rebuild: optimize each leaf with its own filters + index injection.
         new_leaves: list[LogicalOperator] = []
@@ -147,6 +197,29 @@ class _Optimizer:
             if remaining:
                 leaf = LogicalFilter(_combine(remaining), leaf)
             new_leaves.append(leaf)
+
+        if self._cbo and len(leaves) >= 2:
+            result = self._cbo_plan(
+                leaves, new_leaves, offsets, per_leaf, multi, top_level
+            )
+            if result is not None:
+                return result
+
+        return self._heuristic_plan(
+            new_leaves, offsets, multi, top_level
+        )
+
+    def _heuristic_plan(
+        self,
+        new_leaves: list[LogicalOperator],
+        offsets: list[int],
+        multi: list[tuple[BoundExpr, tuple[int, ...]]],
+        top_level: list[BoundExpr],
+    ) -> LogicalOperator:
+        """The original rule-based left-deep build in binder order."""
+        per_join: list[list[BoundExpr]] = [[] for _ in new_leaves]
+        for conj, touched in multi:
+            per_join[touched[-1]].append(conj)
 
         plan = new_leaves[0]
         for i in range(1, len(new_leaves)):
@@ -203,6 +276,173 @@ class _Optimizer:
                 return i
         return 0
 
+    # -- cost-based join ordering ------------------------------------------------
+
+    def _cbo_plan(
+        self,
+        leaves: list[LogicalOperator],
+        new_leaves: list[LogicalOperator],
+        offsets: list[int],
+        per_leaf: list[list[BoundExpr]],
+        multi: list[tuple[BoundExpr, tuple[int, ...]]],
+        top_level: list[BoundExpr],
+    ) -> LogicalOperator | None:
+        """Join-order search over the flattened leaves; ``None`` when
+        statistics are missing (heuristic fallback)."""
+        stats_per_leaf: list[table_stats.TableStats | None] = []
+        for leaf in leaves:
+            stats = None
+            if isinstance(leaf, LogicalGet):
+                stats = getattr(leaf.table, "stats", None)
+            stats_per_leaf.append(stats)
+        if any(s is None for s in stats_per_leaf):
+            self._count("stats_missing")
+            return None
+
+        n = len(leaves)
+        widths = [len(leaf.output_types()) for leaf in leaves]
+
+        def column_stats_at(flat: int) -> table_stats.ColumnStats | None:
+            li = self._leaf_of(flat, offsets, leaves)
+            return stats_per_leaf[li].column(flat - offsets[li])
+
+        # Estimated leaf cardinalities after pushed filters.
+        leaf_rows: list[float] = []
+        for i, leaf_statistics in enumerate(stats_per_leaf):
+            rows = float(max(leaf_statistics.row_count, 1))
+            local = leaf_statistics.column
+            for conj in per_leaf[i]:
+                rows *= _estimate_conjunct(conj, local)
+            leaf_rows.append(max(rows, 1.0))
+
+        edges = [
+            _JoinEdge.build(conj, touched, offsets, column_stats_at,
+                            new_leaves)
+            for conj, touched in multi
+        ]
+
+        searcher = _JoinSearch(n, widths, leaf_rows, edges)
+        if n <= DP_MAX_RELATIONS:
+            tree = searcher.dynamic_programming()
+            self._count("dp_plans")
+        else:
+            tree = searcher.greedy()
+            self._count("greedy_plans")
+        self._count("planned")
+        self._fire("cbo_join_order")
+
+        plan = self._build_cbo_tree(
+            tree, searcher, leaves, new_leaves, offsets, widths
+        )
+        if top_level:
+            plan = LogicalFilter(_combine(top_level), plan)
+        return plan
+
+    def _build_cbo_tree(
+        self,
+        tree,
+        searcher: "_JoinSearch",
+        leaves: list[LogicalOperator],
+        new_leaves: list[LogicalOperator],
+        offsets: list[int],
+        widths: list[int],
+    ) -> LogicalOperator:
+        """Materialize the winning abstract join tree as operators."""
+        order = _flatten_tree(tree)
+        new_offsets: dict[int, int] = {}
+        position = 0
+        for leaf_index in order:
+            new_offsets[leaf_index] = position
+            position += widths[leaf_index]
+        total = position
+        old_to_new: dict[int, int] = {}
+        for leaf_index in range(len(leaves)):
+            for k in range(widths[leaf_index]):
+                old_to_new[offsets[leaf_index] + k] = (
+                    new_offsets[leaf_index] + k
+                )
+
+        pending = list(searcher.edges)
+
+        def build(node) -> tuple[LogicalOperator, int, int, int]:
+            """Returns (operator, leaf mask, start offset, width)."""
+            if isinstance(node, int):
+                leaf_op = copy.copy(new_leaves[node])
+                leaf_op.estimated_rows = int(
+                    round(searcher.leaf_rows[node])
+                )
+                return (leaf_op, 1 << node, new_offsets[node],
+                        widths[node])
+            left_tree, right_tree, method = node
+            left_op, lmask, lstart, lwidth = build(left_tree)
+            right_op, rmask, rstart, rwidth = build(right_tree)
+            node_mask = lmask | rmask
+            node_start = min(lstart, rstart)
+            crossing: list[BoundExpr] = []
+            for edge in list(pending):
+                if (edge.mask & lmask and edge.mask & rmask
+                        and not edge.mask & ~node_mask):
+                    pending.remove(edge)
+                    crossing.append(_remap(
+                        edge.conj,
+                        lambda old: old_to_new[old] - node_start,
+                    ))
+            boundary = lwidth
+            equi_keys: list[tuple[BoundExpr, BoundExpr]] = []
+            residuals: list[BoundExpr] = []
+            index_probe = None
+            if method == "inl":
+                index_probe = _match_join_index(
+                    crossing, boundary, right_op
+                )
+            if index_probe is not None:
+                self._fire("index_nl_join")
+                self._count("index_nl_joins")
+                residuals = crossing
+            else:
+                for conj in crossing:
+                    pair = _extract_equi_key(conj, boundary)
+                    if pair is not None:
+                        self._fire("hash_join_extraction")
+                        left_key, right_key = pair
+                        equi_keys.append(
+                            (left_key, _rebase(right_key, -boundary))
+                        )
+                    else:
+                        residuals.append(conj)
+                if equi_keys:
+                    self._count("hash_joins")
+                elif residuals:
+                    self._count("nl_joins")
+                else:
+                    self._count("cross_joins")
+            join_type = "inner" if (equi_keys or residuals) else "cross"
+            join = LogicalJoin(
+                left_op,
+                right_op,
+                join_type,
+                equi_keys=equi_keys,
+                residual=_combine(residuals) if residuals else None,
+                index_probe=index_probe,
+            )
+            join.estimated_rows = int(round(searcher.rows_of(node_mask)))
+            return join, node_mask, node_start, lwidth + rwidth
+
+        root, _, _, _ = build(tree)
+        if order != sorted(order):
+            self._count("reordered")
+            types: list = []
+            names: list[str] = []
+            for leaf in leaves:
+                types.extend(leaf.output_types())
+                names.extend(leaf.output_names())
+            exprs = [
+                BoundColumnRef(old_to_new[old], types[old], names[old])
+                for old in range(total)
+            ]
+            root = LogicalProject(exprs, names, root)
+        return root
+
     # -- index injection (paper §4.3) ------------------------------------------------
 
     def _try_push_into_leaf(
@@ -229,6 +469,350 @@ class _Optimizer:
 
 
 # ---------------------------------------------------------------------------
+# Join-order search (DP + greedy) over estimated cardinalities
+# ---------------------------------------------------------------------------
+
+
+class _JoinEdge:
+    """One multi-leaf conjunct with its selectivity and physical options."""
+
+    __slots__ = ("conj", "mask", "selectivity", "equi_sides",
+                 "probe_candidates")
+
+    def __init__(self, conj, mask, selectivity, equi_sides,
+                 probe_candidates):
+        self.conj = conj
+        self.mask = mask
+        self.selectivity = selectivity
+        #: for ``a = b`` conjuncts: the leaf masks of the two operand
+        #: sides (hash-joinable when they fall on opposite subtrees)
+        self.equi_sides = equi_sides
+        #: ``(right_leaf, other_side_mask)`` pairs: an index on
+        #: ``right_leaf`` can serve this conjunct when the other operand
+        #: is fully available on the probe side
+        self.probe_candidates = probe_candidates
+
+    @staticmethod
+    def build(conj, touched, offsets, column_stats_at, new_leaves):
+        mask = 0
+        for leaf_index in touched:
+            mask |= 1 << leaf_index
+        selectivity = _estimate_conjunct(conj, column_stats_at)
+
+        def leaf_mask(expr: BoundExpr) -> int:
+            out = 0
+            for flat in expr.columns_used():
+                out |= 1 << _Optimizer._leaf_of(flat, offsets, new_leaves)
+            return out
+
+        equi_sides = None
+        if (isinstance(conj, BoundFunction) and conj.name == "="
+                and len(conj.args) == 2):
+            a, b = conj.args
+            if (a.columns_used() and b.columns_used()
+                    and _subquery_free(a) and _subquery_free(b)):
+                side_a, side_b = leaf_mask(a), leaf_mask(b)
+                if not side_a & side_b:
+                    equi_sides = (side_a, side_b)
+
+        probe_candidates = []
+        if (isinstance(conj, BoundFunction)
+                and conj.name in _JOIN_INDEX_OPS
+                and len(conj.args) == 2):
+            for own, other in ((conj.args[0], conj.args[1]),
+                               (conj.args[1], conj.args[0])):
+                if not isinstance(own, BoundColumnRef):
+                    continue
+                leaf_index = _Optimizer._leaf_of(
+                    own.index, offsets, new_leaves
+                )
+                leaf = new_leaves[leaf_index]
+                if not isinstance(leaf, LogicalGet):
+                    continue
+                other_cols = other.columns_used()
+                if not other_cols or not _subquery_free(other):
+                    continue
+                other_mask = leaf_mask(other)
+                if other_mask & (1 << leaf_index):
+                    continue
+                column_name = leaf.table.column_names[
+                    own.index - offsets[leaf_index]
+                ]
+                if any(
+                    index.matches(conj.name, column_name, None)
+                    for index in leaf.table.indexes
+                ):
+                    probe_candidates.append((leaf_index, other_mask))
+        return _JoinEdge(conj, mask, selectivity, equi_sides,
+                         probe_candidates)
+
+
+class _JoinSearch:
+    """Cardinality-driven join-order enumeration.
+
+    Trees are nested ``(left, right, method)`` tuples over leaf indices;
+    ``method`` is the cost model's physical pick (``hash`` / ``inl`` /
+    ``nl`` / ``cross``) — construction re-validates it and falls back
+    gracefully when the shape no longer matches."""
+
+    def __init__(self, n: int, widths: list[int],
+                 leaf_rows: list[float], edges: list[_JoinEdge]):
+        self.n = n
+        self.widths = widths
+        self.leaf_rows = leaf_rows
+        self.edges = edges
+        self._rows_cache: dict[int, float] = {}
+
+    def rows_of(self, mask: int) -> float:
+        cached = self._rows_cache.get(mask)
+        if cached is not None:
+            return cached
+        rows = 1.0
+        for i in range(self.n):
+            if mask & (1 << i):
+                rows *= self.leaf_rows[i]
+        for edge in self.edges:
+            if not edge.mask & ~mask:
+                rows *= edge.selectivity
+        rows = max(rows, 1.0)
+        self._rows_cache[mask] = rows
+        return rows
+
+    def join_cost(self, lm: int, rm: int) -> tuple[float, str]:
+        """Cost and physical method of joining subtrees ``lm`` ⨝ ``rm``
+        (the right side is always the build/inner side downstream)."""
+        out = self.rows_of(lm | rm)
+        rows_left = self.rows_of(lm)
+        rows_right = self.rows_of(rm)
+        both = lm | rm
+        hash_possible = False
+        inl_possible = False
+        crossing = False
+        for edge in self.edges:
+            if edge.mask & ~both or not (edge.mask & lm and edge.mask & rm):
+                continue
+            crossing = True
+            if edge.equi_sides is not None:
+                side_a, side_b = edge.equi_sides
+                if ((not side_a & ~lm and not side_b & ~rm)
+                        or (not side_a & ~rm and not side_b & ~lm)):
+                    hash_possible = True
+            for leaf_index, other_mask in edge.probe_candidates:
+                if rm == (1 << leaf_index) and not other_mask & ~lm:
+                    inl_possible = True
+        best_cost = rows_left * rows_right + out
+        method = "nl" if crossing else "cross"
+        if not crossing:
+            best_cost = _CROSS_PENALTY * rows_left * rows_right + out
+        if hash_possible:
+            cost = (rows_left + _HASH_BUILD_FACTOR * rows_right + out)
+            if cost < best_cost:
+                best_cost, method = cost, "hash"
+        if inl_possible:
+            cost = rows_left * (1.0 + math.log2(1.0 + rows_right)) + out
+            if cost < best_cost:
+                best_cost, method = cost, "inl"
+        return best_cost, method
+
+    def dynamic_programming(self):
+        best: dict[int, tuple[float, Any]] = {}
+        for i in range(self.n):
+            best[1 << i] = (0.0, i)
+        full = (1 << self.n) - 1
+        masks = sorted(range(1, full + 1), key=_popcount)
+        for mask in masks:
+            if _popcount(mask) < 2:
+                continue
+            winner: tuple[float, Any] | None = None
+            sub = (mask - 1) & mask
+            while sub:
+                rem = mask ^ sub
+                if rem:
+                    cost_left, tree_left = best[sub]
+                    cost_right, tree_right = best[rem]
+                    join_cost, method = self.join_cost(sub, rem)
+                    total = cost_left + cost_right + join_cost
+                    if winner is None or total < winner[0]:
+                        winner = (total, (tree_left, tree_right, method))
+                sub = (sub - 1) & mask
+            best[mask] = winner
+        return best[full][1]
+
+    def greedy(self):
+        components: list[tuple[int, Any]] = [
+            (1 << i, i) for i in range(self.n)
+        ]
+        while len(components) > 1:
+            winner = None
+            for li, (lmask, ltree) in enumerate(components):
+                for ri, (rmask, rtree) in enumerate(components):
+                    if li == ri:
+                        continue
+                    cost, method = self.join_cost(lmask, rmask)
+                    if winner is None or cost < winner[0]:
+                        winner = (cost, li, ri, method)
+            _, li, ri, method = winner
+            lmask, ltree = components[li]
+            rmask, rtree = components[ri]
+            merged = (lmask | rmask, (ltree, rtree, method))
+            components = [
+                c for i, c in enumerate(components) if i not in (li, ri)
+            ]
+            components.append(merged)
+        return components[0][1]
+
+
+def _popcount(mask: int) -> int:
+    return bin(mask).count("1")
+
+
+def _flatten_tree(tree) -> list[int]:
+    if isinstance(tree, int):
+        return [tree]
+    left, right, _ = tree
+    return _flatten_tree(left) + _flatten_tree(right)
+
+
+# ---------------------------------------------------------------------------
+# Predicate selectivity over bound expressions
+# ---------------------------------------------------------------------------
+
+_COMPARISON_FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<=",
+                    "=": "=", "!=": "!=", "<>": "<>"}
+_LOWER_BOUND_OPS = (">", ">=")
+_UPPER_BOUND_OPS = ("<", "<=")
+
+_StatsResolver = Callable[[int], "table_stats.ColumnStats | None"]
+
+
+def _comparison_parts(
+    conj: BoundExpr,
+) -> tuple[int, str, Any] | None:
+    """Match ``col <op> constant`` (either operand order; the operator is
+    flipped when the column is on the right)."""
+    if not isinstance(conj, BoundFunction) or len(conj.args) != 2:
+        return None
+    op_name = conj.name
+    left, right = conj.args
+    if isinstance(left, BoundColumnRef):
+        constant = fold_constant(right)
+        if constant is not _NOT_CONSTANT and constant is not None:
+            return (left.index, op_name, constant)
+    if isinstance(right, BoundColumnRef) and op_name in _COMPARISON_FLIP:
+        constant = fold_constant(left)
+        if constant is not _NOT_CONSTANT and constant is not None:
+            return (right.index, _COMPARISON_FLIP[op_name], constant)
+    return None
+
+
+def _estimate_conjunct(conj: BoundExpr,
+                       resolver: _StatsResolver) -> float:
+    """Estimated selectivity of one predicate against column statistics
+    resolved by ``resolver`` (flat column index → ColumnStats)."""
+    if isinstance(conj, BoundConjunction):
+        if conj.op == "AND":
+            return _estimate_and(_split_conjuncts(conj), resolver)
+        miss = 1.0
+        for arg in conj.args:
+            miss *= 1.0 - _estimate_conjunct(arg, resolver)
+        return table_stats.clamp01(1.0 - miss)
+    if isinstance(conj, BoundNot):
+        return table_stats.clamp01(
+            1.0 - _estimate_conjunct(conj.child, resolver)
+        )
+    if isinstance(conj, BoundIsNull):
+        fraction = 0.05
+        if isinstance(conj.child, BoundColumnRef):
+            stats = resolver(conj.child.index)
+            if stats is not None and stats.row_count > 0:
+                fraction = stats.null_fraction()
+        return table_stats.clamp01(
+            1.0 - fraction if conj.negated else fraction
+        )
+    if isinstance(conj, BoundInList):
+        if isinstance(conj.operand, BoundColumnRef):
+            stats = resolver(conj.operand.index)
+            one = table_stats.comparison_selectivity(stats, "=", None)
+            selectivity = len(conj.items) * one
+        else:
+            selectivity = (
+                len(conj.items) * table_stats.DEFAULT_EQ_SELECTIVITY
+            )
+        if conj.negated:
+            selectivity = 1.0 - selectivity
+        return table_stats.clamp01(selectivity)
+    if isinstance(conj, BoundFunction) and len(conj.args) == 2:
+        name = conj.name
+        a, b = conj.args
+        if (name == "=" and isinstance(a, BoundColumnRef)
+                and isinstance(b, BoundColumnRef)):
+            return table_stats.equi_join_selectivity(
+                resolver(a.index), resolver(b.index)
+            )
+        parts = _comparison_parts(conj)
+        if parts is not None:
+            index, op_name, constant = parts
+            stats = resolver(index)
+            if op_name in ("=", "!=", "<>", "<", "<=", ">", ">="):
+                return table_stats.comparison_selectivity(
+                    stats, op_name, constant
+                )
+            if op_name in ("&&", "eintersects", "aintersects"):
+                return table_stats.overlap_selectivity(stats, constant)
+            if op_name == "@>":
+                return table_stats.containment_selectivity(
+                    stats, constant, True
+                )
+            if op_name == "<@":
+                return table_stats.containment_selectivity(
+                    stats, constant, False
+                )
+        return table_stats.default_selectivity(name)
+    return table_stats.clamp01(
+        table_stats.DEFAULT_RESIDUAL_SELECTIVITY
+    )
+
+
+def _estimate_and(conjuncts: list[BoundExpr],
+                  resolver: _StatsResolver) -> float:
+    """Selectivity of a conjunction; paired lower/upper bounds on the
+    same column (the binder lowers ``BETWEEN`` to exactly that) estimate
+    through the histogram as one range instead of two independent
+    comparisons."""
+    bounds: dict[int, dict[str, Any]] = {}
+    rest: list[BoundExpr] = []
+    for conj in conjuncts:
+        parts = _comparison_parts(conj)
+        if parts is not None:
+            index, op_name, constant = parts
+            if op_name in _LOWER_BOUND_OPS:
+                bounds.setdefault(index, {})["lo"] = constant
+                continue
+            if op_name in _UPPER_BOUND_OPS:
+                bounds.setdefault(index, {})["hi"] = constant
+                continue
+        rest.append(conj)
+    selectivity = 1.0
+    for index, pair in bounds.items():
+        stats = resolver(index)
+        if "lo" in pair and "hi" in pair:
+            selectivity *= table_stats.between_selectivity(
+                stats, pair["lo"], pair["hi"]
+            )
+        elif "lo" in pair:
+            selectivity *= table_stats.comparison_selectivity(
+                stats, ">=", pair["lo"]
+            )
+        else:
+            selectivity *= table_stats.comparison_selectivity(
+                stats, "<=", pair["hi"]
+            )
+    for conj in rest:
+        selectivity *= _estimate_conjunct(conj, resolver)
+    return table_stats.clamp01(selectivity)
+
+
+# ---------------------------------------------------------------------------
 # Expression utilities
 # ---------------------------------------------------------------------------
 
@@ -250,13 +834,16 @@ def _combine(conjuncts: list[BoundExpr]) -> BoundExpr:
     return BoundConjunction("AND", conjuncts, BOOLEAN)
 
 
-def _rebase(expr: BoundExpr, delta: int) -> BoundExpr:
-    """Shift all column indices by ``delta`` (returns a rewritten copy)."""
-    import copy
+def _transform_columns(
+    expr: BoundExpr, transform: Callable[[int], int]
+) -> BoundExpr:
+    """Rewrite every column index through ``transform`` (returns a copy)."""
 
     def shift(node: BoundExpr) -> BoundExpr:
         if isinstance(node, BoundColumnRef):
-            return BoundColumnRef(node.index + delta, node.ltype, node.name)
+            return BoundColumnRef(
+                transform(node.index), node.ltype, node.name
+            )
         clone = copy.copy(node)
         from .plan import (
             BoundCase,
@@ -289,6 +876,18 @@ def _rebase(expr: BoundExpr, delta: int) -> BoundExpr:
         return clone
 
     return shift(expr)
+
+
+def _rebase(expr: BoundExpr, delta: int) -> BoundExpr:
+    """Shift all column indices by ``delta`` (returns a rewritten copy)."""
+    return _transform_columns(expr, lambda index: index + delta)
+
+
+def _remap(expr: BoundExpr,
+           transform: Callable[[int], int]) -> BoundExpr:
+    """Rewrite column indices through an arbitrary mapping (join
+    reordering: binder-flat space → reordered node-local space)."""
+    return _transform_columns(expr, transform)
 
 
 def _extract_equi_key(

@@ -173,6 +173,10 @@ class AggregateSpec:
 class LogicalOperator:
     """Base logical/physical plan node (quack interprets these directly)."""
 
+    #: Cost-based optimizer cardinality estimate; ``None`` on plans built
+    #: without statistics, so heuristic plans print unchanged.
+    estimated_rows = None
+
     def output_types(self) -> list[LogicalType]:
         raise NotImplementedError
 
@@ -183,7 +187,10 @@ class LogicalOperator:
         return []
 
     def explain(self, indent: int = 0) -> str:
-        lines = [" " * indent + self._explain_label()]
+        label = self._explain_label()
+        if self.estimated_rows is not None:
+            label += f" (est={self.estimated_rows})"
+        lines = [" " * indent + label]
         for child in self.children():
             lines.append(child.explain(indent + 2))
         return "\n".join(lines)

@@ -65,9 +65,14 @@ class PlanProfiler:
 
     def _annotation(self, op: LogicalOperator) -> str:
         stats = self.stats.get(id(op))
+        estimated = getattr(op, "estimated_rows", None)
         if stats is None:
+            if estimated is not None:
+                return f"(est={estimated}, not executed)"
             return "(not executed)"
         parts = [f"rows={stats.rows}"]
+        if estimated is not None:
+            parts.append(f"est={estimated}")
         kstats = self.kernel_stats.get(id(op))
         if kstats is not None:
             parts.append(f"rows_in={kstats.rows_in}")
@@ -120,6 +125,9 @@ class PlanProfiler:
 
         def visit(op: LogicalOperator) -> dict[str, Any]:
             node: dict[str, Any] = {"operator": op._explain_label()}
+            estimated = getattr(op, "estimated_rows", None)
+            if estimated is not None:
+                node["estimated_rows"] = estimated
             stats = self.stats.get(id(op))
             if stats is not None:
                 node["rows"] = stats.rows

@@ -291,6 +291,15 @@ class ExplainStatement(Statement):
 
 
 @dataclass
+class AnalyzeStatement(Statement):
+    """``ANALYZE [table]`` — collect per-column optimizer statistics
+    (min/max, distinct count, null count, box-extent histograms) for one
+    table, or for every table when no name is given."""
+
+    table: str | None = None
+
+
+@dataclass
 class SetStatement(Statement):
     """``SET <name> = <value>`` / ``SET <name> TO <value>`` — session
     configuration (e.g. ``SET threads = 4``)."""

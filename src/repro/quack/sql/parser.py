@@ -109,17 +109,32 @@ class Parser:
             self.advance()
             analyze = bool(self.accept_keyword("ANALYZE"))
             return ast.ExplainStatement(self.parse_statement(), analyze)
+        if word == "ANALYZE":
+            return self._parse_analyze()
         if word == "SET":
             return self._parse_set()
         if word == "SHOW":
             return self._parse_show()
         raise ParserError(f"unsupported statement {token.text!r}")
 
+    def _parse_analyze(self) -> ast.AnalyzeStatement:
+        self.expect_keyword("ANALYZE")
+        table = None
+        if self.peek().kind == "ident":
+            table = self.expect_ident()
+        return ast.AnalyzeStatement(table)
+
     def _parse_set(self) -> ast.SetStatement:
         self.expect_keyword("SET")
         name = self.expect_ident()
         if not self.accept_op("="):
             self.expect_keyword("TO")
+        # ON/OFF are reserved words the expression parser rejects;
+        # accept them here for toggles like ``SET cbo = on``.
+        if self.accept_keyword("ON"):
+            return ast.SetStatement(name, ast.Literal(True))
+        if self.accept_keyword("OFF"):
+            return ast.SetStatement(name, ast.Literal(False))
         return ast.SetStatement(name, self.parse_expression())
 
     def _parse_show(self) -> ast.ShowStatement:

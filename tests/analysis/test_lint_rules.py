@@ -334,3 +334,67 @@ class TestTraceEmitGuard:
             module="repro.observability.trace",
             filename="trace.py",
         ) == []
+
+
+class TestSelectivityClamped:
+    def test_unclamped_return_flagged(self):
+        src = """
+            def comparison_selectivity(stats, op, value):
+                return 1.0 / max(stats.distinct_count, 1)
+        """
+        assert codes(src, module="repro.quack.stats",
+                     filename="stats.py") == ["ANL010"]
+
+    def test_clamped_return_clean(self):
+        src = """
+            def comparison_selectivity(stats, op, value):
+                return clamp01(1.0 / max(stats.distinct_count, 1))
+        """
+        assert codes(src, module="repro.quack.stats",
+                     filename="stats.py") == []
+
+    def test_attribute_clamp_counts(self):
+        src = """
+            def overlap_selectivity(stats, probe):
+                return table_stats.clamp01(0.5)
+        """
+        assert codes(src, module="repro.quack.optimizer",
+                     filename="optimizer.py") == []
+
+    def test_bare_return_flagged(self):
+        src = """
+            def between_selectivity(stats, lo, hi):
+                if stats is None:
+                    return
+                return clamp01(0.3)
+        """
+        assert codes(src, module="repro.quack.stats",
+                     filename="stats.py") == ["ANL010"]
+
+    def test_every_return_checked(self):
+        src = """
+            def equi_join_selectivity(left, right):
+                if left is None:
+                    return clamp01(0.005)
+                return 1.0 / max(left.distinct_count, 1)
+        """
+        assert codes(src, module="repro.quack.stats",
+                     filename="stats.py") == ["ANL010"]
+
+    def test_nested_helper_not_subject(self):
+        src = """
+            def overlap_selectivity(stats, probe):
+                def width(axis):
+                    return axis.hi - axis.lo
+                return clamp01(width(probe) * 0.1)
+        """
+        assert codes(src, module="repro.quack.stats",
+                     filename="stats.py") == []
+
+    def test_other_function_names_ignored(self):
+        src = """
+            def estimate_rows(stats):
+                return stats.row_count * 3.0
+        """
+        assert codes(src, module="repro.quack.stats",
+                     filename="stats.py") == []

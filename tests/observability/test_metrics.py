@@ -76,6 +76,29 @@ class TestQuantiles:
             "p50": 0.0, "p95": 0.0, "p99": 0.0,
         }
 
+    @pytest.mark.parametrize(
+        "observation", [0.0333, -0.5, 5e-5, 0.0, 100.0]
+    )
+    def test_single_observation_is_exact(self, observation):
+        """One observation: every quantile IS that observation — finite,
+        no NaN/inf from bucket interpolation, even below bucket zero."""
+        import math
+
+        h = Histogram("x")
+        h.observe(observation)
+        q = h.quantiles()
+        assert set(q) == {"p50", "p95", "p99"}
+        for key, value in q.items():
+            assert math.isfinite(value), key
+            assert value == pytest.approx(observation), key
+
+    def test_repeated_identical_observations(self):
+        h = Histogram("x")
+        for _ in range(7):
+            h.observe(0.5)
+        for key, value in h.quantiles().items():
+            assert value == pytest.approx(0.5), key
+
     def test_summary_carries_quantiles(self):
         h = Histogram("x")
         h.observe(0.002)
