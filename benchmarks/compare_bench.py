@@ -1,11 +1,13 @@
 #!/usr/bin/env python3
 """Compare fresh benchmark artifacts against committed baselines.
 
-The CI bench-smoke job produces four JSON artifacts —
+The CI bench-smoke job produces five JSON artifacts —
 ``BENCH_fig12.json`` (the Figure 12 grid), ``BENCH_join_kernels.json``
 (kernel-vs-row-loop microbenchmarks), ``BENCH_parallel.json`` (the
-morsel-parallel scaling curve), and ``BENCH_cbo.json`` (cost-based vs
-heuristic join ordering).  This script reduces each to a flat
+morsel-parallel scaling curve), ``BENCH_cbo.json`` (cost-based vs
+heuristic join ordering), and ``BENCH_storage.json`` (zone-map scan
+skipping + larger-than-memory spilling).  This script reduces each to a
+flat
 ``metric name -> seconds`` series, diffs it against the snapshot in
 ``benchmarks/baselines/``, renders a per-query delta table (also into
 ``$GITHUB_STEP_SUMMARY`` when set, so the deltas land in the job
@@ -40,6 +42,7 @@ ARTIFACTS = (
     "BENCH_join_kernels.json",
     "BENCH_parallel.json",
     "BENCH_cbo.json",
+    "BENCH_storage.json",
 )
 
 DEFAULT_BASELINE_DIR = os.path.join(
@@ -72,6 +75,11 @@ def extract_metrics(name: str, payload: dict) -> dict[str, float]:
     if name == "BENCH_cbo.json":
         return {
             f"{leg['query']} cbo={leg['cbo']}": float(leg["seconds"])
+            for leg in payload.get("legs", [])
+        }
+    if name == "BENCH_storage.json":
+        return {
+            f"{leg['leg']} {leg['mode']}": float(leg["seconds"])
             for leg in payload.get("legs", [])
         }
     raise ValueError(f"unknown artifact {name!r}")

@@ -1,0 +1,192 @@
+"""Persistent-storage benchmarks: zone-map scan skipping and spilling.
+
+Two families of legs, appended to ``BENCH_storage.json`` (the CI
+bench-smoke artifact, next to ``BENCH_cbo.json``):
+
+* **zonemap** — a selective predicate over a freshly attached
+  ``.quackdb`` file, timed with zone maps on and off.  Each measurement
+  re-attaches the file so every row group the scan touches must be
+  decompressed: the on/off delta is then the decode work the zone maps
+  skipped.  Acceptance bar: the pruned scan touches at most 20% of the
+  row groups and is at least 3x faster than the full cold scan.
+* **spill** — sort and join whose working set is ~10x the configured
+  ``SET memory_limit``, against the same queries fully in-memory.  No
+  speed bar here — external runs are expected to cost more — but the
+  row sequences must be bit-identical.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.quack import Database
+
+#: Rows in the zone-map table (~49 row groups at the 2048 default).
+ZONEMAP_ROWS = int(os.environ.get("REPRO_BENCH_STORAGE_ROWS", "100000"))
+#: Rows in the spill legs; at ~88 bytes/row the working set is ~9 MB,
+#: an order of magnitude over the 1 MB ``memory_limit`` they run under.
+SPILL_ROWS = ZONEMAP_ROWS
+#: The small memory budget of the larger-than-memory legs (MB).
+SPILL_LIMIT_MB = 1.0
+ROUNDS = int(os.environ.get("REPRO_BENCH_STORAGE_ROUNDS", "3"))
+#: Required cold-scan speedup from zone-map skipping.
+MIN_SPEEDUP = 3.0
+#: Pruned scans must touch at most this fraction of the row groups.
+MAX_SCANNED_FRACTION = 0.20
+
+_REPORT_PATH = os.environ.get("REPRO_BENCH_STORAGE_JSON",
+                              "BENCH_storage.json")
+_LEGS: list[dict] = []
+
+
+def _record(leg: str, mode: str, seconds: float, **extra) -> None:
+    _LEGS.append({"leg": leg, "mode": mode, "seconds": seconds, **extra})
+    # Rewrite after every leg so the artifact exists even if a later
+    # benchmark fails.
+    with open(_REPORT_PATH, "w") as fh:
+        json.dump({"rows": ZONEMAP_ROWS, "legs": _LEGS}, fh,
+                  indent=2, sort_keys=True)
+    print(f"\n{leg} {mode}: {seconds * 1000:.1f}ms")
+
+
+def _seed_rows(n: int):
+    return [(i, f"key{i:010d}", float(i) * 0.5, i % 211)
+            for i in range(n)]
+
+
+class TestZoneMapSkipping:
+    path = None
+
+    @classmethod
+    def setup_class(cls):
+        import tempfile
+
+        cls._dir = tempfile.TemporaryDirectory(prefix="quack-bench-")
+        cls.path = os.path.join(cls._dir.name, "zonemap.quackdb")
+        con = Database().connect()
+        con.execute("CREATE TABLE t(a BIGINT, b VARCHAR, x DOUBLE,"
+                    " g BIGINT)")
+        con.database.catalog.get_table("t").append_rows(
+            _seed_rows(ZONEMAP_ROWS)
+        )
+        con.execute(f"CHECKPOINT '{cls.path}'")
+        con.close()
+
+    @classmethod
+    def teardown_class(cls):
+        cls._dir.cleanup()
+
+    def _cold_run(self, sql: str, zone_maps: str):
+        """Attach fresh (cold decode caches), run once, return
+        (seconds, rowgroups scanned, rowgroups skipped)."""
+        con = Database().connect()
+        con.execute(f"ATTACH '{self.path}'")
+        con.execute(f"SET zone_maps = {zone_maps}")
+        start = time.perf_counter()
+        rows = con.execute(sql).fetchall()
+        seconds = time.perf_counter() - start
+        stats = con.last_query_stats
+        scanned = stats.counter("storage.rowgroups_scanned")
+        skipped = stats.counter("storage.rowgroups_skipped")
+        con.close()
+        return seconds, scanned, skipped, rows
+
+    def test_selective_scan_speedup(self):
+        lo = ZONEMAP_ROWS // 2
+        sql = (f"SELECT count(*), sum(x) FROM t "
+               f"WHERE a BETWEEN {lo} AND {lo + 999}")
+        best = {"on": float("inf"), "off": float("inf")}
+        scanned = skipped = 0
+        answers = {}
+        for _ in range(ROUNDS):
+            for mode in ("on", "off"):
+                seconds, got_scanned, got_skipped, rows = self._cold_run(
+                    sql, mode
+                )
+                best[mode] = min(best[mode], seconds)
+                answers[mode] = rows
+                if mode == "on":
+                    scanned, skipped = got_scanned, got_skipped
+        assert answers["on"] == answers["off"]
+        _record("zonemap_selective", "on", best["on"],
+                rowgroups_scanned=scanned, rowgroups_skipped=skipped)
+        _record("zonemap_selective", "off", best["off"])
+        total = scanned + skipped
+        fraction = scanned / total
+        speedup = best["off"] / best["on"]
+        print(f"zone maps scanned {scanned}/{total} groups "
+              f"({fraction:.1%}), speedup {speedup:.2f}x")
+        assert fraction <= MAX_SCANNED_FRACTION, (scanned, total)
+        assert speedup >= MIN_SPEEDUP, speedup
+
+
+class TestSpillAtScale:
+    con = None
+
+    @classmethod
+    def setup_class(cls):
+        cls.con = Database().connect()
+        cls.con.execute("CREATE TABLE big(a BIGINT, b VARCHAR, x DOUBLE,"
+                        " g BIGINT)")
+        rows = [(((i * 2654435761) % SPILL_ROWS), f"key{i:010d}",
+                 float(i) * 0.5, i % 211) for i in range(SPILL_ROWS)]
+        cls.con.database.catalog.get_table("big").append_rows(rows)
+        cls.con.execute("CREATE TABLE dim(g BIGINT, name VARCHAR)")
+        cls.con.database.catalog.get_table("dim").append_rows(
+            [(i, f"group{i:06d}") for i in range(211)]
+        )
+
+    @classmethod
+    def teardown_class(cls):
+        if cls.con is not None:
+            cls.con.close()
+
+    def _time_leg(self, leg: str, sql: str, limit_mb: float,
+                  spill_counter: str) -> None:
+        con = self.con
+        con.execute("SET memory_limit = 0")
+        start = time.perf_counter()
+        in_memory = con.execute(sql).fetchall()
+        memory_s = time.perf_counter() - start
+        con.execute(f"SET memory_limit = {limit_mb}")
+        try:
+            start = time.perf_counter()
+            spilled = con.execute(sql).fetchall()
+            spill_s = time.perf_counter() - start
+            stats = con.last_query_stats
+            assert stats.counter(spill_counter) >= 1, spill_counter
+            spill_bytes = stats.counter("storage.spill_bytes")
+        finally:
+            con.execute("SET memory_limit = 0")
+        # Bit-identical: same rows in the same order.
+        assert spilled == in_memory
+        _record(leg, "in_memory", memory_s)
+        _record(leg, "spill", spill_s, memory_limit_mb=limit_mb,
+                spill_bytes=spill_bytes)
+
+    def test_sort_larger_than_memory(self):
+        self._time_leg(
+            "sort_10x",
+            "SELECT a, b FROM big ORDER BY g, a",
+            SPILL_LIMIT_MB,
+            "storage.spilled_sorts",
+        )
+
+    def test_join_larger_than_memory(self):
+        self._time_leg(
+            "join_10x",
+            "SELECT big.a, dim.name FROM dim, big"
+            " WHERE big.g = dim.g AND big.a < %d" % (SPILL_ROWS // 4),
+            SPILL_LIMIT_MB,
+            "storage.spilled_joins",
+        )
+
+
+def test_report_written():
+    assert os.path.exists(_REPORT_PATH)
+    with open(_REPORT_PATH) as fh:
+        report = json.load(fh)
+    names = {leg["leg"] for leg in report["legs"]}
+    assert {"zonemap_selective", "sort_10x", "join_10x"} <= names

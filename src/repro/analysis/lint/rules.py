@@ -49,6 +49,26 @@ _PGSIM_ALLOWED_QUACK = frozenset({
 #: Module owning the Vector payload (may mutate data/validity freely).
 _VECTOR_OWNER_MODULES = frozenset({"repro.quack.vector"})
 
+#: The one quack module allowed to touch the filesystem (ANL011).  All
+#: persistence, spill, and CSV I/O routes through its ``open_path`` /
+#: ``SpillFile`` seams so on-disk concerns stay in one place.
+_STORAGE_MODULES = frozenset({"repro.quack.storage"})
+
+#: Callables that open files / map memory / create temp artifacts.
+#: Bare names and the final attribute of dotted calls are both checked
+#: (``open``, ``os.open``, ``tempfile.TemporaryFile``, ``mmap.mmap``,
+#: ``np.memmap``, …).
+_FILE_IO_CALLS = frozenset({
+    "open",
+    "mmap",
+    "memmap",
+    "TemporaryFile",
+    "NamedTemporaryFile",
+    "TemporaryDirectory",
+    "mkstemp",
+    "mkdtemp",
+})
+
 #: Ambient helper functions whose first argument is a counter name.
 _COUNTER_FUNC_NAMES = frozenset({"count", "_count"})
 #: Method names whose first argument is a counter name.
@@ -84,6 +104,7 @@ class _Checker:
             elif isinstance(node, ast.Call):
                 self.check_counter_name(node)
                 self.check_evaluate_batch(node)
+                self.check_file_io_boundary(node)
             elif isinstance(node, (ast.Import, ast.ImportFrom)):
                 self.check_engine_imports(node)
             elif isinstance(node, (ast.Assign, ast.AugAssign)):
@@ -385,6 +406,40 @@ class _Checker:
                     f"per-query state (ExecutionContext/Connection)",
                 )
 
+
+    # -- ANL011: file I/O stays inside repro.quack.storage -------------------------
+
+    def check_file_io_boundary(self, node: ast.Call) -> None:
+        """Only :mod:`repro.quack.storage` may perform file I/O inside
+        ``repro.quack``: every other module routes through its
+        ``open_path``/``StorageFile``/``SpillFile`` seams, so the
+        on-disk format, spill lifecycle, and byte accounting live in
+        one place."""
+        module = self.module or ""
+        if not module.startswith("repro.quack"):
+            return
+        if module in _STORAGE_MODULES:
+            return
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+            receiver = _dotted_name(func.value)
+            # storage.open_path(...) and self-method calls are the
+            # sanctioned seams, not raw I/O.
+            if receiver is not None and receiver.split(".")[-1] in (
+                "storage", "_storage", "self"
+            ):
+                return
+        if name in _FILE_IO_CALLS:
+            self.report(
+                node, "ANL011",
+                f"file I/O call {name!r} outside repro.quack.storage: "
+                f"route it through storage.open_path / SpillFile so "
+                f"persistence stays behind the storage seam",
+            )
 
     # -- ANL010: selectivity estimators must clamp to [0, 1] -----------------------
 

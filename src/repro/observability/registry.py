@@ -65,6 +65,23 @@ DECLARED_COUNTERS = frozenset({
     "verify.chunks_checked",
     "verify.kernel_crosschecks",
     "verify.parallel_crosschecks",
+    "verify.zonemap_crosschecks",
+    # persistent columnar storage + spill
+    "storage.rowgroups_scanned",
+    "storage.rowgroups_skipped",
+    "storage.segments_decoded",
+    "storage.bytes_read",
+    "storage.bytes_written",
+    "storage.checkpoints",
+    "storage.tables_attached",
+    "storage.zonemap_analyze",
+    "storage.spill_bytes",
+    "storage.spill_rows",
+    "storage.spill_runs",
+    "storage.spill_partitions",
+    "storage.spilled_sorts",
+    "storage.spilled_joins",
+    "storage.spilled_aggregates",
     # morsel-driven parallel execution
     "parallel.morsels",
     "parallel.batches",

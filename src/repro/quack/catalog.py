@@ -85,10 +85,34 @@ class ColumnData:
             self.tail.clear()
             self.tail_validity.clear()
 
-    def chunks(self) -> Iterator[Vector]:
+    # -- sealed-segment access ----------------------------------------------------
+    #
+    # Scans, zone maps, and random access all go through this small
+    # segment API so lazily-decoded storage columns
+    # (repro.quack.storage.StorageColumn) can override it: a skipped row
+    # group is then never decompressed.
+
+    def segment_count(self) -> int:
         self.seal()
-        for data, validity in zip(self.segments, self.validity_segments):
-            yield Vector(self.ltype, data, validity)
+        return len(self.segments)
+
+    def segment_rows(self, index: int) -> int:
+        return len(self.segments[index])
+
+    def segment_vector(self, index: int) -> Vector:
+        return Vector(self.ltype, self.segments[index],
+                      self.validity_segments[index])
+
+    def zone_entry(self, index: int):
+        """The zone map of one sealed segment (storage columns serve the
+        footer entry instead of touching the payload)."""
+        from .storage import compute_zone_entry
+
+        return compute_zone_entry(self.segment_vector(index))
+
+    def chunks(self) -> Iterator[Vector]:
+        for index in range(self.segment_count()):
+            yield self.segment_vector(index)
 
     def gather(self, row_ids: np.ndarray) -> Vector:
         """Random access fetch by global row offsets."""
@@ -99,25 +123,48 @@ class ColumnData:
                        dtype=object if self.ltype.physical == "object"
                        else dtype)
         validity = np.ones(len(row_ids), dtype=np.bool_)
-        bounds = np.cumsum([0] + [len(s) for s in self.segments])
+        bounds = np.cumsum(
+            [0] + [self.segment_rows(i) for i in range(self.segment_count())]
+        )
+        vectors: dict[int, Vector] = {}
         for i, rid in enumerate(row_ids):
             if rid < 0 or rid >= total:
                 raise ExecutionError(f"row id {rid} out of range")
             seg = int(np.searchsorted(bounds, rid, side="right")) - 1
             off = int(rid - bounds[seg])
-            out[i] = self.segments[seg][off]
-            validity[i] = self.validity_segments[seg][off]
+            vector = vectors.get(seg)
+            if vector is None:
+                vector = vectors[seg] = self.segment_vector(seg)
+            out[i] = vector.data[off]
+            validity[i] = vector.validity[off]
         if self.ltype.physical != "object":
             out = out.astype(dtype)
         return Vector(self.ltype, out, validity)
 
     def rewrite(self, data: list[Any]) -> None:
-        """Replace the whole column (UPDATE path)."""
+        """Replace the whole column (UPDATE path), preserving the
+        existing row-group boundaries so sibling columns — and their zone
+        maps — stay segment-aligned."""
+        self.seal()
+        counts = [self.segment_rows(i) for i in range(self.segment_count())]
+        self._reseal(data, counts)
+
+    def _reseal(self, data: list[Any], counts: list[int]) -> None:
+        """Re-seal ``data`` into segments of ``counts`` rows each; any
+        remainder (a previously empty column) chunks at vector size."""
         self.segments.clear()
         self.validity_segments.clear()
-        self.tail = list(data)
-        self.tail_validity = [v is not None for v in data]
-        self.seal()
+        position = 0
+        for rows in counts:
+            self.tail = list(data[position:position + rows])
+            self.tail_validity = [v is not None for v in self.tail]
+            self.seal()
+            position += rows
+        while position < len(data):
+            self.tail = list(data[position:position + STANDARD_VECTOR_SIZE])
+            self.tail_validity = [v is not None for v in self.tail]
+            self.seal()
+            position += STANDARD_VECTOR_SIZE
 
 
 class Table:
@@ -139,6 +186,11 @@ class Table:
         #: per-table ANALYZE statistics (repro.quack.stats.TableStats);
         #: None until ANALYZE runs — the optimizer then stays heuristic.
         self.stats = None
+        #: lazily-built per-row-group zone maps (storage.ZoneMapEntry per
+        #: column, one list per sealed segment).  Sealed segments are
+        #: immutable, so appends only *extend* this cache — a rewrite
+        #: (UPDATE) resets it so pruning never trusts stale bounds.
+        self._zone_cache: list[list] = []
 
     # -- metadata -----------------------------------------------------------------
 
@@ -196,21 +248,57 @@ class Table:
         if len(values) != self.total_rows():
             raise ExecutionError("update value count mismatch")
         self._columns[idx].rewrite(values)
+        self._zone_cache = []
         for index in self.indexes:
             index.rebuild(self)
 
+    # -- zone maps ----------------------------------------------------------------
+
+    def zone_maps(self) -> list[list] | None:
+        """Per-sealed-segment zone maps, one entry list per column.
+
+        Returns ``None`` when the columns are not uniformly segmented
+        (e.g. after a whole-vector append) — pruning by segment index
+        would then be unsound.  Entries are conservative under
+        tombstones: a pruned group provably holds no matching stored
+        row, deleted or not.
+        """
+        for col in self._columns:
+            col.seal()
+        num_segments = self._columns[0].segment_count()
+        for col in self._columns[1:]:
+            if col.segment_count() != num_segments:
+                return None
+        for seg in range(num_segments):
+            rows = self._columns[0].segment_rows(seg)
+            if any(col.segment_rows(seg) != rows
+                   for col in self._columns[1:]):
+                return None
+        while len(self._zone_cache) < num_segments:
+            seg = len(self._zone_cache)
+            self._zone_cache.append(
+                [col.zone_entry(seg) for col in self._columns]
+            )
+        return self._zone_cache[:num_segments]
+
     # -- scan ---------------------------------------------------------------------
 
-    def scan(self) -> Iterator[tuple[DataChunk, np.ndarray]]:
-        """Yield (chunk, row_ids) over live rows."""
+    def scan(
+        self, skip_groups: set[int] | None = None
+    ) -> Iterator[tuple[DataChunk, np.ndarray]]:
+        """Yield (chunk, row_ids) over live rows, one entry per sealed
+        segment; ``skip_groups`` elides row groups by segment index
+        without materializing them (zone-map pruning)."""
         for col in self._columns:
             col.seal()
         offset = 0
-        column_chunks = [list(col.chunks()) for col in self._columns]
-        num_segments = len(column_chunks[0]) if column_chunks else 0
+        num_segments = self._columns[0].segment_count()
         for seg in range(num_segments):
-            vectors = [chunks[seg] for chunks in column_chunks]
-            count = len(vectors[0])
+            count = self._columns[0].segment_rows(seg)
+            if skip_groups and seg in skip_groups:
+                offset += count
+                continue
+            vectors = [col.segment_vector(seg) for col in self._columns]
             row_ids = np.arange(offset, offset + count, dtype=np.int64)
             offset += count
             if self._deleted_ids:

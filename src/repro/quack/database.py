@@ -121,6 +121,9 @@ class Database:
         self.catalog = Catalog()
         self.config = DatabaseConfig()
         self.loaded_extensions: list[str] = []
+        #: on-disk file bound by ``ATTACH``; ``CHECKPOINT`` without an
+        #: explicit path writes here
+        self.attached_path: str | None = None
         register_builtins(self.functions)
 
     def connect(self, workers: int | None = None) -> "Connection":
@@ -191,6 +194,11 @@ class Connection:
         #: cost-based optimizer kill switch (``SET cbo = on|off``);
         #: tables without ANALYZE statistics plan heuristically anyway
         self._cbo = True
+        #: zone-map scan skipping kill switch (``SET zone_maps = on|off``)
+        self._zone_maps = True
+        #: spill watermark in MB (``SET memory_limit = <MB>``); None
+        #: leaves the blocking sinks fully in-memory
+        self._memory_limit_mb: float | None = None
 
     def set_workers(self, workers: int) -> None:
         """Change the parallelism degree; the old pool is drained."""
@@ -400,10 +408,54 @@ class Connection:
             return self._execute_set(stmt)
         if isinstance(stmt, ast.ShowStatement):
             return self._execute_show(stmt)
+        if isinstance(stmt, ast.AttachStatement):
+            return self._execute_attach(stmt)
+        if isinstance(stmt, ast.CheckpointStatement):
+            return self._execute_checkpoint(stmt)
         raise QuackError(f"unsupported statement {type(stmt).__name__}")
 
+    def _execute_attach(self, stmt: ast.AttachStatement) -> Result:
+        """Bind an on-disk database file to this Database.
+
+        An existing file loads immediately — tables come back as
+        memory-mapped :class:`~.storage.StorageTable`\\ s whose segments
+        decompress lazily on first scan.  A new path just arms
+        ``CHECKPOINT`` to write there."""
+        import os
+
+        from . import storage
+
+        self.database.attached_path = stmt.path
+        if os.path.exists(stmt.path):
+            tables = storage.read_database(self.database, stmt.path)
+        else:
+            tables = 0
+        return Result(["tables"], [], [(tables,)])
+
+    def _execute_checkpoint(self, stmt: ast.CheckpointStatement) -> Result:
+        """Write every table to the attached (or explicitly named) file
+        in the columnar segment format, then re-attach so subsequent
+        scans run against the lazily-decoded on-disk segments."""
+        from . import storage
+
+        path = stmt.path or self.database.attached_path
+        if path is None:
+            raise QuackError(
+                "CHECKPOINT needs an attached database: run "
+                "ATTACH '<path>' first or name a path"
+            )
+        tables = storage.write_database(self.database, path)
+        self.database.attached_path = path
+        return Result(["tables"], [], [(tables,)])
+
     def _execute_analyze(self, stmt: ast.AnalyzeStatement) -> Result:
-        """Collect optimizer statistics for one table (or all tables)."""
+        """Collect optimizer statistics for one table (or all tables).
+
+        Attached tables whose zone maps cover every segment skip the
+        full scan: the footer statistics are exact for row counts and
+        min/max and close enough for histograms, so ANALYZE on a
+        freshly attached database touches no segment payloads."""
+        from . import storage
         from .stats import analyze_table
 
         catalog = self.database.catalog
@@ -413,7 +465,10 @@ class Connection:
             tables = list(catalog.tables.values())
         rows = []
         for table in tables:
-            table.stats = analyze_table(table)
+            table.stats = (
+                storage.analyze_from_zone_maps(table)
+                or analyze_table(table)
+            )
             rows.append(
                 (table.name, table.stats.row_count,
                  len(table.stats.columns))
@@ -425,7 +480,11 @@ class Connection:
         if name == "cbo":
             self._cbo = _parse_on_off(stmt.value, "cbo")
             return Result()
-        if name not in ("threads", "workers", "log_min_duration"):
+        if name == "zone_maps":
+            self._zone_maps = _parse_on_off(stmt.value, "zone_maps")
+            return Result()
+        if name not in ("threads", "workers", "log_min_duration",
+                        "memory_limit"):
             raise QuackError(f"unknown setting {stmt.name!r}")
         context = BinderContext(
             self.database.catalog,
@@ -447,6 +506,20 @@ class Connection:
                 )
             self._query_log.min_duration_ms = float(value)
             return Result()
+        if name == "memory_limit":
+            # megabytes; zero or negative disables the spill watermark
+            if (
+                value is _NOT_CONSTANT
+                or isinstance(value, bool)
+                or not isinstance(value, (int, float))
+            ):
+                raise QuackError(
+                    "SET memory_limit expects a number of megabytes"
+                )
+            self._memory_limit_mb = (
+                float(value) if value > 0 else None
+            )
+            return Result()
         if (
             value is _NOT_CONSTANT
             or isinstance(value, bool)
@@ -467,6 +540,10 @@ class Connection:
             value = self._query_log.min_duration_ms
         elif name == "cbo":
             value = "on" if self._cbo else "off"
+        elif name == "zone_maps":
+            value = "on" if self._zone_maps else "off"
+        elif name == "memory_limit":
+            value = self._memory_limit_mb
         else:
             raise QuackError(f"unknown setting {stmt.name!r}")
         return Result([stmt.name.lower()], [], [(value,)])
@@ -480,8 +557,12 @@ class Connection:
         pool = self._morsel_pool()
         if stats is not None and pool is not None:
             stats.set_gauge("parallel.workers", self.workers)
+        limit = None
+        if self._memory_limit_mb is not None:
+            limit = int(self._memory_limit_mb * 1024 * 1024)
         return ExecutionContext(stats=stats, profiler=profiler,
-                                workers=self.workers, pool=pool)
+                                workers=self.workers, pool=pool,
+                                memory_limit_bytes=limit)
 
     def _plan_select(self, stmt: ast.SelectStatement) -> LogicalOperator:
         stats = current_stats()
@@ -500,7 +581,8 @@ class Connection:
 
             verify_planned(plan, self.database.functions, stats, "bind")
         with maybe_span(stats, "optimize"):
-            plan = optimize(plan, stats, cbo=self._cbo)
+            plan = optimize(plan, stats, cbo=self._cbo,
+                            zone_maps=self._zone_maps)
         if verification_enabled():
             from ..analysis.verifier import verify_planned
 

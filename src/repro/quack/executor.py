@@ -18,6 +18,7 @@ import numpy as np
 from ..analysis import config as _verification
 from . import kernels
 from . import parallel as _parallel
+from . import storage as _storage
 from .errors import ExecutionError
 from .kernels import hashable_key as _hashable
 from .plan import (
@@ -87,7 +88,8 @@ class ExecutionContext:
     contexts never share mutable profiling state."""
 
     def __init__(self, parent: "ExecutionContext | None" = None,
-                 stats=None, profiler=None, workers: int = 1, pool=None):
+                 stats=None, profiler=None, workers: int = 1, pool=None,
+                 memory_limit_bytes: int | None = None):
         self.parent = parent
         self.cte_results: dict[int, list[DataChunk]] = (
             parent.cte_results if parent else {}
@@ -120,6 +122,12 @@ class ExecutionContext:
         #: (children inherit; workers=1 / pool=None means serial)
         self.workers = parent.workers if parent else max(1, int(workers))
         self.pool = parent.pool if parent else pool
+        #: ``SET memory_limit = <MB>`` watermark in bytes; None = no
+        #: limit.  Blocking sinks (sort / hash-join build / aggregation)
+        #: that materialize past it spill to disk and merge back.
+        self.memory_limit_bytes = (
+            parent.memory_limit_bytes if parent else memory_limit_bytes
+        )
         #: shared-cache guards, created once at the root context and
         #: inherited by every child so all contexts of one query agree
         self._subquery_lock = (
@@ -573,9 +581,7 @@ def _execute_operator(op: LogicalOperator,
         yield from execute_plan(op.child, ctx)
         return
     if isinstance(op, LogicalGet):
-        for chunk, _ in op.table.scan():
-            if chunk.count:
-                yield chunk
+        yield from _execute_get(op, ctx)
         return
     if isinstance(op, LogicalIndexScan):
         row_ids = op.index.probe(op.op_name, op.constant)
@@ -645,6 +651,91 @@ def _execute_operator(op: LogicalOperator,
                 return
         return
     raise ExecutionError(f"cannot execute {type(op).__name__}")
+
+
+def _execute_get(op: LogicalGet,
+                 ctx: ExecutionContext) -> Iterator[DataChunk]:
+    """Base-table scan with optional zone-map row-group skipping.
+
+    When the optimizer attached :class:`PrunePredicate`\\ s, row groups
+    whose zone-map entries prove no row can satisfy a pushed conjunct
+    are skipped before decompression.  Pruning is advisory — the exact
+    filter still runs above the scan — so a miss costs decode time, not
+    correctness; under verification the skipped groups are decoded
+    anyway and cross-checked to hold no matching live row.
+    """
+    skip: set[int] | None = None
+    if op.prune:
+        zone_maps = op.table.zone_maps()
+        if zone_maps is not None:
+            skip = set()
+            for seg, entries in enumerate(zone_maps):
+                if any(
+                    _storage.zone_map_prunes(
+                        entries[p.column], p.op_name, p.constant
+                    )
+                    for p in op.prune
+                ):
+                    skip.add(seg)
+            total = len(zone_maps)
+            if ctx.stats is not None:
+                ctx.stats.bump("storage.rowgroups_scanned",
+                               total - len(skip))
+                ctx.stats.bump("storage.rowgroups_skipped", len(skip))
+            if ctx.profiler is not None:
+                ctx.profiler.annotate(op, "rowgroups",
+                                      total - len(skip))
+                ctx.profiler.annotate(op, "rowgroups_skipped",
+                                      len(skip))
+            if skip and _verification.verification_enabled():
+                _crosscheck_pruned_groups(op, skip, zone_maps, ctx)
+    for chunk, _ in op.table.scan(skip_groups=skip):
+        if chunk.count:
+            yield chunk
+
+
+def _crosscheck_pruned_groups(op: LogicalGet, skip: set[int],
+                              zone_maps: list, ctx: ExecutionContext) -> None:
+    """Decode every zone-map-skipped row group and prove no live row
+    satisfies a conjunct whose zone map claimed to prune it (the
+    skip-vs-full-scan differential of the verification layer).  Only the
+    conjuncts that *caused* the skip are checked — the others may well
+    match rows in the group; the conjunction is still false there."""
+    from ..analysis.errors import VerificationError
+
+    table = op.table
+    offset = 0
+    for seg in range(table._columns[0].segment_count()):
+        count = table._columns[0].segment_rows(seg)
+        if seg not in skip:
+            offset += count
+            continue
+        chunk = DataChunk(
+            [col.segment_vector(seg) for col in table._columns]
+        )
+        live = np.fromiter(
+            ((offset + i) not in table._deleted_ids
+             for i in range(count)),
+            dtype=np.bool_,
+            count=count,
+        )
+        for pred in op.prune:
+            if pred.expr is None:
+                continue
+            if not _storage.zone_map_prunes(
+                zone_maps[seg][pred.column], pred.op_name, pred.constant
+            ):
+                continue
+            mask = boolean_selection(evaluate(pred.expr, chunk, ctx))
+            if bool(np.logical_and(mask, live).any()):
+                raise VerificationError(
+                    f"zone map pruned row group {seg} of "
+                    f"{table.name}, but a live row satisfies "
+                    f"{pred.op_name} on column {pred.column}"
+                )
+        if ctx.stats is not None:
+            ctx.stats.bump("verify.zonemap_crosschecks")
+        offset += count
 
 
 def _execute_table_function(op: LogicalTableFunction) -> Iterator[DataChunk]:
@@ -835,9 +926,15 @@ def _execute_cte_ref(op: LogicalCTERef,
 
 
 def _materialize(op: LogicalOperator,
-                 ctx: ExecutionContext) -> list[Vector] | None:
-    """Materialize a plan into whole-relation column vectors."""
-    chunks = list(execute_plan(op, ctx))
+                 ctx: ExecutionContext,
+                 chunks: list[DataChunk] | None = None
+                 ) -> list[Vector] | None:
+    """Materialize a plan into whole-relation column vectors.
+
+    ``chunks`` short-circuits execution when the caller already drained
+    the child (the spill watermark probe that stayed under the limit)."""
+    if chunks is None:
+        chunks = list(execute_plan(op, ctx))
     if not chunks:
         return None
     columns = []
@@ -857,7 +954,18 @@ def _execute_join(op: LogicalJoin, ctx: ExecutionContext
     if op.index_probe is not None and not op.equi_keys:
         yield from _index_nl_join(op, ctx)
         return
-    right_columns = _materialize(op.right, ctx)
+    right_chunks: list[DataChunk] | None = None
+    if (
+        ctx.memory_limit_bytes is not None
+        and op.equi_keys
+        and op.join_type == "inner"
+    ):
+        buffered, overflow = _watermark_buffer(op.right, ctx)
+        if overflow is not None:
+            yield from _grace_hash_join(op, buffered, overflow, ctx)
+            return
+        right_chunks = buffered
+    right_columns = _materialize(op.right, ctx, chunks=right_chunks)
     right_count = len(right_columns[0]) if right_columns else 0
     right_types = op.right.output_types()
 
@@ -1279,7 +1387,14 @@ def _execute_aggregate(op: LogicalAggregate,
                        ctx: ExecutionContext) -> Iterator[DataChunk]:
     kstats = _kernel_stats(op, ctx)
     out_types = op.output_types()
-    columns = _materialize(op.child, ctx)
+    chunks: list[DataChunk] | None = None
+    if ctx.memory_limit_bytes is not None:
+        buffered, overflow = _watermark_buffer(op.child, ctx)
+        if overflow is not None:
+            yield from _spilled_aggregate(op, buffered, overflow, ctx)
+            return
+        chunks = buffered
+    columns = _materialize(op.child, ctx, chunks=chunks)
     if columns is None:
         if not op.groups:
             # Aggregates over an empty input produce one row of finals.
@@ -1613,42 +1728,64 @@ def _aggregate_row_loop(op: LogicalAggregate, full: DataChunk,
                         out_types: list[LogicalType]
                         ) -> Iterator[DataChunk]:
     """The pre-kernel tuple-at-a-time aggregation (kernels disabled)."""
+    results = _aggregate_fold(
+        op, [(full, list(range(full.count)))], ctx
+    )
+    yield from _rows_to_chunks([row for _, row in results], out_types)
+
+
+def _aggregate_fold(op: LogicalAggregate,
+                    blocks: list[tuple[DataChunk, list[int]]],
+                    ctx: ExecutionContext) -> list[tuple[int, tuple]]:
+    """Tuple-at-a-time aggregation over ``(chunk, global_indices)``
+    blocks; shared by the row-loop fallback (one whole-relation block)
+    and the spilled per-partition fold.
+
+    Returns ``(first_global_index, output_row)`` pairs in
+    first-appearance order of the group keys within ``blocks``."""
     groups: dict[tuple, list] = {}
     group_values: dict[tuple, tuple] = {}
     distinct_seen: dict[tuple, list[set]] = {}
-    group_vectors = [evaluate(g, full, ctx) for g in op.groups]
-    arg_vectors = [
-        [evaluate(a, full, ctx) for a in spec.args]
-        for spec in op.aggregates
-    ]
-    for i in range(full.count):
-        key = tuple(_hashable(gv.value(i)) for gv in group_vectors)
-        state = groups.get(key)
-        if state is None:
-            state = [spec.function.init() for spec in op.aggregates]
-            groups[key] = state
-            group_values[key] = tuple(gv.value(i) for gv in group_vectors)
-            distinct_seen[key] = [set() for _ in op.aggregates]
-        for a, spec in enumerate(op.aggregates):
-            values = [vec.value(i) for vec in arg_vectors[a]]
-            if values and not spec.function.accepts_null and any(
-                v is None for v in values
-            ):
-                continue
-            if spec.distinct:
-                marker = tuple(_hashable(v) for v in values)
-                if marker in distinct_seen[key][a]:
+    first_index: dict[tuple, int] = {}
+    for chunk, global_indices in blocks:
+        group_vectors = [evaluate(g, chunk, ctx) for g in op.groups]
+        arg_vectors = [
+            [evaluate(a, chunk, ctx) for a in spec.args]
+            for spec in op.aggregates
+        ]
+        for i in range(chunk.count):
+            key = tuple(_hashable(gv.value(i)) for gv in group_vectors)
+            state = groups.get(key)
+            if state is None:
+                state = [spec.function.init() for spec in op.aggregates]
+                groups[key] = state
+                group_values[key] = tuple(
+                    gv.value(i) for gv in group_vectors
+                )
+                distinct_seen[key] = [set() for _ in op.aggregates]
+                first_index[key] = int(global_indices[i])
+            for a, spec in enumerate(op.aggregates):
+                values = [vec.value(i) for vec in arg_vectors[a]]
+                if values and not spec.function.accepts_null and any(
+                    v is None for v in values
+                ):
                     continue
-                distinct_seen[key][a].add(marker)
-            state[a] = spec.function.step(state[a], *values)
-    rows = []
+                if spec.distinct:
+                    marker = tuple(_hashable(v) for v in values)
+                    if marker in distinct_seen[key][a]:
+                        continue
+                    distinct_seen[key][a].add(marker)
+                state[a] = spec.function.step(state[a], *values)
+    results = []
     for key, state in groups.items():
         finals = [
             spec.function.final(s)
             for spec, s in zip(op.aggregates, state)
         ]
-        rows.append(tuple(group_values[key]) + tuple(finals))
-    yield from _rows_to_chunks(rows, out_types)
+        results.append(
+            (first_index[key], tuple(group_values[key]) + tuple(finals))
+        )
+    return results
 
 
 def _rows_to_chunks(rows: list[tuple],
@@ -1663,13 +1800,332 @@ def _rows_to_chunks(rows: list[tuple],
         )
 
 
+# -- spilling -----------------------------------------------------------------------
+#
+# ``SET memory_limit = <MB>`` arms a watermark on the three blocking
+# sinks (sort, hash-join build, aggregation).  Each sink first streams
+# its input while counting working-set bytes; inputs that stay under
+# the watermark take the exact in-memory path (the buffered chunks are
+# handed to ``_materialize``), so spill-off executions are untouched.
+# Past the watermark the sink switches to a disk-backed algorithm that
+# reproduces the in-memory row order bit-for-bit:
+#
+# * sort      — bounded sorted runs + stable ``heapq.merge`` with the
+#               same ``sort_comparator`` key (stable merge of stable
+#               runs in global row order == the serial stable sort);
+# * aggregate — hash partitioning on the group key, per-partition
+#               row-loop fold carrying each group's first-occurrence
+#               global row index, final merge sorted by that index
+#               (== first-appearance order of every in-memory path);
+# * hash join — Grace partitioning of both sides tagged with global
+#               row indices; per-partition dict build/probe emits
+#               (left, right) pairs sorted within the partition, and a
+#               k-way merge on (left, right) reproduces the in-memory
+#               probe-major order.  Only inner equi-joins spill; LEFT
+#               joins and index nested-loop joins keep their build side
+#               in memory (the documented scale ceiling).
+#
+# Partitions assume the classic Grace bound: each of the
+# ``_SPILL_PARTITIONS`` partitions (~1/8 of the input) must fit in
+# memory during its build/fold — inputs needing recursive partitioning
+# are out of scope.
+
+_SPILL_PARTITIONS = 8
+
+
+def _watermark_buffer(child: LogicalOperator, ctx: ExecutionContext
+                      ) -> tuple[list[DataChunk], Iterator[DataChunk] | None]:
+    """Stream ``child`` until the memory watermark.
+
+    Returns ``(buffered, overflow)``: ``overflow`` is None when the
+    whole input fit under ``ctx.memory_limit_bytes`` (take the
+    in-memory path with ``buffered``), otherwise it continues the
+    stream past the buffered prefix and the caller must spill."""
+    source = execute_plan(child, ctx)
+    limit = ctx.memory_limit_bytes
+    if limit is None:
+        return list(source), None
+    buffered: list[DataChunk] = []
+    used = 0
+    for chunk in source:
+        buffered.append(chunk)
+        used += _storage.chunk_nbytes(chunk)
+        if used > limit:
+            return buffered, source
+    return buffered, None
+
+
+def _chain_chunks(buffered: list[DataChunk],
+                  overflow: Iterator[DataChunk] | None
+                  ) -> Iterator[DataChunk]:
+    yield from buffered
+    if overflow is not None:
+        yield from overflow
+
+
+def _rows_stream_to_chunks(rows: Iterator[tuple],
+                           types: list[LogicalType]
+                           ) -> Iterator[DataChunk]:
+    """Re-chunk a row stream without materializing it whole (the merge
+    phase of every spill path)."""
+
+    def emit(block: list[tuple]) -> DataChunk:
+        return DataChunk(
+            [
+                Vector.from_values(t, [row[c] for row in block])
+                for c, t in enumerate(types)
+            ]
+        )
+
+    block: list[tuple] = []
+    for row in rows:
+        block.append(row)
+        if len(block) == STANDARD_VECTOR_SIZE:
+            yield emit(block)
+            block = []
+    if block:
+        yield emit(block)
+
+
+def _external_sort(op: LogicalSort, buffered: list[DataChunk],
+                   overflow: Iterator[DataChunk],
+                   ctx: ExecutionContext) -> Iterator[DataChunk]:
+    """Past-watermark ORDER BY: bounded sorted runs spilled to disk,
+    merged with a stable k-way merge under the same comparator."""
+    limit = ctx.memory_limit_bytes
+    kstats = _kernel_stats(op, ctx)
+    key_specs = [(asc, nf) for _, asc, nf in op.keys]
+    comparator = kernels.sort_comparator(key_specs)
+    runs: list[_storage.SpillFile] = []
+
+    def flush_run(chunks: list[DataChunk]) -> None:
+        total = sum(c.count for c in chunks)
+        if not total:
+            return
+        full = DataChunk(
+            [
+                concat_vectors([c.column(i) for c in chunks])
+                for i in range(len(chunks[0].vectors))
+            ]
+        )
+        if kstats is not None:
+            kstats.rows_in += total
+        key_vectors = [evaluate(k, full, ctx) for k, _, _ in op.keys]
+        keyed = sorted(
+            (
+                (full.row(i), tuple(kv.value(i) for kv in key_vectors))
+                for i in range(total)
+            ),
+            key=comparator,
+        )
+        run = _storage.SpillFile()
+        run.write_rows(keyed)
+        runs.append(run)
+
+    try:
+        pending: list[DataChunk] = []
+        used = 0
+        for chunk in _chain_chunks(buffered, overflow):
+            pending.append(chunk)
+            used += _storage.chunk_nbytes(chunk)
+            if used > limit:
+                flush_run(pending)
+                pending = []
+                used = 0
+        flush_run(pending)
+        if ctx.stats is not None:
+            ctx.stats.bump("storage.spilled_sorts")
+            ctx.stats.bump("storage.spill_runs", len(runs))
+        if ctx.profiler is not None:
+            ctx.profiler.annotate(op, "spill_runs", len(runs))
+        # Runs hold ascending global row ranges and heapq.merge breaks
+        # key ties by iterable position, so the merge is the stable
+        # serial sort's exact order.
+        merged = heapq.merge(
+            *(run.read_rows() for run in runs), key=comparator
+        )
+        yield from _rows_stream_to_chunks(
+            (row for row, _ in merged), op.output_types()
+        )
+    finally:
+        for run in runs:
+            run.close()
+
+
+def _spilled_aggregate(op: LogicalAggregate, buffered: list[DataChunk],
+                       overflow: Iterator[DataChunk],
+                       ctx: ExecutionContext) -> Iterator[DataChunk]:
+    """Past-watermark GROUP BY: hash-partition rows on the group key,
+    fold each partition with the row-loop semantics, merge group rows
+    by first-occurrence global row index."""
+    kstats = _kernel_stats(op, ctx)
+    child_types = op.child.output_types()
+    parts = [_storage.SpillFile() for _ in range(_SPILL_PARTITIONS)]
+    try:
+        base = 0
+        for chunk in _chain_chunks(buffered, overflow):
+            if not chunk.count:
+                continue
+            if kstats is not None:
+                kstats.rows_in += chunk.count
+            group_vectors = [evaluate(g, chunk, ctx) for g in op.groups]
+            pending: list[list[tuple]] = [[] for _ in parts]
+            for i in range(chunk.count):
+                key = tuple(
+                    _hashable(gv.value(i)) for gv in group_vectors
+                )
+                pending[hash(key) % _SPILL_PARTITIONS].append(
+                    (base + i, chunk.row(i))
+                )
+            for part, rows in zip(parts, pending):
+                if rows:
+                    part.write_rows(rows)
+            base += chunk.count
+        if ctx.stats is not None:
+            ctx.stats.bump("storage.spilled_aggregates")
+            ctx.stats.bump("storage.spill_partitions", len(parts))
+        if ctx.profiler is not None:
+            ctx.profiler.annotate(op, "spill_partitions", len(parts))
+        results: list[tuple[int, tuple]] = []
+        for part in parts:
+            indexed = list(part.read_rows())
+            if not indexed:
+                continue
+            blocks = []
+            for start in range(0, len(indexed), STANDARD_VECTOR_SIZE):
+                block = indexed[start : start + STANDARD_VECTOR_SIZE]
+                blocks.append(
+                    (
+                        DataChunk(
+                            [
+                                Vector.from_values(
+                                    t, [row[c] for _, row in block]
+                                )
+                                for c, t in enumerate(child_types)
+                            ]
+                        ),
+                        [gidx for gidx, _ in block],
+                    )
+                )
+            results.extend(_aggregate_fold(op, blocks, ctx))
+        # First-occurrence global index order == the first-appearance
+        # group order of both in-memory paths (factorize renumbers by
+        # first appearance; the row loop is insertion-ordered).
+        results.sort(key=lambda item: item[0])
+        yield from _rows_to_chunks(
+            [row for _, row in results], op.output_types()
+        )
+    finally:
+        for part in parts:
+            part.close()
+
+
+def _grace_hash_join(op: LogicalJoin, right_buffered: list[DataChunk],
+                     right_overflow: Iterator[DataChunk],
+                     ctx: ExecutionContext) -> Iterator[DataChunk]:
+    """Past-watermark inner equi-join: Grace hash partitioning of both
+    sides with global row indices, per-partition dict build + probe,
+    k-way merge on (left, right) index pairs."""
+    kstats = _kernel_stats(op, ctx)
+    qstats = ctx.stats
+    build_parts = [_storage.SpillFile() for _ in range(_SPILL_PARTITIONS)]
+    probe_parts = [_storage.SpillFile() for _ in range(_SPILL_PARTITIONS)]
+
+    def scatter(chunk: DataChunk, key_exprs: list, base: int,
+                parts: list) -> None:
+        key_vectors = [evaluate(k, chunk, ctx) for k in key_exprs]
+        pending: list[list[tuple]] = [[] for _ in parts]
+        for i in range(chunk.count):
+            # NULL keys never match an inner equi-join; drop them at
+            # partitioning time exactly like the in-memory build/probe.
+            if not all(kv.validity[i] for kv in key_vectors):
+                continue
+            key = tuple(_hashable(kv.value(i)) for kv in key_vectors)
+            pending[hash(key) % _SPILL_PARTITIONS].append(
+                (base + i, key, chunk.row(i))
+            )
+        for part, rows in zip(parts, pending):
+            if rows:
+                part.write_rows(rows)
+
+    try:
+        base = 0
+        for chunk in _chain_chunks(right_buffered, right_overflow):
+            if not chunk.count:
+                continue
+            if qstats is not None:
+                qstats.bump("executor.join_build_rows", chunk.count)
+            scatter(chunk, [rk for _, rk in op.equi_keys], base,
+                    build_parts)
+            base += chunk.count
+        base = 0
+        for left_chunk in execute_plan(op.left, ctx):
+            if not left_chunk.count:
+                continue
+            if kstats is not None:
+                kstats.rows_in += left_chunk.count
+            if qstats is not None:
+                qstats.bump("executor.join_probe_rows", left_chunk.count)
+            scatter(left_chunk, [lk for lk, _ in op.equi_keys], base,
+                    probe_parts)
+            base += left_chunk.count
+        if qstats is not None:
+            qstats.bump("storage.spilled_joins")
+            qstats.bump("storage.spill_partitions", 2 * _SPILL_PARTITIONS)
+        if ctx.profiler is not None:
+            ctx.profiler.annotate(op, "spill_partitions",
+                                  _SPILL_PARTITIONS)
+
+        def partition_pairs(build_part, probe_part):
+            # Probe rows replay in global left order and buckets hold
+            # ascending global right indices, so each partition stream
+            # is sorted by (left, right) — merge-ready.
+            table: dict[tuple, list[tuple[int, tuple]]] = {}
+            for gri, key, row in build_part.read_rows():
+                table.setdefault(key, []).append((gri, row))
+            if not table:
+                return
+            for gli, key, lrow in probe_part.read_rows():
+                for gri, rrow in table.get(key, ()):
+                    yield (gli, gri, lrow + rrow)
+
+        merged = heapq.merge(
+            *(
+                partition_pairs(b, p)
+                for b, p in zip(build_parts, probe_parts)
+            ),
+            key=lambda item: (item[0], item[1]),
+        )
+        combined_types = op.left.output_types() + op.right.output_types()
+        for chunk in _rows_stream_to_chunks(
+            (row for _, _, row in merged), combined_types
+        ):
+            if op.residual is not None:
+                mask = boolean_selection(
+                    evaluate(op.residual, chunk, ctx)
+                )
+                chunk = chunk.slice(mask)
+            if chunk.count:
+                yield chunk
+    finally:
+        for part in build_parts + probe_parts:
+            part.close()
+
+
 # -- sort / distinct ------------------------------------------------------------------
 
 
 def _execute_sort(op: LogicalSort, ctx: ExecutionContext
                   ) -> Iterator[DataChunk]:
     kstats = _kernel_stats(op, ctx)
-    columns = _materialize(op.child, ctx)
+    chunks: list[DataChunk] | None = None
+    if ctx.memory_limit_bytes is not None:
+        buffered, overflow = _watermark_buffer(op.child, ctx)
+        if overflow is not None:
+            yield from _external_sort(op, buffered, overflow, ctx)
+            return
+        chunks = buffered
+    columns = _materialize(op.child, ctx, chunks=chunks)
     if columns is None:
         return
     full = DataChunk(columns)

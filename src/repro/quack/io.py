@@ -12,6 +12,7 @@ import csv
 import re
 from typing import Any
 
+from . import storage
 from .database import Result
 from .errors import QuackError
 from .types import BIGINT, BOOLEAN, DOUBLE, LogicalType, VARCHAR
@@ -76,7 +77,7 @@ def write_csv(result: Result, path: str) -> int:
             formatters.append(format_date)
         else:
             formatters.append(str)
-    with open(path, "w", newline="") as handle:
+    with storage.open_path(path, "w", newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow(result.column_names)
         for row in result.rows:
@@ -131,7 +132,7 @@ def read_csv(connection, path: str, table_name: str,
     ``{"trip": "TGEOMPOINT"}`` — values then go through the registered
     ``VARCHAR -> type`` cast, so extension types load from text.
     """
-    with open(path, newline="") as handle:
+    with storage.open_path(path, newline="") as handle:
         reader = csv.reader(handle)
         try:
             header = next(reader)

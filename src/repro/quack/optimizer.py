@@ -45,8 +45,10 @@ from .plan import (
     LogicalProject,
     LogicalSetOp,
     LogicalSort,
+    PrunePredicate,
 )
 from . import stats as table_stats
+from . import storage
 
 #: Exhaustive DP join enumeration up to this many relations; greedy
 #: pairwise merging beyond (3^n subset partitions grow too fast).
@@ -57,8 +59,8 @@ _HASH_BUILD_FACTOR = 2.0
 _CROSS_PENALTY = 10.0
 
 
-def optimize(plan: LogicalOperator, stats=None,
-             cbo: bool = True) -> LogicalOperator:
+def optimize(plan: LogicalOperator, stats=None, cbo: bool = True,
+             zone_maps: bool = True) -> LogicalOperator:
     """Rewrite a bound plan. Idempotent; returns a new tree — the input
     plan is never mutated, so a cached bound plan can be re-optimized.
 
@@ -68,16 +70,17 @@ def optimize(plan: LogicalOperator, stats=None,
     ``SET cbo = on|off`` kill switch: when off — or when any join leaf
     lacks ``ANALYZE`` statistics — planning stays on the heuristic path
     and produces the same plan as before the cost-based optimizer
-    existed.  Under verification mode every filter rewrite is
-    snapshot-checked (schema stability, predicate preservation,
-    index-injection validity) and a violation names the optimizer rule
-    that fired."""
+    existed.  ``zone_maps`` is the ``SET zone_maps = on|off`` kill
+    switch for attaching row-group prune predicates to table scans.
+    Under verification mode every filter rewrite is snapshot-checked
+    (schema stability, predicate preservation, index-injection validity)
+    and a violation names the optimizer rule that fired."""
     verifier = None
     if verification_enabled():
         from ..analysis.verifier import RewriteVerifier
 
         verifier = RewriteVerifier()
-    return _Optimizer(stats, verifier, cbo).rewrite(plan)
+    return _Optimizer(stats, verifier, cbo, zone_maps).rewrite(plan)
 
 
 def _with(op: LogicalOperator, **fields) -> LogicalOperator:
@@ -89,10 +92,12 @@ def _with(op: LogicalOperator, **fields) -> LogicalOperator:
 
 
 class _Optimizer:
-    def __init__(self, stats=None, verifier=None, cbo: bool = True):
+    def __init__(self, stats=None, verifier=None, cbo: bool = True,
+                 zone_maps: bool = True):
         self._stats = stats
         self._verifier = verifier
         self._cbo = cbo
+        self._zone_maps = zone_maps
 
     def _fire(self, rule: str, n: int = 1) -> None:
         if self._verifier is not None:
@@ -448,24 +453,56 @@ class _Optimizer:
     def _try_push_into_leaf(
         self, leaf: LogicalOperator, filters: list[BoundExpr]
     ) -> tuple[LogicalOperator, list[BoundExpr]]:
-        if not isinstance(leaf, LogicalGet) or not leaf.table.indexes:
+        if not isinstance(leaf, LogicalGet):
             return leaf, filters
-        for conj in filters:
-            probe = _match_index_predicate(conj)
-            if probe is None:
-                continue
-            column_index, op_name, constant = probe
-            column_name = leaf.table.column_names[column_index]
-            for index in leaf.table.indexes:
-                if index.matches(op_name, column_name, constant):
-                    self._fire("index_scan_injection")
-                    scan = LogicalIndexScan(
-                        leaf.table, index, op_name, constant
-                    )
-                    # Keep every conjunct (including the matched one) as a
-                    # recheck filter: exact and cheap on the candidate set.
-                    return scan, filters
+        if leaf.table.indexes:
+            for conj in filters:
+                probe = _match_index_predicate(conj)
+                if probe is None:
+                    continue
+                column_index, op_name, constant = probe
+                column_name = leaf.table.column_names[column_index]
+                for index in leaf.table.indexes:
+                    if index.matches(op_name, column_name, constant):
+                        self._fire("index_scan_injection")
+                        scan = LogicalIndexScan(
+                            leaf.table, index, op_name, constant
+                        )
+                        # Keep every conjunct (including the matched one)
+                        # as a recheck filter: exact and cheap on the
+                        # candidate set.
+                        return scan, filters
+        prune = self._prune_predicates(filters)
+        if prune:
+            self._fire("zone_map_pushdown")
+            # Advisory only: the full conjunction stays above the scan as
+            # the exact recheck, so the RewriteVerifier's predicate
+            # multiset is untouched.
+            leaf = _with(leaf, prune=tuple(prune))
         return leaf, filters
+
+    def _prune_predicates(self, filters: list[BoundExpr]) -> list:
+        """Conjuncts in ``col <op> const`` shape whose operator the
+        zone maps can reason about (comparisons, BETWEEN halves, box
+        overlap/containment, the eIntersects bbox prefilter)."""
+        if not self._zone_maps:
+            return []
+        out = []
+        for conj in filters:
+            parts = _comparison_parts(conj) or _match_index_predicate(conj)
+            if parts is None:
+                continue
+            column_index, op_name, constant = parts
+            key = op_name if op_name in _COMPARISON_FLIP else op_name.lower()
+            if key not in storage.PRUNABLE_OPS:
+                continue
+            out.append(PrunePredicate(
+                column=column_index,
+                op_name=op_name,
+                constant=constant,
+                expr=conj,
+            ))
+        return out
 
 
 # ---------------------------------------------------------------------------

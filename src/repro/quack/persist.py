@@ -1,56 +1,25 @@
 """Database persistence: save/load a quack database to a single file.
 
-DuckDB is an *embedded persistent* database; this module gives the
-stand-in the same property at reproduction fidelity: the catalog's tables
-(schema + rows) round-trip through one file.  Extension types serialize
-through the same pickled-payload path the row engine's varlena storage
-uses; indexes are rebuilt on load (like PostgreSQL's REINDEX after
-restore) so the file format stays independent of index internals.
+DuckDB is an *embedded persistent* database; this module keeps the
+historical ``save_database``/``load_database`` entry points but the
+format is now the columnar segment file of :mod:`.storage` — compressed
+per-column segments in row groups, zone maps in the footer, versioned
+with a one-release read shim for the old pickled ``quackdb-v1`` files.
+Indexes are rebuilt on load (like PostgreSQL's REINDEX after restore)
+so the file format stays independent of index internals.
 """
 
 from __future__ import annotations
 
-import pickle
-
-from .catalog import Table
 from .database import Database
-from .errors import QuackError
-
-_MAGIC = "quackdb-v1"
+from .storage import read_database, write_database
 
 
 def save_database(database: Database, path: str) -> int:
     """Write all tables (schema + rows) to ``path``; returns table count.
 
     Index *definitions* are stored so they can be rebuilt on load."""
-    tables_payload = []
-    for table in database.catalog.tables.values():
-        rows = []
-        for chunk, _ in table.scan():
-            rows.extend(chunk.rows())
-        tables_payload.append(
-            {
-                "name": table.name,
-                "columns": [
-                    (name, ltype.name)
-                    for name, ltype in zip(table.column_names,
-                                           table.column_types)
-                ],
-                "rows": rows,
-                "indexes": [
-                    (index.name, index.type_name, index.column)
-                    for index in table.indexes
-                ],
-            }
-        )
-    document = {
-        "magic": _MAGIC,
-        "extensions": list(database.loaded_extensions),
-        "tables": tables_payload,
-    }
-    with open(path, "wb") as handle:
-        pickle.dump(document, handle, protocol=pickle.HIGHEST_PROTOCOL)
-    return len(tables_payload)
+    return write_database(database, path)
 
 
 def load_database(database: Database, path: str) -> int:
@@ -58,28 +27,4 @@ def load_database(database: Database, path: str) -> int:
 
     The database must already have the needed extensions loaded (types are
     resolved by name through its type registry); indexes are rebuilt."""
-    with open(path, "rb") as handle:
-        try:
-            document = pickle.load(handle)
-        except Exception as exc:
-            raise QuackError(f"{path}: not a quack database file: {exc}")
-    if not isinstance(document, dict) or document.get("magic") != _MAGIC:
-        raise QuackError(f"{path}: not a quack database file")
-    count = 0
-    for payload in document["tables"]:
-        columns = [
-            (name, database.types.lookup(type_name))
-            for name, type_name in payload["columns"]
-        ]
-        table = Table(payload["name"], columns)
-        table.append_rows(payload["rows"])
-        database.catalog.create_table(table, or_replace=True)
-        for index_name, type_name, column in payload["indexes"]:
-            index_type = database.config.index_types.lookup(type_name)
-            index = index_type.create_instance(
-                name=index_name, table=table, column=column,
-                database=database,
-            )
-            database.catalog.add_index(index)
-        count += 1
-    return count
+    return read_database(database, path)

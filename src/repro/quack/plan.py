@@ -199,9 +199,29 @@ class LogicalOperator:
         return type(self).__name__.replace("Logical", "").upper()
 
 
+@dataclass(frozen=True)
+class PrunePredicate:
+    """A pushed-down conjunct in zone-map-checkable shape.
+
+    ``column``/``op_name``/``constant`` drive the row-group skip test
+    (:func:`repro.quack.storage.zone_map_prunes`); ``expr`` keeps the
+    original bound conjunct so the verification layer can re-evaluate it
+    over skipped groups.  Pruning is advisory only — the full filter
+    stays in the plan above the scan as the exact recheck.
+    """
+
+    column: int
+    op_name: str
+    constant: Any
+    expr: Any = None
+
+
 @dataclass
 class LogicalGet(LogicalOperator):
     table: Table
+    #: zone-map prune predicates attached by the optimizer; empty tuple
+    #: means plain full scan
+    prune: tuple = ()
 
     def output_types(self) -> list[LogicalType]:
         return list(self.table.column_types)
@@ -210,7 +230,14 @@ class LogicalGet(LogicalOperator):
         return list(self.table.column_names)
 
     def _explain_label(self) -> str:
-        return f"SEQ_SCAN {self.table.name}"
+        label = f"SEQ_SCAN {self.table.name}"
+        if self.prune:
+            ops = ", ".join(
+                f"{self.table.column_names[p.column]} {p.op_name}"
+                for p in self.prune
+            )
+            label += f" [zonemap: {ops}]"
+        return label
 
 
 @dataclass

@@ -314,3 +314,20 @@ class ShowStatement(Statement):
     (e.g. ``SHOW threads``, ``SHOW log_min_duration``)."""
 
     name: str
+
+
+@dataclass
+class AttachStatement(Statement):
+    """``ATTACH [DATABASE] '<path>'`` — bind an on-disk database file:
+    an existing file loads immediately (tables decompress lazily), a
+    new path becomes the ``CHECKPOINT`` target."""
+
+    path: str
+
+
+@dataclass
+class CheckpointStatement(Statement):
+    """``CHECKPOINT ['<path>']`` — write every table to the attached
+    (or explicitly named) file in the columnar segment format."""
+
+    path: str | None = None

@@ -115,7 +115,32 @@ class Parser:
             return self._parse_set()
         if word == "SHOW":
             return self._parse_show()
+        if word == "ATTACH":
+            return self._parse_attach()
+        if word == "CHECKPOINT":
+            return self._parse_checkpoint()
         raise ParserError(f"unsupported statement {token.text!r}")
+
+    def _parse_attach(self) -> ast.AttachStatement:
+        self.expect_keyword("ATTACH")
+        self.accept_keyword("DATABASE")
+        return ast.AttachStatement(self._expect_string("ATTACH"))
+
+    def _parse_checkpoint(self) -> ast.CheckpointStatement:
+        self.expect_keyword("CHECKPOINT")
+        path = None
+        if self.peek().kind == "string":
+            path = self._expect_string("CHECKPOINT")
+        return ast.CheckpointStatement(path)
+
+    def _expect_string(self, context: str) -> str:
+        token = self.advance()
+        if token.kind != "string":
+            raise ParserError(
+                f"{context} expects a quoted file path, "
+                f"got {token.text!r}"
+            )
+        return token.text
 
     def _parse_analyze(self) -> ast.AnalyzeStatement:
         self.expect_keyword("ANALYZE")

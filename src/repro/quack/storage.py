@@ -1,0 +1,984 @@
+"""Persistent columnar storage: compressed segments, zone maps, spill files.
+
+The on-disk format (``*.quackdb``) is a single file::
+
+    +----------+---------------------------+-------------+----------------+
+    | magic(8) | segment blobs, back to    | JSON footer | footer offset  |
+    | QUACKDB2 | back (payload + validity) |             | (u64) magic(8) |
+    +----------+---------------------------+-------------+----------------+
+
+Rows are re-chunked into fixed-size **row groups** (default
+:data:`repro.quack.vector.STANDARD_VECTOR_SIZE` rows).  Each column of a
+row group is one encoded *segment*: dictionary encoding for text, delta
+(frame-of-reference) encoding for int64 payloads — which covers
+``TIMESTAMP``/``DATE``, both epoch-integer physicals — bit-packed
+booleans, raw float64 bytes, and a zlib-pickled fallback for extension
+payloads (temporal points, boxes).  Validity is a separate packed bitmap
+per segment, elided when all rows are valid.
+
+The JSON footer carries the format version, schema, index definitions,
+per-segment byte offsets, and a per-row-group **zone map** per column:
+min/max over the numeric image (:func:`repro.quack.stats.as_number`),
+string bounds for text, null counts, and per-axis bounding-box extents
+for spatial/temporal columns.  Scans with pushed-down conjuncts consult
+the zone maps (see :func:`zone_map_prunes`) and skip non-qualifying row
+groups *before* decompression; readers are lazily materialized
+memory-mapped :class:`StorageColumn` segments, so a skipped group is
+never decoded.
+
+The same module owns the **spill files** used by the spillable operators
+(external sort runs, grace hash-join partitions, aggregation partials)
+and the :func:`open_path` seam: lint rule ANL011 confines all file I/O
+inside ``repro.quack`` to this module.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import pickle
+import struct
+import tempfile
+import threading
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+import numpy as np
+
+from ..analysis.config import verification_enabled
+from ..analysis.errors import VerificationError
+from ..observability import count
+from .catalog import ColumnData, Table
+from .errors import QuackError
+from .stats import (
+    HISTOGRAM_BUCKETS,
+    ColumnStats,
+    DimensionStats,
+    NumericHistogram,
+    TableStats,
+    as_number,
+    box_intervals,
+    box_of,
+)
+from .types import LogicalType
+from .vector import STANDARD_VECTOR_SIZE, Vector
+
+#: Current on-disk format version.  Readers reject anything newer; the
+#: ``quackdb-v1`` pickle format is still readable through a shim for one
+#: release (see :func:`_read_legacy_pickle`).
+FORMAT_VERSION = 2
+
+_MAGIC = b"QUACKDB2"
+_TRAILER_SIZE = 8 + len(_MAGIC)  # u64 footer offset + magic echo
+
+#: Rows per on-disk row group — matches the execution vector size so one
+#: decoded segment is exactly one scan chunk.
+ROW_GROUP_SIZE = STANDARD_VECTOR_SIZE
+
+#: Flat per-slot estimate for object payloads when sizing working sets
+#: against ``SET memory_limit`` (exact byte accounting of extension
+#: objects would require walking them).
+_OBJECT_SLOT_BYTES = 64
+
+_DELTA_WIDTHS = (np.int8, np.int16, np.int32, np.int64)
+_CODE_WIDTHS = (np.uint8, np.uint16, np.uint32)
+
+_COMPARISON_OPS = frozenset(("<", "<=", ">", ">=", "="))
+#: Overlap-style box predicates: ``col && probe`` and ``col <@ probe``
+#: both require the column box to intersect the probe box, as does the
+#: eIntersects/aIntersects bounding-box prefilter.
+_OVERLAP_OPS = frozenset(("&&", "<@", "eintersects", "aintersects",
+                          "intersects"))
+_CONTAINS_OPS = frozenset(("@>",))
+
+#: Every conjunct shape the zone maps understand (optimizer-side gate).
+PRUNABLE_OPS = _COMPARISON_OPS | _OVERLAP_OPS | _CONTAINS_OPS
+
+
+def open_path(path: str, mode: str = "r", **kwargs: Any):
+    """The file-access seam for ``repro.quack`` (lint rule ANL011): every
+    module except this one must route file I/O through here so persistence
+    concerns stay in one place."""
+    return open(path, mode, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Segment codecs
+# ---------------------------------------------------------------------------
+
+
+def encode_validity(validity: np.ndarray) -> bytes:
+    """Packed validity bitmap; empty bytes when every row is valid."""
+    if validity.all():
+        return b""
+    return np.packbits(validity.astype(np.bool_)).tobytes()
+
+
+def decode_validity(payload: bytes, rows: int) -> np.ndarray:
+    if not payload:
+        return np.ones(rows, dtype=np.bool_)
+    bits = np.unpackbits(np.frombuffer(payload, dtype=np.uint8), count=rows)
+    return bits.astype(np.bool_)
+
+
+def encode_segment(vector: Vector) -> tuple[str, bytes, dict]:
+    """Encode one segment; returns ``(codec, payload, meta)``."""
+    physical = vector.ltype.physical
+    data = vector.data
+    if physical == "bool":
+        return "bitpack", np.packbits(data.astype(np.bool_)).tobytes(), {}
+    if physical == "int64":
+        values = data.astype(np.int64, copy=False)
+        if len(values) == 0:
+            return "delta", b"", {"first": 0, "width": "int64"}
+        first = int(values[0])
+        deltas = np.diff(values)
+        width = _DELTA_WIDTHS[-1]
+        if deltas.size:
+            lo, hi = int(deltas.min()), int(deltas.max())
+            for candidate in _DELTA_WIDTHS:
+                info = np.iinfo(candidate)
+                if info.min <= lo and hi <= info.max:
+                    width = candidate
+                    break
+        else:
+            width = _DELTA_WIDTHS[0]
+        return "delta", deltas.astype(width).tobytes(), {
+            "first": first,
+            "width": np.dtype(width).name,
+        }
+    if physical == "float64":
+        return "raw", data.astype(np.float64, copy=False).tobytes(), {}
+    # Object payloads: dictionary-encode when the segment is pure text,
+    # otherwise fall back to a zlib-compressed pickle.
+    values = [data[i] if vector.validity[i] else None
+              for i in range(len(data))]
+    present = [v for v in values if v is not None]
+    if all(isinstance(v, str) for v in present):
+        uniques = sorted(set(present))
+        mapping = {v: i for i, v in enumerate(uniques)}
+        codes = np.fromiter(
+            (mapping[v] if v is not None else 0 for v in values),
+            dtype=np.int64,
+            count=len(values),
+        )
+        width = _CODE_WIDTHS[-1]
+        for candidate in _CODE_WIDTHS:
+            if len(uniques) <= np.iinfo(candidate).max + 1:
+                width = candidate
+                break
+        dict_blob = json.dumps(uniques, ensure_ascii=False).encode("utf-8")
+        return "dict", dict_blob + codes.astype(width).tobytes(), {
+            "dict_bytes": len(dict_blob),
+            "width": np.dtype(width).name,
+            "cardinality": len(uniques),
+        }
+    return "pickle", zlib.compress(
+        pickle.dumps(values, protocol=pickle.HIGHEST_PROTOCOL)
+    ), {}
+
+
+def decode_segment(codec: str, payload: bytes, meta: dict, rows: int,
+                   ltype: LogicalType) -> np.ndarray:
+    """Inverse of :func:`encode_segment`."""
+    if codec == "bitpack":
+        if rows == 0:
+            return np.zeros(0, dtype=np.bool_)
+        bits = np.unpackbits(np.frombuffer(payload, dtype=np.uint8),
+                             count=rows)
+        return bits.astype(np.bool_)
+    if codec == "delta":
+        out = np.empty(rows, dtype=np.int64)
+        if rows == 0:
+            return out
+        out[0] = int(meta["first"])
+        if rows > 1:
+            deltas = np.frombuffer(payload, dtype=np.dtype(meta["width"]),
+                                   count=rows - 1)
+            out[1:] = out[0] + np.cumsum(deltas, dtype=np.int64)
+        return out
+    if codec == "raw":
+        return np.frombuffer(payload, dtype=np.float64, count=rows)
+    if codec == "dict":
+        dict_bytes = int(meta["dict_bytes"])
+        uniques = json.loads(bytes(payload[:dict_bytes]).decode("utf-8"))
+        out = np.empty(rows, dtype=object)
+        if rows == 0:
+            return out
+        if not uniques:
+            return out  # all-NULL segment: validity masks every slot
+        codes = np.frombuffer(payload[dict_bytes:],
+                              dtype=np.dtype(meta["width"]), count=rows)
+        lookup = np.empty(len(uniques), dtype=object)
+        for i, value in enumerate(uniques):
+            lookup[i] = value
+        return lookup[codes.astype(np.int64)]
+    if codec == "pickle":
+        values = pickle.loads(zlib.decompress(bytes(payload)))
+        out = np.empty(rows, dtype=object)
+        for i, value in enumerate(values):
+            out[i] = value
+        return out
+    raise QuackError(f"unknown segment codec {codec!r}")
+
+
+# ---------------------------------------------------------------------------
+# Zone maps
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ZoneMapEntry:
+    """Per-row-group, per-column pruning summary.
+
+    Bounds are only usable when the matching ``*_complete`` flag is set —
+    it records that *every* non-null value in the group contributed, so a
+    disjoint range proves the group holds no match.  NaNs count as
+    numeric (a NaN never satisfies a comparison) but stay out of the
+    bounds.
+    """
+
+    rows: int
+    nulls: int
+    lo: float | None = None
+    hi: float | None = None
+    slo: str | None = None
+    shi: str | None = None
+    box: dict[str, tuple[float, float]] | None = None
+    numeric_complete: bool = False
+    string_complete: bool = False
+    box_complete: bool = False
+    distinct: int | None = None
+
+    @property
+    def non_null(self) -> int:
+        return self.rows - self.nulls
+
+    def to_json(self) -> dict:
+        out: dict[str, Any] = {"r": self.rows, "n": self.nulls}
+        if self.numeric_complete:
+            out["lo"], out["hi"], out["nc"] = self.lo, self.hi, True
+        if self.string_complete:
+            out["slo"], out["shi"], out["sc"] = self.slo, self.shi, True
+        if self.box_complete:
+            out["box"] = {axis: list(iv) for axis, iv in
+                          (self.box or {}).items()}
+            out["bc"] = True
+        if self.distinct is not None:
+            out["d"] = self.distinct
+        return out
+
+    @classmethod
+    def from_json(cls, raw: dict) -> "ZoneMapEntry":
+        box = raw.get("box")
+        return cls(
+            rows=int(raw["r"]),
+            nulls=int(raw["n"]),
+            lo=raw.get("lo"),
+            hi=raw.get("hi"),
+            slo=raw.get("slo"),
+            shi=raw.get("shi"),
+            box={axis: (float(iv[0]), float(iv[1]))
+                 for axis, iv in box.items()} if box else None,
+            numeric_complete=bool(raw.get("nc")),
+            string_complete=bool(raw.get("sc")),
+            box_complete=bool(raw.get("bc")),
+            distinct=raw.get("d"),
+        )
+
+
+def compute_zone_entry(vector: Vector) -> ZoneMapEntry:
+    """One pass over a sealed segment: bounds, null count, box extents."""
+    rows = len(vector)
+    nulls = int(np.count_nonzero(~vector.validity))
+    lo = hi = None
+    slo = shi = None
+    strings: set[str] | None = set()
+    n_num = n_str = n_box = 0
+    axes: dict[str, tuple[float, float]] = {}
+    axis_hits: dict[str, int] = {}
+    for i in range(rows):
+        value = vector.value(i)
+        if value is None:
+            continue
+        number = as_number(value)
+        if number is not None:
+            n_num += 1
+            if number == number:  # NaN never matches a comparison
+                lo = number if lo is None else min(lo, number)
+                hi = number if hi is None else max(hi, number)
+            continue
+        if isinstance(value, str):
+            n_str += 1
+            slo = value if slo is None or value < slo else slo
+            shi = value if shi is None or value > shi else shi
+            if strings is not None:
+                strings.add(value)
+            continue
+        box = box_of(value)
+        if box is not None:
+            intervals = box_intervals(box)
+            if intervals:
+                n_box += 1
+                for axis, (alo, ahi) in intervals.items():
+                    known = axes.get(axis)
+                    if known is None:
+                        axes[axis] = (alo, ahi)
+                    else:
+                        axes[axis] = (min(known[0], alo), max(known[1], ahi))
+                    axis_hits[axis] = axis_hits.get(axis, 0) + 1
+    non_null = rows - nulls
+    # Only axes every boxed value contributed to are sound for pruning:
+    # a value without a ``t`` span is unconstrained on ``t``.
+    axes = {axis: iv for axis, iv in axes.items()
+            if axis_hits.get(axis, 0) == n_box}
+    return ZoneMapEntry(
+        rows=rows,
+        nulls=nulls,
+        lo=lo,
+        hi=hi,
+        slo=slo,
+        shi=shi,
+        box=axes or None,
+        numeric_complete=non_null > 0 and n_num == non_null,
+        string_complete=non_null > 0 and n_str == non_null,
+        box_complete=non_null > 0 and n_box == non_null,
+        distinct=len(strings) if strings is not None and n_str == non_null
+        and non_null > 0 else None,
+    )
+
+
+def zone_map_prunes(entry: ZoneMapEntry, op_name: str,
+                    constant: Any) -> bool:
+    """``True`` when the zone map *proves* no row in the group satisfies
+    ``column <op> constant`` — the conservative default is ``False``
+    (cannot prune)."""
+    if entry.rows == 0:
+        return True
+    op = op_name.lower() if op_name not in _COMPARISON_OPS else op_name
+    if op in _COMPARISON_OPS:
+        if entry.non_null == 0:
+            return True  # comparisons are never true against NULL
+        if isinstance(constant, str):
+            if not entry.string_complete or entry.slo is None:
+                return False
+            return _range_prunes(op, entry.slo, entry.shi, constant)
+        probe = as_number(constant)
+        if probe is None or probe != probe:
+            return False
+        if not entry.numeric_complete or entry.lo is None:
+            return False
+        return _range_prunes(op, entry.lo, entry.hi, probe)
+    if op in _OVERLAP_OPS or op in _CONTAINS_OPS:
+        if entry.non_null == 0:
+            return True
+        if not entry.box_complete or not entry.box:
+            return False
+        box = box_of(constant)
+        if box is None:
+            return False
+        probe_intervals = box_intervals(box)
+        for axis, (plo, phi) in probe_intervals.items():
+            extent = entry.box.get(axis)
+            if extent is None:
+                continue
+            if op in _CONTAINS_OPS:
+                # column @> probe: every column box lies inside the
+                # group extent, so an extent that cannot cover the probe
+                # proves no single box can.
+                if plo < extent[0] or phi > extent[1]:
+                    return True
+            else:
+                if phi < extent[0] or plo > extent[1]:
+                    return True
+        return False
+    return False
+
+
+def _range_prunes(op: str, lo: Any, hi: Any, probe: Any) -> bool:
+    if op == "<":
+        return lo >= probe
+    if op == "<=":
+        return lo > probe
+    if op == ">":
+        return hi <= probe
+    if op == ">=":
+        return hi < probe
+    return probe < lo or probe > hi  # "="
+
+
+# ---------------------------------------------------------------------------
+# Lazily-decoded storage columns
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SegmentRef:
+    """One encoded column segment inside a ``.quackdb`` file."""
+
+    codec: str
+    offset: int
+    length: int
+    validity_offset: int
+    validity_length: int
+    rows: int
+    meta: dict = field(default_factory=dict)
+    zone: ZoneMapEntry | None = None
+
+
+class StorageFile:
+    """An open, memory-mapped ``.quackdb`` file shared by the lazy
+    columns loaded out of it; kept alive by the tables that reference
+    it."""
+
+    def __init__(self, path: str):
+        self.path = path
+        try:
+            self._handle = open_path(path, "rb")
+        except OSError as exc:
+            raise QuackError(f"{path}: cannot open database: {exc}") from exc
+        try:
+            self._mmap = mmap.mmap(self._handle.fileno(), 0,
+                                   access=mmap.ACCESS_READ)
+        except (ValueError, OSError) as exc:
+            self._handle.close()
+            raise QuackError(
+                f"{path}: not a quack database file: {exc}"
+            ) from exc
+
+    def __len__(self) -> int:
+        return len(self._mmap)
+
+    def read(self, offset: int, length: int) -> bytes:
+        count("storage.bytes_read", length)
+        return self._mmap[offset:offset + length]
+
+    def close(self) -> None:
+        self._mmap.close()
+        self._handle.close()
+
+
+class StorageColumn(ColumnData):
+    """A column whose sealed row groups live in a :class:`StorageFile`.
+
+    Stored segments decode on first touch and are cached as whole
+    :class:`Vector` objects so derived ``_aux`` views (box SoA caches)
+    survive repeated scans; the cache is dropped on :meth:`rewrite`, so a
+    reload can never serve a stale fingerprint.  Appends after load land
+    in the in-memory tail/segments inherited from :class:`ColumnData`,
+    ordered *after* every stored group.
+    """
+
+    __slots__ = ("source", "refs", "_decoded", "_decode_lock")
+
+    def __init__(self, ltype: LogicalType, source: StorageFile,
+                 refs: list[SegmentRef]):
+        super().__init__(ltype)
+        self.source = source
+        self.refs = refs
+        self._decoded: dict[int, Vector] = {}
+        self._decode_lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return sum(ref.rows for ref in self.refs) + super().__len__()
+
+    def segment_count(self) -> int:
+        self.seal()
+        return len(self.refs) + len(self.segments)
+
+    def segment_rows(self, index: int) -> int:
+        if index < len(self.refs):
+            return self.refs[index].rows
+        return len(self.segments[index - len(self.refs)])
+
+    def segment_vector(self, index: int) -> Vector:
+        if index >= len(self.refs):
+            base = index - len(self.refs)
+            return Vector(self.ltype, self.segments[base],
+                          self.validity_segments[base])
+        cached = self._decoded.get(index)
+        if cached is not None:
+            if verification_enabled():
+                self._verify_decoded(index, cached)
+            return cached
+        with self._decode_lock:
+            cached = self._decoded.get(index)
+            if cached is None:
+                cached = self._decode(index)
+                self._decoded[index] = cached
+        return cached
+
+    def zone_entry(self, index: int) -> ZoneMapEntry:
+        if index < len(self.refs):
+            ref = self.refs[index]
+            if ref.zone is None:
+                ref.zone = compute_zone_entry(self.segment_vector(index))
+            return ref.zone
+        return compute_zone_entry(self.segment_vector(index))
+
+    def _decode(self, index: int) -> Vector:
+        ref = self.refs[index]
+        payload = self.source.read(ref.offset, ref.length)
+        data = decode_segment(ref.codec, payload, ref.meta, ref.rows,
+                              self.ltype)
+        validity = decode_validity(
+            self.source.read(ref.validity_offset, ref.validity_length),
+            ref.rows,
+        )
+        count("storage.segments_decoded")
+        vector = Vector(self.ltype, data, validity)
+        if verification_enabled():
+            self._verify_decoded(index, vector)
+        return vector
+
+    def _verify_decoded(self, index: int, vector: Vector) -> None:
+        """Decompressed-chunk verification: the decoded vector must still
+        match its footer metadata, and any cached derived ``_aux`` views
+        must match the payload they were built from."""
+        ref = self.refs[index]
+        if len(vector) != ref.rows:
+            raise VerificationError(
+                f"storage segment {index} of {self.source.path}: decoded "
+                f"{len(vector)} rows, footer says {ref.rows}"
+            )
+        if ref.zone is not None:
+            nulls = int(np.count_nonzero(~vector.validity))
+            if nulls != ref.zone.nulls:
+                raise VerificationError(
+                    f"storage segment {index} of {self.source.path}: "
+                    f"decoded {nulls} NULLs, zone map says {ref.zone.nulls}"
+                )
+        vector.verify_aux_fresh("storage decoded chunk")
+
+    def rewrite(self, data: list[Any]) -> None:
+        # Drop every stored segment *and* the decoded-vector cache in one
+        # motion: a stale cached Vector here would keep serving _aux
+        # views fingerprinted against the pre-rewrite payload.  The
+        # stored row-group boundaries carry over to the rebuilt
+        # in-memory segments so sibling storage columns stay aligned.
+        self.seal()
+        counts = [self.segment_rows(i) for i in range(self.segment_count())]
+        with self._decode_lock:
+            self.refs = []
+            self._decoded.clear()
+        self._reseal(data, counts)
+
+
+class StorageTable(Table):
+    """A table attached from a ``.quackdb`` file; scans decode lazily."""
+
+    def __init__(self, name: str, columns: list[tuple[str, LogicalType]],
+                 source: StorageFile):
+        super().__init__(name, columns)
+        self.source = source
+        #: set on any mutation after load — the zone-map ANALYZE fast
+        #: path and footer-backed pruning must not trust stale footers.
+        self.appended_since_load = False
+
+    def append_rows(self, rows) -> np.ndarray:
+        self.appended_since_load = True
+        return super().append_rows(rows)
+
+    def delete_rows(self, row_ids) -> int:
+        self.appended_since_load = True
+        return super().delete_rows(row_ids)
+
+
+# ---------------------------------------------------------------------------
+# Writer
+# ---------------------------------------------------------------------------
+
+
+def write_database(database: Any, path: str) -> int:
+    """Serialize every catalog table to ``path`` in the columnar format;
+    returns the number of tables written.  Live rows are re-chunked into
+    fixed row groups, so tombstones never reach the disk."""
+    tables = list(database.catalog.tables.values())
+    with open_path(path, "wb") as handle:
+        handle.write(_MAGIC)
+        offset = len(_MAGIC)
+        table_entries = []
+        for table in tables:
+            groups: list[dict] = []
+            buffers: list[list[Any]] = [[] for _ in table.column_types]
+
+            def flush() -> None:
+                nonlocal offset
+                columns = []
+                zones = []
+                for ltype, buffer in zip(table.column_types, buffers):
+                    vector = Vector.from_values(ltype, buffer)
+                    zone = compute_zone_entry(vector)
+                    codec, payload, meta = encode_segment(vector)
+                    validity_blob = encode_validity(vector.validity)
+                    handle.write(payload)
+                    handle.write(validity_blob)
+                    descriptor = {
+                        "codec": codec,
+                        "offset": offset,
+                        "length": len(payload),
+                        "voffset": offset + len(payload),
+                        "vlength": len(validity_blob),
+                    }
+                    if meta:
+                        descriptor["meta"] = meta
+                    columns.append(descriptor)
+                    zones.append(zone.to_json())
+                    offset += len(payload) + len(validity_blob)
+                groups.append({
+                    "rows": len(buffers[0]),
+                    "columns": columns,
+                    "zones": zones,
+                })
+                for buffer in buffers:
+                    buffer.clear()
+
+            for chunk, _ in table.scan():
+                values = [vector.to_list() for vector in chunk.vectors]
+                position = 0
+                remaining = chunk.count
+                while remaining > 0:
+                    take = min(ROW_GROUP_SIZE - len(buffers[0]), remaining)
+                    for buffer, column in zip(buffers, values):
+                        buffer.extend(column[position:position + take])
+                    position += take
+                    remaining -= take
+                    if len(buffers[0]) >= ROW_GROUP_SIZE:
+                        flush()
+            if buffers[0]:
+                flush()
+            table_entries.append({
+                "name": table.name,
+                "columns": [
+                    [name, ltype.name]
+                    for name, ltype in zip(table.column_names,
+                                           table.column_types)
+                ],
+                "indexes": [
+                    [index.name, index.type_name, index.column]
+                    for index in table.indexes
+                ],
+                "row_groups": groups,
+            })
+        footer = {
+            "magic": "quackdb",
+            "format_version": FORMAT_VERSION,
+            "extensions": list(database.loaded_extensions),
+            "tables": table_entries,
+        }
+        handle.write(json.dumps(footer).encode("utf-8"))
+        handle.write(struct.pack("<Q", offset))
+        handle.write(_MAGIC)
+        total = handle.tell()
+    count("storage.bytes_written", total)
+    count("storage.checkpoints")
+    return len(tables)
+
+
+# ---------------------------------------------------------------------------
+# Reader (and the one-release pickle shim)
+# ---------------------------------------------------------------------------
+
+
+def read_database(database: Any, path: str) -> int:
+    """Load ``path`` into the catalog as lazily-decoded storage tables;
+    returns the number of tables loaded.  ``quackdb-v1`` pickle files go
+    through the legacy shim; anything else raises :class:`QuackError`."""
+    source = StorageFile(path)
+    if source.read(0, len(_MAGIC)) != _MAGIC:
+        source.close()
+        return _read_legacy_pickle(database, path)
+    if len(source) < len(_MAGIC) + _TRAILER_SIZE:
+        source.close()
+        raise QuackError(f"{path}: not a quack database file: truncated")
+    trailer = source.read(len(source) - _TRAILER_SIZE, _TRAILER_SIZE)
+    if trailer[8:] != _MAGIC:
+        source.close()
+        raise QuackError(
+            f"{path}: not a quack database file: missing footer trailer"
+        )
+    (footer_offset,) = struct.unpack("<Q", trailer[:8])
+    try:
+        footer = json.loads(source.read(
+            footer_offset,
+            len(source) - _TRAILER_SIZE - footer_offset,
+        ).decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        source.close()
+        raise QuackError(
+            f"{path}: not a quack database file: bad footer: {exc}"
+        ) from exc
+    version = footer.get("format_version")
+    if not isinstance(version, int) or footer.get("magic") != "quackdb":
+        source.close()
+        raise QuackError(f"{path}: not a quack database file")
+    if version > FORMAT_VERSION:
+        source.close()
+        raise QuackError(
+            f"{path}: format version {version} is newer than the "
+            f"supported version {FORMAT_VERSION}"
+        )
+    # The footer records extension *names* for diagnostics only: the
+    # caller must have loaded them already (types resolve by name
+    # through the database's registry, matching the old pickle loader).
+    loaded = 0
+    for entry in footer.get("tables", []):
+        table = _instantiate_table(database, entry, source)
+        database.catalog.create_table(table, or_replace=True)
+        loaded += 1
+        _rebuild_indexes(database, table, entry.get("indexes", []))
+    count("storage.tables_attached", loaded)
+    return loaded
+
+
+def _instantiate_table(database: Any, entry: dict,
+                       source: StorageFile) -> StorageTable:
+    columns = [
+        (name, database.types.lookup(type_name))
+        for name, type_name in entry["columns"]
+    ]
+    table = StorageTable(entry["name"], columns, source)
+    refs: list[list[SegmentRef]] = [[] for _ in columns]
+    for group in entry.get("row_groups", []):
+        zones = group.get("zones") or [None] * len(columns)
+        for ci, descriptor in enumerate(group["columns"]):
+            zone_raw = zones[ci]
+            refs[ci].append(SegmentRef(
+                codec=descriptor["codec"],
+                offset=int(descriptor["offset"]),
+                length=int(descriptor["length"]),
+                validity_offset=int(descriptor["voffset"]),
+                validity_length=int(descriptor["vlength"]),
+                rows=int(group["rows"]),
+                meta=descriptor.get("meta", {}),
+                zone=ZoneMapEntry.from_json(zone_raw)
+                if zone_raw is not None else None,
+            ))
+    table._columns = [
+        StorageColumn(ltype, source, column_refs)
+        for (_, ltype), column_refs in zip(columns, refs)
+    ]
+    return table
+
+
+def _rebuild_indexes(database: Any, table: Table,
+                     index_entries: list) -> None:
+    for index_name, type_name, column in index_entries:
+        index_type = database.config.index_types.lookup(type_name)
+        instance = index_type.create_instance(
+            name=index_name,
+            table=table,
+            column=column,
+            database=database,
+        )
+        database.catalog.add_index(instance)
+
+
+def _read_legacy_pickle(database: Any, path: str) -> int:
+    """Read shim for the retired ``quackdb-v1`` whole-database pickle."""
+    with open_path(path, "rb") as handle:
+        try:
+            payload = pickle.load(handle)
+        except Exception as exc:
+            raise QuackError(
+                f"{path}: not a quack database file: {exc}"
+            ) from exc
+    if not isinstance(payload, dict) or payload.get("magic") != "quackdb-v1":
+        raise QuackError(f"{path}: not a quack database file")
+    loaded = 0
+    for entry in payload.get("tables", []):
+        columns = [
+            (name, database.types.lookup(type_name))
+            for name, type_name in entry["columns"]
+        ]
+        table = Table(entry["name"], columns)
+        if entry["rows"]:
+            table.append_rows(entry["rows"])
+        database.catalog.create_table(table, or_replace=True)
+        loaded += 1
+        _rebuild_indexes(database, table, entry.get("indexes", []))
+    return loaded
+
+
+# ---------------------------------------------------------------------------
+# ANALYZE from zone maps (attached tables, no decode)
+# ---------------------------------------------------------------------------
+
+
+def analyze_from_zone_maps(table: Any) -> TableStats | None:
+    """Build :class:`TableStats` for an attached table straight from its
+    footer zone maps — no segment is decoded.  Returns ``None`` when the
+    zone maps cannot speak for the data (mutations since load, tombstones,
+    or a non-storage table), in which case the caller must full-scan."""
+    if not isinstance(table, StorageTable):
+        return None
+    if table.appended_since_load or table._deleted_ids:
+        return None
+    columns = table._columns
+    if not all(isinstance(column, StorageColumn) and not column.segments
+               and not column.tail for column in columns):
+        return None
+    if not all(ref.zone is not None
+               for column in columns for ref in column.refs):
+        return None
+    stats_columns = []
+    row_count = 0
+    for name, column in zip(table.column_names, columns):
+        zones = [ref.zone for ref in column.refs]
+        rows = sum(z.rows for z in zones)
+        nulls = sum(z.nulls for z in zones)
+        row_count = rows
+        numeric = [z for z in zones
+                   if z.numeric_complete and z.lo is not None]
+        histogram = _histogram_from_ranges(
+            [(z.lo, z.hi, z.non_null) for z in numeric]
+        ) if len(numeric) == len([z for z in zones if z.non_null]) else None
+        min_value: Any = min((z.lo for z in numeric), default=None)
+        max_value: Any = max((z.hi for z in numeric), default=None)
+        if min_value is None:
+            strings = [z for z in zones
+                       if z.string_complete and z.slo is not None]
+            min_value = min((z.slo for z in strings), default=None)
+            max_value = max((z.shi for z in strings), default=None)
+        distinct = 0
+        if all(z.distinct is not None for z in zones if z.non_null):
+            distinct = min(rows - nulls,
+                           sum(z.distinct or 0 for z in zones))
+        elif histogram is not None:
+            # Sum of per-group spreads is only an upper bound; leave the
+            # estimators their numeric-histogram path and a crude NDV.
+            distinct = max(1, (rows - nulls) // 2) if rows > nulls else 0
+        stats_columns.append(ColumnStats(
+            name=name,
+            row_count=rows,
+            null_count=nulls,
+            distinct_count=distinct,
+            min_value=min_value,
+            max_value=max_value,
+            histogram=histogram,
+            box_dimensions=_box_dimensions_from_zones(zones),
+            box_count=sum(z.non_null for z in zones if z.box_complete),
+        ))
+    count("storage.zonemap_analyze")
+    return TableStats(
+        table_name=table.name,
+        row_count=row_count,
+        columns=stats_columns,
+    )
+
+
+def _histogram_from_ranges(
+    ranges: list[tuple[float, float, int]]
+) -> NumericHistogram | None:
+    """Equi-width histogram from per-group ``(lo, hi, count)`` ranges,
+    spreading each group's mass uniformly over its range."""
+    ranges = [r for r in ranges if r[2] > 0]
+    if not ranges:
+        return None
+    lo = min(r[0] for r in ranges)
+    hi = max(r[1] for r in ranges)
+    total = sum(r[2] for r in ranges)
+    if hi <= lo:
+        return NumericHistogram(lo, hi, [total], total)
+    counts = [0.0] * HISTOGRAM_BUCKETS
+    width = (hi - lo) / HISTOGRAM_BUCKETS
+    for rlo, rhi, n in ranges:
+        first = min(int((rlo - lo) / width), HISTOGRAM_BUCKETS - 1)
+        last = min(int((rhi - lo) / width), HISTOGRAM_BUCKETS - 1)
+        share = n / (last - first + 1)
+        for bucket in range(first, last + 1):
+            counts[bucket] += share
+    return NumericHistogram(lo, hi, [int(round(c)) for c in counts], total)
+
+
+def _box_dimensions_from_zones(
+    zones: list[ZoneMapEntry]
+) -> dict[str, DimensionStats]:
+    boxed = [z for z in zones if z.box_complete and z.box]
+    if not boxed or len(boxed) != len([z for z in zones if z.non_null]):
+        return {}
+    axes = set(boxed[0].box)
+    for zone in boxed[1:]:
+        axes &= set(zone.box)
+    dims: dict[str, DimensionStats] = {}
+    for axis in axes:
+        ranges = [(z.box[axis][0], z.box[axis][1], z.non_null)
+                  for z in boxed]
+        histogram = _histogram_from_ranges(ranges)
+        if histogram is None:
+            continue
+        total = sum(r[2] for r in ranges)
+        dims[axis] = DimensionStats(
+            lo=min(r[0] for r in ranges),
+            hi=max(r[1] for r in ranges),
+            center_histogram=histogram,
+            # The group extent spans every member box; half the mean
+            # extent is the best width guess the footer offers.
+            mean_half_width=sum((r[1] - r[0]) / 2.0 * r[2]
+                                for r in ranges) / max(total, 1),
+        )
+    return dims
+
+
+# ---------------------------------------------------------------------------
+# Spill files (external sort / grace join / partitioned aggregation)
+# ---------------------------------------------------------------------------
+
+
+class SpillFile:
+    """Length-prefixed pickled row batches in an anonymous temp file.
+
+    One writer, then one sequential reader — exactly the lifecycle of a
+    sort run or a join/aggregation partition.  The file is unlinked on
+    creation (``tempfile.TemporaryFile``), so crashed queries leak no
+    artifacts."""
+
+    def __init__(self) -> None:
+        self._handle = tempfile.TemporaryFile(prefix="quack-spill-")
+        self.rows = 0
+        self.bytes = 0
+
+    def write_rows(self, rows: list[tuple]) -> None:
+        blob = pickle.dumps(rows, protocol=pickle.HIGHEST_PROTOCOL)
+        self._handle.write(struct.pack("<Q", len(blob)))
+        self._handle.write(blob)
+        self.rows += len(rows)
+        self.bytes += len(blob) + 8
+        count("storage.spill_bytes", len(blob) + 8)
+        count("storage.spill_rows", len(rows))
+
+    def read_batches(self) -> Iterator[list[tuple]]:
+        self._handle.seek(0)
+        while True:
+            header = self._handle.read(8)
+            if not header:
+                return
+            (length,) = struct.unpack("<Q", header)
+            yield pickle.loads(self._handle.read(length))
+
+    def read_rows(self) -> Iterator[tuple]:
+        for batch in self.read_batches():
+            yield from batch
+
+    def close(self) -> None:
+        self._handle.close()
+
+
+def chunk_nbytes(chunk: Any) -> int:
+    """Working-set estimate of one :class:`DataChunk` for the
+    ``memory_limit`` watermark; object payloads use a flat per-slot
+    estimate."""
+    total = 0
+    for vector in chunk.vectors:
+        if vector.data.dtype == object:
+            total += len(vector.data) * _OBJECT_SLOT_BYTES
+        else:
+            total += vector.data.nbytes
+        total += vector.validity.nbytes
+    return total
+
+
+def rows_nbytes(rows: list[tuple], width: int) -> int:
+    """Watermark estimate for a list of row tuples."""
+    return len(rows) * max(width, 1) * _OBJECT_SLOT_BYTES

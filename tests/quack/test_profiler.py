@@ -22,7 +22,7 @@ class TestExplainAnalyze:
         text = con.execute(
             "EXPLAIN ANALYZE SELECT count(*) FROM t WHERE a <= 100"
         ).plan_text
-        assert "SEQ_SCAN t  (rows=1000" in text
+        assert "SEQ_SCAN t [zonemap: a <=]  (rows=1000" in text
         assert "FILTER  (rows=100" in text
 
     def test_timings_present(self, con):
