@@ -23,9 +23,13 @@ ANL010    a ``*_selectivity`` estimator returns a value not wrapped in
           cardinality product built on it)
 ========  ==========================================================
 
-Run as ``python -m repro.analysis.lint [paths]`` (default: ``src``).
-The module is import-light on purpose — it parses source with ``ast``
-and never imports the engine code it checks.
+Run as ``python -m repro.analysis.lint [--jobs N] [--fix] [paths]``
+(default: ``src``).  The module is import-light on purpose — it parses
+source with ``ast`` and never imports the engine code it checks.
+
+Lint shares its parsed ASTs with the flow analyzer
+(``repro.analysis.flow``) through :class:`repro.analysis.project.
+ProjectModel`: a combined run parses every file exactly once.
 """
 
 from __future__ import annotations
@@ -35,9 +39,16 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable
 
+from ..project import ModuleInfo, ProjectModel
 from .rules import check_module
 
-__all__ = ["Violation", "lint_file", "lint_paths", "run_lint"]
+__all__ = [
+    "Violation",
+    "lint_file",
+    "lint_model",
+    "lint_paths",
+    "run_lint",
+]
 
 
 @dataclass(frozen=True)
@@ -66,6 +77,24 @@ def _module_name(path: Path) -> str | None:
     return ".".join(rel)
 
 
+def _lint_module(info: ModuleInfo) -> list[Violation]:
+    if info.error is not None:
+        exc = info.error
+        return [
+            Violation(
+                str(info.path), exc.lineno or 1, (exc.offset or 1) - 1,
+                "ANL000", f"syntax error: {exc.msg}",
+            )
+        ]
+    module = _module_name(info.path)
+    return [
+        Violation(str(info.path), line, col, code, message)
+        for line, col, code, message in check_module(
+            info.tree, module, info.filename
+        )
+    ]
+
+
 def lint_file(path: Path) -> list[Violation]:
     source = path.read_text(encoding="utf-8")
     try:
@@ -84,21 +113,23 @@ def lint_file(path: Path) -> list[Violation]:
     ]
 
 
-def lint_paths(paths: Iterable[str]) -> list[Violation]:
-    files: list[Path] = []
-    for raw in paths:
-        path = Path(raw)
-        if path.is_dir():
-            files.extend(sorted(path.rglob("*.py")))
-        elif path.suffix == ".py":
-            files.append(path)
+def lint_model(model: ProjectModel) -> list[Violation]:
+    """Lint every module already parsed into ``model`` (no re-parse)."""
     violations: list[Violation] = []
-    for file in files:
-        violations.extend(lint_file(file))
+    for info in model.modules:
+        violations.extend(_lint_module(info))
     violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
     return violations
 
 
-def run_lint(paths: Iterable[str] = ("src",)) -> list[Violation]:
+def lint_paths(paths: Iterable[str], *, jobs: int = 1,
+               model: ProjectModel | None = None) -> list[Violation]:
+    if model is None:
+        model = ProjectModel.parse(paths, jobs=jobs)
+    return lint_model(model)
+
+
+def run_lint(paths: Iterable[str] = ("src",), *,
+             jobs: int = 1) -> list[Violation]:
     """Lint ``paths`` (files or directories) and return the violations."""
-    return lint_paths(paths)
+    return lint_paths(paths, jobs=jobs)

@@ -1,0 +1,121 @@
+"""Autofix for ANL007: delete unused import bindings by exact span.
+
+``fix_unused_imports`` is a pure ``source -> source`` transform built on
+the same :func:`repro.analysis.lint.rules.unused_import_aliases` helper
+the rule itself uses, so the fixer removes exactly the bindings the rule
+reports — nothing more.  Two shapes of edit:
+
+* every alias of a statement is unused → the whole statement goes,
+  including its indentation and the trailing newline when nothing else
+  shares the line;
+* some aliases survive → each dead alias is cut out of the name list by
+  its source span, taking one adjacent comma along with it.
+
+The transform is idempotent: a fixed source re-parses with no unused
+imports, so a second pass returns the input unchanged.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .rules import unused_import_aliases
+
+__all__ = ["fix_unused_imports"]
+
+
+def _line_offsets(source: str) -> list[int]:
+    offsets = [0]
+    for line in source.splitlines(keepends=True):
+        offsets.append(offsets[-1] + len(line))
+    return offsets
+
+
+def _merge(spans: list[tuple[int, int]]) -> list[tuple[int, int]]:
+    merged: list[tuple[int, int]] = []
+    for start, end in sorted(spans):
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def fix_unused_imports(source: str, filename: str) -> tuple[str, int]:
+    """Return ``(fixed_source, removed_binding_count)``.
+
+    ``filename`` is the base name of the file (``path.name``); it gates
+    the same ``__init__.py`` exemption the rule applies.  Raises
+    ``SyntaxError`` if ``source`` does not parse — callers should lint
+    first and skip ANL000 files.
+    """
+    tree = ast.parse(source, filename=filename)
+    unused = unused_import_aliases(tree, filename)
+    if not unused:
+        return source, 0
+
+    offsets = _line_offsets(source)
+
+    def off(lineno: int, col: int) -> int:
+        return offsets[lineno - 1] + col
+
+    by_stmt: dict[int, list[ast.alias]] = {}
+    stmts: dict[int, ast.stmt] = {}
+    for stmt, alias, _ in unused:
+        by_stmt.setdefault(id(stmt), []).append(alias)
+        stmts[id(stmt)] = stmt
+
+    spans: list[tuple[int, int]] = []
+    for key, dead in by_stmt.items():
+        stmt = stmts[key]
+        if len(dead) == len(stmt.names):
+            start = off(stmt.lineno, stmt.col_offset)
+            end = off(stmt.end_lineno, stmt.end_col_offset)
+            # Take the indentation too, when the statement starts the
+            # line, and the newline, when nothing else follows it —
+            # otherwise a blank ghost line is left behind.
+            line_start = offsets[stmt.lineno - 1]
+            if source[line_start:start].strip() == "":
+                start = line_start
+            line_end = offsets[stmt.end_lineno]
+            if source[end:line_end].strip() == "":
+                end = line_end
+            spans.append((start, end))
+            continue
+        ordered = sorted(
+            stmt.names, key=lambda a: (a.lineno, a.col_offset)
+        )
+        dead_ids = {id(a) for a in dead}
+        index = 0
+        while index < len(ordered):
+            if id(ordered[index]) not in dead_ids:
+                index += 1
+                continue
+            # Maximal run of consecutive dead aliases.
+            last = index
+            while (last + 1 < len(ordered)
+                   and id(ordered[last + 1]) in dead_ids):
+                last += 1
+            if last + 1 < len(ordered):
+                # A kept alias follows: cut up to it, so the commas and
+                # whitespace go with the dead names.
+                first, nxt = ordered[index], ordered[last + 1]
+                spans.append((
+                    off(first.lineno, first.col_offset),
+                    off(nxt.lineno, nxt.col_offset),
+                ))
+            else:
+                # The run reaches the end of the list; the alias before
+                # it is kept (a fully-dead statement is handled above),
+                # so cut back from its end, taking the separator comma.
+                prev, end_alias = ordered[index - 1], ordered[last]
+                spans.append((
+                    off(prev.end_lineno, prev.end_col_offset),
+                    off(end_alias.end_lineno, end_alias.end_col_offset),
+                ))
+            index = last + 1
+
+    fixed = source
+    for start, end in reversed(_merge(spans)):
+        fixed = fixed[:start] + fixed[end:]
+    return fixed, len(unused)

@@ -331,43 +331,16 @@ class _Checker:
     # -- ANL007: unused imports ---------------------------------------------------
 
     def check_unused_imports(self, tree: ast.Module) -> None:
-        if self.filename == "__init__.py":
-            return  # re-export surface
-        imported: dict[str, ast.AST] = {}
-        for node in ast.walk(tree):
-            if isinstance(node, ast.Import):
-                for alias in node.names:
-                    binding = (alias.asname or alias.name).split(".")[0]
-                    imported.setdefault(binding, node)
-            elif isinstance(node, ast.ImportFrom):
-                if node.module == "__future__":
-                    continue
-                for alias in node.names:
-                    if alias.name == "*":
-                        continue
-                    if alias.asname == alias.name:
-                        continue  # explicit re-export idiom
-                    binding = alias.asname or alias.name
-                    imported.setdefault(binding, node)
-        if not imported:
-            return
-        used: set[str] = set()
-        for node in ast.walk(tree):
-            # Import statements bind through alias objects, not Name
-            # nodes, so every Name occurrence is a genuine use.
-            if isinstance(node, ast.Name):
-                used.add(node.id)
-        used |= _names_in_string_annotations(tree)
-        for target in _all_exports(tree):
-            used.add(target)
-        for binding, node in imported.items():
-            if binding.startswith("_"):
+        seen: set[str] = set()
+        for stmt, _, binding in unused_import_aliases(tree,
+                                                      self.filename):
+            if binding in seen:
                 continue
-            if binding not in used:
-                self.report(
-                    node, "ANL007",
-                    f"unused import {binding!r}",
-                )
+            seen.add(binding)
+            self.report(
+                stmt, "ANL007",
+                f"unused import {binding!r}",
+            )
 
     # -- ANL008: module-level mutable state in quack ------------------------------
 
@@ -697,3 +670,48 @@ def _all_exports(tree: ast.Module) -> list[str]:
                 ):
                     out.append(element.value)
     return out
+
+
+def unused_import_aliases(
+    tree: ast.Module, filename: str,
+) -> list[tuple[ast.stmt, ast.alias, str]]:
+    """Every unused import binding as ``(statement, alias, binding)``.
+
+    Shared by the ANL007 check and ``--fix``: the rule reports one
+    violation per binding, the fixer deletes the exact alias spans.
+    ``__init__.py`` re-export surfaces, ``__future__`` imports, ``*``
+    imports, the ``x as x`` re-export idiom and ``_``-prefixed bindings
+    are all exempt, exactly as the rule has always treated them.
+    """
+    if filename == "__init__.py":
+        return []
+    entries: list[tuple[ast.stmt, ast.alias, str]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                binding = (alias.asname or alias.name).split(".")[0]
+                entries.append((node, alias, binding))
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "__future__":
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                if alias.asname == alias.name:
+                    continue  # explicit re-export idiom
+                entries.append((node, alias, alias.asname or alias.name))
+    if not entries:
+        return []
+    used: set[str] = set()
+    for node in ast.walk(tree):
+        # Import statements bind through alias objects, not Name
+        # nodes, so every Name occurrence is a genuine use.
+        if isinstance(node, ast.Name):
+            used.add(node.id)
+    used |= _names_in_string_annotations(tree)
+    used.update(_all_exports(tree))
+    return [
+        (stmt, alias, binding)
+        for stmt, alias, binding in entries
+        if not binding.startswith("_") and binding not in used
+    ]

@@ -57,8 +57,13 @@ class ColumnData:
 
     def append_vector(self, vector: Vector) -> None:
         self.seal()
-        self.segments.append(np.array(vector.data, copy=True))
-        self.validity_segments.append(np.array(vector.validity, copy=True))
+        # Same guard as seal(): segment lists are read by concurrently
+        # sealing scan workers, so every write goes through the lock.
+        with self._seal_lock:
+            self.segments.append(np.array(vector.data, copy=True))
+            self.validity_segments.append(
+                np.array(vector.validity, copy=True)
+            )
 
     def seal(self) -> None:
         if not self.tail:
@@ -191,6 +196,10 @@ class Table:
         #: immutable, so appends only *extend* this cache — a rewrite
         #: (UPDATE) resets it so pruning never trusts stale bounds.
         self._zone_cache: list[list] = []
+        # Two workers extending the lazy zone cache concurrently would
+        # interleave duplicate segment entries; same discipline as
+        # ColumnData._seal_lock.
+        self._zone_lock = threading.Lock()
 
     # -- metadata -----------------------------------------------------------------
 
@@ -274,12 +283,13 @@ class Table:
             if any(col.segment_rows(seg) != rows
                    for col in self._columns[1:]):
                 return None
-        while len(self._zone_cache) < num_segments:
-            seg = len(self._zone_cache)
-            self._zone_cache.append(
-                [col.zone_entry(seg) for col in self._columns]
-            )
-        return self._zone_cache[:num_segments]
+        with self._zone_lock:
+            while len(self._zone_cache) < num_segments:
+                seg = len(self._zone_cache)
+                self._zone_cache.append(
+                    [col.zone_entry(seg) for col in self._columns]
+                )
+            return self._zone_cache[:num_segments]
 
     # -- scan ---------------------------------------------------------------------
 

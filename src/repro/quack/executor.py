@@ -577,7 +577,10 @@ def _execute_operator(op: LogicalOperator,
                       ctx: ExecutionContext) -> Iterator[DataChunk]:
     if isinstance(op, LogicalMaterializedCTE):
         for cte_id, _, plan in op.ctes:
-            ctx.cte_plans[cte_id] = plan
+            # setdefault: a re-entrant execution (subquery re-running the
+            # CTE operator on a worker) publishes the same plan object —
+            # one atomic winner, never a torn registration.
+            ctx.cte_plans.setdefault(cte_id, plan)
         yield from execute_plan(op.child, ctx)
         return
     if isinstance(op, LogicalGet):
@@ -1919,8 +1922,10 @@ def _external_sort(op: LogicalSort, buffered: list[DataChunk],
             key=comparator,
         )
         run = _storage.SpillFile()
-        run.write_rows(keyed)
+        # Hand the run to the cleanup list *before* writing: if the
+        # write raises mid-spill, the enclosing finally still closes it.
         runs.append(run)
+        run.write_rows(keyed)
 
     try:
         pending: list[DataChunk] = []
@@ -1960,8 +1965,13 @@ def _spilled_aggregate(op: LogicalAggregate, buffered: list[DataChunk],
     by first-occurrence global row index."""
     kstats = _kernel_stats(op, ctx)
     child_types = op.child.output_types()
-    parts = [_storage.SpillFile() for _ in range(_SPILL_PARTITIONS)]
+    # Partitions are allocated inside the try: extend() appends each
+    # spill file as it is created, so a failure partway through still
+    # leaves every opened handle in the list the finally closes.
+    parts: list[_storage.SpillFile] = []
     try:
+        parts.extend(_storage.SpillFile()
+                     for _ in range(_SPILL_PARTITIONS))
         base = 0
         for chunk in _chain_chunks(buffered, overflow):
             if not chunk.count:
@@ -2028,8 +2038,11 @@ def _grace_hash_join(op: LogicalJoin, right_buffered: list[DataChunk],
     k-way merge on (left, right) index pairs."""
     kstats = _kernel_stats(op, ctx)
     qstats = ctx.stats
-    build_parts = [_storage.SpillFile() for _ in range(_SPILL_PARTITIONS)]
-    probe_parts = [_storage.SpillFile() for _ in range(_SPILL_PARTITIONS)]
+    # Allocated inside the try below (not here): creating sixteen temp
+    # files can fail partway, and handles created before a try are
+    # orphaned when a later allocation raises.
+    build_parts: list[_storage.SpillFile] = []
+    probe_parts: list[_storage.SpillFile] = []
 
     def scatter(chunk: DataChunk, key_exprs: list, base: int,
                 parts: list) -> None:
@@ -2049,6 +2062,10 @@ def _grace_hash_join(op: LogicalJoin, right_buffered: list[DataChunk],
                 part.write_rows(rows)
 
     try:
+        build_parts.extend(_storage.SpillFile()
+                           for _ in range(_SPILL_PARTITIONS))
+        probe_parts.extend(_storage.SpillFile()
+                           for _ in range(_SPILL_PARTITIONS))
         base = 0
         for chunk in _chain_chunks(right_buffered, right_overflow):
             if not chunk.count:

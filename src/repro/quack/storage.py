@@ -458,6 +458,12 @@ class StorageFile:
         self._mmap.close()
         self._handle.close()
 
+    def __enter__(self) -> "StorageFile":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
 
 class StorageColumn(ColumnData):
     """A column whose sealed row groups live in a :class:`StorageFile`.
@@ -686,48 +692,56 @@ def read_database(database: Any, path: str) -> int:
     returns the number of tables loaded.  ``quackdb-v1`` pickle files go
     through the legacy shim; anything else raises :class:`QuackError`."""
     source = StorageFile(path)
-    if source.read(0, len(_MAGIC)) != _MAGIC:
-        source.close()
-        return _read_legacy_pickle(database, path)
-    if len(source) < len(_MAGIC) + _TRAILER_SIZE:
-        source.close()
-        raise QuackError(f"{path}: not a quack database file: truncated")
-    trailer = source.read(len(source) - _TRAILER_SIZE, _TRAILER_SIZE)
-    if trailer[8:] != _MAGIC:
-        source.close()
-        raise QuackError(
-            f"{path}: not a quack database file: missing footer trailer"
-        )
-    (footer_offset,) = struct.unpack("<Q", trailer[:8])
+    # On success the loaded tables own (and keep alive) the mapped
+    # file; on *any* failure — format checks, footer parsing, or a
+    # partial table instantiation — this handler closes it instead of
+    # relying on every raise site to remember to.
     try:
-        footer = json.loads(source.read(
-            footer_offset,
-            len(source) - _TRAILER_SIZE - footer_offset,
-        ).decode("utf-8"))
-    except (ValueError, UnicodeDecodeError) as exc:
+        if source.read(0, len(_MAGIC)) != _MAGIC:
+            source.close()
+            return _read_legacy_pickle(database, path)
+        if len(source) < len(_MAGIC) + _TRAILER_SIZE:
+            raise QuackError(
+                f"{path}: not a quack database file: truncated"
+            )
+        trailer = source.read(len(source) - _TRAILER_SIZE, _TRAILER_SIZE)
+        if trailer[8:] != _MAGIC:
+            raise QuackError(
+                f"{path}: not a quack database file: missing footer "
+                "trailer"
+            )
+        (footer_offset,) = struct.unpack("<Q", trailer[:8])
+        try:
+            footer = json.loads(source.read(
+                footer_offset,
+                len(source) - _TRAILER_SIZE - footer_offset,
+            ).decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise QuackError(
+                f"{path}: not a quack database file: bad footer: {exc}"
+            ) from exc
+        version = footer.get("format_version")
+        if not isinstance(version, int) or \
+                footer.get("magic") != "quackdb":
+            raise QuackError(f"{path}: not a quack database file")
+        if version > FORMAT_VERSION:
+            raise QuackError(
+                f"{path}: format version {version} is newer than the "
+                f"supported version {FORMAT_VERSION}"
+            )
+        # The footer records extension *names* for diagnostics only: the
+        # caller must have loaded them already (types resolve by name
+        # through the database's registry, matching the old pickle
+        # loader).
+        loaded = 0
+        for entry in footer.get("tables", []):
+            table = _instantiate_table(database, entry, source)
+            database.catalog.create_table(table, or_replace=True)
+            loaded += 1
+            _rebuild_indexes(database, table, entry.get("indexes", []))
+    except BaseException:
         source.close()
-        raise QuackError(
-            f"{path}: not a quack database file: bad footer: {exc}"
-        ) from exc
-    version = footer.get("format_version")
-    if not isinstance(version, int) or footer.get("magic") != "quackdb":
-        source.close()
-        raise QuackError(f"{path}: not a quack database file")
-    if version > FORMAT_VERSION:
-        source.close()
-        raise QuackError(
-            f"{path}: format version {version} is newer than the "
-            f"supported version {FORMAT_VERSION}"
-        )
-    # The footer records extension *names* for diagnostics only: the
-    # caller must have loaded them already (types resolve by name
-    # through the database's registry, matching the old pickle loader).
-    loaded = 0
-    for entry in footer.get("tables", []):
-        table = _instantiate_table(database, entry, source)
-        database.catalog.create_table(table, or_replace=True)
-        loaded += 1
-        _rebuild_indexes(database, table, entry.get("indexes", []))
+        raise
     count("storage.tables_attached", loaded)
     return loaded
 
@@ -963,6 +977,12 @@ class SpillFile:
 
     def close(self) -> None:
         self._handle.close()
+
+    def __enter__(self) -> "SpillFile":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
 
 def chunk_nbytes(chunk: Any) -> int:

@@ -1,0 +1,10 @@
+"""Dead env toggle: only a private function nothing calls reads the
+variable, so the switch can never take effect.  Expected: FLOW003
+blaming ``_legacy_spill_dir`` for ``REPRO_SPILL_DIR``.
+"""
+
+import os
+
+
+def _legacy_spill_dir():
+    return os.environ.get("REPRO_SPILL_DIR", "/tmp")

@@ -1,0 +1,18 @@
+"""Dead kill switch: the SET handler assigns ``debug_joins`` but no
+execution path ever reads it, while ``memory_limit`` is read by the
+planner and must stay clean.  Expected: FLOW003 blaming
+``Session._execute_set`` for ``debug_joins`` only.
+"""
+
+
+class Session:
+    def _execute_set(self, name, value):
+        if name == "debug_joins":
+            self.debug_joins = bool(value)
+        elif name == "memory_limit":
+            self.memory_limit = int(value)
+
+    def plan(self, query):
+        if self.memory_limit:
+            return ("spill", query)
+        return ("memory", query)

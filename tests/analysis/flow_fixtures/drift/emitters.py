@@ -1,0 +1,22 @@
+"""Counter drift: one undeclared exact name, one undeclared f-string
+prefix, and one declared-but-never-emitted entry back in the registry.
+Expected: FLOW002 for ``scan.rows_out`` (bump_undeclared), ``custom.``
+(bump_custom), and ``cache.unused_counter`` (registry module) — while
+``scan.rows_in`` and the ``optimizer.rule.`` prefix stay clean.
+"""
+
+
+def bump_undeclared(stats):
+    stats.bump("scan.rows_out")
+
+
+def bump_custom(stats, name):
+    stats.bump(f"custom.{name}")
+
+
+def bump_declared(stats):
+    stats.bump("scan.rows_in")
+
+
+def bump_declared_prefix(stats, rule):
+    stats.bump(f"optimizer.rule.{rule}")

@@ -1,0 +1,11 @@
+"""The fixture corpus's own observability registry: FLOW002 reads these
+literals from whichever module defines them."""
+
+DECLARED_COUNTERS = (
+    "scan.rows_in",
+    "cache.unused_counter",
+)
+
+DECLARED_PREFIXES = (
+    "optimizer.rule.",
+)

@@ -1,0 +1,21 @@
+"""Guarded-by violation: ``_rows`` is written under ``_lock`` at one
+site and bare at another.  Either the lock is required (the bare site is
+a race) or it is not (the locked site is cargo cult) — the analyzer
+flags the bare site either way.  Expected: RACE002 blaming
+``Buffer.drop`` for ``Buffer._rows``.
+"""
+
+import threading
+
+
+class Buffer:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._rows = []
+
+    def put(self, row):
+        with self._lock:
+            self._rows = self._rows + [row]
+
+    def drop(self):
+        self._rows = []

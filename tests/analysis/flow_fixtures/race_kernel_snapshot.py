@@ -1,0 +1,18 @@
+"""PR 5 race class 4 in miniature: the ``KERNELS_ENABLED`` global flip.
+
+A worker that hits a kernel bug disables kernels for everyone by
+rebinding the module global mid-query; peers that already snapshotted
+the flag diverge.  Expected: RACE001 blaming ``_disable_on_error`` for
+``KERNELS_ENABLED``.
+"""
+
+KERNELS_ENABLED = True
+
+
+def _disable_on_error():
+    global KERNELS_ENABLED
+    KERNELS_ENABLED = False
+
+
+def run(pool):
+    pool.run_tasks([_disable_on_error])

@@ -1,0 +1,21 @@
+"""Lock-ordering cycle: two paths acquire the same locks in opposite
+orders — a deadlock when two threads interleave.  Expected: RACE002
+with a ``lock-order:`` key naming both locks.
+"""
+
+import threading
+
+LOCK_A = threading.Lock()
+LOCK_B = threading.Lock()
+
+
+def take_ab():
+    with LOCK_A:
+        with LOCK_B:
+            return "ab"
+
+
+def take_ba():
+    with LOCK_B:
+        with LOCK_A:
+            return "ba"

@@ -1,0 +1,14 @@
+"""PR 5 race class 3 in miniature: shared statistics object counters.
+
+The stats object handed to every scan task is mutated with a bare
+read-modify-write; concurrent chunks lose increments.  Expected:
+RACE001 blaming ``_scan_chunk`` for ``stats.rows_in``.
+"""
+
+
+def _scan_chunk(stats, chunk):
+    stats.rows_in += len(chunk)
+
+
+def run(pool, stats):
+    pool.run_tasks([_scan_chunk])

@@ -1,0 +1,14 @@
+"""PR 5 race class 1 in miniature: unsynchronized CTE plan-cache publish.
+
+Two workers compiling the same correlated subquery both write the shared
+plan cache dict; the loser's plan object is torn out from under readers.
+Expected: RACE001 blaming ``_compile_cte`` for ``ctx.cte_plans[]``.
+"""
+
+
+def _compile_cte(ctx, cte_id, plan):
+    ctx.cte_plans[cte_id] = plan
+
+
+def run(pool, ctx):
+    pool.run_tasks([_compile_cte])

@@ -1,0 +1,25 @@
+"""PR 5 race class 2 in miniature: the ``Vector._aux`` memo write.
+
+A lazily-computed auxiliary structure is published with a plain
+attribute store from code two workers can reach at once.  Expected:
+RACE001 blaming ``MiniVector.refresh_aux`` for ``self._aux``.
+"""
+
+
+class MiniVector:
+    def __init__(self, data):
+        self.data = data
+        self._aux = None
+
+    def refresh_aux(self):
+        if self._aux is None:
+            self._aux = sum(self.data)
+        return self._aux
+
+
+def _task(vec):
+    return vec.refresh_aux()
+
+
+def run(pool, vec):
+    pool.run_tasks([_task])

@@ -1,0 +1,219 @@
+"""Flow-analyzer tests: the seeded-bug fixture corpus (each of the four
+PR 5 race classes in miniature, plus lock ordering, guarded-by, leaks,
+counter drift, and dead kill switches), the clean-program negative, the
+suppression/baseline machinery, and the lint/flow single-parse
+regression."""
+
+import ast
+import textwrap
+from pathlib import Path
+
+from repro.analysis import flow
+from repro.analysis.lint import lint_model, lint_paths
+from repro.analysis.project import ProjectModel
+
+FIXTURES = Path(__file__).parent / "flow_fixtures"
+
+
+def analyze(*names):
+    _, findings = flow.analyze([FIXTURES / name for name in names])
+    return findings
+
+
+def triples(findings):
+    return [(f.rule, f.symbol, f.key) for f in findings]
+
+
+class TestSeededRaces:
+    """The four PR 5 race classes, reintroduced in miniature: the
+    analyzer must name the exact rule, function, and shared state —
+    and nothing else (zero false positives per fixture)."""
+
+    def test_subquery_cache_publish(self):
+        assert triples(analyze("race_subquery_cache.py")) == [
+            ("RACE001", "race_subquery_cache._compile_cte",
+             "ctx.cte_plans[]"),
+        ]
+
+    def test_vector_aux_memo(self):
+        assert triples(analyze("race_vector_aux.py")) == [
+            ("RACE001", "race_vector_aux.MiniVector.refresh_aux",
+             "self._aux"),
+        ]
+
+    def test_shared_stats_counter(self):
+        assert triples(analyze("race_stats_context.py")) == [
+            ("RACE001", "race_stats_context._scan_chunk",
+             "stats.rows_in"),
+        ]
+
+    def test_global_kernel_flag_flip(self):
+        assert triples(analyze("race_kernel_snapshot.py")) == [
+            ("RACE001", "race_kernel_snapshot._disable_on_error",
+             "KERNELS_ENABLED"),
+        ]
+
+    def test_worker_context_classification(self):
+        from repro.analysis.flow.passes import WORKER_CONTEXTS
+        model, _ = flow.analyze([FIXTURES / "race_subquery_cache.py"])
+        # The task is worker-reachable ("both": the coordinator also
+        # references it at the submit site); `run` itself never is.
+        assert model.contexts[
+            "race_subquery_cache._compile_cte"] in WORKER_CONTEXTS
+        assert model.contexts["race_subquery_cache.run"] == "coordinator"
+
+
+class TestLockDiscipline:
+    def test_lock_ordering_cycle(self):
+        findings = analyze("race_lock_order.py")
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.rule == "RACE002"
+        assert finding.key == (
+            "lock-order:race_lock_order.LOCK_A->"
+            "race_lock_order.LOCK_B->race_lock_order.LOCK_A"
+        )
+        assert finding.symbol == "race_lock_order.take_ba"
+
+    def test_guarded_by_violation(self):
+        findings = analyze("race_guarded_pair.py")
+        assert triples(findings) == [
+            ("RACE002", "race_guarded_pair.Buffer.drop", "Buffer._rows"),
+        ]
+        assert "'Buffer._lock'" in findings[0].message
+
+
+class TestLeaksAndDrift:
+    def test_spillfile_leaks(self):
+        findings = analyze("leak_spillfile.py")
+        assert triples(findings) == [
+            ("FLOW001", "leak_spillfile.spill_rows", "SpillFile:handle"),
+            ("FLOW001", "leak_spillfile.spill_and_forget",
+             "SpillFile:discarded"),
+        ]
+        assert "raises" in findings[0].message
+
+    def test_counter_drift(self):
+        _, findings = flow.analyze([FIXTURES / "drift"])
+        assert sorted(triples(findings)) == [
+            ("FLOW002", "emitters.bump_custom", "custom."),
+            ("FLOW002", "emitters.bump_undeclared", "scan.rows_out"),
+            ("FLOW002", "registry", "cache.unused_counter"),
+        ]
+
+    def test_dead_set_flag(self):
+        assert triples(analyze("dead_set_flag.py")) == [
+            ("FLOW003", "dead_set_flag.Session._execute_set",
+             "debug_joins"),
+        ]
+
+    def test_dead_env_toggle(self):
+        assert triples(analyze("dead_env_toggle.py")) == [
+            ("FLOW003", "dead_env_toggle._legacy_spill_dir",
+             "REPRO_SPILL_DIR"),
+        ]
+
+
+class TestNegatives:
+    def test_clean_program_has_zero_findings(self):
+        assert analyze("clean_program.py") == []
+
+    def test_whole_corpus_has_no_unexpected_rules(self):
+        """Analyzing every fixture at once must raise only the five
+        catalogued rules — no cross-fixture interference artifacts."""
+        _, findings = flow.analyze([FIXTURES])
+        assert {f.rule for f in findings} <= {
+            "RACE001", "RACE002", "FLOW001", "FLOW002", "FLOW003",
+        }
+        assert not [f for f in findings
+                    if "clean_program" in f.symbol]
+
+
+class TestSuppressionAndBaseline:
+    def test_inline_suppression(self, tmp_path):
+        source = textwrap.dedent("""\
+            def _task(stats, chunk):
+                stats.rows += len(chunk)  # flow: ignore[RACE001]
+
+            def run(pool):
+                pool.run_tasks([_task])
+        """)
+        path = tmp_path / "suppressed.py"
+        path.write_text(source, encoding="utf-8")
+        _, findings = flow.analyze([path])
+        assert findings == []
+
+    def test_suppression_is_rule_scoped(self, tmp_path):
+        source = textwrap.dedent("""\
+            def _task(stats, chunk):
+                stats.rows += len(chunk)  # flow: ignore[FLOW001]
+
+            def run(pool):
+                pool.run_tasks([_task])
+        """)
+        path = tmp_path / "wrong_rule.py"
+        path.write_text(source, encoding="utf-8")
+        _, findings = flow.analyze([path])
+        assert [f.rule for f in findings] == ["RACE001"]
+
+    def test_baseline_round_trip(self, tmp_path):
+        findings = analyze("race_stats_context.py")
+        baseline_path = tmp_path / "baseline.txt"
+        baseline_path.write_text(
+            flow.format_baseline(findings), encoding="utf-8")
+        baseline = flow.load_baseline(baseline_path)
+        new, accepted, stale = flow.split_by_baseline(findings, baseline)
+        assert new == [] and len(accepted) == 1 and stale == []
+
+    def test_baseline_preserves_justifications(self, tmp_path):
+        findings = analyze("race_stats_context.py")
+        previous = {findings[0].fingerprint: "merged by coordinator"}
+        text = flow.format_baseline(findings, previous)
+        assert "merged by coordinator" in text
+        baseline_path = tmp_path / "baseline.txt"
+        baseline_path.write_text(text, encoding="utf-8")
+        assert flow.load_baseline(baseline_path)[
+            findings[0].fingerprint] == "merged by coordinator"
+
+    def test_stale_entries_detected(self):
+        findings = analyze("race_stats_context.py")
+        baseline = {"RACE001 gone.symbol gone.key": "obsolete"}
+        new, accepted, stale = flow.split_by_baseline(findings, baseline)
+        assert len(new) == 1 and accepted == []
+        assert stale == ["RACE001 gone.symbol gone.key"]
+
+
+class TestSharedParsing:
+    def test_lint_and_flow_parse_each_file_once(self, monkeypatch):
+        counted = []
+        real_parse = ast.parse
+
+        def counting_parse(source, *args, **kwargs):
+            counted.append(kwargs.get("filename"))
+            return real_parse(source, *args, **kwargs)
+
+        monkeypatch.setattr(ast, "parse", counting_parse)
+        model = ProjectModel.parse([FIXTURES])
+        parses_after_load = len(counted)
+        assert parses_after_load == len(model.modules) > 0
+        lint_model(model)
+        flow.analyze([FIXTURES], model=model)
+        assert len(counted) == parses_after_load
+
+    def test_lint_model_matches_per_file_lint(self):
+        via_model = lint_paths([str(FIXTURES)])
+        from repro.analysis.lint import lint_file
+        from repro.analysis.project import iter_python_files
+        per_file = []
+        for path in iter_python_files([str(FIXTURES)]):
+            per_file.extend(lint_file(path))
+        per_file.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+        assert via_model == per_file
+
+    def test_syntax_error_survives_model_path(self, tmp_path):
+        path = tmp_path / "broken.py"
+        path.write_text("def f(:\n", encoding="utf-8")
+        violations = lint_paths([str(path)])
+        assert [v.code for v in violations] == ["ANL000"]
+        _, findings = flow.analyze([path])
+        assert findings == []
